@@ -1,0 +1,248 @@
+//! Combined annotators (the third category of §2.2).
+//!
+//! "Combined annotators [24, 27] combine multiple annotators that may
+//! complement each other to improve the overall annotation quality. As a
+//! concept linking method, our proposed NCL can also be combined with the
+//! other annotators." This module implements the standard aggregation
+//! scheme for heterogeneous rankers — **reciprocal-rank fusion** (RRF) —
+//! plus a weighted **Borda count** variant, so NCL's output list can be
+//! reconciled with the dictionary and string-join baselines.
+
+use crate::Annotator;
+use ncl_ontology::ConceptId;
+use std::collections::HashMap;
+
+/// How member rankings are aggregated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fusion {
+    /// Reciprocal-rank fusion: `score(c) = Σ_i w_i / (k + rank_i(c))`.
+    /// The damping constant `k` (conventionally 60) limits the dominance
+    /// of any single ranker's top hit.
+    ReciprocalRank {
+        /// Damping constant.
+        k: f32,
+    },
+    /// Borda count: each member awards `(n − rank)` points.
+    Borda,
+}
+
+/// An ensemble of annotators fused into one ranking.
+pub struct Combined<'a> {
+    members: Vec<(&'a dyn Annotator, f32)>,
+    fusion: Fusion,
+    depth: usize,
+}
+
+impl<'a> Combined<'a> {
+    /// Creates an ensemble. `depth` is how many results are requested
+    /// from each member per query.
+    ///
+    /// # Panics
+    /// Panics if `members` is empty or any weight is non-positive.
+    pub fn new(members: Vec<(&'a dyn Annotator, f32)>, fusion: Fusion, depth: usize) -> Self {
+        assert!(!members.is_empty(), "combined: no members");
+        assert!(
+            members.iter().all(|&(_, w)| w > 0.0),
+            "combined: weights must be positive"
+        );
+        Self {
+            members,
+            fusion,
+            depth,
+        }
+    }
+
+    /// Equal-weight ensemble with RRF at the conventional `k = 60`.
+    pub fn rrf(members: Vec<&'a dyn Annotator>, depth: usize) -> Self {
+        Self::new(
+            members.into_iter().map(|m| (m, 1.0)).collect(),
+            Fusion::ReciprocalRank { k: 60.0 },
+            depth,
+        )
+    }
+
+    fn fuse(&self, lists: Vec<Vec<(ConceptId, f32)>>) -> Vec<(ConceptId, f32)> {
+        let mut scores: HashMap<ConceptId, f32> = HashMap::new();
+        for ((_, weight), list) in self.members.iter().zip(&lists) {
+            let n = list.len();
+            for (rank0, &(c, _)) in list.iter().enumerate() {
+                let contribution = match self.fusion {
+                    Fusion::ReciprocalRank { k } => weight / (k + (rank0 + 1) as f32),
+                    Fusion::Borda => weight * (n - rank0) as f32,
+                };
+                *scores.entry(c).or_insert(0.0) += contribution;
+            }
+        }
+        let mut out: Vec<(ConceptId, f32)> = scores.into_iter().collect();
+        out.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        out
+    }
+}
+
+impl<'a> Annotator for Combined<'a> {
+    fn name(&self) -> &str {
+        "Combined"
+    }
+
+    fn rank_candidates(
+        &self,
+        query: &[String],
+        candidates: &[ConceptId],
+    ) -> Vec<(ConceptId, f32)> {
+        let lists = self
+            .members
+            .iter()
+            .map(|(m, _)| m.rank_candidates(query, candidates))
+            .collect();
+        self.fuse(lists)
+    }
+
+    fn rank(&self, query: &[String], k: usize) -> Vec<(ConceptId, f32)> {
+        let lists = self
+            .members
+            .iter()
+            .map(|(m, _)| m.rank(query, self.depth))
+            .collect();
+        let mut out = self.fuse(lists);
+        out.truncate(k);
+        out
+    }
+
+    fn universe(&self) -> Vec<ConceptId> {
+        let mut all: Vec<ConceptId> = self
+            .members
+            .iter()
+            .flat_map(|(m, _)| m.universe())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(i: u32) -> ConceptId {
+        ConceptId(i)
+    }
+
+    /// A stub annotator returning a fixed ranking.
+    struct Fixed {
+        name: &'static str,
+        ranking: Vec<ConceptId>,
+    }
+
+    impl Annotator for Fixed {
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn rank_candidates(
+            &self,
+            _query: &[String],
+            candidates: &[ConceptId],
+        ) -> Vec<(ConceptId, f32)> {
+            self.ranking
+                .iter()
+                .filter(|c| candidates.contains(c))
+                .enumerate()
+                .map(|(i, &c)| (c, 1.0 / (i + 1) as f32))
+                .collect()
+        }
+        fn universe(&self) -> Vec<ConceptId> {
+            self.ranking.clone()
+        }
+    }
+
+    fn members() -> (Fixed, Fixed, Fixed) {
+        (
+            Fixed {
+                name: "a",
+                ranking: vec![cid(1), cid(2), cid(3)],
+            },
+            Fixed {
+                name: "b",
+                ranking: vec![cid(2), cid(1), cid(3)],
+            },
+            Fixed {
+                name: "c",
+                ranking: vec![cid(2), cid(3), cid(1)],
+            },
+        )
+    }
+
+    #[test]
+    fn rrf_majority_wins() {
+        let (a, b, c) = members();
+        let ens = Combined::rrf(vec![&a, &b, &c], 5);
+        let out = ens.rank(&["q".into()], 3);
+        // cid(2) is first for two of three members.
+        assert_eq!(out[0].0, cid(2));
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn borda_agrees_on_clear_majority() {
+        let (a, b, c) = members();
+        let ens = Combined::new(vec![(&a, 1.0), (&b, 1.0), (&c, 1.0)], Fusion::Borda, 5);
+        let out = ens.rank(&["q".into()], 3);
+        assert_eq!(out[0].0, cid(2));
+    }
+
+    #[test]
+    fn weights_bias_the_fusion() {
+        let (a, b, _) = members();
+        // Heavily weight member `a` (which ranks cid(1) first).
+        let ens = Combined::new(
+            vec![(&a, 10.0), (&b, 1.0)],
+            Fusion::ReciprocalRank { k: 60.0 },
+            5,
+        );
+        let out = ens.rank(&["q".into()], 3);
+        assert_eq!(out[0].0, cid(1));
+    }
+
+    #[test]
+    fn candidate_restriction_respected() {
+        let (a, b, c) = members();
+        let ens = Combined::rrf(vec![&a, &b, &c], 5);
+        let out = ens.rank_candidates(&["q".into()], &[cid(3)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, cid(3));
+    }
+
+    #[test]
+    fn universe_is_union() {
+        let (a, b, _) = members();
+        let extra = Fixed {
+            name: "d",
+            ranking: vec![cid(9)],
+        };
+        let ens = Combined::rrf(vec![&a, &b, &extra], 5);
+        let u = ens.universe();
+        assert!(u.contains(&cid(9)));
+        assert!(u.contains(&cid(1)));
+        // De-duplicated.
+        let mut dedup = u.clone();
+        dedup.dedup();
+        assert_eq!(u.len(), dedup.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "no members")]
+    fn empty_ensemble_panics() {
+        let _ = Combined::rrf(vec![], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn nonpositive_weight_panics() {
+        let (a, _, _) = members();
+        let _ = Combined::new(vec![(&a, 0.0)], Fusion::Borda, 5);
+    }
+}

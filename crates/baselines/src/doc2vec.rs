@@ -1,0 +1,309 @@
+//! Doc2Vec: PV-DBOW paragraph vectors (Le & Mikolov, ICML 2014).
+//!
+//! Each concept's description set is one *document* with a learned
+//! vector; PV-DBOW trains the document vector to predict the document's
+//! words under negative sampling. A query is linked by inferring a fresh
+//! vector for it (gradient steps with the word matrix frozen) and
+//! ranking concepts by cosine similarity.
+//!
+//! §6.4: Doc2Vec stays below 0.12 accuracy because "the semantic
+//! overlapping between the fine-grained concepts makes the document-level
+//! semantic similarity difficult to distinguish them" — sibling leaves
+//! share almost all words, so their document vectors nearly coincide;
+//! the tests verify exactly that failure mode.
+
+use crate::Annotator;
+use ncl_ontology::{ConceptId, Ontology};
+use ncl_tensor::ops::sigmoid;
+use ncl_tensor::{init, Matrix, Vector};
+use ncl_text::{tokenize, Vocab};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// PV-DBOW hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Doc2VecConfig {
+    /// Vector dimensionality (Figure 7 sweeps this; the paper's best is
+    /// d = 90).
+    pub dim: usize,
+    /// Negative samples per positive.
+    pub negative: usize,
+    /// Training epochs over the documents.
+    pub epochs: usize,
+    /// Inference epochs for a query vector.
+    pub infer_epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Doc2VecConfig {
+    fn default() -> Self {
+        Self {
+            dim: 90,
+            negative: 5,
+            epochs: 20,
+            infer_epochs: 20,
+            lr: 0.05,
+            seed: 0xD0C2,
+        }
+    }
+}
+
+/// The trained PV-DBOW model.
+#[derive(Debug, Clone)]
+pub struct Doc2Vec {
+    config: Doc2VecConfig,
+    vocab: Vocab,
+    /// Document vectors, one per fine-grained concept.
+    doc_vecs: Matrix,
+    /// Output word vectors (syn1).
+    word_out: Matrix,
+    concepts: Vec<ConceptId>,
+    docs: Vec<Vec<u32>>,
+    /// Unigram cumulative distribution for negative sampling.
+    cdf: Vec<f64>,
+}
+
+impl Doc2Vec {
+    /// Trains PV-DBOW over the fine-grained concepts of `ontology`.
+    pub fn train(ontology: &Ontology, config: Doc2VecConfig) -> Self {
+        let mut vocab = Vocab::new();
+        let mut docs: Vec<Vec<u32>> = Vec::new();
+        let mut concepts = Vec::new();
+        // One document per concept: its canonical description. (The KB
+        // aliases are NCL's training data; giving them to Doc2Vec too
+        // would change the §6.4 comparison. Sibling fine-grained concepts
+        // therefore share almost all document words — the overlap the
+        // paper blames for Doc2Vec's low accuracy.)
+        for id in ontology.fine_grained() {
+            let c = ontology.concept(id);
+            let toks = tokenize(&c.canonical);
+            let ids: Vec<u32> = toks.iter().map(|t| vocab.add(t)).collect();
+            if ids.is_empty() {
+                continue;
+            }
+            concepts.push(id);
+            docs.push(ids);
+        }
+        assert!(!docs.is_empty(), "doc2vec: no documents");
+
+        // Unigram^0.75 negative-sampling distribution.
+        let mut counts = vec![0u64; vocab.len()];
+        for doc in &docs {
+            for &w in doc {
+                counts[w as usize] += 1;
+            }
+        }
+        let mut cdf = Vec::with_capacity(counts.len());
+        let mut acc = 0.0f64;
+        for (i, &c) in counts.iter().enumerate() {
+            acc += if i < 4 { 0.0 } else { (c as f64).powf(0.75) };
+            cdf.push(acc);
+        }
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut doc_vecs = init::embedding_uniform(docs.len(), config.dim, &mut rng);
+        let mut word_out = Matrix::zeros(vocab.len(), config.dim);
+
+        for _ in 0..config.epochs {
+            for (di, doc) in docs.iter().enumerate() {
+                for &word in doc {
+                    let dvec = doc_vecs.row_vector(di);
+                    let mut ddoc = Vector::zeros(config.dim);
+                    for s in 0..=config.negative {
+                        let (target, label) = if s == 0 {
+                            (word as usize, 1.0f32)
+                        } else {
+                            (sample(&cdf, &mut rng), 0.0)
+                        };
+                        let out = word_out.row_vector(target);
+                        let g = (label - sigmoid(dvec.dot(&out))) * config.lr;
+                        ddoc.axpy(g, &out);
+                        let row = word_out.row_mut(target);
+                        for (r, dv) in row.iter_mut().zip(dvec.as_slice()) {
+                            *r += g * dv;
+                        }
+                    }
+                    let row = doc_vecs.row_mut(di);
+                    for (r, dv) in row.iter_mut().zip(ddoc.as_slice()) {
+                        *r += dv;
+                    }
+                }
+            }
+        }
+
+        Self {
+            config,
+            vocab,
+            doc_vecs,
+            word_out,
+            concepts,
+            docs,
+            cdf,
+        }
+    }
+
+    /// Infers a paragraph vector for a query (word matrix frozen).
+    pub fn infer(&self, query: &[String]) -> Vector {
+        let ids: Vec<u32> = query.iter().filter_map(|t| self.vocab.get(t)).collect();
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0xF00D);
+        let mut v = init::uniform_vector(self.config.dim, -0.5, 0.5, &mut rng);
+        v.scale(1.0 / self.config.dim as f32);
+        if ids.is_empty() {
+            return v;
+        }
+        for _ in 0..self.config.infer_epochs {
+            for &word in &ids {
+                let mut dv = Vector::zeros(self.config.dim);
+                for s in 0..=self.config.negative {
+                    let (target, label) = if s == 0 {
+                        (word as usize, 1.0f32)
+                    } else {
+                        (sample(&self.cdf, &mut rng), 0.0)
+                    };
+                    let out = self.word_out.row_vector(target);
+                    let g = (label - sigmoid(v.dot(&out))) * self.config.lr;
+                    dv.axpy(g, &out);
+                }
+                v.add_assign(&dv);
+            }
+        }
+        v
+    }
+
+    /// The trained document vector of concept `i` (test access).
+    pub fn doc_vector(&self, concept: ConceptId) -> Option<Vector> {
+        self.concepts
+            .iter()
+            .position(|&c| c == concept)
+            .map(|i| self.doc_vecs.row_vector(i))
+    }
+
+    /// Number of documents.
+    pub fn num_docs(&self) -> usize {
+        self.docs.len()
+    }
+}
+
+fn sample(cdf: &[f64], rng: &mut StdRng) -> usize {
+    let total = *cdf.last().unwrap_or(&0.0);
+    if total <= 0.0 {
+        return cdf.len().saturating_sub(1);
+    }
+    let x = rng.gen_range(0.0..total);
+    cdf.partition_point(|&c| c <= x)
+}
+
+impl Annotator for Doc2Vec {
+    fn name(&self) -> &str {
+        "Doc2Vec"
+    }
+
+    fn rank_candidates(
+        &self,
+        query: &[String],
+        candidates: &[ConceptId],
+    ) -> Vec<(ConceptId, f32)> {
+        let q = self.infer(query);
+        let mut ranked: Vec<(ConceptId, f32)> = self
+            .concepts
+            .iter()
+            .enumerate()
+            .filter(|(_, id)| candidates.contains(id))
+            .map(|(i, id)| (*id, q.cosine(&self.doc_vecs.row_vector(i))))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked
+    }
+
+    fn universe(&self) -> Vec<ConceptId> {
+        self.concepts.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_ontology::OntologyBuilder;
+
+    fn world() -> Ontology {
+        let mut b = OntologyBuilder::new();
+        let n18 = b.add_root_concept("N18", "chronic kidney disease");
+        let n185 = b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+        let n189 = b.add_child(n18, "N18.9", "chronic kidney disease unspecified");
+        b.add_alias(n185, "kidney failure stage 5");
+        b.add_alias(n189, "kidney failure nos");
+        let d50 = b.add_root_concept("D50", "iron deficiency anemia");
+        let d500 = b.add_child(d50, "D50.0", "iron deficiency anemia blood loss");
+        b.add_alias(d500, "anemia from blood loss");
+        b.build().unwrap()
+    }
+
+    fn config() -> Doc2VecConfig {
+        Doc2VecConfig {
+            dim: 12,
+            epochs: 30,
+            infer_epochs: 30,
+            ..Doc2VecConfig::default()
+        }
+    }
+
+    #[test]
+    fn distinguishes_different_topics() {
+        let o = world();
+        let d2v = Doc2Vec::train(&o, config());
+        let ranked = d2v.rank(&tokenize("iron anemia blood loss"), 3);
+        assert_eq!(ranked[0].0, o.by_code("D50.0").unwrap());
+    }
+
+    /// The paper's diagnosis: sibling fine-grained concepts have nearly
+    /// indistinguishable document vectors.
+    #[test]
+    fn sibling_documents_are_close() {
+        let o = world();
+        let d2v = Doc2Vec::train(&o, config());
+        let a = d2v.doc_vector(o.by_code("N18.5").unwrap()).unwrap();
+        let b = d2v.doc_vector(o.by_code("N18.9").unwrap()).unwrap();
+        let c = d2v.doc_vector(o.by_code("D50.0").unwrap()).unwrap();
+        assert!(
+            a.cosine(&b) > a.cosine(&c),
+            "siblings should be closer than cross-topic: {} vs {}",
+            a.cosine(&b),
+            a.cosine(&c)
+        );
+    }
+
+    #[test]
+    fn inference_is_deterministic() {
+        let o = world();
+        let d2v = Doc2Vec::train(&o, config());
+        let q = tokenize("kidney disease");
+        let a = d2v.infer(&q);
+        let b = d2v.infer(&q);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn scores_are_cosines() {
+        let o = world();
+        let d2v = Doc2Vec::train(&o, config());
+        for (_, s) in d2v.rank(&tokenize("kidney"), 10) {
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn universe_covers_fine_grained() {
+        let o = world();
+        let d2v = Doc2Vec::train(&o, config());
+        assert_eq!(d2v.universe().len(), o.fine_grained().len());
+        assert_eq!(d2v.num_docs(), 3);
+        assert_eq!(d2v.name(), "Doc2Vec");
+    }
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! # ncl-baselines
+//!
+//! The comparison methods of §6.4 of *Fine-grained Concept Linking using
+//! Neural Networks in Healthcare* (Dai et al., SIGMOD 2018), implemented
+//! from their source papers:
+//!
+//! * [`noblecoder`] — **NC**: the dictionary-based annotator in the style
+//!   of NOBLECoder (Tseytlin et al., 2016): word-to-term and
+//!   term-to-concept hash tables over the KB dictionary,
+//! * [`pkduck`] — **pkduck** (Tao, Deng, Stonebraker, VLDB 2018):
+//!   approximate string joins whose token matching admits
+//!   prefix-abbreviation rules, thresholded at `θ`,
+//! * [`wmd`] — **WMD** (Kusner et al., ICML 2015): the relaxed Word
+//!   Mover's Distance over word embeddings (the tight RWMD bound the
+//!   original paper itself ranks with; substitution noted in DESIGN.md),
+//! * [`doc2vec`] — **Doc2Vec** (Le & Mikolov, ICML 2014): PV-DBOW
+//!   paragraph vectors with negative sampling and fresh-vector inference
+//!   for queries,
+//! * [`lr`] — **LR⁺**: the logistic-regression string matcher of
+//!   Tsuruoka et al. (2007) with the paper's textual features (character
+//!   bigrams, prefix/suffix, shared numbers, acronym) extended with the
+//!   structural features the NCL authors add (the same features computed
+//!   against the concept's ancestors).
+//!
+//! The seq2seq [40] and attentional-NMT [2] baselines are, as in §6.3 of
+//! the paper, the `NoBoth` and `NoStruct` variants of COM-AID in
+//! `ncl-core`.
+//!
+//! All baselines implement [`Annotator`], so the experiment harness can
+//! sweep them uniformly.
+
+pub mod combined;
+pub mod doc2vec;
+pub mod lr;
+pub mod noblecoder;
+pub mod pkduck;
+pub mod wmd;
+
+use ncl_ontology::ConceptId;
+
+/// A concept annotator: ranks candidate concepts for a query.
+pub trait Annotator {
+    /// Short display name (matches the paper's figure legends).
+    fn name(&self) -> &str;
+
+    /// Ranks `candidates` for the query, best first, with scores
+    /// (higher = better). Implementations may return fewer entries than
+    /// candidates when some score as complete non-matches.
+    fn rank_candidates(
+        &self,
+        query: &[String],
+        candidates: &[ConceptId],
+    ) -> Vec<(ConceptId, f32)>;
+
+    /// Ranks the annotator's whole concept universe, truncated to `k`.
+    fn rank(&self, query: &[String], k: usize) -> Vec<(ConceptId, f32)> {
+        let all = self.universe();
+        let mut ranked = self.rank_candidates(query, &all);
+        ranked.truncate(k);
+        ranked
+    }
+
+    /// The full set of concepts this annotator can link to.
+    fn universe(&self) -> Vec<ConceptId>;
+}
+
+pub use combined::{Combined, Fusion};
+pub use doc2vec::Doc2Vec;
+pub use lr::LrPlus;
+pub use noblecoder::NobleCoder;
+pub use pkduck::Pkduck;
+pub use wmd::Wmd;

@@ -1,0 +1,324 @@
+//! LR⁺: logistic-regression string matching, extended with structural
+//! features.
+//!
+//! Tsuruoka et al. (Bioinformatics 2007) learn a string-pair matcher for
+//! dictionary look-up from hand-crafted features; §6.1 of the NCL paper
+//! lists the textual ones — "character bigrams, prefix/suffix, sharing
+//! numbers, acronym" — and extends the method: "For a concept c, its
+//! structural features are obtained by applying the textual feature
+//! functions … to the aggregated text snippet of its ancestors' canonical
+//! descriptions." §6.4 limits LR⁺ to the candidates retrieved by NCL,
+//! because the classifier degrades sharply with many concepts; this
+//! implementation exposes [`Annotator::rank_candidates`] for exactly that
+//! usage.
+
+use crate::Annotator;
+use ncl_ontology::{ConceptId, Ontology};
+use ncl_tensor::ops::sigmoid;
+use ncl_text::abbrev::acronym;
+use ncl_text::ngram::{ngram_dice, token_jaccard};
+use ncl_text::tokenize;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Number of features: 6 textual + 3 structural.
+pub const NUM_FEATURES: usize = 9;
+
+/// Extracts the pair features for (query, concept strings).
+fn features(query: &[String], canonical: &[String], ancestors: &[String]) -> [f32; NUM_FEATURES] {
+    let q = query.join(" ");
+    let c = canonical.join(" ");
+    let a = ancestors.join(" ");
+    let anc_tokens: Vec<String> = ancestors.to_vec();
+
+    // 1. Character-bigram dice.
+    let bigram = ngram_dice(&q, &c, 2);
+    // 2. Prefix share.
+    let prefix = common_affix(&q, &c, true);
+    // 3. Suffix share.
+    let suffix = common_affix(&q, &c, false);
+    // 4. Sharing numbers.
+    let numbers = shared_numbers(query, canonical);
+    // 5. Acronym: some query token is the acronym of the description.
+    let acr = acronym(canonical);
+    let acr_feat = if !acr.is_empty() && query.contains(&acr) {
+        1.0
+    } else {
+        0.0
+    };
+    // 6. Token jaccard.
+    let jac = token_jaccard(query, canonical);
+    // 7–9. Structural: bigram dice / numbers / jaccard against the
+    // aggregated ancestor descriptions.
+    let s_bigram = ngram_dice(&q, &a, 2);
+    let s_numbers = shared_numbers(query, &anc_tokens);
+    let s_jac = token_jaccard(query, &anc_tokens);
+
+    [
+        bigram, prefix, suffix, numbers, acr_feat, jac, s_bigram, s_numbers, s_jac,
+    ]
+}
+
+fn common_affix(a: &str, b: &str, prefix: bool) -> f32 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    let min = ac.len().min(bc.len());
+    if min == 0 {
+        return 0.0;
+    }
+    let mut n = 0;
+    for i in 0..min {
+        let (x, y) = if prefix {
+            (ac[i], bc[i])
+        } else {
+            (ac[ac.len() - 1 - i], bc[bc.len() - 1 - i])
+        };
+        if x == y {
+            n += 1;
+        } else {
+            break;
+        }
+    }
+    n as f32 / min as f32
+}
+
+fn shared_numbers(a: &[String], b: &[String]) -> f32 {
+    let na: Vec<&String> = a
+        .iter()
+        .filter(|t| t.chars().all(|c| c.is_ascii_digit()))
+        .collect();
+    let nb: Vec<&String> = b
+        .iter()
+        .filter(|t| t.chars().all(|c| c.is_ascii_digit()))
+        .collect();
+    if na.is_empty() && nb.is_empty() {
+        return 0.5; // neutral: numbers play no role
+    }
+    if na.is_empty() || nb.is_empty() {
+        return 0.0;
+    }
+    let shared = na.iter().filter(|x| nb.contains(x)).count();
+    shared as f32 / na.len().max(nb.len()) as f32
+}
+
+/// The trained LR⁺ matcher.
+#[derive(Debug, Clone)]
+pub struct LrPlus {
+    weights: [f32; NUM_FEATURES],
+    bias: f32,
+    /// Per concept: canonical tokens and aggregated ancestor tokens.
+    concept_strings: Vec<(ConceptId, Vec<String>, Vec<String>)>,
+}
+
+impl LrPlus {
+    /// Trains the matcher: positives are ⟨alias, its concept⟩ pairs,
+    /// negatives are ⟨alias, random other concept⟩ pairs (one per
+    /// positive).
+    pub fn train(ontology: &Ontology, epochs: usize, lr: f32, seed: u64) -> Self {
+        let fine = ontology.fine_grained();
+        let concept_strings: Vec<(ConceptId, Vec<String>, Vec<String>)> = fine
+            .iter()
+            .map(|&id| {
+                let canonical = tokenize(&ontology.concept(id).canonical);
+                let mut anc_tokens = Vec::new();
+                for anc in ontology.ancestors(id) {
+                    anc_tokens.extend(tokenize(&ontology.concept(anc).canonical));
+                }
+                (id, canonical, anc_tokens)
+            })
+            .collect();
+
+        // Assemble training pairs.
+        let mut examples: Vec<([f32; NUM_FEATURES], f32)> = Vec::new();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for (i, &(id, ref canonical, ref anc)) in concept_strings.iter().enumerate() {
+            for alias in &ontology.concept(id).aliases {
+                let q = tokenize(alias);
+                examples.push((features(&q, canonical, anc), 1.0));
+                // A random negative concept.
+                if concept_strings.len() > 1 {
+                    let mut j = rng.gen_range(0..concept_strings.len());
+                    if j == i {
+                        j = (j + 1) % concept_strings.len();
+                    }
+                    let (_, nc, na) = &concept_strings[j];
+                    examples.push((features(&q, nc, na), 0.0));
+                }
+            }
+        }
+
+        let mut weights = [0.0f32; NUM_FEATURES];
+        let mut bias = 0.0f32;
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        for _ in 0..epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let (f, label) = &examples[i];
+                let z: f32 = weights.iter().zip(f).map(|(w, x)| w * x).sum::<f32>() + bias;
+                let g = (label - sigmoid(z)) * lr;
+                for (w, x) in weights.iter_mut().zip(f) {
+                    *w += g * x;
+                }
+                bias += g;
+            }
+        }
+
+        Self {
+            weights,
+            bias,
+            concept_strings,
+        }
+    }
+
+    /// The learned feature weights (diagnostic).
+    pub fn weights(&self) -> &[f32; NUM_FEATURES] {
+        &self.weights
+    }
+
+    /// Match probability for (query, concept).
+    pub fn score(&self, query: &[String], concept: ConceptId) -> Option<f32> {
+        self.concept_strings
+            .iter()
+            .find(|(id, _, _)| *id == concept)
+            .map(|(_, canonical, anc)| {
+                let f = features(query, canonical, anc);
+                sigmoid(
+                    self.weights
+                        .iter()
+                        .zip(&f)
+                        .map(|(w, x)| w * x)
+                        .sum::<f32>()
+                        + self.bias,
+                )
+            })
+    }
+}
+
+impl Annotator for LrPlus {
+    fn name(&self) -> &str {
+        "LR+"
+    }
+
+    fn rank_candidates(
+        &self,
+        query: &[String],
+        candidates: &[ConceptId],
+    ) -> Vec<(ConceptId, f32)> {
+        let mut ranked: Vec<(ConceptId, f32)> = candidates
+            .iter()
+            .filter_map(|&c| self.score(query, c).map(|s| (c, s)))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked
+    }
+
+    fn universe(&self) -> Vec<ConceptId> {
+        self.concept_strings.iter().map(|(id, _, _)| *id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_ontology::OntologyBuilder;
+
+    fn world() -> Ontology {
+        let mut b = OntologyBuilder::new();
+        let n18 = b.add_root_concept("N18", "chronic kidney disease");
+        let n185 = b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+        let n189 = b.add_child(n18, "N18.9", "chronic kidney disease unspecified");
+        b.add_alias(n185, "kidney disease stage 5");
+        b.add_alias(n185, "chronic kidney dis stage 5");
+        b.add_alias(n189, "kidney disease nos");
+        b.add_alias(n189, "chronic kidney dis unspecified");
+        let d50 = b.add_root_concept("D50", "iron deficiency anemia");
+        let d500 = b.add_child(d50, "D50.0", "iron deficiency anemia blood loss");
+        b.add_alias(d500, "iron def anemia");
+        b.add_alias(d500, "anemia of blood loss");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn features_have_fixed_arity_and_range() {
+        let f = features(
+            &tokenize("ckd stage 5"),
+            &tokenize("chronic kidney disease stage 5"),
+            &tokenize("chronic kidney disease"),
+        );
+        assert_eq!(f.len(), NUM_FEATURES);
+        for x in f {
+            assert!((0.0..=1.0).contains(&x), "feature {x} out of range");
+        }
+    }
+
+    #[test]
+    fn shared_number_feature() {
+        let f = features(
+            &tokenize("ckd 5"),
+            &tokenize("chronic kidney disease stage 5"),
+            &[],
+        );
+        assert_eq!(f[3], 1.0);
+        let g = features(&tokenize("ckd 4"), &tokenize("disease stage 5"), &[]);
+        assert_eq!(g[3], 0.0);
+    }
+
+    #[test]
+    fn acronym_feature_fires() {
+        let f = features(
+            &tokenize("ckd today"),
+            &tokenize("chronic kidney disease"),
+            &[],
+        );
+        assert_eq!(f[4], 1.0);
+    }
+
+    #[test]
+    fn trained_matcher_ranks_syntactic_match_first() {
+        let o = world();
+        let lr = LrPlus::train(&o, 60, 0.5, 3);
+        let ranked = lr.rank(&tokenize("kidney disease stage 5"), 5);
+        assert_eq!(ranked[0].0, o.by_code("N18.5").unwrap());
+    }
+
+    #[test]
+    fn candidate_restriction_respected() {
+        let o = world();
+        let lr = LrPlus::train(&o, 30, 0.5, 3);
+        let only = vec![o.by_code("D50.0").unwrap()];
+        let ranked = lr.rank_candidates(&tokenize("iron def anemia"), &only);
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].0, only[0]);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let o = world();
+        let lr = LrPlus::train(&o, 30, 0.5, 3);
+        for (_, s) in lr.rank(&tokenize("anemia blood"), 10) {
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn unknown_concept_scores_none() {
+        let o = world();
+        let lr = LrPlus::train(&o, 5, 0.5, 3);
+        // The root is not a fine-grained concept.
+        assert!(lr.score(&tokenize("x"), ncl_ontology::Ontology::ROOT).is_none());
+    }
+
+    #[test]
+    fn training_learns_positive_overlap_weight() {
+        let o = world();
+        let lr = LrPlus::train(&o, 60, 0.5, 3);
+        // Token-jaccard weight (index 5) should end positive: overlapping
+        // pairs are positives.
+        assert!(lr.weights()[5] > 0.0, "weights={:?}", lr.weights());
+    }
+}

@@ -1,0 +1,216 @@
+//! NC: dictionary-based concept recognition in the NOBLECoder style.
+//!
+//! §6.4 of the NCL paper: "As a dictionary based method, NC relies on two
+//! hash tables (i.e., the word-to-term table and the term-to-concept
+//! table) to conduct concept linking according to the alignment of
+//! individual words." A *term* is one dictionary string of a concept (its
+//! canonical description or a KB alias). A term matches a query when all
+//! of its content words are found among the query's words (NOBLE's
+//! "best-match" word alignment, order-free); matched terms vote for their
+//! concepts.
+//!
+//! Because matching is exact at the word level, out-of-dictionary words
+//! (`ckd`, typos) contribute nothing — reproducing the failure modes of
+//! Figure 1 (q1 unmatched; q5 matched to two sibling concepts).
+
+use crate::Annotator;
+use ncl_ontology::{ConceptId, Ontology};
+use ncl_text::tokenize;
+use std::collections::{HashMap, HashSet};
+
+/// One dictionary term.
+#[derive(Debug, Clone)]
+struct Term {
+    words: Vec<String>,
+    concept: ConceptId,
+}
+
+/// The NC annotator.
+#[derive(Debug, Clone)]
+pub struct NobleCoder {
+    /// word → term ids containing it (the word-to-term table).
+    word_to_terms: HashMap<String, Vec<usize>>,
+    /// term id → term (the term-to-concept table keys off this).
+    terms: Vec<Term>,
+    universe: Vec<ConceptId>,
+}
+
+impl NobleCoder {
+    /// Builds the dictionary from every fine-grained concept's canonical
+    /// description and aliases.
+    pub fn build(ontology: &Ontology) -> Self {
+        let mut terms = Vec::new();
+        let mut word_to_terms: HashMap<String, Vec<usize>> = HashMap::new();
+        let universe = ontology.fine_grained();
+        for &id in &universe {
+            let c = ontology.concept(id);
+            let mut strings = vec![c.canonical.clone()];
+            strings.extend(c.aliases.iter().cloned());
+            for s in strings {
+                let words = tokenize(&s);
+                if words.is_empty() {
+                    continue;
+                }
+                let tid = terms.len();
+                for w in &words {
+                    let entry = word_to_terms.entry(w.clone()).or_default();
+                    if entry.last() != Some(&tid) {
+                        entry.push(tid);
+                    }
+                }
+                terms.push(Term { words, concept: id });
+            }
+        }
+        Self {
+            word_to_terms,
+            terms,
+            universe,
+        }
+    }
+
+    /// Number of dictionary terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Scores a query against the dictionary: for every term sharing at
+    /// least one word with the query, test full containment of the term's
+    /// words in the query's word set; matched terms vote for their
+    /// concept with the term's length (longer matched terms are more
+    /// specific). Falls back to partial overlap voting when no term fully
+    /// matches (NOBLE's partial-match mode), which is what produces the
+    /// paper's spurious multi-concept linkings.
+    fn score(&self, query: &[String]) -> HashMap<ConceptId, f32> {
+        let qset: HashSet<&str> = query.iter().map(|s| s.as_str()).collect();
+        let mut candidate_terms: HashSet<usize> = HashSet::new();
+        for w in &qset {
+            if let Some(tids) = self.word_to_terms.get(*w) {
+                candidate_terms.extend(tids.iter().copied());
+            }
+        }
+        let mut full: HashMap<ConceptId, f32> = HashMap::new();
+        let mut partial: HashMap<ConceptId, f32> = HashMap::new();
+        for &tid in &candidate_terms {
+            let term = &self.terms[tid];
+            let matched = term
+                .words
+                .iter()
+                .filter(|w| qset.contains(w.as_str()))
+                .count();
+            if matched == term.words.len() {
+                let e = full.entry(term.concept).or_insert(0.0);
+                *e = e.max(term.words.len() as f32);
+            } else if matched > 0 {
+                let frac = matched as f32 / term.words.len() as f32;
+                let e = partial.entry(term.concept).or_insert(0.0);
+                *e = e.max(frac);
+            }
+        }
+        if !full.is_empty() {
+            full
+        } else {
+            partial
+        }
+    }
+}
+
+impl Annotator for NobleCoder {
+    fn name(&self) -> &str {
+        "NC"
+    }
+
+    fn rank_candidates(
+        &self,
+        query: &[String],
+        candidates: &[ConceptId],
+    ) -> Vec<(ConceptId, f32)> {
+        let scores = self.score(query);
+        let mut ranked: Vec<(ConceptId, f32)> = candidates
+            .iter()
+            .filter_map(|c| scores.get(c).map(|&s| (*c, s)))
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked
+    }
+
+    fn universe(&self) -> Vec<ConceptId> {
+        self.universe.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_ontology::OntologyBuilder;
+
+    fn world() -> Ontology {
+        let mut b = OntologyBuilder::new();
+        let n18 = b.add_root_concept("N18", "chronic kidney disease");
+        let n185 = b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+        b.add_alias(n185, "kidney disease stage 5");
+        let r10 = b.add_root_concept("R10", "abdominal pain");
+        let r109 = b.add_child(r10, "R10.9", "unspecified abdominal pain");
+        b.add_alias(r109, "abdomen pain");
+        let d50 = b.add_root_concept("D50", "iron deficiency anemia");
+        b.add_child(d50, "D50.9", "iron deficiency anemia unspecified");
+        let n92 = b.add_root_concept("N92", "menstrual disorders");
+        b.add_child(n92, "N92.0", "excessive menstruation menorrhagia");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn exact_dictionary_term_links() {
+        let o = world();
+        let nc = NobleCoder::build(&o);
+        let ranked = nc.rank(&tokenize("abdomen pain"), 5);
+        assert_eq!(ranked[0].0, o.by_code("R10.9").unwrap());
+    }
+
+    #[test]
+    fn out_of_dictionary_words_fail() {
+        // Figure 1's q1: "ckd 5" — "ckd" is not in the word-to-term table.
+        let o = world();
+        let nc = NobleCoder::build(&o);
+        let ranked = nc.rank(&tokenize("ckd 5"), 5);
+        // Only the number "5" overlaps; the right concept may appear but
+        // only via a weak partial match — exact-term linking fails.
+        assert!(ranked.iter().all(|(_, s)| *s < 1.0 || ranked.is_empty()));
+    }
+
+    #[test]
+    fn ambiguous_words_produce_multiple_concepts() {
+        // Figure 1's q5 pattern: words vote for several concepts at once.
+        let o = world();
+        let nc = NobleCoder::build(&o);
+        let ranked = nc.rank(&tokenize("anemia menorrhagia"), 5);
+        assert!(ranked.len() >= 2, "expected multi-concept link, got {ranked:?}");
+    }
+
+    #[test]
+    fn longer_full_matches_rank_higher() {
+        let o = world();
+        let nc = NobleCoder::build(&o);
+        let ranked = nc.rank(&tokenize("chronic kidney disease stage 5"), 5);
+        assert_eq!(ranked[0].0, o.by_code("N18.5").unwrap());
+    }
+
+    #[test]
+    fn gibberish_matches_nothing() {
+        let o = world();
+        let nc = NobleCoder::build(&o);
+        assert!(nc.rank(&tokenize("zzz qqq"), 5).is_empty());
+    }
+
+    #[test]
+    fn universe_is_fine_grained() {
+        let o = world();
+        let nc = NobleCoder::build(&o);
+        assert_eq!(nc.universe().len(), o.fine_grained().len());
+        assert!(nc.num_terms() >= o.fine_grained().len());
+        assert_eq!(nc.name(), "NC");
+    }
+}

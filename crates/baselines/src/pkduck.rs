@@ -1,0 +1,266 @@
+//! pkduck: approximate string joins with abbreviations
+//! (Tao, Deng, Stonebraker — PVLDB 11(1), 2018).
+//!
+//! pkduck generalises Jaccard set similarity so that a token can match a
+//! token it *abbreviates* under a rule set (prefix rules such as `def` ⊑
+//! `deficiency`, plus dictionary rules like `ckd` ⊑ `chronic kidney
+//! disease`). Two strings join when their pkduck similarity reaches a
+//! threshold `θ`; §6.4 of the NCL paper sweeps `θ ∈ {0.1 … 0.5}` and
+//! observes the accuracy/MRR trade-off this module reproduces: small `θ`
+//! joins more (higher recall, noisier top-1), large `θ` joins only
+//! near-exact strings.
+
+use crate::Annotator;
+use ncl_ontology::{ConceptId, Ontology};
+use ncl_text::abbrev::{is_prefix_abbrev, is_subsequence_abbrev};
+use ncl_text::tokenize;
+
+/// The pkduck join baseline.
+#[derive(Debug, Clone)]
+pub struct Pkduck {
+    /// Per concept: its dictionary strings (canonical first).
+    strings: Vec<(ConceptId, Vec<Vec<String>>)>,
+    /// Join threshold θ.
+    theta: f32,
+    /// Dictionary abbreviation rules (abbr tokens → full tokens), from
+    /// `ncl_datagen`'s lexicon shape: multi-token phrases allowed.
+    rules: Vec<(Vec<String>, Vec<String>)>,
+}
+
+/// Token-level abbreviation test: equal, prefix rule (≥ 2 chars), or
+/// first-letter subsequence rule.
+fn token_matches(q: &str, t: &str) -> bool {
+    if q == t {
+        return true;
+    }
+    (q.len() >= 2 && is_prefix_abbrev(q, t)) || (q.len() >= 3 && is_subsequence_abbrev(q, t))
+}
+
+impl Pkduck {
+    /// Builds the join over all fine-grained concepts with threshold
+    /// `theta` and optional phrase rules (`(abbreviation, expansion)`
+    /// pairs, e.g. `("ckd", "chronic kidney disease")`).
+    ///
+    /// Only **canonical** descriptions are joined against: §6.4 of the
+    /// NCL paper describes pkduck as joining queries with "canonical
+    /// concept descriptions" (the KB aliases are NCL's training data,
+    /// not pkduck's dictionary).
+    pub fn build(ontology: &Ontology, theta: f32, phrase_rules: &[(&str, &str)]) -> Self {
+        let mut strings = Vec::new();
+        for id in ontology.fine_grained() {
+            let c = ontology.concept(id);
+            let forms = vec![tokenize(&c.canonical)];
+            strings.push((id, forms));
+        }
+        let rules = phrase_rules
+            .iter()
+            .map(|(a, f)| (tokenize(a), tokenize(f)))
+            .collect();
+        Self {
+            strings,
+            theta,
+            rules,
+        }
+    }
+
+    /// The join threshold.
+    pub fn theta(&self) -> f32 {
+        self.theta
+    }
+
+    /// pkduck similarity between a query and one dictionary string:
+    /// the best Jaccard achievable after optionally expanding query
+    /// tokens by the abbreviation rules. Greedy one-to-one token
+    /// alignment (each description token may be consumed once).
+    pub fn similarity(&self, query: &[String], target: &[Vec<String>]) -> f32 {
+        target
+            .iter()
+            .map(|t| self.pair_similarity(query, t))
+            .fold(0.0, f32::max)
+    }
+
+    fn pair_similarity(&self, query: &[String], target: &[String]) -> f32 {
+        if query.is_empty() || target.is_empty() {
+            return 0.0;
+        }
+        // Apply dictionary phrase rules to the query (derived string with
+        // the largest similarity is taken — here: expand every
+        // applicable rule, which only helps Jaccard against the full
+        // form).
+        let mut q: Vec<String> = Vec::with_capacity(query.len());
+        let mut i = 0;
+        'outer: while i < query.len() {
+            for (abbr, full) in &self.rules {
+                if !abbr.is_empty()
+                    && i + abbr.len() <= query.len()
+                    && query[i..i + abbr.len()] == abbr[..]
+                {
+                    q.extend(full.iter().cloned());
+                    i += abbr.len();
+                    continue 'outer;
+                }
+            }
+            q.push(query[i].clone());
+            i += 1;
+        }
+
+        // Greedy one-to-one alignment with abbreviation-aware matching.
+        let mut used = vec![false; target.len()];
+        let mut matched = 0usize;
+        for qw in &q {
+            // Exact matches first.
+            if let Some(j) = target
+                .iter()
+                .enumerate()
+                .position(|(j, tw)| !used[j] && qw == tw)
+            {
+                used[j] = true;
+                matched += 1;
+                continue;
+            }
+            if let Some(j) = (0..target.len())
+                .find(|&j| !used[j] && token_matches(qw, &target[j]))
+            {
+                used[j] = true;
+                matched += 1;
+            }
+        }
+        matched as f32 / (q.len() + target.len() - matched) as f32
+    }
+}
+
+impl Annotator for Pkduck {
+    fn name(&self) -> &str {
+        "pkduck"
+    }
+
+    fn rank_candidates(
+        &self,
+        query: &[String],
+        candidates: &[ConceptId],
+    ) -> Vec<(ConceptId, f32)> {
+        let mut ranked: Vec<(ConceptId, f32)> = self
+            .strings
+            .iter()
+            .filter(|(id, _)| candidates.contains(id))
+            .map(|(id, forms)| (*id, self.similarity(query, forms)))
+            .filter(|(_, s)| *s >= self.theta)
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked
+    }
+
+    fn rank(&self, query: &[String], k: usize) -> Vec<(ConceptId, f32)> {
+        let mut ranked: Vec<(ConceptId, f32)> = self
+            .strings
+            .iter()
+            .map(|(id, forms)| (*id, self.similarity(query, forms)))
+            .filter(|(_, s)| *s >= self.theta)
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        ranked.truncate(k);
+        ranked
+    }
+
+    fn universe(&self) -> Vec<ConceptId> {
+        self.strings.iter().map(|(id, _)| *id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_ontology::OntologyBuilder;
+
+    fn world() -> Ontology {
+        let mut b = OntologyBuilder::new();
+        let n18 = b.add_root_concept("N18", "chronic kidney disease");
+        b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+        let d50 = b.add_root_concept("D50", "iron deficiency anemia");
+        b.add_child(d50, "D50.0", "iron deficiency anemia secondary to blood loss");
+        let d53 = b.add_root_concept("D53", "other nutritional anemias");
+        b.add_child(d53, "D53.0", "protein deficiency anemia");
+        b.build().unwrap()
+    }
+
+    const RULES: &[(&str, &str)] = &[("ckd", "chronic kidney disease")];
+
+    #[test]
+    fn exact_string_has_similarity_one() {
+        let o = world();
+        let pk = Pkduck::build(&o, 0.1, RULES);
+        let ranked = pk.rank(&tokenize("chronic kidney disease stage 5"), 3);
+        assert_eq!(ranked[0].0, o.by_code("N18.5").unwrap());
+        assert!((ranked[0].1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dictionary_rule_expands_ckd() {
+        let o = world();
+        let pk = Pkduck::build(&o, 0.1, RULES);
+        let ranked = pk.rank(&tokenize("ckd stage 5"), 3);
+        assert_eq!(ranked[0].0, o.by_code("N18.5").unwrap());
+        assert!((ranked[0].1 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prefix_abbreviations_match() {
+        let o = world();
+        let pk = Pkduck::build(&o, 0.1, RULES);
+        // "def" abbreviates "deficiency".
+        let ranked = pk.rank(&tokenize("protein def anemia"), 3);
+        assert_eq!(ranked[0].0, o.by_code("D53.0").unwrap());
+    }
+
+    #[test]
+    fn paper_dangling_word_pathology() {
+        // §6.4: "chr iron deficiency anemia" scores higher against
+        // "protein deficiency anemia" than the paper would like —
+        // shared-word counting dominates.
+        let o = world();
+        let pk = Pkduck::build(&o, 0.1, RULES);
+        let q = tokenize("chr iron deficiency anemia");
+        let d530 = pk.similarity(&q, &[tokenize("protein deficiency anemia")]);
+        let d500 = pk.similarity(
+            &q,
+            &[tokenize("iron deficiency anemia secondary to blood loss")],
+        );
+        // Both are mediocre; the short string with shared words is
+        // competitive with (here ties or beats) the true long concept.
+        assert!(d530 >= d500 - 0.1, "d530={d530}, d500={d500}");
+    }
+
+    #[test]
+    fn theta_filters_weak_joins() {
+        let o = world();
+        let loose = Pkduck::build(&o, 0.1, RULES);
+        let strict = Pkduck::build(&o, 0.5, RULES);
+        let q = tokenize("anemia");
+        assert!(loose.rank(&q, 10).len() > strict.rank(&q, 10).len());
+        assert_eq!(strict.theta(), 0.5);
+    }
+
+    #[test]
+    fn empty_query_matches_nothing() {
+        let o = world();
+        let pk = Pkduck::build(&o, 0.1, RULES);
+        assert!(pk.rank(&[], 5).is_empty());
+    }
+
+    #[test]
+    fn similarity_symmetric_bounds() {
+        let o = world();
+        let pk = Pkduck::build(&o, 0.1, RULES);
+        let s = pk.pair_similarity(&tokenize("iron anemia"), &tokenize("iron deficiency anemia"));
+        assert!((0.0..=1.0).contains(&s));
+        assert!((s - 2.0 / 3.0).abs() < 1e-6);
+    }
+}

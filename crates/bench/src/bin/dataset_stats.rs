@@ -1,0 +1,61 @@
+//! Prints the synthetic-workload statistics corresponding to the
+//! datasets paragraph of §6.1 ("the ICD-9-CM has 17,418 concepts (14,567
+//! are fine-grained) … 194,094 labeled text snippets … 1,148,004
+//! unlabeled text snippets"), so EXPERIMENTS.md can state the actual
+//! scale the figures were produced at.
+
+use ncl_bench::{table, workload, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Synthetic workload statistics at the current scale");
+    let mut rows = Vec::new();
+    for &profile in workload::PROFILES {
+        let ds = workload::dataset(profile, &scale);
+        let fine = ds.ontology.fine_grained();
+        let depth3 = fine
+            .iter()
+            .filter(|&&id| ds.ontology.depth(id) == 3)
+            .count();
+        let vocab: std::collections::HashSet<String> = ds
+            .ontology
+            .iter()
+            .flat_map(|(_, c)| {
+                let mut toks = ncl_text::tokenize(&c.canonical);
+                for a in &c.aliases {
+                    toks.extend(ncl_text::tokenize(a));
+                }
+                toks
+            })
+            .chain(ds.unlabeled.iter().flatten().cloned())
+            .collect();
+        rows.push(vec![
+            ds.profile.name().to_string(),
+            ds.ontology.num_concepts().to_string(),
+            fine.len().to_string(),
+            depth3.to_string(),
+            ds.ontology.num_labeled_pairs().to_string(),
+            ds.unlabeled.len().to_string(),
+            vocab.len().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &[
+                "dataset",
+                "concepts",
+                "fine-grained",
+                "depth-3 leaves",
+                "labeled pairs",
+                "unlabeled",
+                "vocabulary",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "(paper scale: ICD-9-CM 17,418/14,567 concepts, ICD-10-CM 93,830/71,486;\n \
+         194,094 / 176,736 labeled snippets; 1,148,004 / 253,130 unlabeled)"
+    );
+}

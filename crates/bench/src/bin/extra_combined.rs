@@ -1,0 +1,90 @@
+//! Extra experiment (beyond the paper's figures): the *combined
+//! annotators* category of §2.2.
+//!
+//! The paper never evaluates a combination — it only remarks that "our
+//! proposed NCL can also be combined with the other annotators." This
+//! binary quantifies the remark: NCL fused with pkduck and NC through
+//! reciprocal-rank fusion, against each member alone.
+//!
+//! Expected shape: fusion matches or slightly improves on the best
+//! member, and never collapses to the weakest — the classic rank-fusion
+//! behaviour that motivated the combined category.
+
+use ncl_baselines::{Annotator, Combined, NobleCoder, Pkduck};
+use ncl_bench::eval::NclAnnotator;
+use ncl_bench::{eval, table, workload, Scale};
+use ncl_datagen::lexicon::PHRASE_ABBREVS;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    method: String,
+    accuracy: f32,
+    mrr: f32,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Extra experiment — combined annotators (§2.2 category 3)");
+    let k = ncl_bench::config::table1::K_DEFAULT;
+    let mut records = Vec::new();
+
+    for &profile in workload::PROFILES {
+        let ds = workload::dataset(profile, &scale);
+        let groups = workload::query_groups(&ds, &scale);
+        let pipeline = workload::fit_default(&ds, &scale);
+        let linker = pipeline.linker(&ds.ontology);
+
+        let ncl = NclAnnotator::new(&linker);
+        let pk = Pkduck::build(&ds.ontology, 0.1, PHRASE_ABBREVS);
+        let nc = NobleCoder::build(&ds.ontology);
+        let fused = Combined::rrf(vec![&ncl, &pk, &nc], k);
+
+        let mut rows = Vec::new();
+        for (name, m) in [
+            ("NCL", eval::evaluate_annotator(&ncl, &groups, k)),
+            ("pkduck t=0.1", eval::evaluate_annotator(&pk, &groups, k)),
+            ("NC", eval::evaluate_annotator(&nc, &groups, k)),
+            ("NCL+pkduck+NC (RRF)", eval::evaluate_annotator(&fused, &groups, k)),
+        ] {
+            rows.push(vec![name.to_string(), table::f(m.accuracy), table::f(m.mrr)]);
+            records.push(Row {
+                dataset: ds.profile.name().to_string(),
+                method: name.to_string(),
+                accuracy: m.accuracy,
+                mrr: m.mrr,
+            });
+        }
+        table::banner(&format!("Combined annotators, {}", ds.profile.name()));
+        println!("{}", table::render(&["method", "Acc", "MRR"], &rows));
+    }
+
+    // Shape check: fusion ≥ the weakest member, per dataset.
+    table::banner("Shape check");
+    for &profile in workload::PROFILES {
+        let ds_rows: Vec<&Row> = records
+            .iter()
+            .filter(|r| r.dataset == profile.name())
+            .collect();
+        let fused = ds_rows
+            .iter()
+            .find(|r| r.method.starts_with("NCL+"))
+            .map(|r| r.accuracy)
+            .unwrap_or(0.0);
+        let members_min = ds_rows
+            .iter()
+            .filter(|r| !r.method.starts_with("NCL+"))
+            .map(|r| r.accuracy)
+            .fold(f32::INFINITY, f32::min);
+        println!(
+            "{}: fused {:.3} vs weakest member {:.3} -> no collapse: {}",
+            profile.name(),
+            fused,
+            members_min,
+            fused >= members_min
+        );
+    }
+
+    ncl_bench::results::write_json("extra_combined", &records);
+}

@@ -1,0 +1,156 @@
+//! Figure 10 (Appendix A.2): representation drift under expert feedback.
+//!
+//! Three feedbacks are fed incrementally into COM-AID (the paper uses
+//! f1 = ⟨D50.0, "hemorrhagic anemia"⟩, f2 = ⟨D62, "acute blood loss
+//! anemia"⟩, f3 = ⟨D53.2, "vitamin c deficiency anemia"⟩); after each,
+//! the model is retrained and snapshots of the PCA-projected concept
+//! representations (Figures 10(a)–(d)) and word representations
+//! (Figures 10(e)–(h)) are taken.
+//!
+//! Expected shape: feeding a feedback moves the fed concept's
+//! representation and separates it from its semantic neighbours; fed
+//! words drift towards the words they co-occur with.
+
+use ncl_bench::{table, workload, Scale};
+use ncl_core::comaid::OntologyIndex;
+use ncl_core::feedback::ExpertLabel;
+use ncl_datagen::DatasetProfile;
+use ncl_tensor::pca::Pca;
+use ncl_tensor::{Matrix, Vector};
+use ncl_text::tokenize;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Snapshot {
+    label: String,
+    concept_coords: Vec<(String, f32, f32)>,
+    word_coords: Vec<(String, f32, f32)>,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 10 reproduction — feedback-driven representation drift");
+
+    let ds = workload::dataset(DatasetProfile::HospitalX, &scale);
+    let mut pipeline = workload::fit_default(&ds, &scale);
+
+    // Sample the anemia block (the paper's running example) plus a
+    // contrast concept.
+    let anemia: Vec<_> = ds
+        .ontology
+        .fine_grained()
+        .into_iter()
+        .filter(|&id| ds.ontology.concept(id).canonical.contains("anemia"))
+        .take(5)
+        .collect();
+    assert!(
+        anemia.len() >= 2,
+        "dataset has too few anemia concepts for Figure 10"
+    );
+    let watched_words = ["anemia", "blood", "acute", "chronic", "deficiency", "iron"];
+
+    // The three incremental feedbacks, mirroring the paper's f1–f3.
+    let feedbacks = [ExpertLabel {
+            concept: anemia[0],
+            query: tokenize("hemorrhagic anemia"),
+        },
+        ExpertLabel {
+            concept: anemia[1],
+            query: tokenize("acute blood loss anemia"),
+        },
+        ExpertLabel {
+            concept: anemia[anemia.len() - 1],
+            query: tokenize("vitamin c deficiency anemia"),
+        }];
+
+    let snapshot = |pipeline: &ncl_core::NclPipeline, label: &str| -> Snapshot {
+        let index = OntologyIndex::build(&ds.ontology, pipeline.model.vocab(), 2);
+        // Concept representations, PCA to 2-D.
+        let reps: Vec<Vector> = anemia
+            .iter()
+            .map(|&c| pipeline.model.concept_representation(&index, c))
+            .collect();
+        let d = reps[0].len();
+        let mut m = Matrix::zeros(reps.len(), d);
+        for (i, r) in reps.iter().enumerate() {
+            m.set_row(i, r);
+        }
+        let pca = Pca::fit(&m, 2.min(d));
+        let concept_coords = anemia
+            .iter()
+            .zip(&reps)
+            .map(|(&c, r)| {
+                let p = pca.transform(r);
+                (
+                    ds.ontology.concept(c).code.clone(),
+                    p[0],
+                    if p.len() > 1 { p[1] } else { 0.0 },
+                )
+            })
+            .collect();
+        // Word representations, PCA to 2-D.
+        let vocab = pipeline.model.vocab();
+        let wvecs: Vec<(String, Vector)> = watched_words
+            .iter()
+            .filter_map(|w| {
+                vocab
+                    .get(w)
+                    .map(|id| (w.to_string(), pipeline.model.embedding().lookup(id)))
+            })
+            .collect();
+        let mut wm = Matrix::zeros(wvecs.len(), d);
+        for (i, (_, v)) in wvecs.iter().enumerate() {
+            wm.set_row(i, v);
+        }
+        let wpca = Pca::fit(&wm, 2.min(d));
+        let word_coords = wvecs
+            .iter()
+            .map(|(w, v)| {
+                let p = wpca.transform(v);
+                (w.clone(), p[0], if p.len() > 1 { p[1] } else { 0.0 })
+            })
+            .collect();
+        Snapshot {
+            label: label.to_string(),
+            concept_coords,
+            word_coords,
+        }
+    };
+
+    let mut snapshots = vec![snapshot(&pipeline, "initial")];
+    for (i, fb) in feedbacks.iter().enumerate() {
+        pipeline.retrain_with_feedback(&ds.ontology, std::slice::from_ref(fb), 4);
+        snapshots.push(snapshot(&pipeline, &format!("after f{}", i + 1)));
+    }
+
+    for snap in &snapshots {
+        table::banner(&format!("Snapshot: {}", snap.label));
+        let rows: Vec<Vec<String>> = snap
+            .concept_coords
+            .iter()
+            .map(|(c, x, y)| vec![c.clone(), format!("{x:+.3}"), format!("{y:+.3}")])
+            .collect();
+        println!("{}", table::render(&["concept", "pc1", "pc2"], &rows));
+        let rows: Vec<Vec<String>> = snap
+            .word_coords
+            .iter()
+            .map(|(w, x, y)| vec![w.clone(), format!("{x:+.3}"), format!("{y:+.3}")])
+            .collect();
+        println!("{}", table::render(&["word", "pc1", "pc2"], &rows));
+    }
+
+    // Shape check: the fed concept's representation must move between
+    // consecutive snapshots (the paper's octagon/triangle drift).
+    let moved = snapshots
+        .windows(2)
+        .all(|w| {
+            w[0].concept_coords
+                .iter()
+                .zip(&w[1].concept_coords)
+                .any(|(a, b)| (a.1 - b.1).abs() + (a.2 - b.2).abs() > 1e-4)
+        });
+    table::banner("Shape check");
+    println!("representations drift after each feedback: {moved}");
+
+    ncl_bench::results::write_json("fig10_feedback", &snapshots);
+}

@@ -1,0 +1,175 @@
+//! Figure 11 (Appendix B.1): online linking time analysis.
+//!
+//! The linking call is split into OR (out-of-vocabulary replacement), CR
+//! (candidate retrieval), ED (encode-decode) and RT (ranking); times are
+//! reported (a)(b) per candidate cardinality `k` ∈ {10..50} and (c)(d)
+//! per query length `|q|` ∈ {1..6}, for both datasets.
+//!
+//! Expected shape: total time grows with `k`, dominated by ED (more
+//! candidates to decode, sub-linearly once retrieval saturates); it
+//! grows with `|q|` through both CR (more postings examined) and ED
+//! (longer decode chains); hospital-x runs slower than MIMIC-III because
+//! ICD-10-style canonical descriptions are longer.
+
+use ncl_bench::config::table1;
+use ncl_bench::{table, workload, Scale};
+use ncl_core::{Linker, LinkerConfig};
+use serde::Serialize;
+use std::time::Duration;
+
+#[derive(Serialize)]
+struct TimingRow {
+    dataset: String,
+    axis: String,
+    value: usize,
+    or_ms: f64,
+    cr_ms: f64,
+    ed_ms: f64,
+    rt_ms: f64,
+}
+
+fn mean_ms(ds: &[Duration]) -> f64 {
+    if ds.is_empty() {
+        return 0.0;
+    }
+    ds.iter().map(|d| d.as_secs_f64()).sum::<f64>() / ds.len() as f64 * 1e3
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 11 reproduction — online linking time analysis");
+    let mut records = Vec::new();
+
+    for &profile in workload::PROFILES {
+        let ds = workload::dataset(profile, &scale);
+        let pipeline = workload::fit_default(&ds, &scale);
+        let queries: Vec<_> = ds
+            .query_group(scale.group_size, scale.purposive, 99)
+            .into_iter()
+            .collect();
+
+        // (a)(b): vary k.
+        let mut rows = Vec::new();
+        for &k in table1::K_VALUES {
+            let linker = Linker::new(
+                &pipeline.model,
+                &ds.ontology,
+                LinkerConfig {
+                    k,
+                    ..LinkerConfig::default()
+                },
+            );
+            let (mut or, mut cr, mut ed, mut rt) = (vec![], vec![], vec![], vec![]);
+            for q in &queries {
+                let res = linker.link(&q.tokens);
+                or.push(res.timing.or);
+                cr.push(res.timing.cr);
+                ed.push(res.timing.ed);
+                rt.push(res.timing.rt);
+            }
+            let (o, c, e, r) = (mean_ms(&or), mean_ms(&cr), mean_ms(&ed), mean_ms(&rt));
+            rows.push(vec![
+                k.to_string(),
+                format!("{o:.3}"),
+                format!("{c:.3}"),
+                format!("{e:.3}"),
+                format!("{r:.3}"),
+                format!("{:.3}", o + c + e + r),
+            ]);
+            records.push(TimingRow {
+                dataset: ds.profile.name().into(),
+                axis: "k".into(),
+                value: k,
+                or_ms: o,
+                cr_ms: c,
+                ed_ms: e,
+                rt_ms: r,
+            });
+        }
+        table::banner(&format!(
+            "Figure 11(a)(b): time vs k (ms/query), {}",
+            ds.profile.name()
+        ));
+        println!(
+            "{}",
+            table::render(&["k", "OR", "CR", "ED", "RT", "total"], &rows)
+        );
+
+        // (c)(d): vary |q|.
+        let linker = pipeline.linker(&ds.ontology);
+        let mut rows = Vec::new();
+        for qlen in 1..=6usize {
+            let subset: Vec<Vec<String>> = queries
+                .iter()
+                .map(|q| {
+                    let mut toks = q.tokens.clone();
+                    toks.truncate(qlen);
+                    toks
+                })
+                .filter(|t| t.len() == qlen)
+                .collect();
+            if subset.is_empty() {
+                continue;
+            }
+            let (mut or, mut cr, mut ed, mut rt) = (vec![], vec![], vec![], vec![]);
+            for toks in &subset {
+                let res = linker.link(toks);
+                or.push(res.timing.or);
+                cr.push(res.timing.cr);
+                ed.push(res.timing.ed);
+                rt.push(res.timing.rt);
+            }
+            let (o, c, e, r) = (mean_ms(&or), mean_ms(&cr), mean_ms(&ed), mean_ms(&rt));
+            rows.push(vec![
+                qlen.to_string(),
+                format!("{o:.3}"),
+                format!("{c:.3}"),
+                format!("{e:.3}"),
+                format!("{r:.3}"),
+                format!("{:.3}", o + c + e + r),
+            ]);
+            records.push(TimingRow {
+                dataset: ds.profile.name().into(),
+                axis: "qlen".into(),
+                value: qlen,
+                or_ms: o,
+                cr_ms: c,
+                ed_ms: e,
+                rt_ms: r,
+            });
+        }
+        table::banner(&format!(
+            "Figure 11(c)(d): time vs |q| (ms/query), {}",
+            ds.profile.name()
+        ));
+        println!(
+            "{}",
+            table::render(&["|q|", "OR", "CR", "ED", "RT", "total"], &rows)
+        );
+    }
+
+    // Shape checks.
+    let total = |axis: &str, v: usize| -> f64 {
+        let xs: Vec<f64> = records
+            .iter()
+            .filter(|r| r.axis == axis && r.value == v)
+            .map(|r| r.or_ms + r.cr_ms + r.ed_ms + r.rt_ms)
+            .collect();
+        xs.iter().sum::<f64>() / xs.len().max(1) as f64
+    };
+    table::banner("Shape check");
+    println!(
+        "time grows with k: {} ({:.3} -> {:.3} ms)",
+        total("k", 50) > total("k", 10),
+        total("k", 10),
+        total("k", 50)
+    );
+    println!(
+        "time grows with |q|: {} ({:.3} -> {:.3} ms)",
+        total("qlen", 6) > total("qlen", 1),
+        total("qlen", 1),
+        total("qlen", 6)
+    );
+
+    ncl_bench::results::write_json("fig11_online_time", &records);
+}

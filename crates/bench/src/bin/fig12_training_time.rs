@@ -1,0 +1,101 @@
+//! Figure 12 (Appendix B.2): offline training time analysis.
+//!
+//! (a) the word-embedding pre-training time and (b) the COM-AID
+//! refinement time, as the amount of training data grows (25–100%), for
+//! both datasets.
+//!
+//! Expected shape: pre-training is far cheaper than refinement;
+//! hospital-x pre-trains slower than MIMIC-III (more unlabeled
+//! snippets); refinement time grows approximately linearly with the
+//! labeled-pair count and is similar across datasets.
+
+use ncl_bench::{table, workload, Scale};
+use ncl_core::comaid::Variant;
+use ncl_core::NclPipeline;
+use ncl_datagen::{Dataset, DatasetConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TimeRow {
+    dataset: String,
+    fraction: f32,
+    labeled_pairs: usize,
+    unlabeled: usize,
+    pretrain_s: f64,
+    refine_s: f64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 12 reproduction — offline training time analysis");
+    let mut records = Vec::new();
+
+    for &profile in workload::PROFILES {
+        let mut rows = Vec::new();
+        for frac in [0.25f32, 0.5, 0.75, 1.0] {
+            // Scale the data volume through the generator so both labeled
+            // and unlabeled sets shrink together, like subsampling the
+            // paper's corpora.
+            let ds = Dataset::generate(DatasetConfig {
+                profile,
+                categories: ((scale.categories as f32 * frac).round() as usize).max(4),
+                aliases_per_concept: scale.aliases_per_concept,
+                unlabeled_snippets: (scale.unlabeled as f32 * frac) as usize,
+                seed: scale.seed,
+            });
+            let cfg = workload::ncl_config(&scale, scale.dim_default, Variant::Full, true);
+            let pipeline = NclPipeline::fit(&ds.ontology, &ds.unlabeled, cfg);
+            rows.push(vec![
+                format!("{:.0}%", frac * 100.0),
+                pipeline.num_pairs.to_string(),
+                ds.unlabeled.len().to_string(),
+                format!("{:.3}", pipeline.pretrain_time.as_secs_f64()),
+                format!("{:.3}", pipeline.refine_time.as_secs_f64()),
+            ]);
+            records.push(TimeRow {
+                dataset: ds.profile.name().into(),
+                fraction: frac,
+                labeled_pairs: pipeline.num_pairs,
+                unlabeled: ds.unlabeled.len(),
+                pretrain_s: pipeline.pretrain_time.as_secs_f64(),
+                refine_s: pipeline.refine_time.as_secs_f64(),
+            });
+        }
+        table::banner(&format!(
+            "Figure 12: training times (s), {}",
+            profile.name()
+        ));
+        println!(
+            "{}",
+            table::render(
+                &["data", "labeled pairs", "unlabeled", "pre-train (a)", "refine (b)"],
+                &rows
+            )
+        );
+    }
+
+    // Shape checks.
+    let full: Vec<&TimeRow> = records.iter().filter(|r| r.fraction == 1.0).collect();
+    table::banner("Shape check");
+    for r in &full {
+        println!(
+            "{}: refinement/pre-training ratio {:.1}x (paper: hours vs minutes)",
+            r.dataset,
+            r.refine_s / r.pretrain_s.max(1e-9)
+        );
+    }
+    // Endpoint comparison: intermediate points vary with the sampled
+    // category mix (different description lengths), so only 25% vs 100%
+    // is a stable growth signal on a laptop.
+    let growth_ok = workload::PROFILES.iter().all(|p| {
+        let xs: Vec<f64> = records
+            .iter()
+            .filter(|r| r.dataset == p.name())
+            .map(|r| r.refine_s)
+            .collect();
+        xs.last().copied().unwrap_or(0.0) > xs.first().copied().unwrap_or(0.0)
+    });
+    println!("refinement time grows with data (25% -> 100%): {growth_ok}");
+
+    ncl_bench::results::write_json("fig12_training_time", &records);
+}

@@ -1,0 +1,107 @@
+//! Figure 13 (Appendix C): robustness to training-data variation.
+//!
+//! (a) the considered concept set is scaled 25–100% (labeled snippets
+//! follow), with queries always drawn from the covered concepts;
+//! expected shape: accuracy *increases slightly* as the concept count
+//! drops (fewer interfering concepts) but changes little overall.
+//!
+//! (b) the concepts and labeled data are fixed while the unlabeled
+//! corpus is scaled 25–100%; expected shape: accuracy decreases mildly
+//! as unlabeled data shrinks yet stays usable (the paper reports > 0.6
+//! at 25%).
+
+use ncl_bench::{eval, table, workload, Scale};
+use ncl_core::comaid::Variant;
+use ncl_core::NclPipeline;
+use ncl_datagen::{Dataset, DatasetConfig};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct RobustRow {
+    dataset: String,
+    axis: String,
+    fraction: f32,
+    accuracy: f32,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 13 reproduction — robustness to training data");
+    let mut records = Vec::new();
+    let fracs = [0.25f32, 0.5, 0.75, 1.0];
+
+    // (a) concept-count sweep.
+    for &profile in workload::PROFILES {
+        let mut rows = Vec::new();
+        for &frac in &fracs {
+            let ds = Dataset::generate(DatasetConfig {
+                profile,
+                categories: ((scale.categories as f32 * frac).round() as usize).max(4),
+                aliases_per_concept: scale.aliases_per_concept,
+                unlabeled_snippets: scale.unlabeled,
+                seed: scale.seed,
+            });
+            let pipeline = workload::fit_default(&ds, &scale);
+            let linker = pipeline.linker(&ds.ontology);
+            let groups = workload::query_groups(&ds, &scale);
+            let m = eval::evaluate_linker(&linker, &groups);
+            rows.push(vec![format!("{:.0}%", frac * 100.0), table::f(m.accuracy)]);
+            records.push(RobustRow {
+                dataset: profile.name().into(),
+                axis: "concepts".into(),
+                fraction: frac,
+                accuracy: m.accuracy,
+            });
+        }
+        table::banner(&format!(
+            "Figure 13(a): varying concept count, {}",
+            profile.name()
+        ));
+        println!("{}", table::render(&["concepts", "Acc"], &rows));
+    }
+
+    // (b) unlabeled-corpus sweep (ontology fixed).
+    for &profile in workload::PROFILES {
+        let ds = workload::dataset(profile, &scale);
+        let groups = workload::query_groups(&ds, &scale);
+        let mut rows = Vec::new();
+        for &frac in &fracs {
+            let n = ((ds.unlabeled.len() as f32 * frac) as usize).max(1);
+            let unlabeled = &ds.unlabeled[..n];
+            let cfg = workload::ncl_config(&scale, scale.dim_default, Variant::Full, true);
+            let pipeline = NclPipeline::fit(&ds.ontology, unlabeled, cfg);
+            let linker = pipeline.linker(&ds.ontology);
+            let m = eval::evaluate_linker(&linker, &groups);
+            rows.push(vec![format!("{:.0}%", frac * 100.0), table::f(m.accuracy)]);
+            records.push(RobustRow {
+                dataset: profile.name().into(),
+                axis: "unlabeled".into(),
+                fraction: frac,
+                accuracy: m.accuracy,
+            });
+        }
+        table::banner(&format!(
+            "Figure 13(b): varying unlabeled data, {}",
+            profile.name()
+        ));
+        println!("{}", table::render(&["unlabeled", "Acc"], &rows));
+    }
+
+    // Shape checks.
+    table::banner("Shape check");
+    for axis in ["concepts", "unlabeled"] {
+        let span: Vec<f32> = records
+            .iter()
+            .filter(|r| r.axis == axis)
+            .map(|r| r.accuracy)
+            .collect();
+        let min = span.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = span.iter().cloned().fold(0.0f32, f32::max);
+        println!(
+            "{axis}: accuracy range [{min:.3}, {max:.3}], spread {:.3} (paper: 'change slightly')",
+            max - min
+        );
+    }
+
+    ncl_bench::results::write_json("fig13_robustness", &records);
+}

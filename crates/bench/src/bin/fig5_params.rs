@@ -1,0 +1,124 @@
+//! Figure 5: parameter tuning (§6.2).
+//!
+//! * Figure 5(a): vary the candidate-set cardinality `k` ∈ {10..50} and
+//!   report the average coverage (`Cov`) and accuracy (`Acc`) across the
+//!   two datasets. Expected shape: Cov grows monotonically with `k`; Acc
+//!   peaks around the default `k = 20` and then declines slightly as
+//!   irrelevant candidates leak into Phase II.
+//! * Figure 5(b): vary the concept-path length `β` ∈ {1..4}. Expected
+//!   shape: Acc peaks at `β = 2` — the ontologies are at most ~3 levels
+//!   deep, so deeper paths only duplicate first-level concepts.
+//!
+//! An extra ablation (DESIGN.md §5): query rewriting on/off at the
+//! default parameters.
+
+use ncl_bench::config::table1;
+use ncl_bench::{eval, table, workload, Scale};
+use ncl_core::comaid::Variant;
+use ncl_core::{LinkerConfig, NclPipeline};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig5Record {
+    k_sweep: Vec<(usize, f32, f32)>,      // (k, cov, acc)
+    beta_sweep: Vec<(usize, f32, f32)>,   // (beta, acc hospital-x, acc mimic)
+    rewrite_ablation: Vec<(bool, f32)>,   // (rewrite?, acc)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 5 reproduction — parameter tuning (scale: {} categories)", scale.categories);
+
+    // Shared datasets and default-trained pipelines.
+    let datasets: Vec<_> = workload::PROFILES
+        .iter()
+        .map(|&p| workload::dataset(p, &scale))
+        .collect();
+    let pipelines: Vec<NclPipeline> = datasets
+        .iter()
+        .map(|ds| workload::fit_default(ds, &scale))
+        .collect();
+    let groups: Vec<_> = datasets
+        .iter()
+        .map(|ds| workload::query_groups(ds, &scale))
+        .collect();
+
+    // --- Figure 5(a): vary k. ---
+    table::banner("Figure 5(a): varying k (averaged over both datasets)");
+    let mut k_rows = Vec::new();
+    let mut k_sweep = Vec::new();
+    for &k in table1::K_VALUES {
+        let mut covs = Vec::new();
+        let mut accs = Vec::new();
+        for (i, ds) in datasets.iter().enumerate() {
+            let cfg = LinkerConfig {
+                k,
+                ..LinkerConfig::default()
+            };
+            let linker = ncl_core::Linker::new(&pipelines[i].model, &ds.ontology, cfg);
+            let m = eval::evaluate_linker(&linker, &groups[i]);
+            covs.push(m.coverage);
+            accs.push(m.accuracy);
+        }
+        let cov = ncl_core::metrics::group_mean(&covs);
+        let acc = ncl_core::metrics::group_mean(&accs);
+        k_rows.push(vec![k.to_string(), table::f(cov), table::f(acc)]);
+        k_sweep.push((k, cov, acc));
+    }
+    println!("{}", table::render(&["k", "Cov", "Acc"], &k_rows));
+
+    // --- Figure 5(b): vary β (requires retraining per β). ---
+    table::banner("Figure 5(b): varying beta");
+    let mut b_rows = Vec::new();
+    let mut beta_sweep = Vec::new();
+    for &beta in table1::BETA_VALUES {
+        let mut per_dataset = Vec::new();
+        for (i, ds) in datasets.iter().enumerate() {
+            let mut cfg = workload::ncl_config(&scale, scale.dim_default, Variant::Full, true);
+            cfg.comaid.beta = beta;
+            let pipeline = NclPipeline::fit(&ds.ontology, &ds.unlabeled, cfg);
+            let linker = pipeline.linker(&ds.ontology);
+            let m = eval::evaluate_linker(&linker, &groups[i]);
+            per_dataset.push(m.accuracy);
+        }
+        b_rows.push(vec![
+            beta.to_string(),
+            table::f(per_dataset[0]),
+            table::f(per_dataset[1]),
+        ]);
+        beta_sweep.push((beta, per_dataset[0], per_dataset[1]));
+    }
+    println!(
+        "{}",
+        table::render(&["beta", "Acc hospital-x", "Acc MIMIC-III"], &b_rows)
+    );
+
+    // --- Extra ablation: query rewriting on/off. ---
+    table::banner("Ablation: query rewriting (default parameters, hospital-x)");
+    let mut rw_rows = Vec::new();
+    let mut rewrite_ablation = Vec::new();
+    for rewrite in [true, false] {
+        let cfg = LinkerConfig {
+            rewrite,
+            ..LinkerConfig::default()
+        };
+        let linker = ncl_core::Linker::new(&pipelines[0].model, &datasets[0].ontology, cfg);
+        let m = eval::evaluate_linker(&linker, &groups[0]);
+        rw_rows.push(vec![
+            if rewrite { "on" } else { "off" }.to_string(),
+            table::f(m.accuracy),
+            table::f(m.coverage),
+        ]);
+        rewrite_ablation.push((rewrite, m.accuracy));
+    }
+    println!("{}", table::render(&["rewriting", "Acc", "Cov"], &rw_rows));
+
+    ncl_bench::results::write_json(
+        "fig5_params",
+        &Fig5Record {
+            k_sweep,
+            beta_sweep,
+            rewrite_ablation,
+        },
+    );
+}

@@ -1,0 +1,88 @@
+//! Figure 6: network architecture study (§6.3).
+//!
+//! COM-AID vs COM-AID⁻ᶜ (no structural attention ≙ attentional NMT [2]),
+//! COM-AID⁻ʷ (no textual attention), COM-AID⁻ʷᶜ (neither ≙ seq2seq
+//! [40]), sweeping the hidden dimension `d` on both datasets; accuracy
+//! (Figures 6(a)(c)) and MRR (Figures 6(b)(d)).
+//!
+//! Expected shape (§6.3): `Full > −c ≈ −w > −wc`, with average accuracy
+//! drops around 0.08 (−c), 0.1 (−w) and >0.2 (−wc).
+
+use ncl_bench::{eval, table, workload, Scale};
+use ncl_core::comaid::Variant;
+use ncl_core::NclPipeline;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    dataset: String,
+    variant: String,
+    dim: usize,
+    accuracy: f32,
+    mrr: f32,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!(
+        "Figure 6 reproduction — architecture study (dims {:?} stand in for the paper's {:?})",
+        scale.dims,
+        ncl_bench::config::table1::D_VALUES_PAPER
+    );
+
+    let mut records = Vec::new();
+    for &profile in workload::PROFILES {
+        let ds = workload::dataset(profile, &scale);
+        let groups = workload::query_groups(&ds, &scale);
+        let mut acc_rows = Vec::new();
+        let mut mrr_rows = Vec::new();
+        for &variant in Variant::ALL {
+            let mut acc_cells = vec![variant.paper_name().to_string()];
+            let mut mrr_cells = vec![variant.paper_name().to_string()];
+            for &dim in &scale.dims {
+                let cfg = workload::ncl_config(&scale, dim, variant, true);
+                let pipeline = NclPipeline::fit(&ds.ontology, &ds.unlabeled, cfg);
+                let linker = pipeline.linker(&ds.ontology);
+                let m = eval::evaluate_linker(&linker, &groups);
+                acc_cells.push(table::f(m.accuracy));
+                mrr_cells.push(table::f(m.mrr));
+                records.push(Cell {
+                    dataset: ds.profile.name().to_string(),
+                    variant: variant.paper_name().to_string(),
+                    dim,
+                    accuracy: m.accuracy,
+                    mrr: m.mrr,
+                });
+            }
+            acc_rows.push(acc_cells);
+            mrr_rows.push(mrr_cells);
+        }
+        let mut headers = vec!["variant".to_string()];
+        headers.extend(scale.dims.iter().map(|d| format!("d={d}")));
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        table::banner(&format!("Figure 6 accuracy, {}", ds.profile.name()));
+        println!("{}", table::render(&headers_ref, &acc_rows));
+        table::banner(&format!("Figure 6 MRR, {}", ds.profile.name()));
+        println!("{}", table::render(&headers_ref, &mrr_rows));
+    }
+
+    // Shape summary: average accuracy drop per ablation.
+    let avg = |variant: &str| -> f32 {
+        let xs: Vec<f32> = records
+            .iter()
+            .filter(|c| c.variant == variant)
+            .map(|c| c.accuracy)
+            .collect();
+        xs.iter().sum::<f32>() / xs.len().max(1) as f32
+    };
+    let full = avg("COM-AID");
+    table::banner("Average accuracy drop vs full COM-AID (paper: -c ~0.08, -w ~0.1, -wc >0.2)");
+    let rows = vec![
+        vec!["COM-AID-c".into(), table::f(full - avg("COM-AID-c"))],
+        vec!["COM-AID-w".into(), table::f(full - avg("COM-AID-w"))],
+        vec!["COM-AID-wc".into(), table::f(full - avg("COM-AID-wc"))],
+    ];
+    println!("{}", table::render(&["ablation", "avg acc drop"], &rows));
+
+    ncl_bench::results::write_json("fig6_architecture", &records);
+}

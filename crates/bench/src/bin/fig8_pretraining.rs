@@ -1,0 +1,75 @@
+//! Figure 8: effect of pre-training (§6.5).
+//!
+//! COM-AID (with the §4.2 concept-id-incorporated CBOW pre-training)
+//! against COM-AID⁻ᵒ¹ (random embedding initialisation), accuracy over
+//! the dimension sweep, per dataset.
+//!
+//! Expected shape: accuracy grows with `d` in the lower range for both,
+//! and pre-training adds a consistent gap (the paper reports > 0.1).
+
+use ncl_bench::{eval, table, workload, Scale};
+use ncl_core::comaid::Variant;
+use ncl_core::NclPipeline;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    dataset: String,
+    pretrained: bool,
+    dim: usize,
+    accuracy: f32,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Figure 8 reproduction — effect of pre-training");
+    let mut records = Vec::new();
+
+    for &profile in workload::PROFILES {
+        let ds = workload::dataset(profile, &scale);
+        let groups = workload::query_groups(&ds, &scale);
+        let mut rows = Vec::new();
+        for pretrain in [true, false] {
+            let label = if pretrain { "COM-AID" } else { "COM-AID-o1" };
+            let mut cells = vec![label.to_string()];
+            for &dim in &scale.dims {
+                let cfg = workload::ncl_config(&scale, dim, Variant::Full, pretrain);
+                let pipeline = NclPipeline::fit(&ds.ontology, &ds.unlabeled, cfg);
+                let linker = pipeline.linker(&ds.ontology);
+                let m = eval::evaluate_linker(&linker, &groups);
+                cells.push(table::f(m.accuracy));
+                records.push(Cell {
+                    dataset: ds.profile.name().to_string(),
+                    pretrained: pretrain,
+                    dim,
+                    accuracy: m.accuracy,
+                });
+            }
+            rows.push(cells);
+        }
+        let mut headers = vec!["model".to_string()];
+        headers.extend(scale.dims.iter().map(|d| format!("d={d}")));
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        table::banner(&format!("Figure 8: accuracy, {}", ds.profile.name()));
+        println!("{}", table::render(&headers_ref, &rows));
+    }
+
+    // Shape check: mean gap.
+    let mean = |pre: bool| -> f32 {
+        let xs: Vec<f32> = records
+            .iter()
+            .filter(|c| c.pretrained == pre)
+            .map(|c| c.accuracy)
+            .collect();
+        xs.iter().sum::<f32>() / xs.len().max(1) as f32
+    };
+    table::banner("Shape check (paper: gap consistently > 0.1)");
+    println!(
+        "mean accuracy with pre-training {:.3}, without {:.3}, gap {:.3}",
+        mean(true),
+        mean(false),
+        mean(true) - mean(false)
+    );
+
+    ncl_bench::results::write_json("fig8_pretraining", &records);
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # ncl-bench
+//!
+//! The experiment harness regenerating **every table and figure** of the
+//! evaluation of *Fine-grained Concept Linking using Neural Networks in
+//! Healthcare* (Dai et al., SIGMOD 2018). One binary per figure:
+//!
+//! | Binary | Paper artefact |
+//! |---|---|
+//! | `fig5_params` | Figure 5(a)(b): vary `k` (Cov/Acc) and `β` (Acc) |
+//! | `fig6_architecture` | Figure 6(a)–(d): COM-AID vs −c/−w/−wc, Acc+MRR over `d` |
+//! | `fig7_overall` | Figure 7(a)(b): NCL vs pkduck(θ), NC, LR⁺, WMD(d), Doc2Vec(d) |
+//! | `fig8_pretraining` | Figure 8(a)(b): pre-training on/off over `d` |
+//! | `fig10_feedback` | Figure 10: PCA drift of representations under feedback |
+//! | `fig11_online_time` | Figure 11(a)–(d): OR/CR/ED/RT time vs `k` and `\|q\|` |
+//! | `fig12_training_time` | Figure 12(a)(b): pre-train / refine time vs data size |
+//! | `fig13_robustness` | Figure 13(a)(b): concept-% and unlabeled-% sweeps |
+//! | `run_all` | every binary in sequence |
+//!
+//! Each binary prints paper-style tables and writes a JSON record under
+//! `results/` for `EXPERIMENTS.md`. Because the substrate is a synthetic
+//! laptop-scale workload (see `DESIGN.md`), the harness compares *shapes*
+//! (orderings, crossovers, monotonicity), not absolute values. Table 1's
+//! parameter grid is in [`config`], with the dimension sweep scaled down
+//! from {50,100,150,200} to keep CPU training tractable.
+
+pub mod config;
+pub mod eval;
+pub mod results;
+pub mod table;
+pub mod workload;
+
+pub use config::Scale;
+pub use eval::Metrics;

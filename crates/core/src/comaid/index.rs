@@ -1,0 +1,129 @@
+//! Pre-tokenised view of an ontology for COM-AID.
+//!
+//! Training touches every concept's canonical description and structural
+//! context (Definition 4.1) thousands of times; tokenising and resolving
+//! ancestors once up front keeps the hot loops allocation-free.
+
+use ncl_ontology::{ConceptId, Ontology};
+use ncl_text::{tokenize, Vocab};
+
+/// Token ids of every concept's canonical description plus its resolved
+/// structural context, aligned with a specific [`Vocab`] and depth `β`.
+#[derive(Debug, Clone)]
+pub struct OntologyIndex {
+    /// `tokens[cid.index()]` = word ids of the canonical description
+    /// (empty for the synthetic root).
+    tokens: Vec<Vec<u32>>,
+    /// `contexts[cid.index()]` = the β structural-context concepts
+    /// (empty for the root).
+    contexts: Vec<Vec<ConceptId>>,
+    beta: usize,
+}
+
+impl OntologyIndex {
+    /// Builds the index. Unknown words map to `Vocab::UNK`, so the index
+    /// is total even when the vocabulary was built from a different
+    /// snapshot of the ontology.
+    pub fn build(ontology: &Ontology, vocab: &Vocab, beta: usize) -> Self {
+        let n = ontology.len();
+        let mut tokens = vec![Vec::new(); n];
+        let mut contexts = vec![Vec::new(); n];
+        for (id, concept) in ontology.iter() {
+            tokens[id.index()] = tokenize(&concept.canonical)
+                .iter()
+                .map(|t| vocab.get_or_unk(t))
+                .collect();
+            contexts[id.index()] = ontology.structural_context(id, beta);
+        }
+        Self {
+            tokens,
+            contexts,
+            beta,
+        }
+    }
+
+    /// Word ids of a concept's canonical description.
+    pub fn tokens(&self, id: ConceptId) -> &[u32] {
+        &self.tokens[id.index()]
+    }
+
+    /// The β structural-context concepts of `id`.
+    pub fn context(&self, id: ConceptId) -> &[ConceptId] {
+        &self.contexts[id.index()]
+    }
+
+    /// The depth β this index was built for.
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// Number of ontology nodes covered (including the root slot).
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the index covers no concepts.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.len() <= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_ontology::OntologyBuilder;
+
+    fn tiny() -> (Ontology, Vocab) {
+        let mut b = OntologyBuilder::new();
+        let n18 = b.add_root_concept("N18", "chronic kidney disease");
+        b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+        let o = b.build().unwrap();
+        let mut v = Vocab::new();
+        for (_, c) in o.iter() {
+            for t in tokenize(&c.canonical) {
+                v.add(&t);
+            }
+        }
+        (o, v)
+    }
+
+    #[test]
+    fn tokens_resolve_to_vocab_ids() {
+        let (o, v) = tiny();
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let leaf = o.by_code("N18.5").unwrap();
+        let toks = idx.tokens(leaf);
+        assert_eq!(toks.len(), 5);
+        assert_eq!(v.word(toks[0]), Some("chronic"));
+        assert_eq!(v.word(toks[4]), Some("5"));
+    }
+
+    #[test]
+    fn contexts_follow_definition_4_1() {
+        let (o, v) = tiny();
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let leaf = o.by_code("N18.5").unwrap();
+        let n18 = o.by_code("N18").unwrap();
+        // Depth 1 below first level: N18 duplicated to fill β = 2.
+        assert_eq!(idx.context(leaf), &[n18, n18]);
+        assert_eq!(idx.beta(), 2);
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let (o, _) = tiny();
+        let empty_vocab = Vocab::new();
+        let idx = OntologyIndex::build(&o, &empty_vocab, 1);
+        let leaf = o.by_code("N18.5").unwrap();
+        assert!(idx.tokens(leaf).iter().all(|&t| t == Vocab::UNK));
+    }
+
+    #[test]
+    fn root_slot_is_empty() {
+        let (o, v) = tiny();
+        let idx = OntologyIndex::build(&o, &v, 1);
+        assert!(idx.tokens(Ontology::ROOT).is_empty());
+        assert!(!idx.is_empty());
+        assert_eq!(idx.len(), o.len());
+    }
+}

@@ -1,0 +1,171 @@
+//! The COMposite AttentIonal encode-Decode model (COM-AID, §4).
+//!
+//! COM-AID computes `p(q|c)`: the probability of generating query `q`
+//! from concept `c` (Eq. 1/3). A concept encoder LSTM turns the concept's
+//! canonical description into hidden states `h_1^c … h_n^c`; the
+//! *text-structure duet decoder* walks the query with a second LSTM
+//! seeded by `s_0 = h_n^c`, attending both to the encoder states (textual
+//! context, Eq. 5–6) and to the encoded representations of the concept's
+//! ancestors (structural context, Eq. 7 over Definition 4.1), combines
+//! everything through the composite layer (Eq. 8), and emits a
+//! vocabulary softmax (Eq. 9). Training maximises the likelihood of
+//! ⟨canonical, alias⟩ pairs (Eq. 10) by mini-batch SGD with full
+//! back-propagation through every component, including the ancestor
+//! encodings and the word embeddings.
+
+mod decode;
+mod index;
+mod model;
+mod persist;
+mod trace;
+mod train;
+
+pub use decode::Decoded;
+pub use index::OntologyIndex;
+pub use model::ComAid;
+pub use persist::PersistError;
+pub use trace::{AttentionTrace, StepTrace};
+pub use train::{TrainPair, TrainReport};
+
+/// Architecture variants studied in §6.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Variant {
+    /// Full COM-AID: both attentions.
+    Full,
+    /// COM-AID⁻ᶜ: structural attention removed — "an instance of the
+    /// attentional neural network [2]" (Bahdanau et al.).
+    NoStruct,
+    /// COM-AID⁻ʷ: textual attention removed.
+    NoText,
+    /// COM-AID⁻ʷᶜ: both removed — "becomes a sequence-to-sequence
+    /// network [40]" (Sutskever et al.).
+    NoBoth,
+}
+
+impl Variant {
+    /// Whether the textual context `tc_t` is computed.
+    pub fn uses_text(self) -> bool {
+        matches!(self, Self::Full | Self::NoStruct)
+    }
+
+    /// Whether the structural context `sc_t` is computed.
+    pub fn uses_struct(self) -> bool {
+        matches!(self, Self::Full | Self::NoText)
+    }
+
+    /// Paper name of the variant.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Self::Full => "COM-AID",
+            Self::NoStruct => "COM-AID-c",
+            Self::NoText => "COM-AID-w",
+            Self::NoBoth => "COM-AID-wc",
+        }
+    }
+
+    /// All four variants, full model first.
+    pub const ALL: &'static [Variant] =
+        &[Self::Full, Self::NoStruct, Self::NoText, Self::NoBoth];
+}
+
+/// How the output layer is evaluated during *training*. Scoring always
+/// uses the exact full softmax of Eq. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum OutputMode {
+    /// Exact `|V|`-way softmax every step.
+    Full,
+    /// Sampled softmax over the target plus `noise` uniformly-sampled
+    /// vocabulary words — the BlackOut-style reduction the paper points
+    /// to for cutting training time (Appendix B.2: "The training time in
+    /// this phase can be further reduced, when the BlackOut technique is
+    /// used").
+    Sampled {
+        /// Number of noise words shared across the steps of one example.
+        noise: usize,
+    },
+}
+
+/// COM-AID hyper-parameters (defaults follow Table 1's bold values, with
+/// training-loop settings chosen for CPU-scale reproduction).
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct ComAidConfig {
+    /// Word/concept representation dimensionality `d` (Table 1 default
+    /// 150; the paper assumes word and concept dimensions are equal,
+    /// footnote 10).
+    pub dim: usize,
+    /// Structural-context depth `β` (Table 1 default 2).
+    pub beta: usize,
+    /// Architecture variant.
+    pub variant: Variant,
+    /// Training epochs over the labeled pairs.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// Per-epoch multiplicative learning-rate decay.
+    pub lr_decay: f32,
+    /// Mini-batch size (§4.2 uses mini-batch SGD).
+    pub batch_size: usize,
+    /// Global gradient-norm clip.
+    pub clip_norm: f32,
+    /// RNG seed for initialisation and shuffling.
+    pub seed: u64,
+    /// Output-layer mode during training (scoring is always exact).
+    pub output_mode: OutputMode,
+}
+
+impl Default for ComAidConfig {
+    fn default() -> Self {
+        Self {
+            dim: 150,
+            beta: 2,
+            variant: Variant::Full,
+            epochs: 15,
+            lr: 0.2,
+            lr_decay: 0.95,
+            batch_size: 16,
+            clip_norm: 5.0,
+            seed: 0xC0A1D,
+            output_mode: OutputMode::Full,
+        }
+    }
+}
+
+impl ComAidConfig {
+    /// A tiny configuration for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            dim: 12,
+            beta: 2,
+            epochs: 10,
+            batch_size: 8,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_attention_flags() {
+        assert!(Variant::Full.uses_text() && Variant::Full.uses_struct());
+        assert!(Variant::NoStruct.uses_text() && !Variant::NoStruct.uses_struct());
+        assert!(!Variant::NoText.uses_text() && Variant::NoText.uses_struct());
+        assert!(!Variant::NoBoth.uses_text() && !Variant::NoBoth.uses_struct());
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(Variant::Full.paper_name(), "COM-AID");
+        assert_eq!(Variant::NoBoth.paper_name(), "COM-AID-wc");
+        assert_eq!(Variant::ALL.len(), 4);
+    }
+
+    #[test]
+    fn default_config_matches_table1() {
+        let c = ComAidConfig::default();
+        assert_eq!(c.dim, 150);
+        assert_eq!(c.beta, 2);
+    }
+}

@@ -1,0 +1,150 @@
+//! Model persistence.
+//!
+//! The paper's deployment (NCL inside GEMINI's DICE at NUH) trains
+//! COM-AID offline and serves it online; that split requires saving the
+//! trained parameters. Models serialise to JSON — at the paper's largest
+//! setting (`d = 200`, |V| in the tens of thousands) this is tens of
+//! megabytes, which is acceptable for a model that is retrained at the
+//! cadence of expert-feedback batches (Appendix A).
+
+use super::ComAid;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Errors from saving/loading a model.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// (De)serialisation failure (corrupt or incompatible file).
+    Codec(serde_json::Error),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "model persistence I/O error: {e}"),
+            Self::Codec(e) => write!(f, "model persistence codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Codec(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Codec(e)
+    }
+}
+
+impl ComAid {
+    /// Serialises the full model (configuration, vocabulary and all
+    /// parameters) to a writer as JSON.
+    pub fn save<W: Write>(&self, writer: W) -> Result<(), PersistError> {
+        serde_json::to_writer(writer, self)?;
+        Ok(())
+    }
+
+    /// Saves to a file path.
+    pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        let file = std::fs::File::create(path)?;
+        self.save(std::io::BufWriter::new(file))
+    }
+
+    /// Deserialises a model from a reader.
+    pub fn load<R: Read>(reader: R) -> Result<Self, PersistError> {
+        Ok(serde_json::from_reader(reader)?)
+    }
+
+    /// Loads from a file path.
+    pub fn load_from_path<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
+        let file = std::fs::File::open(path)?;
+        Self::load(std::io::BufReader::new(file))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::comaid::{ComAid, ComAidConfig, OntologyIndex, TrainPair, Variant};
+    use ncl_ontology::OntologyBuilder;
+    use ncl_text::{tokenize, Vocab};
+
+    fn trained_model() -> (ncl_ontology::Ontology, ComAid) {
+        let mut b = OntologyBuilder::new();
+        let n18 = b.add_root_concept("N18", "chronic kidney disease");
+        b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+        let o = b.build().unwrap();
+        let mut v = Vocab::new();
+        for w in ["chronic", "kidney", "disease", "stage", "5", "ckd"] {
+            v.add(w);
+        }
+        let config = ComAidConfig {
+            dim: 8,
+            epochs: 5,
+            variant: Variant::Full,
+            ..ComAidConfig::tiny()
+        };
+        let mut m = ComAid::new(v.clone(), config, None);
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let pairs = vec![TrainPair {
+            concept: o.by_code("N18.5").unwrap(),
+            target: tokenize("ckd stage 5").iter().map(|t| v.get_or_unk(t)).collect(),
+        }];
+        m.fit(&idx, &pairs);
+        (o, m)
+    }
+
+    #[test]
+    fn round_trip_preserves_scores() {
+        let (o, model) = trained_model();
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        let loaded = ComAid::load(buf.as_slice()).unwrap();
+
+        let idx = OntologyIndex::build(&o, model.vocab(), 2);
+        let c = o.by_code("N18.5").unwrap();
+        let q = model.encode_text("ckd stage 5");
+        let a = model.log_prob_ids(&idx, c, &q);
+        let b = loaded.log_prob_ids(&idx, c, &q);
+        assert!((a - b).abs() < 1e-6, "scores diverged: {a} vs {b}");
+        assert_eq!(loaded.vocab().len(), model.vocab().len());
+        assert_eq!(loaded.config().dim, model.config().dim);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let (_, model) = trained_model();
+        let dir = std::env::temp_dir().join("ncl_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.json");
+        model.save_to_path(&path).unwrap();
+        let loaded = ComAid::load_from_path(&path).unwrap();
+        assert_eq!(loaded.config().beta, model.config().beta);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_file_reports_codec_error() {
+        let err = ComAid::load("this is not json".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("codec"));
+    }
+
+    #[test]
+    fn missing_file_reports_io_error() {
+        let err = ComAid::load_from_path("/nonexistent/path/model.json").unwrap_err();
+        assert!(err.to_string().contains("I/O"));
+    }
+}

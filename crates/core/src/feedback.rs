@@ -1,0 +1,265 @@
+//! The feedback controller (Appendix A).
+//!
+//! After Phase II re-ranking, NCL assesses its own uncertainty from the
+//! candidate losses `Loss = −log p(q|c; Θ)`:
+//!
+//! * a **high top loss** means even the best candidate decodes the query
+//!   poorly;
+//! * a **low standard deviation** across the re-ranked list means the
+//!   candidates "own similar losses" and NCL cannot separate them.
+//!
+//! Either signal pools the query (with its candidates) for expert review
+//! — the paper's Timon front-end displays a pooled batch once it reaches
+//! a set size (e.g. 100). Collected expert labels become new labeled
+//! snippets; once enough accumulate, COM-AID is retrained and "the
+//! concept linking capability of NCL is incrementally improved."
+
+use ncl_ontology::ConceptId;
+use ncl_tensor::stats;
+
+/// Uncertainty thresholds and pooling capacities.
+#[derive(Debug, Clone, Copy)]
+pub struct FeedbackConfig {
+    /// Pool when the best candidate's loss exceeds this.
+    pub loss_threshold: f32,
+    /// Pool when the loss standard deviation falls below this.
+    pub std_threshold: f32,
+    /// Number of pooled queries that triggers an expert-review batch
+    /// (Timon's display threshold).
+    pub review_batch: usize,
+    /// Number of collected expert labels that triggers retraining.
+    pub retrain_after: usize,
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        Self {
+            loss_threshold: 12.0,
+            std_threshold: 0.5,
+            review_batch: 100,
+            retrain_after: 20,
+        }
+    }
+}
+
+/// The uncertainty verdict for one re-ranked list.
+#[derive(Debug, Clone, Copy)]
+pub struct Uncertainty {
+    /// `−log p(q|c*)` of the top candidate.
+    pub top_loss: f32,
+    /// Standard deviation of the candidate losses.
+    pub std_dev: f32,
+    /// Whether either gate fired.
+    pub uncertain: bool,
+}
+
+/// A query waiting for expert review.
+#[derive(Debug, Clone)]
+pub struct PooledQuery {
+    /// The query tokens as linked.
+    pub query: Vec<String>,
+    /// The re-ranked candidates with their losses (the Timon table).
+    pub candidates: Vec<(ConceptId, f32)>,
+}
+
+/// An expert-provided label: this query refers to that concept.
+#[derive(Debug, Clone)]
+pub struct ExpertLabel {
+    /// The concept chosen (or typed) by the expert.
+    pub concept: ConceptId,
+    /// The query text, which becomes a new alias / training snippet.
+    pub query: Vec<String>,
+}
+
+/// The stateful controller.
+#[derive(Debug, Clone, Default)]
+pub struct FeedbackController {
+    config: FeedbackConfig,
+    pool: Vec<PooledQuery>,
+    labels: Vec<ExpertLabel>,
+}
+
+impl FeedbackController {
+    /// Creates a controller.
+    pub fn new(config: FeedbackConfig) -> Self {
+        Self {
+            config,
+            pool: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FeedbackConfig {
+        &self.config
+    }
+
+    /// Assesses a re-ranked candidate list (`(concept, log p)` pairs,
+    /// best first). An empty list is maximally uncertain.
+    pub fn assess(&self, ranked: &[(ConceptId, f32)]) -> Uncertainty {
+        if ranked.is_empty() {
+            return Uncertainty {
+                top_loss: f32::INFINITY,
+                std_dev: 0.0,
+                uncertain: true,
+            };
+        }
+        let losses: Vec<f32> = ranked.iter().map(|&(_, lp)| -lp).collect();
+        let top_loss = losses[0];
+        let std_dev = stats::std_dev(&losses);
+        let uncertain = top_loss > self.config.loss_threshold
+            || (losses.len() > 1 && std_dev < self.config.std_threshold);
+        Uncertainty {
+            top_loss,
+            std_dev,
+            uncertain,
+        }
+    }
+
+    /// Observes one linking outcome; pools it when uncertain. Returns the
+    /// verdict.
+    pub fn observe(&mut self, query: &[String], ranked: &[(ConceptId, f32)]) -> Uncertainty {
+        let verdict = self.assess(ranked);
+        if verdict.uncertain {
+            self.pool.push(PooledQuery {
+                query: query.to_vec(),
+                candidates: ranked.to_vec(),
+            });
+        }
+        verdict
+    }
+
+    /// The queries currently awaiting review.
+    pub fn pool(&self) -> &[PooledQuery] {
+        &self.pool
+    }
+
+    /// Whether a review batch is ready to show to experts.
+    pub fn review_ready(&self) -> bool {
+        self.pool.len() >= self.config.review_batch
+    }
+
+    /// Drains up to one review batch for display (the Timon page).
+    pub fn take_review_batch(&mut self) -> Vec<PooledQuery> {
+        let n = self.pool.len().min(self.config.review_batch);
+        self.pool.drain(..n).collect()
+    }
+
+    /// Records an expert's label for a reviewed query.
+    pub fn record_label(&mut self, label: ExpertLabel) {
+        self.labels.push(label);
+    }
+
+    /// Whether enough labels accumulated to retrain COM-AID.
+    pub fn retrain_ready(&self) -> bool {
+        self.labels.len() >= self.config.retrain_after
+    }
+
+    /// Number of labels collected so far.
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Drains the collected labels for retraining (they become new
+    /// ⟨concept, snippet⟩ training pairs / aliases).
+    pub fn take_labels(&mut self) -> Vec<ExpertLabel> {
+        std::mem::take(&mut self.labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(i: u32) -> ConceptId {
+        ConceptId(i)
+    }
+
+    fn controller() -> FeedbackController {
+        FeedbackController::new(FeedbackConfig {
+            loss_threshold: 5.0,
+            std_threshold: 0.5,
+            review_batch: 3,
+            retrain_after: 2,
+        })
+    }
+
+    #[test]
+    fn confident_result_not_pooled() {
+        let mut fc = controller();
+        // Top loss 1.0, losses well spread.
+        let ranked = vec![(cid(1), -1.0), (cid(2), -4.0), (cid(3), -9.0)];
+        let v = fc.observe(&["q".into()], &ranked);
+        assert!(!v.uncertain);
+        assert!(fc.pool().is_empty());
+    }
+
+    #[test]
+    fn high_loss_triggers_pooling() {
+        let mut fc = controller();
+        let ranked = vec![(cid(1), -8.0), (cid(2), -12.0)];
+        let v = fc.observe(&["q".into()], &ranked);
+        assert!(v.uncertain);
+        assert!(v.top_loss > 5.0);
+        assert_eq!(fc.pool().len(), 1);
+    }
+
+    #[test]
+    fn similar_losses_trigger_pooling() {
+        // The paper's "breast for investigation" case: close losses mean
+        // NCL cannot separate the candidates.
+        let mut fc = controller();
+        let ranked = vec![(cid(1), -2.0), (cid(2), -2.1), (cid(3), -2.2)];
+        let v = fc.observe(&["q".into()], &ranked);
+        assert!(v.uncertain);
+        assert!(v.std_dev < 0.5);
+    }
+
+    #[test]
+    fn empty_ranking_is_uncertain() {
+        let fc = controller();
+        assert!(fc.assess(&[]).uncertain);
+    }
+
+    #[test]
+    fn single_confident_candidate_not_pooled() {
+        let fc = controller();
+        // One candidate: std-dev gate must not fire on its own.
+        let v = fc.assess(&[(cid(1), -1.0)]);
+        assert!(!v.uncertain);
+    }
+
+    #[test]
+    fn review_batch_lifecycle() {
+        let mut fc = controller();
+        let uncertain = vec![(cid(1), -10.0)];
+        for i in 0..4 {
+            fc.observe(&[format!("q{i}")], &uncertain);
+        }
+        assert!(fc.review_ready());
+        let batch = fc.take_review_batch();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(fc.pool().len(), 1);
+        assert!(!fc.review_ready());
+    }
+
+    #[test]
+    fn retrain_trigger_and_drain() {
+        let mut fc = controller();
+        assert!(!fc.retrain_ready());
+        fc.record_label(ExpertLabel {
+            concept: cid(7),
+            query: vec!["breast".into(), "lump".into()],
+        });
+        fc.record_label(ExpertLabel {
+            concept: cid(8),
+            query: vec!["scurvy".into()],
+        });
+        assert!(fc.retrain_ready());
+        assert_eq!(fc.label_count(), 2);
+        let labels = fc.take_labels();
+        assert_eq!(labels.len(), 2);
+        assert!(!fc.retrain_ready());
+        assert_eq!(labels[0].concept, cid(7));
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # ncl-core
+//!
+//! The paper's primary contribution: the **COM-AID** neural network and
+//! the **NCL** concept-linking framework of *Fine-grained Concept Linking
+//! using Neural Networks in Healthcare* (Dai et al., SIGMOD 2018).
+//!
+//! * [`comaid`] — the COMposite AttentIonal encode-Decode network (§4):
+//!   concept encoder, text-structure duet decoder with textual (Eq. 5–6)
+//!   and structural (Eq. 7) attention, the composite layer (Eq. 8), the
+//!   vocabulary softmax (Eq. 9), MLE training (Eq. 10) and the four
+//!   architecture variants of the §6.3 study (`Full`, `NoStruct` ≙
+//!   COM-AID⁻ᶜ ≙ attention NMT [2], `NoText` ≙ COM-AID⁻ʷ, `NoBoth` ≙
+//!   COM-AID⁻ʷᶜ ≙ seq2seq [40]),
+//! * [`linker`] — the two-phase online linking of §5: TF-IDF candidate
+//!   retrieval with query rewriting (Eq. 13), COM-AID re-ranking, and the
+//!   OR/CR/ED/RT timing breakdown measured in Figure 11,
+//! * [`feedback`] — the feedback controller of Appendix A (loss /
+//!   standard-deviation uncertainty gates, pooling, retrain triggering),
+//! * [`metrics`] — top-1 accuracy, MRR (with the paper's missing-rank
+//!   convention) and Phase-I coverage (§6.1–6.2),
+//! * [`pipeline`] — the end-to-end NCL assembly: pre-train embeddings
+//!   (§4.2) → train COM-AID → build the online linker.
+
+pub mod comaid;
+pub mod feedback;
+pub mod linker;
+pub mod metrics;
+pub mod pipeline;
+
+pub use comaid::{ComAid, ComAidConfig, OutputMode, TrainPair, Variant};
+pub use feedback::{FeedbackConfig, FeedbackController};
+pub use linker::{LinkResult, Linker, LinkerConfig};
+pub use pipeline::{NclConfig, NclPipeline};

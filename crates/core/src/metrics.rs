@@ -1,0 +1,185 @@
+//! Evaluation metrics (§6.1, Quality metrics).
+//!
+//! * **top-1 accuracy** — fraction of queries whose referred concept is
+//!   ranked first;
+//! * **MRR** — mean reciprocal rank, with the paper's §6.4 convention:
+//!   "if the actually referred concept does not appear in the
+//!   ranked/returned concept list, we ignore the corresponding
+//!   `1/rank_i` term" (i.e. it contributes 0 to the sum but stays in the
+//!   denominator `|Q|`);
+//! * **coverage** — §6.2's `Cov`: the fraction of queries whose Phase-I
+//!   candidate list contains the referred concept.
+
+use ncl_ontology::ConceptId;
+
+/// Rank (1-based) of `truth` in a ranked list, if present.
+pub fn rank_of(ranked: &[ConceptId], truth: ConceptId) -> Option<usize> {
+    ranked.iter().position(|&c| c == truth).map(|p| p + 1)
+}
+
+/// Accumulates accuracy / MRR / coverage over a query set.
+#[derive(Debug, Clone, Default)]
+pub struct EvalAccumulator {
+    queries: usize,
+    top1_hits: usize,
+    reciprocal_sum: f64,
+    covered: usize,
+}
+
+impl EvalAccumulator {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one query's ranked result list (best first). `covered`
+    /// states whether Phase I retrieved the truth at all (for `Cov`);
+    /// when unavailable, pass `ranked.contains(&truth)`.
+    pub fn record(&mut self, ranked: &[ConceptId], truth: ConceptId, covered: bool) {
+        self.queries += 1;
+        if ranked.first() == Some(&truth) {
+            self.top1_hits += 1;
+        }
+        if let Some(rank) = rank_of(ranked, truth) {
+            self.reciprocal_sum += 1.0 / rank as f64;
+        }
+        if covered {
+            self.covered += 1;
+        }
+    }
+
+    /// Number of queries recorded.
+    pub fn len(&self) -> usize {
+        self.queries
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.queries == 0
+    }
+
+    /// Top-1 accuracy rate.
+    pub fn accuracy(&self) -> f32 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.top1_hits as f32 / self.queries as f32
+    }
+
+    /// Mean reciprocal rank.
+    pub fn mrr(&self) -> f32 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        (self.reciprocal_sum / self.queries as f64) as f32
+    }
+
+    /// Phase-I coverage.
+    pub fn coverage(&self) -> f32 {
+        if self.queries == 0 {
+            return 0.0;
+        }
+        self.covered as f32 / self.queries as f32
+    }
+
+    /// Merges another accumulator (for averaging across groups the
+    /// query-weighted way).
+    pub fn merge(&mut self, other: &EvalAccumulator) {
+        self.queries += other.queries;
+        self.top1_hits += other.top1_hits;
+        self.reciprocal_sum += other.reciprocal_sum;
+        self.covered += other.covered;
+    }
+}
+
+/// Averages per-group metric values (the paper reports "the average
+/// accuracy/MRR values computed from 10 groups").
+pub fn group_mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(i: u32) -> ConceptId {
+        ConceptId(i)
+    }
+
+    #[test]
+    fn rank_of_positions() {
+        let ranked = vec![cid(3), cid(1), cid(7)];
+        assert_eq!(rank_of(&ranked, cid(3)), Some(1));
+        assert_eq!(rank_of(&ranked, cid(7)), Some(3));
+        assert_eq!(rank_of(&ranked, cid(9)), None);
+    }
+
+    #[test]
+    fn accuracy_counts_top1_only() {
+        let mut acc = EvalAccumulator::new();
+        acc.record(&[cid(1), cid(2)], cid(1), true); // hit
+        acc.record(&[cid(2), cid(1)], cid(1), true); // rank 2
+        assert_eq!(acc.accuracy(), 0.5);
+        assert_eq!(acc.len(), 2);
+    }
+
+    #[test]
+    fn mrr_uses_reciprocal_ranks() {
+        let mut acc = EvalAccumulator::new();
+        acc.record(&[cid(1), cid(2)], cid(1), true); // 1/1
+        acc.record(&[cid(2), cid(1)], cid(1), true); // 1/2
+        assert!((acc.mrr() - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn missing_truth_ignored_in_numerator_only() {
+        // Paper convention: absent concept contributes 0, |Q| unchanged.
+        let mut acc = EvalAccumulator::new();
+        acc.record(&[cid(1)], cid(9), false);
+        acc.record(&[cid(9)], cid(9), true);
+        assert!((acc.mrr() - 0.5).abs() < 1e-6);
+        assert_eq!(acc.accuracy(), 0.5);
+        assert_eq!(acc.coverage(), 0.5);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        let acc = EvalAccumulator::new();
+        assert!(acc.is_empty());
+        assert_eq!(acc.accuracy(), 0.0);
+        assert_eq!(acc.mrr(), 0.0);
+        assert_eq!(acc.coverage(), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = EvalAccumulator::new();
+        a.record(&[cid(1)], cid(1), true);
+        let mut b = EvalAccumulator::new();
+        b.record(&[cid(2)], cid(3), false);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn group_mean_basic() {
+        assert_eq!(group_mean(&[]), 0.0);
+        assert!((group_mean(&[0.2, 0.4]) - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mrr_never_exceeds_accuracy_upper_bound() {
+        // MRR ≥ accuracy always (top-1 hits contribute 1 to both), and
+        // MRR ≤ 1.
+        let mut acc = EvalAccumulator::new();
+        acc.record(&[cid(1), cid(2), cid(3)], cid(1), true);
+        acc.record(&[cid(2), cid(1), cid(3)], cid(1), true);
+        acc.record(&[cid(3), cid(2), cid(1)], cid(1), true);
+        assert!(acc.mrr() >= acc.accuracy());
+        assert!(acc.mrr() <= 1.0);
+    }
+}

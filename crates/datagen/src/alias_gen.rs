@@ -1,0 +1,165 @@
+//! UMLS-style alias generation.
+//!
+//! In the paper the labeled training pairs `⟨d^c, d_j^c⟩` come from the
+//! UMLS, where "a concept may have different descriptions in different
+//! standards; take the concept R10.0 as an example, it has the
+//! descriptions 'acute abdomen', 'acute abdominal syndrome', and 'pain;
+//! abdomen'" (§3). We synthesise the same three phenomena per concept:
+//! synonym substitution, word reordering/inversion, and qualifier
+//! dropping/extension.
+
+use crate::lexicon::{is_droppable, synonyms_of};
+use ncl_text::tokenize;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generates up to `max_aliases` distinct aliases of `canonical`.
+///
+/// Deterministic given the seed. The canonical form itself is never
+/// returned (footnote 9: identity pairs do not contribute to training).
+pub fn aliases_for(canonical: &str, max_aliases: usize, seed: u64) -> Vec<String> {
+    let tokens = tokenize(canonical);
+    if tokens.is_empty() || max_aliases == 0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out: Vec<String> = Vec::new();
+    let push = |alias: Vec<String>, out: &mut Vec<String>| {
+        let joined = alias.join(" ");
+        if !joined.is_empty() && joined != canonical && !out.contains(&joined) {
+            out.push(joined);
+        }
+    };
+
+    // 1. Single-word synonym substitutions, every position.
+    for (i, tok) in tokens.iter().enumerate() {
+        if let Some(syns) = synonyms_of(tok) {
+            for syn in syns {
+                let mut alias = tokens.clone();
+                // Synonyms may be multi-word in principle; tokenize them.
+                alias.splice(i..=i, tokenize(syn));
+                push(alias, &mut out);
+            }
+        }
+    }
+
+    // 2. Inversion around "of": "A of B ..." → "B A" (the "pain; abdomen"
+    //    pattern with the separator normalised away).
+    if let Some(of_pos) = tokens.iter().position(|t| t == "of") {
+        if of_pos > 0 && of_pos + 1 < tokens.len() {
+            let mut alias: Vec<String> = tokens[of_pos + 1..].to_vec();
+            alias.extend_from_slice(&tokens[..of_pos]);
+            push(alias, &mut out);
+        }
+    }
+
+    // 3. Qualifier drop: remove droppable words.
+    let dropped: Vec<String> = tokens
+        .iter()
+        .filter(|t| !is_droppable(t))
+        .cloned()
+        .collect();
+    if dropped.len() < tokens.len() && !dropped.is_empty() {
+        push(dropped, &mut out);
+    }
+
+    // 4. Qualifier rotation: move the last word to the front (UMLS's
+    //    "anemia, scorbutic" convention, normalised).
+    if tokens.len() >= 2 {
+        let mut alias = vec![tokens[tokens.len() - 1].clone()];
+        alias.extend_from_slice(&tokens[..tokens.len() - 1]);
+        push(alias, &mut out);
+    }
+
+    // 5. Combined: synonym substitution on the dropped form.
+    let core: Vec<String> = tokens
+        .iter()
+        .filter(|t| !is_droppable(t))
+        .cloned()
+        .collect();
+    for (i, tok) in core.iter().enumerate() {
+        if let Some(syns) = synonyms_of(tok) {
+            if let Some(syn) = syns.first() {
+                let mut alias = core.clone();
+                alias.splice(i..=i, tokenize(syn));
+                push(alias, &mut out);
+            }
+        }
+    }
+
+    out.shuffle(&mut rng);
+    // Keep a deterministic-but-varied subset when more were generated
+    // than requested.
+    let keep = rng.gen_range(max_aliases.min(2)..=max_aliases);
+    out.truncate(keep);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_nonempty_for_multiword() {
+        let a = aliases_for("malignant neoplasm of colon unspecified", 5, 1);
+        assert!(!a.is_empty());
+        assert!(a.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn never_returns_canonical() {
+        for seed in 0..10 {
+            let a = aliases_for("iron deficiency anemia", 8, seed);
+            assert!(a.iter().all(|s| s != "iron deficiency anemia"));
+        }
+    }
+
+    #[test]
+    fn aliases_are_distinct() {
+        let a = aliases_for("chronic kidney disease stage 5", 8, 3);
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(a.len(), dedup.len());
+    }
+
+    #[test]
+    fn inversion_applied_to_of_phrases() {
+        // With a generous budget the inversion variant must appear.
+        let a = aliases_for("ulcer of stomach", 20, 2);
+        assert!(
+            a.iter().any(|s| s.starts_with("stomach")),
+            "no inversion in {a:?}"
+        );
+    }
+
+    #[test]
+    fn synonym_substitution_present() {
+        let a = aliases_for("kidney failure acute", 20, 5);
+        assert!(
+            a.iter().any(|s| s.contains("renal") || s.contains("insufficiency")),
+            "no synonym alias in {a:?}"
+        );
+    }
+
+    #[test]
+    fn respects_max() {
+        let a = aliases_for("malignant neoplasm of kidney unspecified", 2, 9);
+        assert!(a.len() <= 2);
+    }
+
+    #[test]
+    fn empty_input_or_zero_budget() {
+        assert!(aliases_for("", 5, 1).is_empty());
+        assert!(aliases_for("anemia", 0, 1).is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            aliases_for("fracture of femur severe", 5, 42),
+            aliases_for("fracture of femur severe", 5, 42)
+        );
+    }
+}

@@ -1,0 +1,417 @@
+//! Dataset assembly: the `hospital-x` and `MIMIC-III` profiles.
+//!
+//! §6.1 of the paper describes the two real datasets; both are gated, so
+//! [`Dataset::generate`] synthesises profile-matched equivalents (see
+//! `DESIGN.md` for the substitution argument):
+//!
+//! * **hospital-x** — ICD-10-CM-style ontology, longer canonical
+//!   descriptions, abbreviation-heavy queries (NUH diagnosis strings);
+//! * **MIMIC-III** — ICD-9-CM-style ontology, shorter queries
+//!   (ICU discharge diagnoses).
+//!
+//! The evaluation protocol is reproduced: queries come in groups, each
+//! holding a fixed number of *purposive* queries covering every
+//! word-discrepancy class plus randomly drawn ones (§6.1: 484 per group,
+//! 84 purposive, averaged over 10 groups).
+
+use crate::alias_gen::aliases_for;
+use crate::ontology_gen::{generate as gen_ontology, OntologyGenConfig};
+use crate::query_gen::{corrupt, CorruptionClass};
+use ncl_ontology::codes::IcdRevision;
+use ncl_ontology::{ConceptId, Ontology};
+use ncl_text::tokenize;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Which real-world dataset the synthetic workload is modeled on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetProfile {
+    /// NUH `hospital-x`: ICD-10-CM, abbreviation-heavy.
+    HospitalX,
+    /// `MIMIC-III`: ICD-9-CM, shorter queries.
+    MimicIii,
+}
+
+impl DatasetProfile {
+    /// The ICD revision the profile links against.
+    pub fn revision(self) -> IcdRevision {
+        match self {
+            Self::HospitalX => IcdRevision::Icd10,
+            Self::MimicIii => IcdRevision::Icd9,
+        }
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::HospitalX => "hospital-x",
+            Self::MimicIii => "MIMIC-III",
+        }
+    }
+
+    /// Corruption-class weights (profile-specific query style).
+    fn class_weights(self) -> &'static [(CorruptionClass, u32)] {
+        match self {
+            // hospital-x: clinicians abbreviate heavily.
+            Self::HospitalX => &[
+                (CorruptionClass::Exact, 1),
+                (CorruptionClass::Abbreviation, 5),
+                (CorruptionClass::Acronym, 3),
+                (CorruptionClass::Synonym, 3),
+                (CorruptionClass::Simplification, 3),
+                (CorruptionClass::Typo, 2),
+                (CorruptionClass::Reorder, 2),
+            ],
+            // MIMIC-III: shorter, simplified discharge diagnoses.
+            Self::MimicIii => &[
+                (CorruptionClass::Exact, 1),
+                (CorruptionClass::Abbreviation, 3),
+                (CorruptionClass::Acronym, 2),
+                (CorruptionClass::Synonym, 3),
+                (CorruptionClass::Simplification, 5),
+                (CorruptionClass::Typo, 2),
+                (CorruptionClass::Reorder, 2),
+            ],
+        }
+    }
+
+    /// Probability that a second (stacked) corruption is applied: real
+    /// clinical snippets mix discrepancy classes ("fe def anemia 2' to
+    /// menorrhagia" abbreviates *and* simplifies *and* substitutes).
+    fn stack_probability(self) -> f64 {
+        match self {
+            Self::HospitalX => 0.6,
+            Self::MimicIii => 0.5,
+        }
+    }
+}
+
+/// Generation knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    /// Dataset profile.
+    pub profile: DatasetProfile,
+    /// Number of ontology categories (≈ concepts / 4).
+    pub categories: usize,
+    /// Maximum aliases generated per concept (labeled data volume).
+    pub aliases_per_concept: usize,
+    /// Number of unlabeled snippets (physician-note corpus for
+    /// pre-training; §3 Model Training, unlabeled source 1).
+    pub unlabeled_snippets: usize,
+    /// Base RNG seed; every derived stream is seeded from it.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// A small configuration suitable for unit tests.
+    pub fn tiny(profile: DatasetProfile) -> Self {
+        Self {
+            profile,
+            categories: 12,
+            aliases_per_concept: 4,
+            unlabeled_snippets: 150,
+            seed: 0xDA7A,
+        }
+    }
+}
+
+/// A query with its ground-truth concept.
+#[derive(Debug, Clone)]
+pub struct LabeledQuery {
+    /// Normalised query tokens.
+    pub tokens: Vec<String>,
+    /// The referred fine-grained concept.
+    pub truth: ConceptId,
+    /// The word-discrepancy class that produced the query.
+    pub class: CorruptionClass,
+}
+
+impl LabeledQuery {
+    /// The query as a single string.
+    pub fn text(&self) -> String {
+        self.tokens.join(" ")
+    }
+}
+
+/// A generated dataset: ontology with aliases (the labeled data), the
+/// unlabeled snippet corpus, and a query generator.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Profile this dataset simulates.
+    pub profile: DatasetProfile,
+    /// Ontology with KB aliases attached to each concept.
+    pub ontology: Ontology,
+    /// Unlabeled snippets (token sequences), already normalised.
+    pub unlabeled: Vec<Vec<String>>,
+    config: DatasetConfig,
+}
+
+impl Dataset {
+    /// Generates a dataset. Deterministic given the config.
+    pub fn generate(config: DatasetConfig) -> Self {
+        let mut ontology = gen_ontology(OntologyGenConfig {
+            revision: config.profile.revision(),
+            categories: config.categories,
+            seed: config.seed,
+        });
+
+        // Attach UMLS-style aliases (labeled data, §3 sources).
+        let ids: Vec<ConceptId> = ontology.all_concepts().collect();
+        for id in &ids {
+            let canonical = ontology.concept(*id).canonical.clone();
+            let seed = config.seed ^ (0x_A11A5 + id.0 as u64 * 7919);
+            for alias in aliases_for(&canonical, config.aliases_per_concept, seed) {
+                ontology.concept_mut(*id).add_alias(alias);
+            }
+        }
+
+        // Unlabeled corpus: corrupted snippets over random fine-grained
+        // concepts, truth discarded (these play the role of accumulated
+        // physician notes).
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0B5C_0DE5);
+        let fine = ontology.fine_grained();
+        let mut unlabeled = Vec::with_capacity(config.unlabeled_snippets);
+        for _ in 0..config.unlabeled_snippets {
+            if let Some(q) = Self::sample_query(&ontology, &fine, config.profile, &mut rng) {
+                unlabeled.push(q.tokens);
+            }
+        }
+
+        Self {
+            profile: config.profile,
+            ontology,
+            unlabeled,
+            config,
+        }
+    }
+
+    /// The configuration used to generate this dataset.
+    pub fn config(&self) -> &DatasetConfig {
+        &self.config
+    }
+
+    /// All ⟨concept, canonical, alias⟩ training triples (the labeled data
+    /// of §4.2's refinement phase).
+    pub fn labeled_pairs(&self) -> Vec<(ConceptId, String, String)> {
+        let mut out = Vec::new();
+        for (id, c) in self.ontology.iter() {
+            for alias in &c.aliases {
+                out.push((id, c.canonical.clone(), alias.clone()));
+            }
+        }
+        out
+    }
+
+    fn sample_query(
+        ontology: &Ontology,
+        fine: &[ConceptId],
+        profile: DatasetProfile,
+        rng: &mut StdRng,
+    ) -> Option<LabeledQuery> {
+        let &truth = fine.choose(rng)?;
+        let concept = ontology.concept(truth);
+        // Source text: canonical or one of its aliases.
+        let source = if concept.aliases.is_empty() || rng.gen_bool(0.5) {
+            concept.canonical.clone()
+        } else {
+            concept.aliases[rng.gen_range(0..concept.aliases.len())].clone()
+        };
+        let weights = profile.class_weights();
+        let total: u32 = weights.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.gen_range(0..total);
+        let mut class = CorruptionClass::Exact;
+        for (c, w) in weights {
+            if pick < *w {
+                class = *c;
+                break;
+            }
+            pick -= w;
+        }
+        let mut tokens = corrupt(&tokenize(&source), class, rng);
+        // Stack a second, milder corruption part of the time — clinical
+        // shorthand rarely deviates along a single axis.
+        if class != CorruptionClass::Exact && rng.gen_bool(profile.stack_probability()) {
+            let extra = [
+                CorruptionClass::Synonym,
+                CorruptionClass::Simplification,
+                CorruptionClass::Abbreviation,
+            ];
+            let second = extra[rng.gen_range(0..extra.len())];
+            if second != class {
+                tokens = corrupt(&tokens, second, rng);
+            }
+        }
+        if tokens.is_empty() {
+            return None;
+        }
+        Some(LabeledQuery {
+            tokens,
+            truth,
+            class,
+        })
+    }
+
+    /// Generates one evaluation group: `purposive` queries cycling through
+    /// every non-exact corruption class, plus random queries up to
+    /// `group_size` (§6.1's 84 + 400 protocol, scaled).
+    pub fn query_group(&self, group_size: usize, purposive: usize, group_seed: u64) -> Vec<LabeledQuery> {
+        assert!(purposive <= group_size, "purposive exceeds group size");
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ group_seed.wrapping_mul(0x9E3779B9));
+        let fine = self.ontology.fine_grained();
+        let mut out = Vec::with_capacity(group_size);
+        // Purposive part: round-robin over the discrepancy classes.
+        let classes = CorruptionClass::PURPOSIVE;
+        let mut attempts = 0;
+        while out.len() < purposive && attempts < purposive * 20 {
+            attempts += 1;
+            let class = classes[out.len() % classes.len()];
+            let Some(&truth) = fine.as_slice().choose(&mut rng) else {
+                break;
+            };
+            let concept = self.ontology.concept(truth);
+            let tokens = corrupt(&tokenize(&concept.canonical), class, &mut rng);
+            if tokens.is_empty() {
+                continue;
+            }
+            out.push(LabeledQuery {
+                tokens,
+                truth,
+                class,
+            });
+        }
+        // Random part.
+        while out.len() < group_size {
+            if let Some(q) = Self::sample_query(&self.ontology, &fine, self.profile, &mut rng) {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    /// Generates `n_groups` independent groups (the paper averages
+    /// accuracy/MRR over 10 groups).
+    pub fn query_groups(
+        &self,
+        n_groups: usize,
+        group_size: usize,
+        purposive: usize,
+    ) -> Vec<Vec<LabeledQuery>> {
+        (0..n_groups)
+            .map(|g| self.query_group(group_size, purposive, g as u64 + 1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::generate(DatasetConfig::tiny(DatasetProfile::HospitalX))
+    }
+
+    #[test]
+    fn generates_ontology_with_aliases() {
+        let d = tiny();
+        assert_eq!(d.ontology.children(Ontology::ROOT).len(), 12);
+        let with_aliases = d
+            .ontology
+            .iter()
+            .filter(|(_, c)| !c.aliases.is_empty())
+            .count();
+        assert!(
+            with_aliases > d.ontology.num_concepts() / 2,
+            "only {with_aliases} concepts have aliases"
+        );
+    }
+
+    #[test]
+    fn labeled_pairs_are_nonidentity() {
+        let d = tiny();
+        let pairs = d.labeled_pairs();
+        assert!(!pairs.is_empty());
+        for (_, canonical, alias) in &pairs {
+            assert_ne!(canonical, alias);
+        }
+    }
+
+    #[test]
+    fn unlabeled_corpus_has_requested_size() {
+        let d = tiny();
+        assert!(d.unlabeled.len() >= 140);
+        assert!(d.unlabeled.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn query_group_structure() {
+        let d = tiny();
+        let group = d.query_group(48, 12, 1);
+        assert_eq!(group.len(), 48);
+        // The purposive prefix covers every non-exact class.
+        let classes: std::collections::HashSet<_> =
+            group[..12].iter().map(|q| q.class).collect();
+        assert_eq!(classes.len(), CorruptionClass::PURPOSIVE.len());
+        // Truths are fine-grained concepts.
+        for q in &group {
+            assert!(d.ontology.is_fine_grained(q.truth));
+        }
+    }
+
+    #[test]
+    fn groups_are_deterministic_and_distinct() {
+        let d = tiny();
+        let a = d.query_groups(2, 20, 6);
+        let b = d.query_groups(2, 20, 6);
+        for (ga, gb) in a.iter().zip(&b) {
+            for (qa, qb) in ga.iter().zip(gb) {
+                assert_eq!(qa.tokens, qb.tokens);
+                assert_eq!(qa.truth, qb.truth);
+            }
+        }
+        // Two groups differ from each other.
+        let texts_0: Vec<String> = a[0].iter().map(|q| q.text()).collect();
+        let texts_1: Vec<String> = a[1].iter().map(|q| q.text()).collect();
+        assert_ne!(texts_0, texts_1);
+    }
+
+    #[test]
+    fn mimic_profile_uses_icd9() {
+        let d = Dataset::generate(DatasetConfig::tiny(DatasetProfile::MimicIii));
+        let first = d.ontology.children(Ontology::ROOT)[0];
+        let code = &d.ontology.concept(first).code;
+        assert!(code.chars().all(|c| c.is_ascii_digit()), "code {code}");
+        assert_eq!(d.profile.name(), "MIMIC-III");
+    }
+
+    #[test]
+    #[should_panic(expected = "purposive exceeds")]
+    fn oversized_purposive_panics() {
+        let d = tiny();
+        let _ = d.query_group(10, 11, 1);
+    }
+
+    #[test]
+    fn queries_reference_real_concepts_with_related_words() {
+        // At least the Exact-class queries must literally match a
+        // description of their truth concept.
+        let d = tiny();
+        let group = d.query_group(60, 0, 3);
+        let exacts: Vec<&LabeledQuery> = group
+            .iter()
+            .filter(|q| q.class == CorruptionClass::Exact)
+            .collect();
+        assert!(!exacts.is_empty());
+        for q in exacts {
+            let c = d.ontology.concept(q.truth);
+            let text = q.text();
+            let mut forms = vec![c.canonical.clone()];
+            forms.extend(c.aliases.iter().cloned());
+            assert!(
+                forms.contains(&text),
+                "exact query {text:?} not among descriptions of {}",
+                c.code
+            );
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Medical term banks.
+//!
+//! These banks drive both ontology generation (canonical descriptions of
+//! the style "malignant neoplasm of colon, unspecified") and workload
+//! corruption (synonym swaps like *kidney* → *renal*, dictionary
+//! abbreviations like *chronic kidney disease* → *ckd*). The entries are
+//! chosen so the paper's running examples — `ckd 5`, `dm 1 with
+//! neuropaty`, `chr iron deficiency anemia`, `adenocarcinoma of colon` —
+//! are all expressible.
+
+/// Anatomical sites. The second element marks whether the organ is paired
+/// (eligible for left/right leaf qualifiers).
+pub const SITES: &[(&str, bool)] = &[
+    ("kidney", true),
+    ("heart", false),
+    ("liver", false),
+    ("lung", true),
+    ("stomach", false),
+    ("colon", false),
+    ("breast", true),
+    ("skin", false),
+    ("pancreas", false),
+    ("bladder", false),
+    ("brain", false),
+    ("spine", false),
+    ("thyroid", false),
+    ("prostate", false),
+    ("testis", true),
+    ("ovary", true),
+    ("uterus", false),
+    ("esophagus", false),
+    ("rectum", false),
+    ("bowel", false),
+    ("eye", true),
+    ("ear", true),
+    ("mouth", false),
+    ("nose", false),
+    ("shoulder", true),
+    ("hip", true),
+    ("knee", true),
+    ("wrist", true),
+    ("femur", true),
+    ("abdomen", false),
+];
+
+/// Disease families: a canonical pattern `"{family} of {site}"` or
+/// `"{site} {family}"`, selected by `site_first`.
+pub const FAMILIES: &[(&str, bool)] = &[
+    ("malignant neoplasm", false),
+    ("benign neoplasm", false),
+    ("acute infection", false),
+    ("chronic inflammation", false),
+    ("fracture", false),
+    ("ulcer", false),
+    ("abscess", false),
+    ("hemorrhage", false),
+    ("cyst", false),
+    ("stenosis", false),
+    ("congenital malformation", false),
+    ("degenerative disease", false),
+    ("injury", false),
+    ("failure", true),
+    ("stone", false),
+    ("chronic disease", true),
+];
+
+/// Nutrients for the "`{nutrient}` deficiency anemia" family (the D50–D53
+/// block of the paper's Figure 1).
+pub const NUTRIENTS: &[&str] = &[
+    "iron", "protein", "folate", "vitamin b12", "vitamin c", "zinc", "copper",
+];
+
+/// Word-level synonyms (common term → technical/alternative terms).
+/// Substituting any of these preserves the referred concept — this is the
+/// "synonym" word-discrepancy class of §1.
+pub const WORD_SYNONYMS: &[(&str, &[&str])] = &[
+    ("kidney", &["renal"]),
+    ("heart", &["cardiac"]),
+    ("liver", &["hepatic"]),
+    ("lung", &["pulmonary"]),
+    ("stomach", &["gastric"]),
+    ("brain", &["cerebral"]),
+    ("skin", &["cutaneous"]),
+    ("bladder", &["vesical"]),
+    ("bowel", &["intestine"]),
+    ("eye", &["ocular"]),
+    ("mouth", &["oral"]),
+    ("nose", &["nasal"]),
+    ("neoplasm", &["tumor", "growth"]),
+    ("malignant", &["cancerous"]),
+    ("failure", &["insufficiency"]),
+    ("hemorrhage", &["bleeding"]),
+    ("stone", &["calculus"]),
+    ("pain", &["ache"]),
+    ("swelling", &["edema"]),
+    ("disease", &["disorder", "condition"]),
+    ("unspecified", &["nos"]),
+    ("fracture", &["break"]),
+    ("ulcer", &["ulceration"]),
+    ("deficiency", &["lack"]),
+    ("anemia", &["anaemia"]),
+    ("injury", &["trauma"]),
+    ("abdomen", &["belly"]),
+    ("infection", &["sepsis"]),
+    ("stenosis", &["narrowing"]),
+    ("malformation", &["anomaly"]),
+];
+
+/// Dictionary abbreviations: multi-word phrase (or word) → clinical short
+/// form. Applied left-to-right on the token stream; phrases are matched
+/// as token subsequences.
+pub const PHRASE_ABBREVS: &[(&str, &str)] = &[
+    ("chronic kidney disease", "ckd"),
+    ("chronic renal disease", "crd"),
+    ("congestive heart failure", "chf"),
+    ("end stage renal disease", "esrd"),
+    ("urinary tract infection", "uti"),
+    ("myocardial infarction", "mi"),
+    ("coronary artery disease", "cad"),
+    ("deep vein thrombosis", "dvt"),
+    ("malignant neoplasm", "ca"),
+    ("vitamin b12", "b12"),
+    ("vitamin c", "vit c"),
+    ("iron", "fe"),
+    ("fracture", "fx"),
+    ("history", "hx"),
+    ("secondary", "2"),
+    ("deficiency", "def"),
+    ("with", "w"),
+    ("without", "wo"),
+    ("chronic", "chr"),
+    ("acute", "ac"),
+    ("bilateral", "bilat"),
+    ("left", "lt"),
+    ("right", "rt"),
+];
+
+/// Returns the synonyms of a word, if any. The table is searched in both
+/// directions (`kidney` → `renal` and `renal` → `kidney`), since clinical
+/// text freely swaps common and technical forms.
+pub fn synonyms_of(word: &str) -> Option<Vec<&'static str>> {
+    if let Some((w, syns)) = WORD_SYNONYMS.iter().find(|(w, _)| *w == word) {
+        let _ = w;
+        return Some(syns.to_vec());
+    }
+    // Reverse direction: find the head word whose synonym list contains
+    // this word.
+    WORD_SYNONYMS
+        .iter()
+        .find(|(_, syns)| syns.contains(&word))
+        .map(|(w, _)| vec![*w])
+}
+
+/// Causes used to elongate some category descriptions, mirroring the
+/// compound descriptions of real ICD-10-CM codes ("hypertensive chronic
+/// kidney disease … with chronic kidney disease stage v or end stage
+/// renal disease").
+pub const CAUSES: &[&str] = &[
+    "due to infection",
+    "due to trauma",
+    "due to radiation",
+    "following medical procedure",
+    "of unknown cause",
+];
+
+/// Returns the abbreviation of a phrase, if in the dictionary.
+pub fn abbreviation_of(phrase: &str) -> Option<&'static str> {
+    PHRASE_ABBREVS
+        .iter()
+        .find(|(p, _)| *p == phrase)
+        .map(|(_, a)| *a)
+}
+
+/// Words that can be dropped without changing the referred concept
+/// (function words and vacuous qualifiers) — the "simplification"
+/// discrepancy class.
+pub const DROPPABLE: &[&str] = &["of", "the", "unspecified", "nos", "stage", "with", "without"];
+
+/// Returns true if dropping `word` preserves the concept reference.
+pub fn is_droppable(word: &str) -> bool {
+    DROPPABLE.contains(&word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sites_are_unique() {
+        let set: HashSet<&str> = SITES.iter().map(|(s, _)| *s).collect();
+        assert_eq!(set.len(), SITES.len());
+    }
+
+    #[test]
+    fn families_are_unique() {
+        let set: HashSet<&str> = FAMILIES.iter().map(|(f, _)| *f).collect();
+        assert_eq!(set.len(), FAMILIES.len());
+    }
+
+    #[test]
+    fn synonym_lookup() {
+        assert_eq!(synonyms_of("kidney"), Some(vec!["renal"]));
+        assert!(synonyms_of("zebra").is_none());
+    }
+
+    #[test]
+    fn synonym_lookup_is_bidirectional() {
+        assert_eq!(synonyms_of("renal"), Some(vec!["kidney"]));
+        assert_eq!(synonyms_of("tumor"), Some(vec!["neoplasm"]));
+    }
+
+    #[test]
+    fn causes_are_multiword_phrases() {
+        for c in CAUSES {
+            assert!(c.split(' ').count() >= 2);
+        }
+    }
+
+    #[test]
+    fn paper_abbreviations_present() {
+        assert_eq!(abbreviation_of("chronic kidney disease"), Some("ckd"));
+        assert_eq!(abbreviation_of("iron"), Some("fe"));
+        assert_eq!(abbreviation_of("deficiency"), Some("def"));
+        assert_eq!(abbreviation_of("secondary"), Some("2"));
+        assert!(abbreviation_of("scurvy").is_none());
+    }
+
+    #[test]
+    fn synonyms_never_map_to_themselves() {
+        for (w, syns) in WORD_SYNONYMS {
+            assert!(!syns.contains(w), "{w} maps to itself");
+            assert!(!syns.is_empty());
+        }
+    }
+
+    #[test]
+    fn droppable_words() {
+        assert!(is_droppable("of"));
+        assert!(is_droppable("unspecified"));
+        assert!(!is_droppable("kidney"));
+    }
+
+    #[test]
+    fn all_terms_are_lowercase_tokens() {
+        let check = |s: &str| {
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '),
+                "bad term {s:?}"
+            )
+        };
+        for (s, _) in SITES {
+            check(s);
+        }
+        for (f, _) in FAMILIES {
+            check(f);
+        }
+        for n in NUTRIENTS {
+            check(n);
+        }
+        for (p, a) in PHRASE_ABBREVS {
+            check(p);
+            check(a);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # ncl-datagen
+//!
+//! Synthetic clinical datasets for the NCL reproduction of *Fine-grained
+//! Concept Linking using Neural Networks in Healthcare* (Dai et al.,
+//! SIGMOD 2018).
+//!
+//! The paper evaluates on two gated datasets — `hospital-x` (860,080 NUH
+//! diagnosis descriptions against ICD-10-CM) and `MIMIC-III` (58,976
+//! diagnoses against ICD-9-CM) — and on the UMLS alias inventory, none of
+//! which can be redistributed. Per the substitution policy in `DESIGN.md`,
+//! this crate generates equivalents that exercise identical code paths:
+//!
+//! * [`lexicon`] — medical term banks: body sites with Latin/Greek
+//!   synonyms, disease patterns, qualifiers, and the abbreviation
+//!   dictionary clinicians actually use (`ckd`, `dm`, `htn`, `fx`, …),
+//! * [`ontology_gen`] — ICD-style tree ontologies (chapters → categories →
+//!   dotted subcategories) where sibling leaves differ by a qualifier,
+//!   reproducing the "minor concept meaning difference" challenge (§1),
+//! * [`alias_gen`] — UMLS-style aliases per concept (synonym swap, word
+//!   inversion "pain; abdomen", qualifier drop),
+//! * [`query_gen`] — labeled queries under controlled corruption classes
+//!   (abbreviation, acronym, synonym, simplification, typo, word drop),
+//!   matching the paper's purposive query design (§6.1: 84 purposely
+//!   selected queries per group "to cover different cases (e.g.,
+//!   abbreviation, synonym, acronym, and simplification)"),
+//! * [`dataset`] — the two dataset profiles (`HospitalX`, `MimicIii`) with
+//!   labeled pairs, unlabeled corpus and grouped evaluation queries.
+//!
+//! Everything is deterministic given a seed.
+
+pub mod alias_gen;
+pub mod dataset;
+pub mod lexicon;
+pub mod ontology_gen;
+pub mod query_gen;
+
+pub use dataset::{Dataset, DatasetConfig, DatasetProfile, LabeledQuery};
+pub use query_gen::CorruptionClass;

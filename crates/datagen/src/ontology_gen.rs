@@ -1,0 +1,363 @@
+//! ICD-style ontology generation.
+//!
+//! The generated tree mirrors the structure of ICD-9-CM/ICD-10-CM as
+//! characterised in the paper: categories (`N18`) whose leaf subcategories
+//! (`N18.5`, `N18.9`) share most of their canonical description and differ
+//! only by a qualifier — exactly the "minor concept meaning difference"
+//! (§1/§2.1) that the structural attention exists to disambiguate. Depth
+//! is ≤ 3 below the root, matching §6.2's observation that "the ontology
+//! depths of ICD-9-CM and ICD-10-CM are typically less than 3 levels".
+
+use crate::lexicon::{synonyms_of, CAUSES, FAMILIES, NUTRIENTS, SITES};
+use ncl_text::tokenize;
+use ncl_ontology::codes::IcdRevision;
+use ncl_ontology::{Ontology, OntologyBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How the leaves of a category qualify its base description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QualifierScheme {
+    /// `stage 1` … `stage 5` plus `unspecified` (the N18 block).
+    Staged,
+    /// `left` / `right` / `unspecified` (paired organs only).
+    Sided,
+    /// `mild` / `moderate` / `severe`.
+    Severity,
+    /// `acute` / `chronic` / `unspecified`.
+    Acuity,
+    /// `with complication` / `without complication`.
+    Complication,
+    /// `primary` / `secondary` / `unspecified`.
+    Cause,
+}
+
+impl QualifierScheme {
+    fn qualifiers(self) -> Vec<String> {
+        match self {
+            Self::Staged => (1..=5)
+                .map(|s| format!("stage {s}"))
+                .chain(std::iter::once("unspecified".to_string()))
+                .collect(),
+            Self::Sided => ["left", "right", "unspecified"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            Self::Severity => ["mild", "moderate", "severe"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            Self::Acuity => ["acute", "chronic", "unspecified"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            Self::Complication => ["with complication", "without complication"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+            Self::Cause => ["primary", "secondary", "unspecified"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+
+    /// Whether the qualifier prefixes (`acute colon ulcer`) rather than
+    /// suffixes (`colon ulcer stage 2`) the base description.
+    fn prefixes(self) -> bool {
+        matches!(self, Self::Severity | Self::Acuity | Self::Cause)
+    }
+}
+
+/// Configuration for [`generate`].
+#[derive(Debug, Clone, Copy)]
+pub struct OntologyGenConfig {
+    /// ICD revision (drives code formatting).
+    pub revision: IcdRevision,
+    /// Number of three-character categories to generate. Each category
+    /// yields 2–6 fine-grained leaves, so expect roughly `4×` this many
+    /// concepts.
+    pub categories: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// One generated category before it is written into the builder.
+struct CategorySpec {
+    base: String,
+    scheme: QualifierScheme,
+}
+
+/// Replaces the first substitutable word of `base` with its primary
+/// synonym (`malignant neoplasm of kidney` → `malignant tumor of
+/// kidney`); returns the base unchanged when nothing substitutes.
+fn synonym_variant(base: &str) -> String {
+    let mut tokens = tokenize(base);
+    for t in tokens.iter_mut() {
+        if let Some(syns) = synonyms_of(t) {
+            if let Some(first) = syns.first() {
+                *t = first.to_string();
+                break;
+            }
+        }
+    }
+    tokens.join(" ")
+}
+
+/// Generates an ICD-style ontology.
+///
+/// Categories cycle deterministically (after a seeded shuffle) through
+/// `family × site` combinations plus the nutrient-anemia block, so two
+/// calls with the same config produce identical ontologies.
+pub fn generate(config: OntologyGenConfig) -> Ontology {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // Enumerate all category bases.
+    let mut specs: Vec<CategorySpec> = Vec::new();
+    for nutrient in NUTRIENTS {
+        specs.push(CategorySpec {
+            base: format!("{nutrient} deficiency anemia"),
+            scheme: QualifierScheme::Cause,
+        });
+    }
+    let schemes = [
+        QualifierScheme::Staged,
+        QualifierScheme::Severity,
+        QualifierScheme::Acuity,
+        QualifierScheme::Complication,
+        QualifierScheme::Cause,
+    ];
+    for (fi, (family, site_first)) in FAMILIES.iter().enumerate() {
+        for (si, (site, paired)) in SITES.iter().enumerate() {
+            let base = if *site_first {
+                format!("{site} {family}")
+            } else {
+                format!("{family} of {site}")
+            };
+            let scheme = if *paired && (fi + si) % 3 == 0 {
+                QualifierScheme::Sided
+            } else {
+                schemes[(fi * SITES.len() + si) % schemes.len()]
+            };
+            specs.push(CategorySpec { base, scheme });
+        }
+    }
+    specs.shuffle(&mut rng);
+    specs.truncate(config.categories);
+
+    let mut builder = OntologyBuilder::new();
+    for (ci, spec) in specs.iter().enumerate() {
+        let chapter = ci / 36;
+        let number = ci % 100;
+        let cat_code = match config.revision {
+            IcdRevision::Icd10 => config.revision.category_code(chapter, number),
+            IcdRevision::Icd9 => format!("{:03}", ci % 1000),
+        };
+        // A third of the categories get a compound elaboration, mirroring
+        // long ICD-10-CM descriptions; this lengthens encoder sequences
+        // so the textual attention has something to select from.
+        let cat_desc = if ci % 3 == 0 {
+            format!("{} {}", spec.base, CAUSES[ci % CAUSES.len()])
+        } else {
+            spec.base.clone()
+        };
+        let cat = builder.add_root_concept(cat_code.clone(), cat_desc);
+        // ~40% of categories go three levels deep (subcategory → leaf),
+        // matching ICD chains like S52.5 → S52.52 → S52.521; the rest
+        // stay two levels. §6.2 relies on the mixture: "the ontology
+        // depths of ICD-9-CM and ICD-10-CM are typically less than 3
+        // levels", and β = 2 only helps when some depth-3 leaves exist.
+        let deep = ci % 5 < 2;
+        for (li, qual) in spec.scheme.qualifiers().iter().enumerate() {
+            let sub_code = format!("{cat_code}.{li}");
+            // Real ICD leaves do not repeat the category wording
+            // verbatim — E61.1 "iron deficiency" sits under a very
+            // different parent description. Let some leaves use a
+            // synonym-variant base so their vocabulary diverges from the
+            // category's: the structural context (Definition 4.1) then
+            // carries complementary words, which is what the paper's
+            // structure-based attention exploits.
+            let base = if (ci + li) % 3 == 1 {
+                synonym_variant(&spec.base)
+            } else {
+                spec.base.clone()
+            };
+            let desc = if qual == "unspecified" {
+                format!("{base} unspecified")
+            } else if spec.scheme.prefixes() {
+                format!("{qual} {base}")
+            } else {
+                format!("{base} {qual}")
+            };
+            let sub = builder.add_child(cat, sub_code.clone(), desc.clone());
+            if deep && qual != "unspecified" {
+                // Split the subcategory into depth-3 leaves whose
+                // qualifiers come from a second scheme.
+                let sub_quals: &[&str] = if spec.scheme == QualifierScheme::Complication {
+                    &["mild", "severe"]
+                } else {
+                    &["with complication", "without complication"]
+                };
+                for (lj, sq) in sub_quals.iter().enumerate() {
+                    let leaf_code = format!("{sub_code}{}", lj + 1);
+                    builder.add_child(sub, leaf_code, format!("{desc} {sq}"));
+                }
+            }
+        }
+    }
+    builder
+        .build()
+        .expect("generated ontology must always validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Ontology {
+        generate(OntologyGenConfig {
+            revision: IcdRevision::Icd10,
+            categories: 20,
+            seed: 7,
+        })
+    }
+
+    #[test]
+    fn produces_requested_categories() {
+        let o = small();
+        let first_level: Vec<_> = o.children(Ontology::ROOT).to_vec();
+        assert_eq!(first_level.len(), 20);
+    }
+
+    #[test]
+    fn leaves_are_fine_grained_and_related_to_category() {
+        let o = small();
+        let mut verbatim = 0usize;
+        let mut total = 0usize;
+        for cat in o.children(Ontology::ROOT) {
+            let base = &o.concept(*cat).canonical;
+            let base_words: Vec<&str> = base.split(' ').collect();
+            assert!(o.children(*cat).len() >= 2, "category with <2 children");
+            // Walk every fine-grained descendant (depth 2 or 3).
+            let descendants: Vec<_> = o
+                .fine_grained()
+                .into_iter()
+                .filter(|&id| o.ancestors(id).contains(cat))
+                .collect();
+            assert!(!descendants.is_empty());
+            for leaf in descendants {
+                let desc = &o.concept(leaf).canonical;
+                total += 1;
+                // Either the leaf keeps the category head word verbatim,
+                // or it is a synonym variant that still shares at least
+                // one content word ("of"-joined site etc.).
+                if desc.contains(base_words[0]) {
+                    verbatim += 1;
+                } else {
+                    assert!(
+                        base_words.iter().any(|w| w.len() > 2 && desc.contains(*w)),
+                        "leaf {desc:?} unrelated to base {base:?}"
+                    );
+                }
+            }
+        }
+        // Most leaves keep the category wording; a minority diverge via
+        // synonyms (the structural-context signal).
+        assert!(verbatim * 3 >= total * 2 - total / 10, "verbatim {verbatim}/{total}");
+        assert!(verbatim < total, "no synonym-variant leaves generated");
+    }
+
+    #[test]
+    fn sibling_leaves_differ() {
+        let o = small();
+        for cat in o.children(Ontology::ROOT) {
+            let descs: Vec<&str> = o
+                .children(*cat)
+                .iter()
+                .map(|l| o.concept(*l).canonical.as_str())
+                .collect();
+            let mut dedup = descs.clone();
+            dedup.sort();
+            dedup.dedup();
+            assert_eq!(descs.len(), dedup.len(), "duplicate sibling leaves");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.num_concepts(), b.num_concepts());
+        for (ia, ib) in a.iter().zip(b.iter()) {
+            assert_eq!(ia.1.code, ib.1.code);
+            assert_eq!(ia.1.canonical, ib.1.canonical);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small();
+        let b = generate(OntologyGenConfig {
+            revision: IcdRevision::Icd10,
+            categories: 20,
+            seed: 8,
+        });
+        let codes_a: Vec<_> = a.iter().map(|(_, c)| c.canonical.clone()).collect();
+        let codes_b: Vec<_> = b.iter().map(|(_, c)| c.canonical.clone()).collect();
+        assert_ne!(codes_a, codes_b);
+    }
+
+    #[test]
+    fn depth_mixture_matches_icd() {
+        let o = small();
+        // Depth ≤ 3 ("typically less than 3 levels", §6.2)…
+        assert!(o.max_depth() <= 3);
+        // …and both depth-2 and depth-3 fine-grained concepts exist.
+        let fine = o.fine_grained();
+        let d2 = fine.iter().filter(|&&id| o.depth(id) == 2).count();
+        let d3 = fine.iter().filter(|&&id| o.depth(id) == 3).count();
+        assert!(d2 > 0, "no depth-2 leaves");
+        assert!(d3 > 0, "no depth-3 leaves");
+    }
+
+    #[test]
+    fn depth3_leaves_have_two_distinct_ancestors() {
+        let o = small();
+        let leaf = o
+            .fine_grained()
+            .into_iter()
+            .find(|&id| o.depth(id) == 3)
+            .expect("a depth-3 leaf");
+        let ctx = o.structural_context(leaf, 2);
+        assert_eq!(ctx.len(), 2);
+        assert_ne!(ctx[0], ctx[1], "beta=2 should reach the grandparent");
+    }
+
+    #[test]
+    fn icd9_codes_are_numeric() {
+        let o = generate(OntologyGenConfig {
+            revision: IcdRevision::Icd9,
+            categories: 10,
+            seed: 1,
+        });
+        for cat in o.children(Ontology::ROOT) {
+            let code = &o.concept(*cat).code;
+            let (category, _) = ncl_ontology::codes::split_code(code);
+            assert!(category.chars().all(|c| c.is_ascii_digit()), "code {code}");
+        }
+    }
+
+    #[test]
+    fn includes_anemia_block_at_full_size() {
+        let o = generate(OntologyGenConfig {
+            revision: IcdRevision::Icd10,
+            categories: 500, // larger than the spec pool: keep everything
+            seed: 3,
+        });
+        let has_anemia = o
+            .iter()
+            .any(|(_, c)| c.canonical.contains("iron deficiency anemia"));
+        assert!(has_anemia);
+    }
+}

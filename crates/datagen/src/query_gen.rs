@@ -1,0 +1,327 @@
+//! Labeled query generation under controlled corruption classes.
+//!
+//! §6.1 of the paper: each evaluation group of 484 queries contains "84
+//! purposely selected queries … to cover different cases (e.g.,
+//! abbreviation, synonym, acronym, and simplification); the rest are
+//! randomly chosen." We reproduce that protocol with an explicit
+//! [`CorruptionClass`] per query so experiments can also break results
+//! down by discrepancy type.
+
+use crate::lexicon::{is_droppable, synonyms_of, PHRASE_ABBREVS};
+use ncl_text::tokenize;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The word-discrepancy class applied to a canonical description (or
+/// alias) to produce a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptionClass {
+    /// No corruption: the snippet verbatim (easy control case).
+    Exact,
+    /// Dictionary / prefix abbreviations (`chronic` → `chr`,
+    /// `iron` → `fe`).
+    Abbreviation,
+    /// Whole-phrase acronym keeping numerals (`chronic kidney disease
+    /// stage 5` → `ckd 5`), the paper's q1.
+    Acronym,
+    /// Word-level synonym substitution (`kidney` → `renal`).
+    Synonym,
+    /// Dropping function words and vacuous qualifiers (`abdomen pain`
+    /// for `unspecified abdominal pain`), the paper's q2.
+    Simplification,
+    /// A single character-level typo (`neuropaty`).
+    Typo,
+    /// Token reordering (`anemia iron deficiency`).
+    Reorder,
+}
+
+impl CorruptionClass {
+    /// The classes used for the 84 "purposely selected" queries —
+    /// everything except the `Exact` control.
+    pub const PURPOSIVE: &'static [CorruptionClass] = &[
+        Self::Abbreviation,
+        Self::Acronym,
+        Self::Synonym,
+        Self::Simplification,
+        Self::Typo,
+        Self::Reorder,
+    ];
+
+    /// All classes including `Exact`.
+    pub const ALL: &'static [CorruptionClass] = &[
+        Self::Exact,
+        Self::Abbreviation,
+        Self::Acronym,
+        Self::Synonym,
+        Self::Simplification,
+        Self::Typo,
+        Self::Reorder,
+    ];
+}
+
+impl std::fmt::Display for CorruptionClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::Exact => "exact",
+            Self::Abbreviation => "abbreviation",
+            Self::Acronym => "acronym",
+            Self::Synonym => "synonym",
+            Self::Simplification => "simplification",
+            Self::Typo => "typo",
+            Self::Reorder => "reorder",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Replaces the first dictionary phrase found in `tokens` with its
+/// abbreviation; falls back to prefix-abbreviating the longest word.
+fn abbreviate(tokens: &[String], rng: &mut impl Rng) -> Vec<String> {
+    for (phrase, abbr) in PHRASE_ABBREVS {
+        let ptoks = tokenize(phrase);
+        if ptoks.is_empty() || ptoks.len() > tokens.len() {
+            continue;
+        }
+        if let Some(start) = tokens
+            .windows(ptoks.len())
+            .position(|w| w.iter().zip(&ptoks).all(|(a, b)| a == b))
+        {
+            let mut out = tokens[..start].to_vec();
+            out.extend(tokenize(abbr));
+            out.extend_from_slice(&tokens[start + ptoks.len()..]);
+            return out;
+        }
+    }
+    // Fallback: prefix-abbreviate the longest abbreviable word.
+    let mut idxs: Vec<usize> = (0..tokens.len()).filter(|&i| tokens[i].len() >= 6).collect();
+    idxs.sort_by_key(|&i| std::cmp::Reverse(tokens[i].len()));
+    if let Some(&i) = idxs.first() {
+        let keep = rng.gen_range(3..=4);
+        let mut out = tokens.to_vec();
+        out[i] = tokens[i].chars().take(keep).collect();
+        out
+    } else {
+        tokens.to_vec()
+    }
+}
+
+/// Forms the acronym query: initials of the core (non-droppable,
+/// alphabetic) words, with numerals appended verbatim.
+fn acronymize(tokens: &[String]) -> Vec<String> {
+    let mut initials = String::new();
+    let mut numbers = Vec::new();
+    for t in tokens {
+        if t.chars().all(|c| c.is_ascii_digit()) {
+            numbers.push(t.clone());
+        } else if !is_droppable(t) {
+            if let Some(c) = t.chars().next() {
+                initials.push(c);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    if !initials.is_empty() {
+        out.push(initials);
+    }
+    out.extend(numbers);
+    out
+}
+
+/// Substitutes synonyms for up to two substitutable words.
+fn synonymize(tokens: &[String], rng: &mut impl Rng) -> Vec<String> {
+    let mut out = tokens.to_vec();
+    let mut subs = 0;
+    let mut order: Vec<usize> = (0..tokens.len()).collect();
+    order.shuffle(rng);
+    for i in order {
+        if subs >= 2 {
+            break;
+        }
+        if let Some(syns) = synonyms_of(&tokens[i]) {
+            let syn = syns[rng.gen_range(0..syns.len())];
+            out.splice(i..=i, tokenize(syn));
+            subs += 1;
+        }
+    }
+    out
+}
+
+/// Drops function words / vacuous qualifiers; if nothing is droppable,
+/// drops the final token (provided ≥ 2 remain).
+fn simplify(tokens: &[String]) -> Vec<String> {
+    let core: Vec<String> = tokens.iter().filter(|t| !is_droppable(t)).cloned().collect();
+    if core.len() < tokens.len() && !core.is_empty() {
+        core
+    } else if tokens.len() > 2 {
+        tokens[..tokens.len() - 1].to_vec()
+    } else {
+        tokens.to_vec()
+    }
+}
+
+/// Applies one random character edit (delete / transpose / substitute) to
+/// a word of length ≥ 5.
+fn typo(tokens: &[String], rng: &mut impl Rng) -> Vec<String> {
+    let mut out = tokens.to_vec();
+    let candidates: Vec<usize> = (0..out.len()).filter(|&i| out[i].len() >= 5).collect();
+    let Some(&i) = candidates.as_slice().choose(rng) else {
+        return out;
+    };
+    let mut chars: Vec<char> = out[i].chars().collect();
+    let pos = rng.gen_range(1..chars.len());
+    match rng.gen_range(0..3) {
+        0 => {
+            chars.remove(pos);
+        }
+        1 if pos + 1 < chars.len() => chars.swap(pos, pos + 1),
+        _ => {
+            let c = (b'a' + rng.gen_range(0..26u8)) as char;
+            chars[pos] = c;
+        }
+    }
+    out[i] = chars.into_iter().collect();
+    out
+}
+
+/// Rotates the token sequence by a random non-zero offset.
+fn reorder(tokens: &[String], rng: &mut impl Rng) -> Vec<String> {
+    if tokens.len() < 2 {
+        return tokens.to_vec();
+    }
+    let k = rng.gen_range(1..tokens.len());
+    let mut out = tokens[k..].to_vec();
+    out.extend_from_slice(&tokens[..k]);
+    out
+}
+
+/// Applies `class` to `tokens`, producing the query form.
+///
+/// The result is never empty when the input is non-empty; corruption
+/// classes that cannot apply degrade to milder transformations rather
+/// than returning the input unchanged where possible.
+pub fn corrupt(tokens: &[String], class: CorruptionClass, rng: &mut impl Rng) -> Vec<String> {
+    if tokens.is_empty() {
+        return Vec::new();
+    }
+    let out = match class {
+        CorruptionClass::Exact => tokens.to_vec(),
+        CorruptionClass::Abbreviation => abbreviate(tokens, rng),
+        CorruptionClass::Acronym => acronymize(tokens),
+        CorruptionClass::Synonym => synonymize(tokens, rng),
+        CorruptionClass::Simplification => simplify(tokens),
+        CorruptionClass::Typo => typo(tokens, rng),
+        CorruptionClass::Reorder => reorder(tokens, rng),
+    };
+    if out.is_empty() {
+        tokens.to_vec()
+    } else {
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s)
+    }
+
+    #[test]
+    fn acronym_reproduces_ckd5() {
+        // The paper's q1: "ckd 5" for "chronic kidney disease, stage 5".
+        let q = acronymize(&toks("chronic kidney disease stage 5"));
+        assert_eq!(q, toks("ckd 5"));
+    }
+
+    #[test]
+    fn abbreviation_uses_dictionary_first() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = abbreviate(&toks("chronic kidney disease stage 5"), &mut rng);
+        assert_eq!(q, toks("ckd stage 5"));
+    }
+
+    #[test]
+    fn abbreviation_falls_back_to_prefix() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let q = abbreviate(&toks("scorbutic anemia"), &mut rng);
+        // No dictionary phrase: longest word ("scorbutic") gets prefixed.
+        assert_eq!(q.len(), 2);
+        assert!(q[0].len() < "scorbutic".len());
+        assert!("scorbutic".starts_with(q[0].as_str()));
+    }
+
+    #[test]
+    fn synonym_substitutes_known_words() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let q = synonymize(&toks("kidney failure"), &mut rng);
+        assert_ne!(q, toks("kidney failure"));
+        assert!(q.contains(&"renal".to_string()) || q.contains(&"insufficiency".to_string()));
+    }
+
+    #[test]
+    fn simplification_drops_droppables() {
+        let q = simplify(&toks("malignant neoplasm of colon unspecified"));
+        assert_eq!(q, toks("malignant neoplasm colon"));
+    }
+
+    #[test]
+    fn simplification_without_droppables_shortens() {
+        let q = simplify(&toks("scorbutic anemia severe"));
+        assert_eq!(q, toks("scorbutic anemia"));
+    }
+
+    #[test]
+    fn typo_changes_exactly_one_word() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let orig = toks("chronic kidney disease");
+        let q = typo(&orig, &mut rng);
+        assert_eq!(q.len(), orig.len());
+        let diffs = q.iter().zip(&orig).filter(|(a, b)| a != b).count();
+        assert_eq!(diffs, 1);
+        // Still close in edit distance.
+        for (a, b) in q.iter().zip(&orig) {
+            assert!(ncl_text::edit_distance::damerau_levenshtein(a, b) <= 1);
+        }
+    }
+
+    #[test]
+    fn reorder_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let orig = toks("iron deficiency anemia");
+        let q = reorder(&orig, &mut rng);
+        let mut a = orig.clone();
+        let mut b = q.clone();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_ne!(q, orig);
+    }
+
+    #[test]
+    fn corrupt_never_empty_for_nonempty_input() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &class in CorruptionClass::ALL {
+            for text in ["anemia", "ckd", "fracture of femur severe"] {
+                let q = corrupt(&toks(text), class, &mut rng);
+                assert!(!q.is_empty(), "{class} emptied {text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_is_identity() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let orig = toks("acute abdomen");
+        assert_eq!(corrupt(&orig, CorruptionClass::Exact, &mut rng), orig);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CorruptionClass::Acronym.to_string(), "acronym");
+        assert_eq!(CorruptionClass::PURPOSIVE.len(), 6);
+        assert_eq!(CorruptionClass::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,189 @@
+//! Corpus construction with concept-id incorporation (§4.2).
+//!
+//! Two sources feed the pre-training corpus (§3, Model Training):
+//! 1. unlabeled queries (e.g. accumulated physician notes), used verbatim;
+//! 2. labeled snippets, *altered* by interleaving the concept id between
+//!    the words so that word co-occurrence is disambiguated per concept
+//!    ("the original unlabeled text snippets are unchanged").
+
+use ncl_text::Vocab;
+
+/// Interleaves `cid` before every word of `tokens`:
+/// `["protein","deficiency","anemia"]` with cid `"d53.0"` becomes
+/// `["d53.0","protein","d53.0","deficiency","d53.0","anemia"]` — the §4.2
+/// transformation. The cid is kept as one opaque token (it is never
+/// re-tokenised), matching how the paper treats codes as single context
+/// units.
+pub fn incorporate_concept_id(tokens: &[String], cid: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(tokens.len() * 2);
+    for t in tokens {
+        out.push(cid.to_string());
+        out.push(t.clone());
+    }
+    out
+}
+
+/// A pre-training corpus: interned sentences plus the shared vocabulary
+/// `Ω'` (which covers both concept-description words and unlabeled-query
+/// words, §5 Phase I).
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// Interned sentences.
+    pub sentences: Vec<Vec<u32>>,
+    /// The vocabulary `Ω'`.
+    pub vocab: Vocab,
+    /// Unigram counts per word id (indexed by id), used for the negative
+    /// sampling distribution.
+    pub counts: Vec<u64>,
+    /// Which vocabulary entries are concept-id tokens (excluded from
+    /// nearest-word search during query rewriting).
+    pub is_cid: Vec<bool>,
+}
+
+/// Incremental corpus builder.
+#[derive(Debug, Default)]
+pub struct CorpusBuilder {
+    sentences: Vec<Vec<String>>,
+    cid_markers: Vec<Vec<bool>>,
+}
+
+impl CorpusBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an unlabeled snippet verbatim.
+    pub fn add_unlabeled(&mut self, tokens: &[String]) {
+        if tokens.is_empty() {
+            return;
+        }
+        self.cid_markers.push(vec![false; tokens.len()]);
+        self.sentences.push(tokens.to_vec());
+    }
+
+    /// Adds a labeled snippet with its concept id incorporated.
+    pub fn add_labeled(&mut self, tokens: &[String], cid: &str) {
+        if tokens.is_empty() {
+            return;
+        }
+        let altered = incorporate_concept_id(tokens, cid);
+        let markers: Vec<bool> = (0..altered.len()).map(|i| i % 2 == 0).collect();
+        self.cid_markers.push(markers);
+        self.sentences.push(altered);
+    }
+
+    /// Number of sentences so far.
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Whether no sentences were added.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    /// Interns everything and finalises the corpus.
+    pub fn build(self) -> Corpus {
+        let mut vocab = Vocab::new();
+        let mut interned = Vec::with_capacity(self.sentences.len());
+        let mut is_cid = vec![false; 4];
+        let mut counts = vec![0u64; 4];
+        for (sent, markers) in self.sentences.iter().zip(&self.cid_markers) {
+            let mut ids = Vec::with_capacity(sent.len());
+            for (tok, &cid) in sent.iter().zip(markers) {
+                let id = vocab.add(tok);
+                let idx = id as usize;
+                if idx >= counts.len() {
+                    counts.resize(idx + 1, 0);
+                    is_cid.resize(idx + 1, false);
+                }
+                counts[idx] += 1;
+                if cid {
+                    is_cid[idx] = true;
+                }
+                ids.push(id);
+            }
+            interned.push(ids);
+        }
+        Corpus {
+            sentences: interned,
+            vocab,
+            counts,
+            is_cid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn incorporation_matches_paper_example() {
+        let out = incorporate_concept_id(&toks("protein deficiency anemia"), "d53.0");
+        assert_eq!(
+            out,
+            toks("d53.0 protein d53.0 deficiency d53.0 anemia")
+        );
+    }
+
+    #[test]
+    fn incorporation_of_empty_is_empty() {
+        assert!(incorporate_concept_id(&[], "d53.0").is_empty());
+    }
+
+    #[test]
+    fn builder_marks_cid_tokens() {
+        let mut b = CorpusBuilder::new();
+        b.add_labeled(&toks("protein deficiency anemia"), "d53.0");
+        b.add_unlabeled(&toks("scurvy"));
+        let c = b.build();
+        assert_eq!(c.sentences.len(), 2);
+        let cid_id = c.vocab.get("d53.0").unwrap();
+        assert!(c.is_cid[cid_id as usize]);
+        let protein_id = c.vocab.get("protein").unwrap();
+        assert!(!c.is_cid[protein_id as usize]);
+    }
+
+    #[test]
+    fn counts_accumulate_across_sentences() {
+        let mut b = CorpusBuilder::new();
+        b.add_unlabeled(&toks("anemia anemia pain"));
+        b.add_unlabeled(&toks("anemia"));
+        let c = b.build();
+        let id = c.vocab.get("anemia").unwrap() as usize;
+        assert_eq!(c.counts[id], 3);
+    }
+
+    #[test]
+    fn cid_count_equals_word_count() {
+        let mut b = CorpusBuilder::new();
+        b.add_labeled(&toks("acute abdomen"), "r10.0");
+        let c = b.build();
+        let cid = c.vocab.get("r10.0").unwrap() as usize;
+        assert_eq!(c.counts[cid], 2);
+    }
+
+    #[test]
+    fn empty_snippets_skipped() {
+        let mut b = CorpusBuilder::new();
+        b.add_unlabeled(&[]);
+        b.add_labeled(&[], "x");
+        assert!(b.is_empty());
+        assert_eq!(b.build().sentences.len(), 0);
+    }
+
+    #[test]
+    fn unlabeled_text_is_unchanged() {
+        let mut b = CorpusBuilder::new();
+        b.add_unlabeled(&toks("iron def anemia from menorrhagia"));
+        let c = b.build();
+        assert_eq!(c.sentences[0].len(), 5);
+        assert!(c.is_cid.iter().all(|&x| !x));
+    }
+}

@@ -1,0 +1,159 @@
+//! Nearest-word search in the embedding space.
+//!
+//! Query rewriting (§5, Phase I, Eq. 13) replaces each out-of-vocabulary
+//! query word with `w* = argmax_{w'} cosine(w', w)` over the embedding
+//! vocabulary `Ω'`. Concept-id tokens injected during pre-training must be
+//! excluded, as must the special tokens, hence the filter mask.
+
+use ncl_tensor::{Matrix, Vector};
+
+/// A cosine nearest-neighbour index over embedding rows.
+///
+/// For the paper's vocabulary sizes a flat scan is exact and fast enough
+/// (the OR segment of Figure 11 is a small fraction of total query time);
+/// rows are pre-normalised so each query costs one dot product per word.
+#[derive(Debug, Clone)]
+pub struct NearestWords {
+    normalized: Matrix,
+    allowed: Vec<bool>,
+}
+
+impl NearestWords {
+    /// Builds the index over `embeddings` (one row per word). `allowed`
+    /// masks which rows may be returned (length must match); pass
+    /// `None` to allow all rows except ids `0..4` (the special tokens).
+    pub fn new(embeddings: &Matrix, allowed: Option<Vec<bool>>) -> Self {
+        let rows = embeddings.rows();
+        let allowed = allowed.unwrap_or_else(|| {
+            (0..rows).map(|i| i >= 4).collect()
+        });
+        assert_eq!(allowed.len(), rows, "nearest: mask length mismatch");
+        let mut normalized = embeddings.clone();
+        for r in 0..rows {
+            let norm = normalized.row_vector(r).norm();
+            if norm > f32::EPSILON {
+                for v in normalized.row_mut(r) {
+                    *v /= norm;
+                }
+            }
+        }
+        Self {
+            normalized,
+            allowed,
+        }
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.normalized.rows()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.normalized.rows() == 0
+    }
+
+    /// The single nearest allowed word to `query` (excluding
+    /// `exclude_id`, typically the query word itself), with its cosine.
+    pub fn nearest(&self, query: &Vector, exclude_id: Option<u32>) -> Option<(u32, f32)> {
+        self.top_k(query, 1, exclude_id).into_iter().next()
+    }
+
+    /// The `k` nearest allowed words, best first.
+    pub fn top_k(&self, query: &Vector, k: usize, exclude_id: Option<u32>) -> Vec<(u32, f32)> {
+        let qnorm = query.norm();
+        if qnorm <= f32::EPSILON || k == 0 {
+            return Vec::new();
+        }
+        let mut q = query.clone();
+        q.scale(1.0 / qnorm);
+        let mut hits: Vec<(u32, f32)> = Vec::new();
+        for r in 0..self.normalized.rows() {
+            if !self.allowed[r] || Some(r as u32) == exclude_id {
+                continue;
+            }
+            let row = self.normalized.row(r);
+            let mut dot = 0.0f32;
+            for (a, b) in row.iter().zip(q.as_slice()) {
+                dot += a * b;
+            }
+            hits.push((r as u32, dot));
+        }
+        hits.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_index() -> NearestWords {
+        // ids: 0..4 specials (never returned), 4..7 real words.
+        let rows = vec![
+            0.0, 0.0, // specials
+            0.0, 0.0,
+            0.0, 0.0,
+            0.0, 0.0,
+            1.0, 0.0, // 4
+            0.9, 0.1, // 5
+            0.0, 1.0, // 6
+        ];
+        NearestWords::new(&Matrix::from_vec(7, 2, rows), None)
+    }
+
+    #[test]
+    fn nearest_finds_most_aligned() {
+        let idx = toy_index();
+        let (id, sim) = idx.nearest(&Vector::from_slice(&[1.0, 0.05]), None).unwrap();
+        assert_eq!(id, 4);
+        assert!(sim > 0.99);
+    }
+
+    #[test]
+    fn exclude_self() {
+        let idx = toy_index();
+        let (id, _) = idx
+            .nearest(&Vector::from_slice(&[1.0, 0.0]), Some(4))
+            .unwrap();
+        assert_eq!(id, 5);
+    }
+
+    #[test]
+    fn specials_never_returned() {
+        let idx = toy_index();
+        for (id, _) in idx.top_k(&Vector::from_slice(&[1.0, 1.0]), 10, None) {
+            assert!(id >= 4);
+        }
+    }
+
+    #[test]
+    fn custom_mask_respected() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let idx = NearestWords::new(&m, Some(vec![false, true]));
+        let hits = idx.top_k(&Vector::from_slice(&[1.0, 0.0]), 2, None);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 1);
+    }
+
+    #[test]
+    fn zero_query_returns_nothing() {
+        let idx = toy_index();
+        assert!(idx.nearest(&Vector::zeros(2), None).is_none());
+    }
+
+    #[test]
+    fn top_k_ordering() {
+        let idx = toy_index();
+        let hits = idx.top_k(&Vector::from_slice(&[1.0, 0.0]), 3, None);
+        assert_eq!(hits[0].0, 4);
+        assert_eq!(hits[1].0, 5);
+        assert_eq!(hits[2].0, 6);
+        assert!(hits[0].1 >= hits[1].1 && hits[1].1 >= hits[2].1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Dot-product attention (Eq. 5–7 of the paper).
+//!
+//! Both of COM-AID's attentions share one mechanism over a *memory* of
+//! vectors `{m_r}` and a decoder state `s_t`:
+//!
+//! ```text
+//! e_r  = m_r · s_t                       (relatedness, inner product)
+//! α_r  = exp(e_r) / Σ_p exp(e_p)          (Eq. 5 / Eq. 7 weights)
+//! ctx  = Σ_r α_r m_r                      (Eq. 6 textual context tc_t,
+//!                                          Eq. 7 structural context sc_t)
+//! ```
+//!
+//! For the *textual* attention the memory is the encoder states
+//! `⟨h_1^c … h_n^c⟩`; for the *structural* attention it is the encoded
+//! ancestor representations `⟨h^{c_{l−1}} … h^{c_{l−β}}⟩` of
+//! Definition 4.1. The layer has no trainable parameters — relatedness is
+//! a plain inner product, per the paper — but its backward pass must
+//! return gradients for the memory *and* the state, because encoder
+//! states receive gradient through attention.
+
+use ncl_tensor::ops::{softmax, softmax_backward};
+use ncl_tensor::Vector;
+
+/// Parameter-free dot-product attention.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DotAttention;
+
+/// Cache of one attention application.
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    /// Softmax weights `α` (Eq. 5 / Eq. 7).
+    pub weights: Vector,
+}
+
+impl DotAttention {
+    /// Forward pass: returns `(context, cache)`.
+    ///
+    /// # Panics
+    /// Panics if the memory is empty or dimensions disagree.
+    pub fn forward(&self, memory: &[Vector], s: &Vector) -> (Vector, AttentionCache) {
+        assert!(!memory.is_empty(), "attention: empty memory");
+        let scores: Vector = memory.iter().map(|m| m.dot(s)).collect();
+        let weights = softmax(&scores);
+        let mut ctx = Vector::zeros(s.len());
+        for (m, &w) in memory.iter().zip(weights.iter()) {
+            ctx.axpy(w, m);
+        }
+        (ctx, AttentionCache { weights })
+    }
+
+    /// Backward pass: given the upstream gradient on the context, returns
+    /// `(d_memory, d_state)`.
+    ///
+    /// Derivation: with `ctx = Σ α_r m_r`,
+    /// * `dα_r = m_r · dctx`,
+    /// * `de = softmax_backward(α, dα)`,
+    /// * `dm_r = α_r · dctx + de_r · s` (context path + score path),
+    /// * `ds = Σ_r de_r · m_r`.
+    pub fn backward(
+        &self,
+        memory: &[Vector],
+        s: &Vector,
+        cache: &AttentionCache,
+        dctx: &Vector,
+    ) -> (Vec<Vector>, Vector) {
+        let alpha = &cache.weights;
+        let dalpha: Vector = memory.iter().map(|m| m.dot(dctx)).collect();
+        let de = softmax_backward(alpha, &dalpha);
+        let mut ds = Vector::zeros(s.len());
+        let mut dmem = Vec::with_capacity(memory.len());
+        for (r, m) in memory.iter().enumerate() {
+            ds.axpy(de[r], m);
+            let mut dm = Vector::zeros(m.len());
+            dm.axpy(alpha[r], dctx);
+            dm.axpy(de[r], s);
+            dmem.push(dm);
+        }
+        (dmem, ds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_tensor::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, d: usize, seed: u64) -> (Vec<Vector>, Vector, Vector) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let memory: Vec<Vector> = (0..n)
+            .map(|_| init::uniform_vector(d, -1.0, 1.0, &mut rng))
+            .collect();
+        let s = init::uniform_vector(d, -1.0, 1.0, &mut rng);
+        let u = init::uniform_vector(d, -1.0, 1.0, &mut rng);
+        (memory, s, u)
+    }
+
+    #[test]
+    fn weights_form_simplex() {
+        let (memory, s, _) = setup(5, 4, 1);
+        let (_, cache) = DotAttention.forward(&memory, &s);
+        assert!((cache.weights.sum() - 1.0).abs() < 1e-5);
+        assert!(cache.weights.iter().all(|&w| (0.0..=1.0).contains(&w)));
+    }
+
+    #[test]
+    fn context_is_convex_combination() {
+        // With a single memory vector the context must equal it.
+        let (memory, s, _) = setup(1, 4, 2);
+        let (ctx, _) = DotAttention.forward(&memory, &s);
+        for k in 0..4 {
+            assert!((ctx[k] - memory[0][k]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn attends_to_most_aligned_memory() {
+        // Memory item parallel to s gets the largest weight.
+        let s = Vector::from_slice(&[1.0, 0.0]);
+        let memory = vec![
+            Vector::from_slice(&[5.0, 0.0]),
+            Vector::from_slice(&[0.0, 5.0]),
+            Vector::from_slice(&[-5.0, 0.0]),
+        ];
+        let (_, cache) = DotAttention.forward(&memory, &s);
+        assert!(cache.weights[0] > cache.weights[1]);
+        assert!(cache.weights[1] > cache.weights[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty memory")]
+    fn empty_memory_panics() {
+        let _ = DotAttention.forward(&[], &Vector::zeros(2));
+    }
+
+    /// Exact gradient check of both outputs against finite differences of
+    /// the scalar loss `L = u · ctx(memory, s)`.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let (memory, s, u) = setup(3, 4, 7);
+        let att = DotAttention;
+        let loss = |memory: &[Vector], s: &Vector| att.forward(memory, s).0.dot(&u);
+
+        let (_, cache) = att.forward(&memory, &s);
+        let (dmem, ds) = att.backward(&memory, &s, &cache, &u);
+
+        let h = 1e-2f32;
+        // d/ds
+        for k in 0..4 {
+            let mut sp = s.clone();
+            sp[k] += h;
+            let mut sm = s.clone();
+            sm[k] -= h;
+            let fd = (loss(&memory, &sp) - loss(&memory, &sm)) / (2.0 * h);
+            assert!((fd - ds[k]).abs() < 2e-2, "ds[{k}]: fd={fd} an={}", ds[k]);
+        }
+        // d/dmemory
+        for r in 0..3 {
+            for k in 0..4 {
+                let mut mp = memory.clone();
+                mp[r][k] += h;
+                let mut mm = memory.clone();
+                mm[r][k] -= h;
+                let fd = (loss(&mp, &s) - loss(&mm, &s)) / (2.0 * h);
+                assert!(
+                    (fd - dmem[r][k]).abs() < 2e-2,
+                    "dmem[{r}][{k}]: fd={fd} an={}",
+                    dmem[r][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_memory_shares_weight_equally() {
+        // Definition 4.1 duplicates the first-level concept when the path
+        // is short; duplicated memory entries must receive equal weights.
+        let m = Vector::from_slice(&[0.3, -0.7]);
+        let memory = vec![m.clone(), m.clone()];
+        let s = Vector::from_slice(&[1.0, 1.0]);
+        let (_, cache) = DotAttention.forward(&memory, &s);
+        assert!((cache.weights[0] - 0.5).abs() < 1e-6);
+        assert!((cache.weights[1] - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,295 @@
+//! Affine layer, optionally followed by `tanh`.
+//!
+//! Two places in COM-AID are plain affine maps: the composite layer of
+//! Eq. 8, `s̃_t = tanh(W_d [s_t; tc_t; sc_t] + b_d)`, and the output
+//! projection of Eq. 9, `W_s s̃_t + b_s` (whose softmax lives in
+//! [`crate::softmax_loss`]).
+
+use crate::param::{HasParams, MatParam, ParamSet, VecParam};
+use ncl_tensor::ops::tanh_grad_from_output;
+use ncl_tensor::{init, Vector};
+use rand::Rng;
+
+/// Whether the layer applies `tanh` after the affine map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Activation {
+    /// Identity (used before a softmax).
+    Linear,
+    /// Hyperbolic tangent (Eq. 8).
+    Tanh,
+}
+
+/// A dense layer `y = act(W x + b)`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Dense {
+    /// Weight matrix `out × in`.
+    pub w: MatParam,
+    /// Bias.
+    pub b: VecParam,
+    act: Activation,
+}
+
+/// Forward cache for [`Dense::backward`].
+#[derive(Debug, Clone)]
+pub struct DenseCache {
+    x: Vector,
+    y: Vector,
+}
+
+impl Dense {
+    /// Creates a Xavier-initialised layer.
+    pub fn new<R: Rng + ?Sized>(
+        in_dim: usize,
+        out_dim: usize,
+        act: Activation,
+        rng: &mut R,
+    ) -> Self {
+        Self {
+            w: MatParam::new(init::xavier_uniform(out_dim, in_dim, rng)),
+            b: VecParam::zeros(out_dim),
+            act,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.v.cols()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.v.rows()
+    }
+
+    /// Forward pass, returning the output and its cache.
+    pub fn forward(&self, x: &Vector) -> (Vector, DenseCache) {
+        let mut y = self.b.v.clone();
+        self.w.v.gemv_acc(x, &mut y);
+        if self.act == Activation::Tanh {
+            ncl_tensor::ops::tanh_inplace(&mut y);
+        }
+        (
+            y.clone(),
+            DenseCache {
+                x: x.clone(),
+                y,
+            },
+        )
+    }
+
+    /// Backward pass: accumulates parameter gradients and returns `dL/dx`.
+    pub fn backward(&mut self, cache: &DenseCache, dy: &Vector) -> Vector {
+        assert_eq!(dy.len(), self.out_dim(), "dense backward: dy dimension");
+        // Through the activation.
+        let dz = match self.act {
+            Activation::Linear => dy.clone(),
+            Activation::Tanh => {
+                let mut dz = dy.clone();
+                for (d, y) in dz.as_mut_slice().iter_mut().zip(cache.y.iter()) {
+                    *d *= tanh_grad_from_output(*y);
+                }
+                dz
+            }
+        };
+        self.w.g.add_outer(1.0, &dz, &cache.x);
+        self.b.g.add_assign(&dz);
+        self.w.v.gemv_t(&dz)
+    }
+}
+
+/// Forward cache for the row-restricted path
+/// ([`Dense::forward_rows`]/[`Dense::backward_rows`]).
+#[derive(Debug, Clone)]
+pub struct DenseRowsCache {
+    x: Vector,
+    y: Vector,
+    rows: Vec<usize>,
+}
+
+impl Dense {
+    /// Computes `y[r] = act(W[r]·x + b[r])` for the given `rows` only —
+    /// the kernel behind sampled-softmax training, where only the target
+    /// word and a handful of noise words need logits instead of the full
+    /// `|V|` output (the BlackOut speed-up the NCL paper cites in
+    /// Appendix B.2).
+    ///
+    /// # Panics
+    /// Panics if any row index is out of range.
+    pub fn forward_rows(&self, x: &Vector, rows: &[usize]) -> (Vector, DenseRowsCache) {
+        let mut y = Vector::zeros(rows.len());
+        for (o, &r) in y.as_mut_slice().iter_mut().zip(rows) {
+            assert!(r < self.out_dim(), "forward_rows: row out of range");
+            let mut acc = self.b.v[r];
+            for (w, xv) in self.w.v.row(r).iter().zip(x.as_slice()) {
+                acc += w * xv;
+            }
+            *o = acc;
+        }
+        if self.act == Activation::Tanh {
+            ncl_tensor::ops::tanh_inplace(&mut y);
+        }
+        (
+            y.clone(),
+            DenseRowsCache {
+                x: x.clone(),
+                y,
+                rows: rows.to_vec(),
+            },
+        )
+    }
+
+    /// Backward pass of [`Dense::forward_rows`]: accumulates gradients
+    /// only into the touched rows and returns `dL/dx`.
+    pub fn backward_rows(&mut self, cache: &DenseRowsCache, dy: &Vector) -> Vector {
+        assert_eq!(dy.len(), cache.rows.len(), "backward_rows: dy arity");
+        let mut dx = Vector::zeros(self.in_dim());
+        for (i, &r) in cache.rows.iter().enumerate() {
+            let mut d = dy[i];
+            if self.act == Activation::Tanh {
+                d *= tanh_grad_from_output(cache.y[i]);
+            }
+            if d == 0.0 {
+                continue;
+            }
+            // dW[r] += d * x ; db[r] += d ; dx += d * W[r].
+            for (gw, xv) in self.w.g.row_mut(r).iter_mut().zip(cache.x.as_slice()) {
+                *gw += d * xv;
+            }
+            self.b.g[r] += d;
+            for (dxv, wv) in dx.as_mut_slice().iter_mut().zip(self.w.v.row(r)) {
+                *dxv += d * wv;
+            }
+        }
+        dx
+    }
+}
+
+impl HasParams for Dense {
+    fn collect_params<'a>(&'a mut self, set: &mut ParamSet<'a>) {
+        set.add("dense.w", &mut self.w);
+        set.add("dense.b", &mut self.b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_params;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_linear_matches_manual() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut d = Dense::new(2, 2, Activation::Linear, &mut rng);
+        d.w.v.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        d.b.v[0] = 0.5;
+        let (y, _) = d.forward(&Vector::from_slice(&[1.0, -1.0]));
+        assert_eq!(y.as_slice(), &[-0.5, -1.0]);
+    }
+
+    #[test]
+    fn tanh_bounds_output() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Dense::new(3, 4, Activation::Tanh, &mut rng);
+        let (y, _) = d.forward(&Vector::from_slice(&[10.0, -10.0, 10.0]));
+        assert!(y.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_linear() {
+        gradient_case(Activation::Linear);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences_tanh() {
+        gradient_case(Activation::Tanh);
+    }
+
+    fn gradient_case(act: Activation) {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut d = Dense::new(3, 2, act, &mut rng);
+        let x = init::uniform_vector(3, -1.0, 1.0, &mut rng);
+        let u = init::uniform_vector(2, -1.0, 1.0, &mut rng);
+        let (_, cache) = d.forward(&x);
+        let _ = d.backward(&cache, &u);
+        check_params(
+            &mut d,
+            |d| d.forward(&x).0.dot(&u),
+            |d, set| d.collect_params(set),
+            1e-2,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn forward_rows_matches_full_forward() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Dense::new(3, 6, Activation::Linear, &mut rng);
+        let x = init::uniform_vector(3, -1.0, 1.0, &mut rng);
+        let (full, _) = d.forward(&x);
+        let rows = [4usize, 0, 2];
+        let (sub, _) = d.forward_rows(&x, &rows);
+        for (i, &r) in rows.iter().enumerate() {
+            assert!((sub[i] - full[r]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn backward_rows_matches_masked_full_backward() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut a = Dense::new(3, 6, Activation::Linear, &mut rng);
+        let mut b = a.clone();
+        let x = init::uniform_vector(3, -1.0, 1.0, &mut rng);
+        let rows = [1usize, 5];
+        let dy_sub = Vector::from_slice(&[0.7, -0.3]);
+
+        // Row-restricted path.
+        let (_, cache) = a.forward_rows(&x, &rows);
+        let dx_a = a.backward_rows(&cache, &dy_sub);
+
+        // Full path with a dy that is zero outside the sampled rows.
+        let (_, full_cache) = b.forward(&x);
+        let mut dy_full = Vector::zeros(6);
+        dy_full[1] = 0.7;
+        dy_full[5] = -0.3;
+        let dx_b = b.backward(&full_cache, &dy_full);
+
+        for k in 0..3 {
+            assert!((dx_a[k] - dx_b[k]).abs() < 1e-5);
+        }
+        for (ga, gb) in a.w.g.as_slice().iter().zip(b.w.g.as_slice()) {
+            assert!((ga - gb).abs() < 1e-5);
+        }
+        for k in 0..6 {
+            assert!((a.b.g[k] - b.b.g[k]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row out of range")]
+    fn forward_rows_out_of_range_panics() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = Dense::new(2, 3, Activation::Linear, &mut rng);
+        let _ = d.forward_rows(&Vector::zeros(2), &[3]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut d = Dense::new(3, 2, Activation::Tanh, &mut rng);
+        let x = init::uniform_vector(3, -1.0, 1.0, &mut rng);
+        let u = init::uniform_vector(2, -1.0, 1.0, &mut rng);
+        let (_, cache) = d.forward(&x);
+        let dx = d.backward(&cache, &u);
+        let h = 1e-2f32;
+        for k in 0..3 {
+            let mut xp = x.clone();
+            xp[k] += h;
+            let mut xm = x.clone();
+            xm[k] -= h;
+            let fd = (d.forward(&xp).0.dot(&u) - d.forward(&xm).0.dot(&u)) / (2.0 * h);
+            assert!((fd - dx[k]).abs() < 2e-2, "dx[{k}]: fd={fd} an={}", dx[k]);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Word-representation lookup table with sparse gradients.
+//!
+//! The embedding `w_t` of each word (§4.1.1) "can be initialized randomly
+//! or by our pre-train techniques" (§4.2); during refinement training,
+//! "the word embeddings … in the neural networks are also updated"
+//! (§4.2). The table therefore supports both initialisation paths and
+//! participates in SGD. Gradients are sparse: only rows touched in the
+//! current mini-batch are updated, tracked by a touched-row list so that
+//! `zero_grad` stays O(touched) instead of O(vocab).
+
+use crate::param::{MatParam, Parameter};
+use ncl_tensor::{init, Matrix, Vector};
+use rand::Rng;
+
+/// An embedding table `|V| × d`.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Embedding {
+    table: MatParam,
+    touched: Vec<u32>,
+}
+
+impl Embedding {
+    /// Creates a randomly initialised table (word2vec-style
+    /// `U(−0.5/d, 0.5/d)`).
+    pub fn new<R: Rng + ?Sized>(vocab: usize, dim: usize, rng: &mut R) -> Self {
+        Self {
+            table: MatParam::new(init::embedding_uniform(vocab, dim, rng)),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Creates a table from pre-trained rows (the §4.2 pre-training path).
+    ///
+    /// # Panics
+    /// Panics if `table` is empty.
+    pub fn from_pretrained(table: Matrix) -> Self {
+        assert!(table.rows() > 0, "embedding: empty table");
+        Self {
+            table: MatParam::new(table),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.table.v.rows()
+    }
+
+    /// Embedding dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.table.v.cols()
+    }
+
+    /// Looks up the representation of word `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn lookup(&self, id: u32) -> Vector {
+        assert!((id as usize) < self.vocab(), "embedding: id out of range");
+        self.table.v.row_vector(id as usize)
+    }
+
+    /// Looks up a whole sequence.
+    pub fn lookup_seq(&self, ids: &[u32]) -> Vec<Vector> {
+        ids.iter().map(|&id| self.lookup(id)).collect()
+    }
+
+    /// Read-only view of the full table (used by nearest-word search).
+    pub fn table(&self) -> &Matrix {
+        &self.table.v
+    }
+
+    /// Accumulates gradient `dx` into row `id`.
+    pub fn accumulate_grad(&mut self, id: u32, dx: &Vector) {
+        assert!((id as usize) < self.vocab(), "embedding: id out of range");
+        let row = self.table.g.row_mut(id as usize);
+        for (g, d) in row.iter_mut().zip(dx.as_slice()) {
+            *g += d;
+        }
+        self.touched.push(id);
+    }
+
+    /// Accumulates gradients for a sequence of ids (parallel slices).
+    pub fn accumulate_grad_seq(&mut self, ids: &[u32], dxs: &[Vector]) {
+        assert_eq!(ids.len(), dxs.len(), "embedding: grad count mismatch");
+        for (&id, dx) in ids.iter().zip(dxs) {
+            self.accumulate_grad(id, dx);
+        }
+    }
+
+    /// SGD step over the touched rows only, then clears those gradients.
+    pub fn step_touched(&mut self, lr: f32) {
+        self.touched.sort_unstable();
+        self.touched.dedup();
+        for &id in &self.touched {
+            let r = id as usize;
+            // Copy the gradient row out to satisfy the borrow checker.
+            let grad: Vec<f32> = self.table.g.row(r).to_vec();
+            let val = self.table.v.row_mut(r);
+            for (v, g) in val.iter_mut().zip(&grad) {
+                *v -= lr * g;
+            }
+            self.table.g.row_mut(r).fill(0.0);
+        }
+        self.touched.clear();
+    }
+
+    /// Sum of squared gradients over touched rows (for clipping).
+    pub fn sq_grad_norm(&self) -> f32 {
+        let mut ids: Vec<u32> = self.touched.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.iter()
+            .map(|&id| {
+                self.table
+                    .g
+                    .row(id as usize)
+                    .iter()
+                    .map(|g| g * g)
+                    .sum::<f32>()
+            })
+            .sum()
+    }
+
+    /// Scales all touched gradients (clipping).
+    pub fn scale_grad(&mut self, factor: f32) {
+        let mut ids: Vec<u32> = self.touched.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            for g in self.table.g.row_mut(id as usize) {
+                *g *= factor;
+            }
+        }
+    }
+
+    /// Clears all touched gradients without stepping.
+    pub fn zero_grad(&mut self) {
+        let mut ids = std::mem::take(&mut self.touched);
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            self.table.g.row_mut(id as usize).fill(0.0);
+        }
+    }
+
+    /// Dense-parameter view for gradient checking (treats the whole table
+    /// as one tensor). Test-oriented; training uses the sparse path.
+    pub fn as_dense_param(&mut self) -> &mut MatParam {
+        &mut self.table
+    }
+}
+
+impl Parameter for Embedding {
+    fn num_params(&self) -> usize {
+        self.table.num_params()
+    }
+    fn sq_grad_norm(&self) -> f32 {
+        Embedding::sq_grad_norm(self)
+    }
+    fn scale_grad(&mut self, factor: f32) {
+        Embedding::scale_grad(self, factor);
+    }
+    fn step(&mut self, lr: f32) {
+        self.step_touched(lr);
+    }
+    fn zero_grad(&mut self) {
+        Embedding::zero_grad(self);
+    }
+    fn values_mut(&mut self) -> &mut [f32] {
+        self.table.v.as_mut_slice()
+    }
+    fn grads(&self) -> &[f32] {
+        self.table.g.as_slice()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lookup_returns_rows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = Embedding::new(10, 4, &mut rng);
+        let v = e.lookup(3);
+        assert_eq!(v.as_slice(), e.table().row(3));
+    }
+
+    #[test]
+    fn lookup_seq_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = Embedding::new(10, 4, &mut rng);
+        let seq = e.lookup_seq(&[0, 5, 9]);
+        assert_eq!(seq.len(), 3);
+        assert!(seq.iter().all(|v| v.len() == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn lookup_out_of_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = Embedding::new(4, 2, &mut rng);
+        let _ = e.lookup(4);
+    }
+
+    #[test]
+    fn sparse_step_only_touches_accumulated_rows() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut e = Embedding::new(5, 2, &mut rng);
+        let before0 = e.lookup(0);
+        let before2 = e.lookup(2);
+        e.accumulate_grad(2, &Vector::from_slice(&[1.0, -1.0]));
+        e.step_touched(0.1);
+        assert_eq!(e.lookup(0).as_slice(), before0.as_slice());
+        let after2 = e.lookup(2);
+        assert!((after2[0] - (before2[0] - 0.1)).abs() < 1e-6);
+        assert!((after2[1] - (before2[1] + 0.1)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn repeated_ids_accumulate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut e = Embedding::new(5, 2, &mut rng);
+        let before = e.lookup(1);
+        e.accumulate_grad(1, &Vector::from_slice(&[1.0, 0.0]));
+        e.accumulate_grad(1, &Vector::from_slice(&[1.0, 0.0]));
+        e.step_touched(0.5);
+        assert!((e.lookup(1)[0] - (before[0] - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_grad_clears_touched() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut e = Embedding::new(5, 2, &mut rng);
+        e.accumulate_grad(1, &Vector::from_slice(&[1.0, 1.0]));
+        assert!(Embedding::sq_grad_norm(&e) > 0.0);
+        Embedding::zero_grad(&mut e);
+        assert_eq!(Embedding::sq_grad_norm(&e), 0.0);
+        let before = e.lookup(1);
+        e.step_touched(1.0);
+        assert_eq!(e.lookup(1).as_slice(), before.as_slice());
+    }
+
+    #[test]
+    fn from_pretrained_round_trip() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let e = Embedding::from_pretrained(m);
+        assert_eq!(e.lookup(1).as_slice(), &[3.0, 4.0]);
+        assert_eq!(e.vocab(), 2);
+        assert_eq!(e.dim(), 2);
+    }
+
+    #[test]
+    fn clipping_scales_touched_grads() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut e = Embedding::new(4, 2, &mut rng);
+        e.accumulate_grad(0, &Vector::from_slice(&[3.0, 4.0]));
+        assert!((Embedding::sq_grad_norm(&e) - 25.0).abs() < 1e-5);
+        Embedding::scale_grad(&mut e, 0.2);
+        assert!((Embedding::sq_grad_norm(&e) - 1.0).abs() < 1e-5);
+    }
+}

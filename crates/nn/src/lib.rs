@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # ncl-nn
+//!
+//! Manually back-propagated neural-network layers for the NCL reproduction
+//! of *Fine-grained Concept Linking using Neural Networks in Healthcare*
+//! (Dai et al., SIGMOD 2018).
+//!
+//! The paper implements COM-AID in a custom C++ library (§6.1,
+//! Implementation); this crate is the equivalent substrate. It contains
+//! exactly the layers the COM-AID equations need:
+//!
+//! * [`embedding::Embedding`] — word-representation lookup table with
+//!   sparse gradients (the `w_t` inputs of §4.1.1),
+//! * [`lstm::Lstm`] — the LSTM cell of §4.1.1 (gates `i, f, o`, candidate
+//!   `c̃`, state update, `h_t = o_t ⊙ tanh(c_t)`), with a taped
+//!   back-propagation-through-time pass that additionally accepts
+//!   per-step external gradients — required because the decoder's
+//!   attention feeds gradient into *every* encoder hidden state,
+//! * [`attention::DotAttention`] — the dot-product attention of Eq. 5–7,
+//! * [`dense::Dense`] — the affine(+tanh) composite layer of Eq. 8,
+//! * [`softmax_loss`] — the softmax + negative-log-likelihood output of
+//!   Eq. 9/10,
+//! * [`optimizer::Sgd`] — mini-batch SGD with global gradient-norm
+//!   clipping (§4.2, Refinement Phase),
+//! * [`gradcheck`] — finite-difference checking used by the test suites
+//!   of this crate and `ncl-core`.
+//!
+//! Every layer is *eager* and stores what its backward pass needs in an
+//! explicit cache value, so the control flow of COM-AID's composite
+//! decoder remains visible in `ncl-core` instead of being hidden in an
+//! autograd graph.
+
+pub mod attention;
+pub mod dense;
+pub mod embedding;
+pub mod gradcheck;
+pub mod lstm;
+pub mod optimizer;
+pub mod param;
+pub mod softmax_loss;
+
+pub use attention::DotAttention;
+pub use dense::Dense;
+pub use embedding::Embedding;
+pub use lstm::Lstm;
+pub use optimizer::Sgd;
+pub use param::{MatParam, Parameter, VecParam};

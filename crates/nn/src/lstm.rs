@@ -1,0 +1,508 @@
+//! The LSTM of COM-AID (§4.1.1), with taped back-propagation through time.
+//!
+//! The forward recurrence is exactly the equation block of §4.1.1:
+//!
+//! ```text
+//! i_t = δ(W⁽ⁱ⁾ w_t + U⁽ⁱ⁾ h_{t−1} + b⁽ⁱ⁾)
+//! f_t = δ(W⁽ᶠ⁾ w_t + U⁽ᶠ⁾ h_{t−1} + b⁽ᶠ⁾)
+//! o_t = δ(W⁽ᵒ⁾ w_t + U⁽ᵒ⁾ h_{t−1} + b⁽ᵒ⁾)
+//! c̃_t = tanh(W⁽ᶜ̃⁾ w_t + U⁽ᶜ̃⁾ h_{t−1} + b⁽ᶜ̃⁾)
+//! c_t = f_t ⊙ c_{t−1} + i_t ⊙ c̃_t
+//! h_t = o_t ⊙ tanh(c_t)
+//! ```
+//!
+//! The backward pass accepts an *external* gradient for every hidden state
+//! `h_t`, not just the last: in COM-AID the decoder's textual attention
+//! (Eq. 5–6) routes gradient into each encoder state `h_r^c`, while the
+//! chain `s_0 = h_n^c` routes gradient into the final state only.
+
+use crate::param::{HasParams, MatParam, ParamSet, VecParam};
+use ncl_tensor::ops::{sigmoid_grad_from_output, sigmoid_inplace, tanh_grad_from_output, tanh_inplace, tanh_vec};
+use ncl_tensor::{init, Vector};
+use rand::Rng;
+
+/// One LSTM layer (a chain of identical cells).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Lstm {
+    in_dim: usize,
+    hidden: usize,
+    /// Input-gate input weights `W⁽ⁱ⁾`.
+    pub wi: MatParam,
+    /// Forget-gate input weights `W⁽ᶠ⁾`.
+    pub wf: MatParam,
+    /// Output-gate input weights `W⁽ᵒ⁾`.
+    pub wo: MatParam,
+    /// Cell-candidate input weights `W⁽ᶜ̃⁾`.
+    pub wg: MatParam,
+    /// Input-gate recurrent weights `U⁽ⁱ⁾`.
+    pub ui: MatParam,
+    /// Forget-gate recurrent weights `U⁽ᶠ⁾`.
+    pub uf: MatParam,
+    /// Output-gate recurrent weights `U⁽ᵒ⁾`.
+    pub uo: MatParam,
+    /// Cell-candidate recurrent weights `U⁽ᶜ̃⁾`.
+    pub ug: MatParam,
+    /// Input-gate bias `b⁽ⁱ⁾`.
+    pub bi: VecParam,
+    /// Forget-gate bias `b⁽ᶠ⁾` (initialised to 1).
+    pub bf: VecParam,
+    /// Output-gate bias `b⁽ᵒ⁾`.
+    pub bo: VecParam,
+    /// Cell-candidate bias `b⁽ᶜ̃⁾`.
+    pub bg: VecParam,
+}
+
+/// Activations cached by one forward step, consumed by the backward pass.
+#[derive(Debug, Clone)]
+struct StepCache {
+    x: Vector,
+    h_prev: Vector,
+    c_prev: Vector,
+    i: Vector,
+    f: Vector,
+    o: Vector,
+    g: Vector,
+    tc: Vector,
+}
+
+/// The record of a full forward pass over a sequence.
+#[derive(Debug, Clone)]
+pub struct LstmTape {
+    steps: Vec<StepCache>,
+    /// Hidden states `h_1..h_T` (index 0 is `h_1`).
+    pub hs: Vec<Vector>,
+    /// Cell states `c_1..c_T`.
+    pub cs: Vec<Vector>,
+    h0: Vector,
+    c0: Vector,
+}
+
+impl LstmTape {
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.hs.len()
+    }
+
+    /// Whether the sequence was empty.
+    pub fn is_empty(&self) -> bool {
+        self.hs.is_empty()
+    }
+
+    /// The final hidden state `h_T`, or the initial state for an empty
+    /// sequence — the *concept representation* `h_n^c` of §4.1.1.
+    pub fn final_h(&self) -> &Vector {
+        self.hs.last().unwrap_or(&self.h0)
+    }
+
+    /// The final cell state.
+    pub fn final_c(&self) -> &Vector {
+        self.cs.last().unwrap_or(&self.c0)
+    }
+}
+
+/// Gradients produced by [`Lstm::backward_seq`].
+#[derive(Debug)]
+pub struct SeqGrads {
+    /// Gradient w.r.t. each input vector (for embedding updates).
+    pub dxs: Vec<Vector>,
+    /// Gradient w.r.t. the initial hidden state `h_0`.
+    pub dh0: Vector,
+    /// Gradient w.r.t. the initial cell state `c_0`.
+    pub dc0: Vector,
+}
+
+impl Lstm {
+    /// Creates an LSTM with Xavier-initialised weights. The forget-gate
+    /// bias starts at 1.0 (the standard trick to keep long-range gradient
+    /// flow early in training); other biases start at zero.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, hidden: usize, rng: &mut R) -> Self {
+        let w = |rng: &mut R| MatParam::new(init::xavier_uniform(hidden, in_dim, rng));
+        let u = |rng: &mut R| MatParam::new(init::xavier_uniform(hidden, hidden, rng));
+        Self {
+            in_dim,
+            hidden,
+            wi: w(rng),
+            wf: w(rng),
+            wo: w(rng),
+            wg: w(rng),
+            ui: u(rng),
+            uf: u(rng),
+            uo: u(rng),
+            ug: u(rng),
+            bi: VecParam::zeros(hidden),
+            bf: VecParam::new(Vector::full(hidden, 1.0)),
+            bo: VecParam::zeros(hidden),
+            bg: VecParam::zeros(hidden),
+        }
+    }
+
+    /// Hidden dimension `d`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    fn gate(&self, w: &MatParam, u: &MatParam, b: &VecParam, x: &Vector, h: &Vector) -> Vector {
+        let mut z = b.v.clone();
+        w.v.gemv_acc(x, &mut z);
+        u.v.gemv_acc(h, &mut z);
+        z
+    }
+
+    fn step(&self, x: &Vector, h_prev: &Vector, c_prev: &Vector) -> (Vector, Vector, StepCache) {
+        let mut i = self.gate(&self.wi, &self.ui, &self.bi, x, h_prev);
+        sigmoid_inplace(&mut i);
+        let mut f = self.gate(&self.wf, &self.uf, &self.bf, x, h_prev);
+        sigmoid_inplace(&mut f);
+        let mut o = self.gate(&self.wo, &self.uo, &self.bo, x, h_prev);
+        sigmoid_inplace(&mut o);
+        let mut g = self.gate(&self.wg, &self.ug, &self.bg, x, h_prev);
+        tanh_inplace(&mut g);
+
+        let mut c = f.hadamard(c_prev);
+        c.add_hadamard(1.0, &i, &g);
+        let tc = tanh_vec(&c);
+        let h = o.hadamard(&tc);
+
+        let cache = StepCache {
+            x: x.clone(),
+            h_prev: h_prev.clone(),
+            c_prev: c_prev.clone(),
+            i,
+            f,
+            o,
+            g,
+            tc,
+        };
+        (h, c, cache)
+    }
+
+    /// Runs the whole sequence forward from `(h0, c0)`, recording a tape.
+    ///
+    /// # Panics
+    /// Panics if any input has the wrong dimension.
+    pub fn forward_seq(&self, xs: &[Vector], h0: &Vector, c0: &Vector) -> LstmTape {
+        assert_eq!(h0.len(), self.hidden, "forward_seq: h0 dimension");
+        assert_eq!(c0.len(), self.hidden, "forward_seq: c0 dimension");
+        let mut steps = Vec::with_capacity(xs.len());
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut cs = Vec::with_capacity(xs.len());
+        let mut h = h0.clone();
+        let mut c = c0.clone();
+        for x in xs {
+            assert_eq!(x.len(), self.in_dim, "forward_seq: input dimension");
+            let (nh, nc, cache) = self.step(x, &h, &c);
+            steps.push(cache);
+            hs.push(nh.clone());
+            cs.push(nc.clone());
+            h = nh;
+            c = nc;
+        }
+        LstmTape {
+            steps,
+            hs,
+            cs,
+            h0: h0.clone(),
+            c0: c0.clone(),
+        }
+    }
+
+    /// Back-propagation through time.
+    ///
+    /// `dhs[t]` is the external gradient on hidden state `h_{t+1}` (e.g.
+    /// attention contributions plus, for the last step, the downstream
+    /// chain). Parameter gradients are *accumulated* into the layer.
+    ///
+    /// # Panics
+    /// Panics if `dhs.len() != tape.len()`.
+    pub fn backward_seq(&mut self, tape: &LstmTape, dhs: &[Vector]) -> SeqGrads {
+        self.backward_seq_full(tape, dhs, None)
+    }
+
+    /// [`Lstm::backward_seq`] with an additional external gradient on the
+    /// *final cell state*. COM-AID seeds the decoder with both the
+    /// encoder's final hidden state (`s_0 = h_n^c`) and its final cell
+    /// state, so the decoder's `dc0` must flow back into the encoder's
+    /// last cell.
+    pub fn backward_seq_full(
+        &mut self,
+        tape: &LstmTape,
+        dhs: &[Vector],
+        dc_final: Option<&Vector>,
+    ) -> SeqGrads {
+        assert_eq!(dhs.len(), tape.len(), "backward_seq: gradient count");
+        let t_len = tape.len();
+        let mut dxs = vec![Vector::zeros(self.in_dim); t_len];
+        let mut dh_next = Vector::zeros(self.hidden);
+        let mut dc_next = match dc_final {
+            Some(dc) => dc.clone(),
+            None => Vector::zeros(self.hidden),
+        };
+
+        for t in (0..t_len).rev() {
+            let cache = &tape.steps[t];
+            // Total gradient arriving at h_t: recurrent + external.
+            let mut dh = dh_next;
+            dh.add_assign(&dhs[t]);
+
+            // do = dh ⊙ tanh(c);   dc += dh ⊙ o ⊙ (1 − tanh(c)²)
+            let mut dc = dc_next;
+            for k in 0..self.hidden {
+                dc[k] += dh[k] * cache.o[k] * tanh_grad_from_output(cache.tc[k]);
+            }
+            // Pre-activation gradients.
+            let mut dzi = Vector::zeros(self.hidden);
+            let mut dzf = Vector::zeros(self.hidden);
+            let mut dzo = Vector::zeros(self.hidden);
+            let mut dzg = Vector::zeros(self.hidden);
+            for k in 0..self.hidden {
+                let d_o = dh[k] * cache.tc[k];
+                dzo[k] = d_o * sigmoid_grad_from_output(cache.o[k]);
+                let d_i = dc[k] * cache.g[k];
+                dzi[k] = d_i * sigmoid_grad_from_output(cache.i[k]);
+                let d_f = dc[k] * cache.c_prev[k];
+                dzf[k] = d_f * sigmoid_grad_from_output(cache.f[k]);
+                let d_g = dc[k] * cache.i[k];
+                dzg[k] = d_g * tanh_grad_from_output(cache.g[k]);
+            }
+
+            // Parameter gradients: dW += dz xᵀ, dU += dz h_prevᵀ, db += dz.
+            self.wi.g.add_outer(1.0, &dzi, &cache.x);
+            self.wf.g.add_outer(1.0, &dzf, &cache.x);
+            self.wo.g.add_outer(1.0, &dzo, &cache.x);
+            self.wg.g.add_outer(1.0, &dzg, &cache.x);
+            self.ui.g.add_outer(1.0, &dzi, &cache.h_prev);
+            self.uf.g.add_outer(1.0, &dzf, &cache.h_prev);
+            self.uo.g.add_outer(1.0, &dzo, &cache.h_prev);
+            self.ug.g.add_outer(1.0, &dzg, &cache.h_prev);
+            self.bi.g.add_assign(&dzi);
+            self.bf.g.add_assign(&dzf);
+            self.bo.g.add_assign(&dzo);
+            self.bg.g.add_assign(&dzg);
+
+            // Input gradient: dx = Σ Wᵀ dz.
+            let dx = &mut dxs[t];
+            self.wi.v.gemv_t_acc(&dzi, dx);
+            self.wf.v.gemv_t_acc(&dzf, dx);
+            self.wo.v.gemv_t_acc(&dzo, dx);
+            self.wg.v.gemv_t_acc(&dzg, dx);
+
+            // Recurrent gradients for step t−1.
+            let mut dh_prev = Vector::zeros(self.hidden);
+            self.ui.v.gemv_t_acc(&dzi, &mut dh_prev);
+            self.uf.v.gemv_t_acc(&dzf, &mut dh_prev);
+            self.uo.v.gemv_t_acc(&dzo, &mut dh_prev);
+            self.ug.v.gemv_t_acc(&dzg, &mut dh_prev);
+            let dc_prev = dc.hadamard(&cache.f);
+
+            dh_next = dh_prev;
+            dc_next = dc_prev;
+        }
+
+        SeqGrads {
+            dxs,
+            dh0: dh_next,
+            dc0: dc_next,
+        }
+    }
+}
+
+impl HasParams for Lstm {
+    fn collect_params<'a>(&'a mut self, set: &mut ParamSet<'a>) {
+        set.add("lstm.wi", &mut self.wi);
+        set.add("lstm.wf", &mut self.wf);
+        set.add("lstm.wo", &mut self.wo);
+        set.add("lstm.wg", &mut self.wg);
+        set.add("lstm.ui", &mut self.ui);
+        set.add("lstm.uf", &mut self.uf);
+        set.add("lstm.uo", &mut self.uo);
+        set.add("lstm.ug", &mut self.ug);
+        set.add("lstm.bi", &mut self.bi);
+        set.add("lstm.bf", &mut self.bf);
+        set.add("lstm.bo", &mut self.bo);
+        set.add("lstm.bg", &mut self.bg);
+    }
+}
+
+/// Convenience: a zero initial state pair `(h0, c0)`.
+pub fn zero_state(hidden: usize) -> (Vector, Vector) {
+    (Vector::zeros(hidden), Vector::zeros(hidden))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_params;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inputs(rng: &mut StdRng, n: usize, dim: usize) -> Vec<Vector> {
+        (0..n)
+            .map(|_| init::uniform_vector(dim, -1.0, 1.0, rng))
+            .collect()
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let xs = inputs(&mut rng, 4, 3);
+        let (h0, c0) = zero_state(5);
+        let tape = lstm.forward_seq(&xs, &h0, &c0);
+        assert_eq!(tape.len(), 4);
+        assert_eq!(tape.final_h().len(), 5);
+        assert!(tape.hs.iter().all(|h| h.is_finite()));
+    }
+
+    #[test]
+    fn empty_sequence_returns_initial_state() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let (h0, c0) = zero_state(5);
+        let tape = lstm.forward_seq(&[], &h0, &c0);
+        assert!(tape.is_empty());
+        assert_eq!(tape.final_h().as_slice(), h0.as_slice());
+    }
+
+    #[test]
+    fn hidden_states_bounded_by_one() {
+        // h = o ⊙ tanh(c): every component must lie in (−1, 1).
+        let mut rng = StdRng::seed_from_u64(2);
+        let lstm = Lstm::new(4, 6, &mut rng);
+        let xs = inputs(&mut rng, 10, 4);
+        let (h0, c0) = zero_state(6);
+        let tape = lstm.forward_seq(&xs, &h0, &c0);
+        for h in &tape.hs {
+            assert!(h.iter().all(|v| v.abs() < 1.0));
+        }
+    }
+
+    #[test]
+    fn deterministic_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lstm = Lstm::new(3, 4, &mut rng);
+        let xs = inputs(&mut rng, 3, 3);
+        let (h0, c0) = zero_state(4);
+        let a = lstm.forward_seq(&xs, &h0, &c0);
+        let b = lstm.forward_seq(&xs, &h0, &c0);
+        assert_eq!(a.final_h().as_slice(), b.final_h().as_slice());
+    }
+
+    /// The decisive test: analytic gradients of a scalar loss
+    /// `L = Σ_t u_t · h_t` against central finite differences, for every
+    /// parameter of the LSTM.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let in_dim = 3;
+        let hidden = 4;
+        let mut lstm = Lstm::new(in_dim, hidden, &mut rng);
+        let xs = inputs(&mut rng, 3, in_dim);
+        // Fixed projections making the loss scalar.
+        let us: Vec<Vector> = (0..3)
+            .map(|_| init::uniform_vector(hidden, -1.0, 1.0, &mut rng))
+            .collect();
+        let h0 = init::uniform_vector(hidden, -0.5, 0.5, &mut rng);
+        let c0 = init::uniform_vector(hidden, -0.5, 0.5, &mut rng);
+
+        let loss = |l: &Lstm| -> f32 {
+            let tape = l.forward_seq(&xs, &h0, &c0);
+            tape.hs.iter().zip(&us).map(|(h, u)| h.dot(u)).sum()
+        };
+
+        // Analytic pass.
+        let tape = lstm.forward_seq(&xs, &h0, &c0);
+        let dhs: Vec<Vector> = us.clone();
+        let _ = lstm.backward_seq(&tape, &dhs);
+
+        check_params(
+            &mut lstm,
+            |l| loss(l),
+            |l, set| l.collect_params(set),
+            1e-2,
+            2e-2,
+        );
+    }
+
+    /// Gradient w.r.t. the initial state must also be exact, because
+    /// COM-AID seeds the decoder with the concept representation
+    /// (`s_0 = h_n^c`) and needs `dL/dh_n^c`.
+    #[test]
+    fn initial_state_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let xs = inputs(&mut rng, 2, 2);
+        let u = init::uniform_vector(3, -1.0, 1.0, &mut rng);
+        let h0 = init::uniform_vector(3, -0.5, 0.5, &mut rng);
+        let c0 = Vector::zeros(3);
+
+        let tape = lstm.forward_seq(&xs, &h0, &c0);
+        let mut dhs = vec![Vector::zeros(3); 2];
+        dhs[1] = u.clone();
+        let grads = lstm.backward_seq(&tape, &dhs);
+
+        let h = 1e-2f32;
+        for k in 0..3 {
+            let mut hp = h0.clone();
+            hp[k] += h;
+            let mut hm = h0.clone();
+            hm[k] -= h;
+            let fp = lstm.forward_seq(&xs, &hp, &c0).final_h().dot(&u);
+            let fm = lstm.forward_seq(&xs, &hm, &c0).final_h().dot(&u);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (fd - grads.dh0[k]).abs() < 2e-2,
+                "dh0[{k}]: fd={fd} analytic={}",
+                grads.dh0[k]
+            );
+        }
+    }
+
+    /// Input gradients feed the embedding table; they must be exact too.
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let xs = inputs(&mut rng, 3, 2);
+        let u = init::uniform_vector(3, -1.0, 1.0, &mut rng);
+        let (h0, c0) = zero_state(3);
+
+        let tape = lstm.forward_seq(&xs, &h0, &c0);
+        let mut dhs = vec![Vector::zeros(3); 3];
+        dhs[2] = u.clone();
+        let grads = lstm.backward_seq(&tape, &dhs);
+
+        let h = 1e-2f32;
+        for t in 0..3 {
+            for k in 0..2 {
+                let mut xp = xs.clone();
+                xp[t][k] += h;
+                let mut xm = xs.clone();
+                xm[t][k] -= h;
+                let fp = lstm.forward_seq(&xp, &h0, &c0).final_h().dot(&u);
+                let fm = lstm.forward_seq(&xm, &h0, &c0).final_h().dot(&u);
+                let fd = (fp - fm) / (2.0 * h);
+                assert!(
+                    (fd - grads.dxs[t][k]).abs() < 2e-2,
+                    "dx[{t}][{k}]: fd={fd} analytic={}",
+                    grads.dxs[t][k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient count")]
+    fn backward_wrong_gradient_count_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lstm = Lstm::new(2, 3, &mut rng);
+        let xs = inputs(&mut rng, 2, 2);
+        let (h0, c0) = zero_state(3);
+        let tape = lstm.forward_seq(&xs, &h0, &c0);
+        let _ = lstm.backward_seq(&tape, &[Vector::zeros(3)]);
+    }
+}

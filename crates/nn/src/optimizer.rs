@@ -1,0 +1,163 @@
+//! Mini-batch SGD with global gradient-norm clipping.
+//!
+//! §4.2, Refinement Phase: "We adopt mini-batch Stochastic Gradient
+//! Descent (SGD) for updating the parameter values." Gradient clipping is
+//! the standard safeguard for LSTM training (exploding gradients through
+//! time) and is applied over the *global* norm of all registered
+//! parameters so that the gradient direction is preserved.
+
+use crate::param::ParamSet;
+
+/// SGD configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Global gradient-norm ceiling; `None` disables clipping.
+    pub clip_norm: Option<f32>,
+}
+
+impl Sgd {
+    /// Creates an optimizer with clipping at `clip_norm`.
+    pub fn new(lr: f32, clip_norm: f32) -> Self {
+        Self {
+            lr,
+            clip_norm: Some(clip_norm),
+        }
+    }
+
+    /// Creates an optimizer without clipping.
+    pub fn unclipped(lr: f32) -> Self {
+        Self {
+            lr,
+            clip_norm: None,
+        }
+    }
+
+    /// Applies one update to every parameter in `set`, then zeroes the
+    /// gradients. Returns the (pre-clip) global gradient norm, a useful
+    /// training diagnostic.
+    pub fn step(&self, set: &mut ParamSet<'_>) -> f32 {
+        let mut sq = 0.0f32;
+        for (_, p) in set.iter_mut() {
+            sq += p.sq_grad_norm();
+        }
+        let norm = sq.sqrt();
+        let factor = match self.clip_norm {
+            Some(c) if norm > c && norm > 0.0 => c / norm,
+            _ => 1.0,
+        };
+        for (_, p) in set.iter_mut() {
+            if factor != 1.0 {
+                p.scale_grad(factor);
+            }
+            p.step(self.lr);
+            p.zero_grad();
+        }
+        norm
+    }
+}
+
+/// A step-decay learning-rate schedule: `lr_epoch = lr0 * decay^epoch`,
+/// floored at `min_lr`.
+#[derive(Debug, Clone, Copy)]
+pub struct LrSchedule {
+    /// Initial learning rate.
+    pub lr0: f32,
+    /// Per-epoch multiplicative decay in `(0, 1]`.
+    pub decay: f32,
+    /// Lower bound on the learning rate.
+    pub min_lr: f32,
+}
+
+impl LrSchedule {
+    /// Constant learning rate.
+    pub fn constant(lr: f32) -> Self {
+        Self {
+            lr0: lr,
+            decay: 1.0,
+            min_lr: lr,
+        }
+    }
+
+    /// Learning rate at `epoch` (0-based).
+    pub fn at(&self, epoch: usize) -> f32 {
+        (self.lr0 * self.decay.powi(epoch as i32)).max(self.min_lr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::{Parameter, VecParam};
+    use ncl_tensor::Vector;
+
+    #[test]
+    fn step_descends_quadratic() {
+        // Minimise L = Σ w², gradient 2w; w must shrink monotonically.
+        let mut w = VecParam::new(Vector::from_slice(&[4.0, -2.0]));
+        let opt = Sgd::unclipped(0.1);
+        for _ in 0..50 {
+            for k in 0..2 {
+                w.g[k] = 2.0 * w.v[k];
+            }
+            let mut set = ParamSet::new();
+            set.add("w", &mut w);
+            opt.step(&mut set);
+        }
+        assert!(w.v.norm() < 1e-3);
+    }
+
+    #[test]
+    fn clipping_caps_global_norm() {
+        let mut w = VecParam::zeros(2);
+        w.g[0] = 30.0;
+        w.g[1] = 40.0; // norm 50
+        let opt = Sgd::new(1.0, 5.0);
+        let mut set = ParamSet::new();
+        set.add("w", &mut w);
+        let norm = opt.step(&mut set);
+        assert!((norm - 50.0).abs() < 1e-4);
+        // Update magnitude = clipped norm * lr = 5.
+        assert!((w.v.norm() - 5.0).abs() < 1e-4);
+        // Direction preserved: 3-4-5 triangle.
+        assert!((w.v[0] / w.v[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn grads_zeroed_after_step() {
+        let mut w = VecParam::zeros(3);
+        w.g[1] = 1.0;
+        let opt = Sgd::unclipped(0.1);
+        let mut set = ParamSet::new();
+        set.add("w", &mut w);
+        opt.step(&mut set);
+        assert_eq!(w.sq_grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn no_clip_below_threshold() {
+        let mut w = VecParam::zeros(1);
+        w.g[0] = 2.0;
+        let opt = Sgd::new(1.0, 5.0);
+        let mut set = ParamSet::new();
+        set.add("w", &mut w);
+        opt.step(&mut set);
+        assert!((w.v[0] + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn schedule_decays_and_floors() {
+        let s = LrSchedule {
+            lr0: 1.0,
+            decay: 0.5,
+            min_lr: 0.2,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(1), 0.5);
+        assert_eq!(s.at(2), 0.25);
+        assert_eq!(s.at(3), 0.2); // floored
+        let c = LrSchedule::constant(0.05);
+        assert_eq!(c.at(100), 0.05);
+    }
+}

@@ -1,0 +1,212 @@
+//! Trainable parameters: a value plus its accumulated gradient.
+//!
+//! COM-AID's parameter set `Θ` (Eq. 1) is the union of all layer
+//! parameters; training "progressively back-propagates the error … and
+//! their parameters are updated accordingly" (§4.2). Each layer owns its
+//! [`MatParam`]/[`VecParam`] pairs and exposes them through the
+//! [`Parameter`] trait so the optimizer and the gradient checker can walk
+//! `Θ` generically.
+
+use ncl_tensor::{Matrix, Vector};
+
+/// Uniform view over a trainable parameter tensor.
+pub trait Parameter {
+    /// Number of scalar entries.
+    fn num_params(&self) -> usize;
+    /// Sum of squared gradient entries (for global-norm clipping).
+    fn sq_grad_norm(&self) -> f32;
+    /// Multiplies the gradient by `factor` (clipping).
+    fn scale_grad(&mut self, factor: f32);
+    /// SGD update `value -= lr * grad`.
+    fn step(&mut self, lr: f32);
+    /// Clears the gradient.
+    fn zero_grad(&mut self);
+    /// Mutable view of the values (used by the finite-difference checker).
+    fn values_mut(&mut self) -> &mut [f32];
+    /// View of the gradient buffer.
+    fn grads(&self) -> &[f32];
+}
+
+/// A matrix-shaped parameter.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct MatParam {
+    /// Current value.
+    pub v: Matrix,
+    /// Accumulated gradient, same shape as `v`.
+    pub g: Matrix,
+}
+
+impl MatParam {
+    /// Wraps an initial value with a zero gradient.
+    pub fn new(v: Matrix) -> Self {
+        let g = Matrix::zeros(v.rows(), v.cols());
+        Self { v, g }
+    }
+}
+
+impl Parameter for MatParam {
+    fn num_params(&self) -> usize {
+        self.v.rows() * self.v.cols()
+    }
+    fn sq_grad_norm(&self) -> f32 {
+        self.g.sq_sum()
+    }
+    fn scale_grad(&mut self, factor: f32) {
+        self.g.scale(factor);
+    }
+    fn step(&mut self, lr: f32) {
+        self.v.axpy(-lr, &self.g);
+    }
+    fn zero_grad(&mut self) {
+        self.g.fill_zero();
+    }
+    fn values_mut(&mut self) -> &mut [f32] {
+        self.v.as_mut_slice()
+    }
+    fn grads(&self) -> &[f32] {
+        self.g.as_slice()
+    }
+}
+
+/// A vector-shaped parameter (biases).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct VecParam {
+    /// Current value.
+    pub v: Vector,
+    /// Accumulated gradient, same length as `v`.
+    pub g: Vector,
+}
+
+impl VecParam {
+    /// Wraps an initial value with a zero gradient.
+    pub fn new(v: Vector) -> Self {
+        let g = Vector::zeros(v.len());
+        Self { v, g }
+    }
+
+    /// A zero-initialised parameter of length `n` (the usual bias init).
+    pub fn zeros(n: usize) -> Self {
+        Self::new(Vector::zeros(n))
+    }
+}
+
+impl Parameter for VecParam {
+    fn num_params(&self) -> usize {
+        self.v.len()
+    }
+    fn sq_grad_norm(&self) -> f32 {
+        self.g.dot(&self.g)
+    }
+    fn scale_grad(&mut self, factor: f32) {
+        self.g.scale(factor);
+    }
+    fn step(&mut self, lr: f32) {
+        self.v.axpy(-lr, &self.g);
+    }
+    fn zero_grad(&mut self) {
+        self.g.fill_zero();
+    }
+    fn values_mut(&mut self) -> &mut [f32] {
+        self.v.as_mut_slice()
+    }
+    fn grads(&self) -> &[f32] {
+        self.g.as_slice()
+    }
+}
+
+/// A collection of named parameters, the concrete representation of `Θ`.
+///
+/// Layers register `&mut dyn Parameter` views into this walker; the
+/// optimizer and gradient checker consume it.
+pub struct ParamSet<'a> {
+    entries: Vec<(&'static str, &'a mut dyn Parameter)>,
+}
+
+impl<'a> ParamSet<'a> {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Registers a parameter under a diagnostic name.
+    pub fn add(&mut self, name: &'static str, p: &'a mut dyn Parameter) {
+        self.entries.push((name, p));
+    }
+
+    /// Iterates mutably over the registered parameters.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&'static str, &mut (dyn Parameter + 'a))> {
+        self.entries.iter_mut().map(|(n, p)| (*n, &mut **p))
+    }
+
+    /// Number of registered tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.entries.iter().map(|(_, p)| p.num_params()).sum()
+    }
+}
+
+impl<'a> Default for ParamSet<'a> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Implemented by every model/layer that owns parameters.
+pub trait HasParams {
+    /// Registers all owned parameters into `set`.
+    fn collect_params<'a>(&'a mut self, set: &mut ParamSet<'a>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mat_param_step_moves_against_gradient() {
+        let mut p = MatParam::new(Matrix::zeros(2, 2));
+        p.g.as_mut_slice().copy_from_slice(&[1.0, -2.0, 0.0, 4.0]);
+        p.step(0.5);
+        assert_eq!(p.v.as_slice(), &[-0.5, 1.0, 0.0, -2.0]);
+    }
+
+    #[test]
+    fn vec_param_zero_grad() {
+        let mut p = VecParam::zeros(3);
+        p.g[0] = 5.0;
+        assert!(p.sq_grad_norm() > 0.0);
+        p.zero_grad();
+        assert_eq!(p.sq_grad_norm(), 0.0);
+    }
+
+    #[test]
+    fn scale_grad_halves() {
+        let mut p = VecParam::zeros(2);
+        p.g[0] = 2.0;
+        p.g[1] = 4.0;
+        p.scale_grad(0.5);
+        assert_eq!(p.grads(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn param_set_counts() {
+        let mut a = MatParam::new(Matrix::zeros(2, 3));
+        let mut b = VecParam::zeros(4);
+        let mut set = ParamSet::new();
+        set.add("a", &mut a);
+        set.add("b", &mut b);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.num_params(), 10);
+        assert!(!set.is_empty());
+    }
+}

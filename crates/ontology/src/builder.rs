@@ -1,0 +1,188 @@
+//! Validated construction of [`Ontology`] values.
+
+use crate::concept::{Concept, ConceptId};
+use crate::ontology::Ontology;
+use std::collections::HashMap;
+
+/// Errors detected when finalising an ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Two concepts share an external code.
+    DuplicateCode(String),
+    /// A concept has an empty canonical description.
+    EmptyDescription(String),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::DuplicateCode(c) => write!(f, "duplicate concept code {c:?}"),
+            Self::EmptyDescription(c) => {
+                write!(f, "concept {c:?} has an empty canonical description")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental, index-based ontology builder.
+///
+/// Because children can only attach to already-created parents, the
+/// resulting structure is a tree by construction — cycles are impossible —
+/// so [`OntologyBuilder::build`] only needs to validate codes and
+/// descriptions.
+#[derive(Debug, Default)]
+pub struct OntologyBuilder {
+    concepts: Vec<Concept>,
+    parent: Vec<Option<ConceptId>>,
+    children: Vec<Vec<ConceptId>>,
+}
+
+impl OntologyBuilder {
+    /// Creates a builder holding only the synthetic root.
+    pub fn new() -> Self {
+        let mut b = Self {
+            concepts: Vec::new(),
+            parent: Vec::new(),
+            children: Vec::new(),
+        };
+        b.concepts.push(Concept::new("ROOT", "root"));
+        b.parent.push(None);
+        b.children.push(Vec::new());
+        b
+    }
+
+    fn push(&mut self, parent: ConceptId, concept: Concept) -> ConceptId {
+        let id = ConceptId(self.concepts.len() as u32);
+        self.concepts.push(concept);
+        self.parent.push(Some(parent));
+        self.children.push(Vec::new());
+        self.children[parent.index()].push(id);
+        id
+    }
+
+    /// Adds a first-level concept (an ICD *chapter* or three-character
+    /// *category*), child of the synthetic root.
+    pub fn add_root_concept(
+        &mut self,
+        code: impl Into<String>,
+        canonical: impl Into<String>,
+    ) -> ConceptId {
+        self.push(Ontology::ROOT, Concept::new(code, canonical))
+    }
+
+    /// Adds a sub-concept of `parent`.
+    ///
+    /// # Panics
+    /// Panics if `parent` has not been created by this builder.
+    pub fn add_child(
+        &mut self,
+        parent: ConceptId,
+        code: impl Into<String>,
+        canonical: impl Into<String>,
+    ) -> ConceptId {
+        assert!(
+            parent.index() < self.concepts.len(),
+            "unknown parent concept {parent}"
+        );
+        self.push(parent, Concept::new(code, canonical))
+    }
+
+    /// Adds an alias to an existing concept (see [`Concept::add_alias`]).
+    pub fn add_alias(&mut self, id: ConceptId, alias: impl Into<String>) -> bool {
+        self.concepts[id.index()].add_alias(alias)
+    }
+
+    /// Number of concepts so far, excluding the root.
+    pub fn len(&self) -> usize {
+        self.concepts.len() - 1
+    }
+
+    /// True if no concepts were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validates and finalises the ontology.
+    pub fn build(self) -> Result<Ontology, BuildError> {
+        let mut by_code = HashMap::with_capacity(self.concepts.len());
+        for (i, c) in self.concepts.iter().enumerate() {
+            if i > 0 {
+                if c.canonical.trim().is_empty() {
+                    return Err(BuildError::EmptyDescription(c.code.clone()));
+                }
+                if by_code.insert(c.code.clone(), ConceptId(i as u32)).is_some() {
+                    return Err(BuildError::DuplicateCode(c.code.clone()));
+                }
+            }
+        }
+        Ok(Ontology::from_parts(
+            self.concepts,
+            self.parent,
+            self.children,
+            by_code,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_tree() {
+        let mut b = OntologyBuilder::new();
+        let a = b.add_root_concept("A", "alpha");
+        let a1 = b.add_child(a, "A.1", "alpha one");
+        b.add_alias(a1, "first alpha");
+        assert_eq!(b.len(), 2);
+        let o = b.build().unwrap();
+        assert_eq!(o.parent(a1), Some(a));
+        assert_eq!(o.children(a), &[a1]);
+        assert_eq!(o.concept(a1).aliases, vec!["first alpha"]);
+    }
+
+    #[test]
+    fn duplicate_code_rejected() {
+        let mut b = OntologyBuilder::new();
+        b.add_root_concept("A", "alpha");
+        b.add_root_concept("A", "alpha again");
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildError::DuplicateCode("A".into())
+        );
+    }
+
+    #[test]
+    fn empty_description_rejected() {
+        let mut b = OntologyBuilder::new();
+        b.add_root_concept("A", "  ");
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::EmptyDescription(_)
+        ));
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_ontology() {
+        let b = OntologyBuilder::new();
+        assert!(b.is_empty());
+        let o = b.build().unwrap();
+        assert!(o.is_empty());
+        assert!(o.fine_grained().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn unknown_parent_panics() {
+        let mut b = OntologyBuilder::new();
+        b.add_child(ConceptId(99), "X", "x");
+    }
+
+    #[test]
+    fn error_display() {
+        let e = BuildError::DuplicateCode("N18".into());
+        assert!(e.to_string().contains("N18"));
+    }
+}

@@ -1,0 +1,131 @@
+//! ICD-style code manipulation.
+//!
+//! The paper's two ontologies are ICD-9-CM and ICD-10-CM (§6.1). Both use
+//! hierarchical codes: a three-character *category* (`N18`) optionally
+//! followed by a dot and further *subcategory* characters (`N18.5`,
+//! `S52.521`). The synthetic ontologies of `ncl-datagen` emit the same
+//! format, and the pre-training corpus interleaves these codes between
+//! words (§4.2), so codes must tokenize stably.
+
+/// The two classification revisions the paper evaluates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IcdRevision {
+    /// ICD-9-CM: numeric categories (`250`), subcategories up to 2 digits
+    /// (`250.01`); 17,418 concepts in the paper, 14,567 fine-grained.
+    Icd9,
+    /// ICD-10-CM: alphanumeric categories (`N18`), subcategories up to 4
+    /// characters (`S52.521A`); 93,830 concepts, 71,486 fine-grained.
+    Icd10,
+}
+
+impl IcdRevision {
+    /// Builds a category code from a chapter letter index and a number.
+    ///
+    /// ICD-10 categories are `LNN` (letter + two digits); ICD-9 categories
+    /// are `NNN` (three digits).
+    pub fn category_code(self, chapter: usize, number: usize) -> String {
+        match self {
+            Self::Icd10 => {
+                let letter = (b'a' + (chapter % 26) as u8) as char;
+                format!("{}{:02}", letter.to_ascii_uppercase(), number % 100)
+            }
+            Self::Icd9 => format!("{:03}", (chapter * 40 + number) % 1000),
+        }
+    }
+}
+
+/// Splits a code into `(category, subcategory)`: `"N18.5"` → `("N18",
+/// Some("5"))`, `"N18"` → `("N18", None)`.
+pub fn split_code(code: &str) -> (&str, Option<&str>) {
+    match code.split_once('.') {
+        Some((cat, sub)) if !sub.is_empty() => (cat, Some(sub)),
+        Some((cat, _)) => (cat, None),
+        None => (code, None),
+    }
+}
+
+/// Returns the parent code of a dotted code: `"N18.5"` → `Some("N18")`,
+/// and for multi-character subcategories strips one trailing character:
+/// `"S52.52"` → `Some("S52.5")`. Category codes have no parent here.
+pub fn parent_code(code: &str) -> Option<String> {
+    let (cat, sub) = split_code(code);
+    match sub {
+        None => None,
+        Some(s) if s.chars().count() == 1 => Some(cat.to_string()),
+        Some(s) => {
+            let mut chars: Vec<char> = s.chars().collect();
+            chars.pop();
+            let shorter: String = chars.into_iter().collect();
+            Some(format!("{cat}.{shorter}"))
+        }
+    }
+}
+
+/// True if `a` is an ancestor code of `b` (proper prefix in the ICD
+/// hierarchy sense).
+pub fn is_ancestor_code(a: &str, b: &str) -> bool {
+    if a == b {
+        return false;
+    }
+    let (cat_a, sub_a) = split_code(a);
+    let (cat_b, sub_b) = split_code(b);
+    if cat_a != cat_b {
+        return false;
+    }
+    match (sub_a, sub_b) {
+        (None, Some(_)) => true,
+        (Some(sa), Some(sb)) => sb.starts_with(sa) && sa != sb,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_code_variants() {
+        assert_eq!(split_code("N18.5"), ("N18", Some("5")));
+        assert_eq!(split_code("N18"), ("N18", None));
+        assert_eq!(split_code("N18."), ("N18", None));
+        assert_eq!(split_code("S52.521"), ("S52", Some("521")));
+    }
+
+    #[test]
+    fn parent_code_chain() {
+        assert_eq!(parent_code("S52.521"), Some("S52.52".into()));
+        assert_eq!(parent_code("S52.52"), Some("S52.5".into()));
+        assert_eq!(parent_code("S52.5"), Some("S52".into()));
+        assert_eq!(parent_code("S52"), None);
+    }
+
+    #[test]
+    fn ancestor_relation() {
+        assert!(is_ancestor_code("N18", "N18.5"));
+        assert!(is_ancestor_code("S52.5", "S52.521"));
+        assert!(!is_ancestor_code("N18.5", "N18"));
+        assert!(!is_ancestor_code("N18", "N18"));
+        assert!(!is_ancestor_code("N18", "N19.5"));
+        assert!(!is_ancestor_code("N18.5", "N18.9"));
+    }
+
+    #[test]
+    fn category_code_formats() {
+        assert_eq!(IcdRevision::Icd10.category_code(13, 18), "N18");
+        assert_eq!(IcdRevision::Icd9.category_code(6, 10), "250");
+        // Always three characters.
+        assert_eq!(IcdRevision::Icd9.category_code(0, 7).len(), 3);
+        assert_eq!(IcdRevision::Icd10.category_code(0, 7).len(), 3);
+    }
+
+    #[test]
+    fn ancestor_is_consistent_with_parent() {
+        for code in ["N18.5", "S52.521", "A00.0"] {
+            let mut cur = code.to_string();
+            while let Some(p) = parent_code(&cur) {
+                assert!(is_ancestor_code(&p, code), "{p} should be ancestor of {code}");
+                cur = p;
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Concepts: identifier + canonical description + knowledge-base aliases.
+
+use serde::{Deserialize, Serialize};
+
+/// Dense index of a concept inside an [`crate::Ontology`].
+///
+/// Node storage is index-based (no `Rc` cycles); `ConceptId` is a newtype
+/// so ontology indices cannot be confused with word ids or document ids.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct ConceptId(pub u32);
+
+impl ConceptId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A concept `c = {cid, d^c}` (Definition in §2.1), extended with the
+/// alternative descriptions (aliases) that the UMLS knowledge base supplies
+/// per concept (§3, Model Training: "in UMLS … a concept may have
+/// different descriptions in different standards").
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Concept {
+    /// External code, e.g. the ICD-10-CM code `N18.5`.
+    pub code: String,
+    /// Canonical description `d^c`, already normalised
+    /// (lower-case, no punctuation).
+    pub canonical: String,
+    /// Alternative descriptions from the knowledge base; training pairs
+    /// are `⟨canonical, alias⟩` (§4.2, Refinement Phase).
+    pub aliases: Vec<String>,
+}
+
+impl Concept {
+    /// Creates a concept with no aliases.
+    pub fn new(code: impl Into<String>, canonical: impl Into<String>) -> Self {
+        Self {
+            code: code.into(),
+            canonical: canonical.into(),
+            aliases: Vec::new(),
+        }
+    }
+
+    /// Adds an alias, skipping duplicates and copies of the canonical
+    /// description (footnote 9: a pair ⟨x, x⟩ "does not contribute to the
+    /// COM-AID model").
+    pub fn add_alias(&mut self, alias: impl Into<String>) -> bool {
+        let alias = alias.into();
+        if alias == self.canonical || self.aliases.contains(&alias) || alias.is_empty() {
+            return false;
+        }
+        self.aliases.push(alias);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concept_id_round_trip() {
+        let id = ConceptId(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "#7");
+    }
+
+    #[test]
+    fn add_alias_dedups() {
+        let mut c = Concept::new("R10.0", "acute abdomen");
+        assert!(c.add_alias("acute abdominal syndrome"));
+        assert!(!c.add_alias("acute abdominal syndrome"));
+        assert_eq!(c.aliases.len(), 1);
+    }
+
+    #[test]
+    fn add_alias_rejects_canonical_copy() {
+        let mut c = Concept::new("R10.0", "acute abdomen");
+        assert!(!c.add_alias("acute abdomen"));
+        assert!(c.aliases.is_empty());
+    }
+
+    #[test]
+    fn add_alias_rejects_empty() {
+        let mut c = Concept::new("R10.0", "acute abdomen");
+        assert!(!c.add_alias(""));
+    }
+}

@@ -1,0 +1,248 @@
+//! Loading ontologies from flat files.
+//!
+//! Users with access to the real classifications (ICD-9-CM/ICD-10-CM are
+//! freely downloadable; UMLS alias inventories require a licence) can
+//! load them from the common tab-separated layout
+//!
+//! ```text
+//! N18<TAB>Chronic kidney disease
+//! N18.5<TAB>Chronic kidney disease, stage 5
+//! ```
+//!
+//! Parent/child relationships are inferred from the ICD code structure
+//! (`N18.5` under `N18`, `S52.52` under `S52.5`; see
+//! [`crate::codes::parent_code`]). A second loader attaches aliases from
+//! `code<TAB>alias` lines, turning a UMLS `MRCONSO`-style extract into
+//! the training data of §3.
+
+use crate::codes::parent_code;
+use crate::concept::ConceptId;
+use crate::ontology::Ontology;
+use crate::OntologyBuilder;
+use std::collections::HashMap;
+use std::io::BufRead;
+
+/// Errors raised while loading a TSV ontology.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line without a TAB separator (1-based line number included).
+    Malformed(usize),
+    /// A dotted code whose chain of parents never reaches a known
+    /// three-character category.
+    OrphanCode(String),
+    /// Ontology validation failed (duplicate codes, empty descriptions).
+    Invalid(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "ontology load I/O error: {e}"),
+            Self::Malformed(line) => write!(f, "line {line}: expected CODE<TAB>DESCRIPTION"),
+            Self::OrphanCode(c) => write!(f, "code {c:?} has no parent in the file"),
+            Self::Invalid(m) => write!(f, "invalid ontology: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Reads `CODE<TAB>DESCRIPTION` lines into an [`Ontology`].
+///
+/// * Lines starting with `#` and blank lines are skipped.
+/// * Codes may appear in any order; parents are resolved by the ICD code
+///   structure after all lines are read.
+/// * Descriptions are normalised (lower-cased, punctuation stripped).
+pub fn load_ontology_tsv<R: BufRead>(reader: R) -> Result<Ontology, LoadError> {
+    let mut entries: Vec<(String, String)> = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (code, desc) = trimmed
+            .split_once('\t')
+            .ok_or(LoadError::Malformed(i + 1))?;
+        let code = code.trim().to_string();
+        let desc = ncl_text::tokenizer::normalize(desc);
+        if code.is_empty() || desc.is_empty() {
+            return Err(LoadError::Malformed(i + 1));
+        }
+        entries.push((code, desc));
+    }
+
+    // Sort shallow-first so parents are created before children
+    // regardless of file order (depth = number of characters past the
+    // category, which parent_code strips one at a time).
+    entries.sort_by_key(|(code, _)| (code.len(), code.clone()));
+
+    let mut builder = OntologyBuilder::new();
+    let mut by_code: HashMap<String, ConceptId> = HashMap::new();
+    for (code, desc) in &entries {
+        let parent = match parent_code(code) {
+            None => None,
+            Some(p) => Some(
+                by_code
+                    .get(&p)
+                    .copied()
+                    .or_else(|| {
+                        // Dotted chains may skip levels in sparse files:
+                        // climb until a known ancestor is found.
+                        let mut cur = parent_code(&p);
+                        while let Some(c) = cur {
+                            if let Some(&id) = by_code.get(&c) {
+                                return Some(id);
+                            }
+                            cur = parent_code(&c);
+                        }
+                        None
+                    })
+                    .ok_or_else(|| LoadError::OrphanCode(code.clone()))?,
+            ),
+        };
+        let id = match parent {
+            None => builder.add_root_concept(code.clone(), desc.clone()),
+            Some(p) => builder.add_child(p, code.clone(), desc.clone()),
+        };
+        by_code.insert(code.clone(), id);
+    }
+
+    builder
+        .build()
+        .map_err(|e| LoadError::Invalid(e.to_string()))
+}
+
+/// Reads `CODE<TAB>ALIAS` lines and attaches each alias to the matching
+/// concept. Returns `(attached, skipped)` counts — aliases of unknown
+/// codes are counted as skipped rather than failing, because UMLS
+/// extracts routinely cover more codes than one classification file.
+pub fn load_aliases_tsv<R: BufRead>(
+    reader: R,
+    ontology: &mut Ontology,
+) -> Result<(usize, usize), LoadError> {
+    let mut attached = 0;
+    let mut skipped = 0;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let (code, alias) = trimmed
+            .split_once('\t')
+            .ok_or(LoadError::Malformed(i + 1))?;
+        let alias = ncl_text::tokenizer::normalize(alias);
+        match ontology.by_code(code.trim()) {
+            Some(id) if !alias.is_empty() => {
+                if ontology.concept_mut(id).add_alias(alias) {
+                    attached += 1;
+                } else {
+                    skipped += 1; // duplicate / identity alias
+                }
+            }
+            _ => skipped += 1,
+        }
+    }
+    Ok((attached, skipped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# ICD-10-CM extract
+N18\tChronic kidney disease
+N18.5\tChronic kidney disease, stage 5
+N18.9\tChronic kidney disease, unspecified
+S52\tFracture of forearm
+S52.5\tFracture of lower end of radius
+S52.52\tTorus fracture of lower end of radius
+";
+
+    #[test]
+    fn loads_hierarchy_from_codes() {
+        let o = load_ontology_tsv(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(o.num_concepts(), 6);
+        let n185 = o.by_code("N18.5").unwrap();
+        let n18 = o.by_code("N18").unwrap();
+        assert_eq!(o.parent(n185), Some(n18));
+        // Deep chain: S52.52 under S52.5 under S52.
+        let deep = o.by_code("S52.52").unwrap();
+        assert_eq!(o.depth(deep), 3);
+        assert!(o.is_fine_grained(deep));
+        // Descriptions are normalised.
+        assert_eq!(o.concept(n185).canonical, "chronic kidney disease stage 5");
+    }
+
+    #[test]
+    fn order_independent() {
+        let shuffled = "\
+N18.5\tCKD stage 5
+N18\tCKD
+";
+        let o = load_ontology_tsv(shuffled.as_bytes()).unwrap();
+        let child = o.by_code("N18.5").unwrap();
+        assert_eq!(o.parent(child), o.by_code("N18"));
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let src = "\n# comment\nA00\tCholera\n\n";
+        let o = load_ontology_tsv(src.as_bytes()).unwrap();
+        assert_eq!(o.num_concepts(), 1);
+    }
+
+    #[test]
+    fn sparse_chain_climbs_to_known_ancestor() {
+        // S52.521 present without S52.52: attaches to S52.5.
+        let src = "S52\tForearm fracture\nS52.5\tLower radius fracture\nS52.521\tGreenstick\n";
+        let o = load_ontology_tsv(src.as_bytes()).unwrap();
+        let leaf = o.by_code("S52.521").unwrap();
+        assert_eq!(o.parent(leaf), o.by_code("S52.5"));
+    }
+
+    #[test]
+    fn orphan_code_rejected() {
+        let err = load_ontology_tsv("N18.5\tCKD stage 5\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, LoadError::OrphanCode(_)));
+    }
+
+    #[test]
+    fn malformed_line_reports_number() {
+        let err = load_ontology_tsv("A00\tCholera\nbadline\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn duplicate_code_rejected() {
+        let src = "A00\tCholera\nA00\tCholera again\n";
+        let err = load_ontology_tsv(src.as_bytes()).unwrap_err();
+        assert!(matches!(err, LoadError::Invalid(_)));
+    }
+
+    #[test]
+    fn aliases_attach_and_skip() {
+        let mut o = load_ontology_tsv(SAMPLE.as_bytes()).unwrap();
+        let aliases = "\
+N18.5\tCKD stage 5
+N18.5\tend stage renal disease
+Z99\tunknown code alias
+N18.5\tCKD stage 5
+";
+        let (attached, skipped) = load_aliases_tsv(aliases.as_bytes(), &mut o).unwrap();
+        assert_eq!(attached, 2);
+        assert_eq!(skipped, 2); // unknown code + duplicate
+        let n185 = o.by_code("N18.5").unwrap();
+        assert_eq!(o.concept(n185).aliases.len(), 2);
+    }
+}

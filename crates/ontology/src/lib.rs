@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # ncl-ontology
+//!
+//! Tree-structured concept ontologies for the NCL reproduction of
+//! *Fine-grained Concept Linking using Neural Networks in Healthcare*
+//! (Dai et al., SIGMOD 2018).
+//!
+//! Section 2.1 of the paper defines a concept as `{cid, d^c}` — a unique
+//! identifier plus a canonical description — arranged in a tree ontology
+//! `O = ⟨C, E⟩` via *sub-concept* edges; a **fine-grained concept** is a
+//! leaf. Definition 4.1 defines the **structural context** of a concept as
+//! the path of its `β` nearest ancestors, duplicating the first-level
+//! concept when the concept sits shallower than `β`. This crate implements
+//! those definitions plus an ICD-style code type and a validated builder.
+
+pub mod builder;
+pub mod codes;
+pub mod concept;
+pub mod io;
+pub mod ontology;
+
+pub use builder::OntologyBuilder;
+pub use concept::{Concept, ConceptId};
+pub use ontology::Ontology;

@@ -1,0 +1,293 @@
+//! The tree ontology `O = ⟨C, E⟩` of Section 2.1 and the structural
+//! context of Definition 4.1.
+
+use crate::concept::{Concept, ConceptId};
+use std::collections::HashMap;
+
+/// A tree-structured concept ontology.
+///
+/// Concepts are stored in a flat arena indexed by [`ConceptId`]; a single
+/// synthetic **root** node (id 0, code `ROOT`) holds the top-level chapters
+/// so the structure is always a tree even when the source classification
+/// (like ICD) is a forest of chapters. The root is *not* a concept of the
+/// ontology proper: it is excluded from ancestor walks and structural
+/// contexts, exactly as Definition 4.1 excludes it ("the first level
+/// (except the root) concept is duplicated…").
+#[derive(Debug, Clone)]
+pub struct Ontology {
+    concepts: Vec<Concept>,
+    parent: Vec<Option<ConceptId>>,
+    children: Vec<Vec<ConceptId>>,
+    by_code: HashMap<String, ConceptId>,
+}
+
+impl Ontology {
+    pub(crate) fn from_parts(
+        concepts: Vec<Concept>,
+        parent: Vec<Option<ConceptId>>,
+        children: Vec<Vec<ConceptId>>,
+        by_code: HashMap<String, ConceptId>,
+    ) -> Self {
+        Self {
+            concepts,
+            parent,
+            children,
+            by_code,
+        }
+    }
+
+    /// The synthetic root.
+    pub const ROOT: ConceptId = ConceptId(0);
+
+    /// Total node count, including the synthetic root.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    /// True if only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.concepts.len() <= 1
+    }
+
+    /// Number of real concepts (excluding the root).
+    pub fn num_concepts(&self) -> usize {
+        self.concepts.len() - 1
+    }
+
+    /// The concept stored at `id`.
+    pub fn concept(&self, id: ConceptId) -> &Concept {
+        &self.concepts[id.index()]
+    }
+
+    /// Mutable access (used by the feedback controller to append expert
+    /// aliases, Appendix A).
+    pub fn concept_mut(&mut self, id: ConceptId) -> &mut Concept {
+        &mut self.concepts[id.index()]
+    }
+
+    /// Looks a concept up by its external code (e.g. `"N18.5"`).
+    pub fn by_code(&self, code: &str) -> Option<ConceptId> {
+        self.by_code.get(code).copied()
+    }
+
+    /// Parent of `id`; `None` for the root.
+    pub fn parent(&self, id: ConceptId) -> Option<ConceptId> {
+        self.parent[id.index()]
+    }
+
+    /// Children of `id` in insertion order.
+    pub fn children(&self, id: ConceptId) -> &[ConceptId] {
+        &self.children[id.index()]
+    }
+
+    /// Whether `id` is a **fine-grained concept**: a real concept (not the
+    /// root) with no sub-concepts (§2.1: `c ⤳ nil`).
+    pub fn is_fine_grained(&self, id: ConceptId) -> bool {
+        id != Self::ROOT && self.children[id.index()].is_empty()
+    }
+
+    /// All fine-grained concepts, in id order — the candidate set `C'` of
+    /// Definition 2.1.
+    pub fn fine_grained(&self) -> Vec<ConceptId> {
+        (1..self.concepts.len())
+            .map(|i| ConceptId(i as u32))
+            .filter(|&id| self.is_fine_grained(id))
+            .collect()
+    }
+
+    /// All real concepts (excluding the root), in id order.
+    pub fn all_concepts(&self) -> impl Iterator<Item = ConceptId> + '_ {
+        (1..self.concepts.len()).map(|i| ConceptId(i as u32))
+    }
+
+    /// Depth of `id`: the root has depth 0, chapters (first-level
+    /// concepts) depth 1, and so on.
+    pub fn depth(&self, id: ConceptId) -> usize {
+        let mut d = 0;
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            d += 1;
+            cur = p;
+        }
+        d
+    }
+
+    /// Ancestors of `id` from nearest to farthest, excluding the root.
+    pub fn ancestors(&self, id: ConceptId) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        let mut cur = id;
+        while let Some(p) = self.parent(cur) {
+            if p == Self::ROOT {
+                break;
+            }
+            out.push(p);
+            cur = p;
+        }
+        out
+    }
+
+    /// The **structural context** of Definition 4.1: the `β` ancestors
+    /// `⟨c_{l−1}, …, c_{l−β}⟩` whose encoded representations feed the
+    /// structure-based attention (Eq. 7). When the concept sits at depth
+    /// `l < β` below the first level, "the first level (except the root)
+    /// concept is duplicated till the path length … is equal to β"; for a
+    /// first-level concept itself, the concept is its own first-level
+    /// ancestor and is duplicated.
+    ///
+    /// # Panics
+    /// Panics if `beta == 0` or if `id` is the root.
+    pub fn structural_context(&self, id: ConceptId, beta: usize) -> Vec<ConceptId> {
+        assert!(beta > 0, "structural context depth must be positive");
+        assert!(id != Self::ROOT, "the root has no structural context");
+        let mut path = self.ancestors(id);
+        // First-level concept on the path (or the concept itself if it is
+        // first-level).
+        let first_level = path.last().copied().unwrap_or(id);
+        while path.len() < beta {
+            path.push(first_level);
+        }
+        path.truncate(beta);
+        path
+    }
+
+    /// Maximum depth over all concepts — the paper notes "the ontology
+    /// depths of ICD-9-CM and ICD-10-CM are typically less than 3 levels"
+    /// when explaining why accuracy declines for β > 2 (§6.2).
+    pub fn max_depth(&self) -> usize {
+        self.all_concepts().map(|id| self.depth(id)).max().unwrap_or(0)
+    }
+
+    /// Iterator over `(id, concept)` pairs excluding the root.
+    pub fn iter(&self) -> impl Iterator<Item = (ConceptId, &Concept)> {
+        self.concepts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, c)| (ConceptId(i as u32), c))
+    }
+
+    /// Total number of ⟨canonical, alias⟩ training pairs available.
+    pub fn num_labeled_pairs(&self) -> usize {
+        self.iter().map(|(_, c)| c.aliases.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::OntologyBuilder;
+
+    /// Builds the Figure 1(b) fragment: D50→D50.0, D53→{D53.0, D53.2},
+    /// N18→{N18.5, N18.9}, R10→{R10.0, R10.9}.
+    pub(crate) fn figure1b() -> Ontology {
+        let mut b = OntologyBuilder::new();
+        let d50 = b.add_root_concept("D50", "iron deficiency anemia");
+        b.add_child(d50, "D50.0", "iron deficiency anemia secondary to blood loss");
+        let d53 = b.add_root_concept("D53", "other nutritional anemias");
+        b.add_child(d53, "D53.0", "protein deficiency anemia");
+        b.add_child(d53, "D53.2", "scorbutic anemia");
+        let n18 = b.add_root_concept("N18", "chronic kidney disease");
+        b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+        b.add_child(n18, "N18.9", "chronic kidney disease unspecified");
+        let r10 = b.add_root_concept("R10", "abdominal and pelvic pain");
+        b.add_child(r10, "R10.0", "acute abdomen");
+        b.add_child(r10, "R10.9", "unspecified abdominal pain");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fine_grained_matches_paper_example() {
+        let o = figure1b();
+        let fg: Vec<&str> = o
+            .fine_grained()
+            .iter()
+            .map(|&id| o.concept(id).code.as_str())
+            .collect();
+        // §2.1: "the concepts D50.0, D53.0, D53.2, N18.5, N18.9, R10.0,
+        // and R10.9 are fine-grained concepts."
+        assert_eq!(
+            fg,
+            vec!["D50.0", "D53.0", "D53.2", "N18.5", "N18.9", "R10.0", "R10.9"]
+        );
+    }
+
+    #[test]
+    fn inner_concepts_are_not_fine_grained() {
+        let o = figure1b();
+        let d50 = o.by_code("D50").unwrap();
+        assert!(!o.is_fine_grained(d50));
+        assert!(!o.is_fine_grained(Ontology::ROOT));
+    }
+
+    #[test]
+    fn structural_context_beta1_matches_paper() {
+        // "Given a depth β = 1, the structural context of concept D50.0 is
+        // ⟨D50.0, D50⟩" — our representation carries the ancestors, so the
+        // attended set is [D50].
+        let o = figure1b();
+        let d500 = o.by_code("D50.0").unwrap();
+        let ctx = o.structural_context(d500, 1);
+        assert_eq!(ctx.len(), 1);
+        assert_eq!(o.concept(ctx[0]).code, "D50");
+    }
+
+    #[test]
+    fn structural_context_duplicates_first_level() {
+        let o = figure1b();
+        let d500 = o.by_code("D50.0").unwrap();
+        // β = 3 exceeds the depth-2 ontology: D50 is duplicated.
+        let ctx = o.structural_context(d500, 3);
+        let codes: Vec<&str> = ctx.iter().map(|&id| o.concept(id).code.as_str()).collect();
+        assert_eq!(codes, vec!["D50", "D50", "D50"]);
+    }
+
+    #[test]
+    fn structural_context_of_first_level_concept() {
+        let o = figure1b();
+        let d50 = o.by_code("D50").unwrap();
+        let ctx = o.structural_context(d50, 2);
+        let codes: Vec<&str> = ctx.iter().map(|&id| o.concept(id).code.as_str()).collect();
+        assert_eq!(codes, vec!["D50", "D50"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn structural_context_zero_beta_panics() {
+        let o = figure1b();
+        let id = o.by_code("D50.0").unwrap();
+        let _ = o.structural_context(id, 0);
+    }
+
+    #[test]
+    fn depth_and_max_depth() {
+        let o = figure1b();
+        assert_eq!(o.depth(Ontology::ROOT), 0);
+        assert_eq!(o.depth(o.by_code("D50").unwrap()), 1);
+        assert_eq!(o.depth(o.by_code("D50.0").unwrap()), 2);
+        assert_eq!(o.max_depth(), 2);
+    }
+
+    #[test]
+    fn ancestors_exclude_root() {
+        let o = figure1b();
+        let anc = o.ancestors(o.by_code("N18.5").unwrap());
+        assert_eq!(anc.len(), 1);
+        assert_eq!(o.concept(anc[0]).code, "N18");
+        assert!(o.ancestors(o.by_code("N18").unwrap()).is_empty());
+    }
+
+    #[test]
+    fn counts() {
+        let o = figure1b();
+        assert_eq!(o.num_concepts(), 11);
+        assert_eq!(o.fine_grained().len(), 7);
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    fn by_code_lookup() {
+        let o = figure1b();
+        assert!(o.by_code("R10.9").is_some());
+        assert!(o.by_code("Z99").is_none());
+    }
+}

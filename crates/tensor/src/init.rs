@@ -1,0 +1,79 @@
+//! Parameter initialisation.
+//!
+//! The paper says word representations "can be initialized randomly or by our
+//! pre-train techniques" (§4.1.1); the weight matrices themselves need a
+//! sensible scale for LSTM training to converge, so we provide Xavier/Glorot
+//! uniform initialisation alongside plain uniform and Gaussian schemes.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use rand::Rng;
+
+/// Fills a matrix with Xavier/Glorot-uniform values
+/// `U(−√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let bound = (6.0 / (rows + cols) as f32).sqrt();
+    uniform(rows, cols, -bound, bound, rng)
+}
+
+/// Fills a matrix with `U(lo, hi)` values.
+pub fn uniform<R: Rng + ?Sized>(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut R) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    for v in m.as_mut_slice() {
+        *v = rng.gen_range(lo..hi);
+    }
+    m
+}
+
+/// Fills a vector with `U(lo, hi)` values.
+pub fn uniform_vector<R: Rng + ?Sized>(n: usize, lo: f32, hi: f32, rng: &mut R) -> Vector {
+    let mut v = Vector::zeros(n);
+    for x in v.as_mut_slice() {
+        *x = rng.gen_range(lo..hi);
+    }
+    v
+}
+
+/// word2vec-style embedding initialisation: `U(−0.5/d, +0.5/d)` per entry.
+pub fn embedding_uniform<R: Rng + ?Sized>(vocab: usize, dim: usize, rng: &mut R) -> Matrix {
+    let b = 0.5 / dim as f32;
+    uniform(vocab, dim, -b, b, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = xavier_uniform(20, 30, &mut rng);
+        let bound = (6.0f32 / 50.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound));
+        // Not all-zero.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(42));
+        let b = xavier_uniform(4, 4, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn embedding_uniform_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = embedding_uniform(10, 50, &mut rng);
+        assert!(m.as_slice().iter().all(|v| v.abs() <= 0.01));
+    }
+
+    #[test]
+    fn uniform_vector_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let v = uniform_vector(100, -2.0, 3.0, &mut rng);
+        assert!(v.iter().all(|&x| (-2.0..3.0).contains(&x)));
+    }
+}

@@ -1,0 +1,228 @@
+//! Numerically careful activation functions and their derivatives.
+//!
+//! These are exactly the nonlinearities appearing in the COM-AID equations
+//! of Section 4.1: the sigmoid `δ(·)` for the LSTM gates, `tanh(·)` for the
+//! cell candidate and the composite layer (Eq. 8), and `softmax(·)` for the
+//! attention weights (Eq. 5, 7) and the output distribution (Eq. 9).
+
+use crate::vector::Vector;
+
+/// Logistic sigmoid `δ(x) = 1 / (1 + e^{-x})`, evaluated in a form that
+/// never exponentiates a large positive argument.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of the sigmoid expressed through its output:
+/// `δ'(x) = y (1 - y)` where `y = δ(x)`.
+#[inline]
+pub fn sigmoid_grad_from_output(y: f32) -> f32 {
+    y * (1.0 - y)
+}
+
+/// Derivative of `tanh` expressed through its output: `1 - y²`.
+#[inline]
+pub fn tanh_grad_from_output(y: f32) -> f32 {
+    1.0 - y * y
+}
+
+/// Applies the sigmoid element-wise, in place.
+pub fn sigmoid_inplace(v: &mut Vector) {
+    for x in v.as_mut_slice() {
+        *x = sigmoid(*x);
+    }
+}
+
+/// Applies `tanh` element-wise, in place.
+pub fn tanh_inplace(v: &mut Vector) {
+    for x in v.as_mut_slice() {
+        *x = x.tanh();
+    }
+}
+
+/// Returns `tanh` applied element-wise.
+pub fn tanh_vec(v: &Vector) -> Vector {
+    let mut out = v.clone();
+    tanh_inplace(&mut out);
+    out
+}
+
+/// Max-shifted softmax: `softmax(x)_i = e^{x_i - m} / Σ_j e^{x_j - m}`.
+///
+/// The subtraction of the maximum makes the computation immune to overflow
+/// for any finite input. Returns the uniform distribution for an empty or
+/// degenerate input (all `-inf`).
+pub fn softmax(x: &Vector) -> Vector {
+    let n = x.len();
+    if n == 0 {
+        return Vector::zeros(0);
+    }
+    let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    if !m.is_finite() {
+        return Vector::full(n, 1.0 / n as f32);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut sum = 0.0f32;
+    for &v in x.iter() {
+        let e = (v - m).exp();
+        sum += e;
+        out.push(e);
+    }
+    let inv = 1.0 / sum;
+    for o in &mut out {
+        *o *= inv;
+    }
+    Vector::from_vec(out)
+}
+
+/// Log-softmax, computed with the log-sum-exp trick. Needed for the loss
+/// `−log p(q|c; Θ)` of Eq. 10 without floating-point underflow — the same
+/// concern Appendix A raises when it defines `Loss = −log p(q|c; Θ)`.
+pub fn log_softmax(x: &Vector) -> Vector {
+    let n = x.len();
+    if n == 0 {
+        return Vector::zeros(0);
+    }
+    let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let lse = m + x.iter().map(|&v| (v - m).exp()).sum::<f32>().ln();
+    Vector::from_vec(x.iter().map(|&v| v - lse).collect())
+}
+
+/// Backward pass through a softmax: given the output `y = softmax(x)` and
+/// the upstream gradient `dy`, returns `dx = (diag(y) − y yᵀ) dy`, i.e.
+/// `dx_i = y_i (dy_i − Σ_j y_j dy_j)`.
+pub fn softmax_backward(y: &Vector, dy: &Vector) -> Vector {
+    assert_eq!(y.len(), dy.len(), "softmax_backward: dimension mismatch");
+    let s = y.dot(dy);
+    Vector::from_vec(
+        y.iter()
+            .zip(dy.iter())
+            .map(|(&yi, &dyi)| yi * (dyi - s))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sigmoid_midpoint_and_limits() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+        assert!(sigmoid(40.0) > 0.999_999);
+        assert!(sigmoid(-40.0) < 1e-6);
+        assert!(sigmoid(1000.0).is_finite());
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn sigmoid_symmetry() {
+        for x in [-3.0f32, -0.5, 0.7, 2.0] {
+            assert!((sigmoid(x) + sigmoid(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_grad_matches_finite_difference() {
+        let h = 1e-3f32;
+        for x in [-2.0f32, 0.0, 1.5] {
+            let fd = (sigmoid(x + h) - sigmoid(x - h)) / (2.0 * h);
+            let an = sigmoid_grad_from_output(sigmoid(x));
+            assert!((fd - an).abs() < 1e-3, "x={x}: fd={fd}, an={an}");
+        }
+    }
+
+    #[test]
+    fn tanh_grad_matches_finite_difference() {
+        let h = 1e-3f32;
+        for x in [-2.0f32, 0.0, 1.5] {
+            let fd = ((x + h).tanh() - (x - h).tanh()) / (2.0 * h);
+            let an = tanh_grad_from_output(x.tanh());
+            assert!((fd - an).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let x = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let y = softmax(&x);
+        assert!((y.sum() - 1.0).abs() < 1e-6);
+        assert!(y[2] > y[1] && y[1] > y[0]);
+    }
+
+    #[test]
+    fn softmax_overflow_safe() {
+        let x = Vector::from_slice(&[1000.0, 1000.0]);
+        let y = softmax(&x);
+        assert!(y.is_finite());
+        assert!((y[0] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_empty() {
+        assert_eq!(softmax(&Vector::zeros(0)).len(), 0);
+    }
+
+    #[test]
+    fn log_softmax_consistency() {
+        let x = Vector::from_slice(&[0.1, -2.0, 3.5, 0.0]);
+        let s = softmax(&x);
+        let ls = log_softmax(&x);
+        for i in 0..x.len() {
+            assert!((s[i].ln() - ls[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_backward_matches_finite_difference() {
+        let x = Vector::from_slice(&[0.2, -0.4, 1.0]);
+        let dy = Vector::from_slice(&[0.3, -0.1, 0.7]);
+        let an = softmax_backward(&softmax(&x), &dy);
+        let h = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp[i] += h;
+            let mut xm = x.clone();
+            xm[i] -= h;
+            let fp = softmax(&xp).dot(&dy);
+            let fm = softmax(&xm).dot(&dy);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!((fd - an[i]).abs() < 1e-3, "i={i}: fd={fd}, an={}", an[i]);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn softmax_simplex(x in proptest::collection::vec(-20.0f32..20.0, 1..24)) {
+            let y = softmax(&Vector::from_slice(&x));
+            prop_assert!((y.sum() - 1.0).abs() < 1e-4);
+            prop_assert!(y.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+
+        #[test]
+        fn softmax_shift_invariance(
+            x in proptest::collection::vec(-5.0f32..5.0, 2..16),
+            c in -10.0f32..10.0,
+        ) {
+            let a = softmax(&Vector::from_slice(&x));
+            let shifted: Vec<f32> = x.iter().map(|v| v + c).collect();
+            let b = softmax(&Vector::from_slice(&shifted));
+            for i in 0..x.len() {
+                prop_assert!((a[i] - b[i]).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn log_softmax_nonpositive(x in proptest::collection::vec(-10.0f32..10.0, 1..16)) {
+            let ls = log_softmax(&Vector::from_slice(&x));
+            prop_assert!(ls.iter().all(|&v| v <= 1e-5));
+        }
+    }
+}

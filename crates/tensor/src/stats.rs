@@ -1,0 +1,154 @@
+//! Descriptive statistics used by the feedback controller (Appendix A uses
+//! the standard deviation of candidate losses as an uncertainty signal) and
+//! by the experiment harness when averaging over query groups (§6.1 reports
+//! means over 10 groups of 484 queries).
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population standard deviation; `0.0` for fewer than two samples.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Minimum of a slice; `None` if empty. NaNs are ignored.
+pub fn min(xs: &[f32]) -> Option<f32> {
+    xs.iter().copied().filter(|x| !x.is_nan()).reduce(f32::min)
+}
+
+/// Maximum of a slice; `None` if empty. NaNs are ignored.
+pub fn max(xs: &[f32]) -> Option<f32> {
+    xs.iter().copied().filter(|x| !x.is_nan()).reduce(f32::max)
+}
+
+/// Linear-interpolation percentile (`p` in `[0, 100]`); `None` if empty.
+pub fn percentile(xs: &[f32], p: f32) -> Option<f32> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f32> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f32;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f32;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// Online mean/std accumulator (Welford), handy when streaming losses
+/// through the feedback controller without storing them all.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f32) {
+        self.n += 1;
+        let delta = x as f64 - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x as f64 - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Current mean; `0.0` if empty.
+    pub fn mean(&self) -> f32 {
+        self.mean as f32
+    }
+
+    /// Current population standard deviation; `0.0` with < 2 observations.
+    pub fn std_dev(&self) -> f32 {
+        if self.n < 2 {
+            0.0
+        } else {
+            ((self.m2 / self.n as f64).max(0.0)).sqrt() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_and_std_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_slices() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(min(&[]), None);
+        assert_eq!(max(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(percentile(&[3.0], 99.0), Some(3.0));
+    }
+
+    #[test]
+    fn percentile_median() {
+        let xs = [1.0, 3.0, 2.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 50.0), Some(3.0));
+        assert_eq!(percentile(&xs, 0.0), Some(1.0));
+        assert_eq!(percentile(&xs, 100.0), Some(5.0));
+    }
+
+    #[test]
+    fn running_stats_matches_batch() {
+        let xs = [1.0f32, -2.0, 7.5, 0.0, 3.25];
+        let mut rs = RunningStats::new();
+        for &x in &xs {
+            rs.push(x);
+        }
+        assert_eq!(rs.count(), 5);
+        assert!((rs.mean() - mean(&xs)).abs() < 1e-5);
+        assert!((rs.std_dev() - std_dev(&xs)).abs() < 1e-5);
+    }
+
+    proptest! {
+        #[test]
+        fn welford_agrees_with_two_pass(xs in proptest::collection::vec(-100.0f32..100.0, 2..64)) {
+            let mut rs = RunningStats::new();
+            for &x in &xs { rs.push(x); }
+            prop_assert!((rs.mean() - mean(&xs)).abs() < 1e-2);
+            prop_assert!((rs.std_dev() - std_dev(&xs)).abs() < 1e-2);
+        }
+
+        #[test]
+        fn percentile_within_range(xs in proptest::collection::vec(-100.0f32..100.0, 1..64),
+                                   p in 0.0f32..100.0) {
+            let v = percentile(&xs, p).unwrap();
+            prop_assert!(v >= min(&xs).unwrap() - 1e-4);
+            prop_assert!(v <= max(&xs).unwrap() + 1e-4);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Abbreviation and acronym rules.
+//!
+//! Clinical snippets abbreviate aggressively — the paper's running examples
+//! include `ckd` → *chronic kidney disease*, `dm` → *diabetes mellitus*,
+//! `fe def` → *iron deficiency* and `2'` → *secondary*. Two consumers need
+//! systematic rules rather than a fixed dictionary:
+//!
+//! * the pkduck baseline (Tao et al., VLDB 2018) joins strings under a
+//!   *prefix-abbreviation* rule set,
+//! * the synthetic query generator corrupts canonical descriptions the same
+//!   way clinicians do.
+
+/// Returns the acronym of a multi-word phrase: first letter of each
+/// non-numeric token (`chronic kidney disease` → `ckd`). Numeric tokens are
+/// kept verbatim, matching snippets like `ckd 5`.
+pub fn acronym<S: AsRef<str>>(tokens: &[S]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        let t = t.as_ref();
+        if t.chars().all(|c| c.is_ascii_digit()) {
+            out.push_str(t);
+        } else if let Some(c) = t.chars().next() {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Returns true if `abbr` is a *prefix abbreviation* of `word`: a
+/// non-empty prefix at most as long as the word (`def` ⊑ `deficiency`,
+/// `chr` ⊑ `chronic`). Single-character prefixes are allowed (pkduck's
+/// generation rule), callers may impose stricter minimums.
+pub fn is_prefix_abbrev(abbr: &str, word: &str) -> bool {
+    !abbr.is_empty() && abbr.len() <= word.len() && word.starts_with(abbr)
+}
+
+/// Returns true if `abbr` could abbreviate `word` by *subsequence with
+/// matching first letter* — the rule covering vowel-dropped forms such as
+/// `dsease` ⊑ `disease` or `hemorrhg` ⊑ `hemorrhage`.
+pub fn is_subsequence_abbrev(abbr: &str, word: &str) -> bool {
+    if abbr.is_empty() || abbr.len() > word.len() {
+        return false;
+    }
+    let mut wi = word.chars();
+    let mut first = true;
+    for ac in abbr.chars() {
+        let mut found = false;
+        for wc in wi.by_ref() {
+            if first {
+                // First characters must agree, else `bc` would abbreviate
+                // `abcd`.
+                if wc != ac {
+                    return false;
+                }
+                first = false;
+                found = true;
+                break;
+            }
+            if wc == ac {
+                found = true;
+                break;
+            }
+        }
+        if !found {
+            return false;
+        }
+    }
+    true
+}
+
+/// Produces the standard abbreviated variants of a single word, shortest
+/// first: 2–4 character prefixes and the vowel-dropped form. Words of
+/// three characters or fewer abbreviate to themselves only.
+pub fn abbreviations(word: &str) -> Vec<String> {
+    let n = word.chars().count();
+    if n <= 3 {
+        return vec![word.to_string()];
+    }
+    let chars: Vec<char> = word.chars().collect();
+    let mut out = Vec::new();
+    for len in 2..=4.min(n - 1) {
+        out.push(chars[..len].iter().collect());
+    }
+    // Vowel-dropped form keeps the first character and all consonants.
+    let dropped: String = chars
+        .iter()
+        .enumerate()
+        .filter(|(i, c)| *i == 0 || !matches!(c, 'a' | 'e' | 'i' | 'o' | 'u'))
+        .map(|(_, c)| *c)
+        .collect();
+    if dropped.len() >= 2 && dropped != *word {
+        out.push(dropped);
+    }
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn acronym_of_ckd() {
+        assert_eq!(acronym(&["chronic", "kidney", "disease"]), "ckd");
+    }
+
+    #[test]
+    fn acronym_keeps_numbers() {
+        assert_eq!(acronym(&["chronic", "kidney", "disease", "stage", "5"]), "ckds5");
+    }
+
+    #[test]
+    fn acronym_of_empty() {
+        let empty: [&str; 0] = [];
+        assert_eq!(acronym(&empty), "");
+    }
+
+    #[test]
+    fn prefix_abbrev_cases() {
+        assert!(is_prefix_abbrev("def", "deficiency"));
+        assert!(is_prefix_abbrev("chr", "chronic"));
+        assert!(is_prefix_abbrev("deficiency", "deficiency"));
+        assert!(!is_prefix_abbrev("", "deficiency"));
+        assert!(!is_prefix_abbrev("xyz", "deficiency"));
+        assert!(!is_prefix_abbrev("deficiencyy", "deficiency"));
+    }
+
+    #[test]
+    fn subsequence_abbrev_cases() {
+        assert!(is_subsequence_abbrev("dsease", "disease"));
+        assert!(is_subsequence_abbrev("hemorrhg", "hemorrhage"));
+        assert!(is_subsequence_abbrev("disease", "disease"));
+        // First letters must match.
+        assert!(!is_subsequence_abbrev("isease", "disease"));
+        // Not a subsequence at all.
+        assert!(!is_subsequence_abbrev("dx", "disease"));
+        assert!(!is_subsequence_abbrev("", "disease"));
+    }
+
+    #[test]
+    fn abbreviations_of_chronic() {
+        let abbrs = abbreviations("chronic");
+        assert!(abbrs.contains(&"ch".to_string()));
+        assert!(abbrs.contains(&"chr".to_string()));
+        assert!(abbrs.contains(&"chrnc".to_string())); // vowel-dropped
+    }
+
+    #[test]
+    fn short_words_unchanged() {
+        assert_eq!(abbreviations("ckd"), vec!["ckd"]);
+        assert_eq!(abbreviations("fe"), vec!["fe"]);
+    }
+
+    proptest! {
+        #[test]
+        fn every_abbreviation_is_recognised(word in "[a-z]{4,12}") {
+            for abbr in abbreviations(&word) {
+                prop_assert!(
+                    is_prefix_abbrev(&abbr, &word) || is_subsequence_abbrev(&abbr, &word),
+                    "abbr {} of {} not recognised", abbr, word
+                );
+            }
+        }
+
+        #[test]
+        fn prefix_implies_subsequence(word in "[a-z]{1,12}", len in 1usize..6) {
+            let abbr: String = word.chars().take(len).collect();
+            if is_prefix_abbrev(&abbr, &word) {
+                prop_assert!(is_subsequence_abbrev(&abbr, &word));
+            }
+        }
+    }
+}

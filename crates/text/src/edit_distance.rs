@@ -1,0 +1,190 @@
+//! Levenshtein and Damerau–Levenshtein edit distances.
+//!
+//! Section 5 Phase I: when an out-of-vocabulary query word (e.g. the typo
+//! `neuropaty`) is not even in the embedding vocabulary `Ω'`, NCL "will
+//! first look for its textually similar word in Ω' (e.g., using
+//! edit-distance)". The Damerau variant additionally counts adjacent
+//! transpositions as a single edit, which matches the dominant class of
+//! clinical typos.
+
+/// Classic Levenshtein distance (insertions, deletions, substitutions),
+/// computed over Unicode scalar values with a two-row dynamic program.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Damerau–Levenshtein distance (restricted: adjacent transpositions count
+/// as one edit and substrings are not edited twice).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Three rolling rows: i-2, i-1, i.
+    let mut d = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for (j, cell) in d[0].iter_mut().enumerate() {
+        *cell = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (d[i - 1][j] + 1)
+                .min(d[i][j - 1] + 1)
+                .min(d[i - 1][j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(d[i - 2][j - 2] + 1);
+            }
+            d[i][j] = best;
+        }
+    }
+    d[n][m]
+}
+
+/// Edit similarity in `[0, 1]`: `1 − dist / max_len`, using the Damerau
+/// variant. Two empty strings are maximally similar.
+pub fn edit_similarity(a: &str, b: &str) -> f32 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - damerau_levenshtein(a, b) as f32 / max_len as f32
+}
+
+/// Finds the candidate with the smallest Damerau–Levenshtein distance to
+/// `word`, subject to `max_dist`. Ties break to the earlier candidate.
+pub fn nearest_by_edit<'a, I>(word: &str, candidates: I, max_dist: usize) -> Option<&'a str>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    let mut best: Option<(&'a str, usize)> = None;
+    for cand in candidates {
+        let d = damerau_levenshtein(word, cand);
+        if d <= max_dist && best.is_none_or(|(_, bd)| d < bd) {
+            best = Some((cand, d));
+            if d == 0 {
+                break;
+            }
+        }
+    }
+    best.map(|(c, _)| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identical_strings_are_zero() {
+        assert_eq!(levenshtein("anemia", "anemia"), 0);
+        assert_eq!(damerau_levenshtein("anemia", "anemia"), 0);
+    }
+
+    #[test]
+    fn paper_typo_example() {
+        // "neuropaty" is one deletion away from "neuropathy" (§5).
+        assert_eq!(levenshtein("neuropaty", "neuropathy"), 1);
+    }
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+    }
+
+    #[test]
+    fn transposition_counts_once_in_damerau() {
+        assert_eq!(levenshtein("caht", "chat"), 2);
+        assert_eq!(damerau_levenshtein("caht", "chat"), 1);
+    }
+
+    #[test]
+    fn edit_similarity_bounds() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn nearest_by_edit_picks_closest() {
+        let vocab = ["neuropathy", "nephropathy", "neoplasm"];
+        assert_eq!(
+            nearest_by_edit("neuropaty", vocab.iter().copied(), 2),
+            Some("neuropathy")
+        );
+        assert_eq!(nearest_by_edit("zzzzz", vocab.iter().copied(), 2), None);
+    }
+
+    #[test]
+    fn nearest_by_edit_exact_match_short_circuits() {
+        let vocab = ["alpha", "beta"];
+        assert_eq!(
+            nearest_by_edit("beta", vocab.iter().copied(), 3),
+            Some("beta")
+        );
+    }
+
+    #[test]
+    fn unicode_safe() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    proptest! {
+        /// Metric axioms for Levenshtein on short ASCII strings.
+        #[test]
+        fn symmetry(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+            prop_assert_eq!(damerau_levenshtein(&a, &b), damerau_levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn identity_of_indiscernibles(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            let d = levenshtein(&a, &b);
+            prop_assert_eq!(d == 0, a == b);
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-z]{0,8}", b in "[a-z]{0,8}", c in "[a-z]{0,8}") {
+            prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        }
+
+        #[test]
+        fn damerau_never_exceeds_levenshtein(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            prop_assert!(damerau_levenshtein(&a, &b) <= levenshtein(&a, &b));
+        }
+
+        #[test]
+        fn bounded_by_longer_length(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+            let d = levenshtein(&a, &b);
+            prop_assert!(d <= a.len().max(b.len()));
+            prop_assert!(d >= a.len().abs_diff(b.len()));
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Character n-gram extraction.
+//!
+//! The LR baseline of Tsuruoka et al. (extended to LR⁺ in §6.1 of the
+//! paper) represents a string pair through character-bigram overlap; the
+//! pkduck baseline measures token-set similarity. Both consume the n-gram
+//! primitives here.
+
+use std::collections::HashMap;
+
+/// Returns the multiset of character `n`-grams of `s` as a count map.
+///
+/// Strings shorter than `n` contribute a single gram equal to the whole
+/// string (so very short clinical tokens like `fe` still produce a
+/// signature).
+pub fn char_ngrams(s: &str, n: usize) -> HashMap<String, u32> {
+    assert!(n > 0, "ngram: n must be positive");
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = HashMap::new();
+    if chars.is_empty() {
+        return out;
+    }
+    if chars.len() < n {
+        *out.entry(s.to_string()).or_insert(0) += 1;
+        return out;
+    }
+    for w in chars.windows(n) {
+        *out.entry(w.iter().collect()).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Dice coefficient between the n-gram multisets of `a` and `b`:
+/// `2·|A ∩ B| / (|A| + |B|)`, in `[0, 1]`.
+pub fn ngram_dice(a: &str, b: &str, n: usize) -> f32 {
+    let ga = char_ngrams(a, n);
+    let gb = char_ngrams(b, n);
+    let total: u32 = ga.values().sum::<u32>() + gb.values().sum::<u32>();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut inter = 0u32;
+    for (g, &ca) in &ga {
+        if let Some(&cb) = gb.get(g) {
+            inter += ca.min(cb);
+        }
+    }
+    2.0 * inter as f32 / total as f32
+}
+
+/// Jaccard similarity between two token sets: `|A ∩ B| / |A ∪ B|`.
+pub fn token_jaccard<S: AsRef<str>>(a: &[S], b: &[S]) -> f32 {
+    use std::collections::HashSet;
+    let sa: HashSet<&str> = a.iter().map(|s| s.as_ref()).collect();
+    let sb: HashSet<&str> = b.iter().map(|s| s.as_ref()).collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 0.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f32 / union as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bigrams_of_anemia() {
+        let g = char_ngrams("anemia", 2);
+        assert_eq!(g.get("an"), Some(&1));
+        assert_eq!(g.get("ne"), Some(&1));
+        assert_eq!(g.get("mi"), Some(&1));
+        assert_eq!(g.values().sum::<u32>(), 5);
+    }
+
+    #[test]
+    fn repeated_grams_counted() {
+        let g = char_ngrams("aaa", 2);
+        assert_eq!(g.get("aa"), Some(&2));
+    }
+
+    #[test]
+    fn short_string_whole_gram() {
+        let g = char_ngrams("fe", 3);
+        assert_eq!(g.get("fe"), Some(&1));
+    }
+
+    #[test]
+    fn empty_string_no_grams() {
+        assert!(char_ngrams("", 2).is_empty());
+    }
+
+    #[test]
+    fn dice_identical_is_one() {
+        assert!((ngram_dice("anemia", "anemia", 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dice_disjoint_is_zero() {
+        assert_eq!(ngram_dice("abc", "xyz", 2), 0.0);
+    }
+
+    #[test]
+    fn dice_similar_words_high() {
+        // The typo pair the paper motivates query rewriting with.
+        assert!(ngram_dice("neuropaty", "neuropathy", 2) > 0.7);
+        assert!(ngram_dice("neuropaty", "testis", 2) < 0.3);
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        let a = ["iron", "deficiency", "anemia"];
+        let b = ["anemia", "iron"];
+        assert!((token_jaccard(&a, &b) - 2.0 / 3.0).abs() < 1e-6);
+        let empty: [&str; 0] = [];
+        assert_eq!(token_jaccard(&empty, &empty), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn dice_in_unit_interval(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            let d = ngram_dice(&a, &b, 2);
+            prop_assert!((0.0..=1.0).contains(&d));
+        }
+
+        #[test]
+        fn dice_symmetric(a in "[a-z]{0,12}", b in "[a-z]{0,12}") {
+            prop_assert!((ngram_dice(&a, &b, 2) - ngram_dice(&b, &a, 2)).abs() < 1e-6);
+        }
+
+        #[test]
+        fn gram_count_is_len_minus_n_plus_one(s in "[a-z]{3,16}") {
+            let total: u32 = char_ngrams(&s, 3).values().sum();
+            prop_assert_eq!(total as usize, s.len() - 2);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! TF-IDF weighted cosine retrieval over an inverted index.
+//!
+//! Section 5, Phase I: "We generate candidate concepts using keyword
+//! search. More specifically, we compute the cosine similarity between each
+//! concept and query q with the TF-IDF weighting scheme, and then return
+//! the top-k concepts with the largest similarity as the candidates."
+//! Appendix B.1 notes that longer queries examine "more postings in the
+//! inverted index", so the index is explicitly posting-list based.
+
+use std::collections::HashMap;
+
+/// A document's id within a [`TfIdfIndex`]; callers map it to a concept.
+pub type DocId = usize;
+
+/// Inverted index with TF-IDF weights and cosine scoring.
+///
+/// Documents are token sequences (typically a concept's canonical
+/// description, optionally concatenated with its aliases). Scores are the
+/// cosine between the TF-IDF vectors of the query and the document.
+#[derive(Debug, Clone)]
+pub struct TfIdfIndex {
+    /// term → postings `(doc, tf-idf weight)`.
+    postings: HashMap<String, Vec<(DocId, f32)>>,
+    /// Per-document L2 norm of its TF-IDF vector.
+    doc_norms: Vec<f32>,
+    /// term → idf, shared with query weighting.
+    idf: HashMap<String, f32>,
+    num_docs: usize,
+}
+
+impl TfIdfIndex {
+    /// Builds the index over `docs`, where each document is a token list.
+    pub fn build<S: AsRef<str>>(docs: &[Vec<S>]) -> Self {
+        let num_docs = docs.len();
+        // Document frequencies.
+        let mut df: HashMap<&str, usize> = HashMap::new();
+        for doc in docs {
+            let mut seen: Vec<&str> = doc.iter().map(|t| t.as_ref()).collect();
+            seen.sort_unstable();
+            seen.dedup();
+            for t in seen {
+                *df.entry(t).or_insert(0) += 1;
+            }
+        }
+        // Smoothed idf, always positive so single-document corpora still
+        // retrieve.
+        let idf: HashMap<String, f32> = df
+            .into_iter()
+            .map(|(t, d)| {
+                (
+                    t.to_string(),
+                    ((1.0 + num_docs as f32) / (1.0 + d as f32)).ln() + 1.0,
+                )
+            })
+            .collect();
+
+        let mut postings: HashMap<String, Vec<(DocId, f32)>> = HashMap::new();
+        let mut doc_norms = vec![0.0f32; num_docs];
+        for (doc_id, doc) in docs.iter().enumerate() {
+            let mut tf: HashMap<&str, f32> = HashMap::new();
+            for t in doc {
+                *tf.entry(t.as_ref()).or_insert(0.0) += 1.0;
+            }
+            let mut norm_sq = 0.0f32;
+            for (t, f) in tf {
+                let w = f * idf[t];
+                norm_sq += w * w;
+                postings
+                    .entry(t.to_string())
+                    .or_default()
+                    .push((doc_id, w));
+            }
+            doc_norms[doc_id] = norm_sq.sqrt();
+        }
+
+        Self {
+            postings,
+            doc_norms,
+            idf,
+            num_docs,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Whether the index holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.num_docs == 0
+    }
+
+    /// Whether `term` occurs in any indexed document — this is the paper's
+    /// description vocabulary `Ω` membership test used by query rewriting.
+    pub fn contains_term(&self, term: &str) -> bool {
+        self.postings.contains_key(term)
+    }
+
+    /// Iterator over the indexed vocabulary `Ω`.
+    pub fn terms(&self) -> impl Iterator<Item = &str> {
+        self.postings.keys().map(|s| s.as_str())
+    }
+
+    /// Number of postings examined by `query` — the cost driver measured
+    /// in Figure 11(c)/(d) ("more postings in the inverted index are
+    /// examined" as |q| grows).
+    pub fn postings_examined<S: AsRef<str>>(&self, query: &[S]) -> usize {
+        query
+            .iter()
+            .filter_map(|t| self.postings.get(t.as_ref()))
+            .map(|p| p.len())
+            .sum()
+    }
+
+    /// Returns the `k` documents with the highest TF-IDF cosine similarity
+    /// to `query`, best first. Documents with zero overlap are omitted, so
+    /// fewer than `k` results may come back — the sub-linear growth the
+    /// paper observes in Figure 11(a)/(b) when "the desired number of
+    /// candidate concepts may not be met".
+    pub fn top_k<S: AsRef<str>>(&self, query: &[S], k: usize) -> Vec<(DocId, f32)> {
+        if k == 0 || query.is_empty() {
+            return Vec::new();
+        }
+        // Query TF-IDF weights.
+        let mut qtf: HashMap<&str, f32> = HashMap::new();
+        for t in query {
+            *qtf.entry(t.as_ref()).or_insert(0.0) += 1.0;
+        }
+        let mut qnorm_sq = 0.0f32;
+        let mut scores: HashMap<DocId, f32> = HashMap::new();
+        for (t, f) in qtf {
+            let Some(idf) = self.idf.get(t) else { continue };
+            let qw = f * idf;
+            qnorm_sq += qw * qw;
+            if let Some(plist) = self.postings.get(t) {
+                for &(doc, dw) in plist {
+                    *scores.entry(doc).or_insert(0.0) += qw * dw;
+                }
+            }
+        }
+        if qnorm_sq <= f32::EPSILON {
+            return Vec::new();
+        }
+        let qnorm = qnorm_sq.sqrt();
+        let mut results: Vec<(DocId, f32)> = scores
+            .into_iter()
+            .map(|(doc, dot)| {
+                let dn = self.doc_norms[doc];
+                let cos = if dn > f32::EPSILON {
+                    dot / (qnorm * dn)
+                } else {
+                    0.0
+                };
+                (doc, cos)
+            })
+            .collect();
+        results.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        results.truncate(k);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn index() -> TfIdfIndex {
+        let docs: Vec<Vec<String>> = [
+            "iron deficiency anemia",                      // 0 (D50)
+            "iron deficiency anemia secondary to blood loss", // 1 (D50.0)
+            "protein deficiency anemia",                   // 2 (D53.0)
+            "scorbutic anemia",                            // 3 (D53.2)
+            "chronic kidney disease stage 5",              // 4 (N18.5)
+            "acute abdomen",                               // 5 (R10.0)
+            "unspecified abdominal pain",                  // 6 (R10.9)
+        ]
+        .iter()
+        .map(|s| tokenize(s))
+        .collect();
+        TfIdfIndex::build(&docs)
+    }
+
+    #[test]
+    fn exact_description_ranks_first() {
+        let idx = index();
+        let q = tokenize("acute abdomen");
+        let hits = idx.top_k(&q, 3);
+        assert_eq!(hits[0].0, 5);
+        assert!(hits[0].1 > 0.99);
+    }
+
+    #[test]
+    fn rare_words_dominate_common_ones() {
+        let idx = index();
+        // "anemia" appears in four docs; "scorbutic" in one. The rare word
+        // should pull doc 3 to the top.
+        let hits = idx.top_k(&tokenize("scorbutic anemia condition"), 2);
+        assert_eq!(hits[0].0, 3);
+    }
+
+    #[test]
+    fn no_overlap_returns_empty() {
+        let idx = index();
+        assert!(idx.top_k(&tokenize("zzz qqq"), 5).is_empty());
+    }
+
+    #[test]
+    fn k_zero_and_empty_query() {
+        let idx = index();
+        assert!(idx.top_k(&tokenize("anemia"), 0).is_empty());
+        assert!(idx.top_k(&Vec::<String>::new(), 5).is_empty());
+    }
+
+    #[test]
+    fn fewer_than_k_results_possible() {
+        let idx = index();
+        let hits = idx.top_k(&tokenize("scorbutic"), 10);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn scores_monotone_nonincreasing() {
+        let idx = index();
+        let hits = idx.top_k(&tokenize("iron deficiency anemia"), 7);
+        for w in hits.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn contains_term_reflects_corpus() {
+        let idx = index();
+        assert!(idx.contains_term("anemia"));
+        assert!(!idx.contains_term("ckd"));
+    }
+
+    #[test]
+    fn postings_examined_grows_with_query_len() {
+        let idx = index();
+        let short = idx.postings_examined(&tokenize("anemia"));
+        let long = idx.postings_examined(&tokenize("anemia iron deficiency"));
+        assert!(long > short);
+        assert_eq!(idx.postings_examined(&tokenize("zzz")), 0);
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = TfIdfIndex::build(&Vec::<Vec<String>>::new());
+        assert!(idx.is_empty());
+        assert!(idx.top_k(&tokenize("anemia"), 3).is_empty());
+    }
+
+    #[test]
+    fn cosine_scores_bounded() {
+        let idx = index();
+        for (_, s) in idx.top_k(&tokenize("iron deficiency anemia secondary"), 7) {
+            assert!((0.0..=1.0 + 1e-5).contains(&s));
+        }
+    }
+}

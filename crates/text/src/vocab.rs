@@ -1,0 +1,186 @@
+//! Word ↔ id interning.
+//!
+//! COM-AID's softmax output layer is sized `|V| × d` (Eq. 9), so every word
+//! that can appear in a decoded query must be interned. The paper maintains
+//! two vocabularies (§5 Phase I): `Ω`, the words of the concept
+//! descriptions, and the larger `Ω'` that also covers the unlabeled
+//! snippets; [`Vocab`] serves both roles.
+
+use std::collections::HashMap;
+
+/// Dense integer id of an interned word.
+pub type WordId = u32;
+
+/// An interning vocabulary with reserved special tokens.
+///
+/// Ids `0..3` are reserved: [`Vocab::UNK`] for out-of-vocabulary words,
+/// [`Vocab::BOS`]/[`Vocab::EOS`] marking sequence boundaries for the
+/// decoder (the chain rule of Eq. 3 needs a terminal symbol so that
+/// `p(q|c)` is a proper distribution over variable-length queries), and
+/// [`Vocab::PAD`] for fixed-width batches.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct Vocab {
+    word_to_id: HashMap<String, WordId>,
+    id_to_word: Vec<String>,
+}
+
+impl Vocab {
+    /// Unknown-word token id.
+    pub const UNK: WordId = 0;
+    /// Beginning-of-sequence token id.
+    pub const BOS: WordId = 1;
+    /// End-of-sequence token id.
+    pub const EOS: WordId = 2;
+    /// Padding token id.
+    pub const PAD: WordId = 3;
+
+    /// Creates a vocabulary containing only the special tokens.
+    pub fn new() -> Self {
+        let specials = ["<unk>", "<s>", "</s>", "<pad>"];
+        let mut v = Self {
+            word_to_id: HashMap::new(),
+            id_to_word: Vec::new(),
+        };
+        for s in specials {
+            let id = v.id_to_word.len() as WordId;
+            v.word_to_id.insert(s.to_string(), id);
+            v.id_to_word.push(s.to_string());
+        }
+        v
+    }
+
+    /// Interns `word`, returning its id (existing or fresh).
+    pub fn add(&mut self, word: &str) -> WordId {
+        if let Some(&id) = self.word_to_id.get(word) {
+            return id;
+        }
+        let id = self.id_to_word.len() as WordId;
+        self.word_to_id.insert(word.to_string(), id);
+        self.id_to_word.push(word.to_string());
+        id
+    }
+
+    /// Interns every token of an iterator.
+    pub fn add_all<'a, I: IntoIterator<Item = &'a str>>(&mut self, words: I) {
+        for w in words {
+            self.add(w);
+        }
+    }
+
+    /// Looks a word up without interning.
+    pub fn get(&self, word: &str) -> Option<WordId> {
+        self.word_to_id.get(word).copied()
+    }
+
+    /// Looks a word up, falling back to [`Vocab::UNK`].
+    pub fn get_or_unk(&self, word: &str) -> WordId {
+        self.get(word).unwrap_or(Self::UNK)
+    }
+
+    /// Returns the word for an id, if in range.
+    pub fn word(&self, id: WordId) -> Option<&str> {
+        self.id_to_word.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Total number of entries, including the four special tokens.
+    pub fn len(&self) -> usize {
+        self.id_to_word.len()
+    }
+
+    /// Whether only special tokens are present.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 4
+    }
+
+    /// Whether `word` is interned.
+    pub fn contains(&self, word: &str) -> bool {
+        self.word_to_id.contains_key(word)
+    }
+
+    /// Encodes a token slice to ids, mapping unknown words to `UNK`.
+    pub fn encode(&self, tokens: &[String]) -> Vec<WordId> {
+        tokens.iter().map(|t| self.get_or_unk(t)).collect()
+    }
+
+    /// Decodes ids back to words (unknown ids render as `<unk>`).
+    pub fn decode(&self, ids: &[WordId]) -> Vec<String> {
+        ids.iter()
+            .map(|&id| self.word(id).unwrap_or("<unk>").to_string())
+            .collect()
+    }
+
+    /// Iterates over `(id, word)` pairs of the *regular* (non-special)
+    /// entries.
+    pub fn iter_words(&self) -> impl Iterator<Item = (WordId, &str)> {
+        self.id_to_word
+            .iter()
+            .enumerate()
+            .skip(4)
+            .map(|(i, w)| (i as WordId, w.as_str()))
+    }
+}
+
+impl Default for Vocab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_are_reserved() {
+        let v = Vocab::new();
+        assert_eq!(v.len(), 4);
+        assert_eq!(v.word(Vocab::UNK), Some("<unk>"));
+        assert_eq!(v.word(Vocab::BOS), Some("<s>"));
+        assert_eq!(v.word(Vocab::EOS), Some("</s>"));
+        assert_eq!(v.word(Vocab::PAD), Some("<pad>"));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut v = Vocab::new();
+        let a = v.add("anemia");
+        let b = v.add("anemia");
+        assert_eq!(a, b);
+        assert_eq!(v.len(), 5);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut v = Vocab::new();
+        v.add_all(["chronic", "kidney", "disease"]);
+        let toks: Vec<String> = ["chronic", "kidney", "disease"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let ids = v.encode(&toks);
+        assert_eq!(v.decode(&ids), toks);
+    }
+
+    #[test]
+    fn unknown_words_map_to_unk() {
+        let v = Vocab::new();
+        assert_eq!(v.get_or_unk("ckd"), Vocab::UNK);
+        assert_eq!(v.get("ckd"), None);
+    }
+
+    #[test]
+    fn iter_words_skips_specials() {
+        let mut v = Vocab::new();
+        v.add("pain");
+        let words: Vec<&str> = v.iter_words().map(|(_, w)| w).collect();
+        assert_eq!(words, vec!["pain"]);
+    }
+
+    #[test]
+    fn out_of_range_id_decodes_to_unk() {
+        let v = Vocab::new();
+        assert_eq!(v.decode(&[999]), vec!["<unk>".to_string()]);
+    }
+}

