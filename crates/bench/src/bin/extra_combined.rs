@@ -10,19 +10,18 @@
 //! member, and never collapses to the weakest — the classic rank-fusion
 //! behaviour that motivated the combined category.
 
-use ncl_baselines::{Annotator, Combined, NobleCoder, Pkduck};
+use ncl_baselines::{Combined, NobleCoder, Pkduck};
 use ncl_bench::eval::NclAnnotator;
 use ncl_bench::{eval, table, workload, Scale};
 use ncl_datagen::lexicon::PHRASE_ABBREVS;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     method: String,
     accuracy: f32,
     mrr: f32,
 }
+ncl_bench::impl_to_json!(Row { dataset, method, accuracy, mrr });
 
 fn main() {
     let scale = Scale::from_args();

@@ -18,14 +18,13 @@ use ncl_datagen::DatasetProfile;
 use ncl_tensor::pca::Pca;
 use ncl_tensor::{Matrix, Vector};
 use ncl_text::tokenize;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Snapshot {
     label: String,
     concept_coords: Vec<(String, f32, f32)>,
     word_coords: Vec<(String, f32, f32)>,
 }
+ncl_bench::impl_to_json!(Snapshot { label, concept_coords, word_coords });
 
 fn main() {
     let scale = Scale::from_args();

@@ -14,10 +14,8 @@
 use ncl_bench::config::table1;
 use ncl_bench::{table, workload, Scale};
 use ncl_core::{Linker, LinkerConfig};
-use serde::Serialize;
 use std::time::Duration;
 
-#[derive(Serialize)]
 struct TimingRow {
     dataset: String,
     axis: String,
@@ -27,6 +25,7 @@ struct TimingRow {
     ed_ms: f64,
     rt_ms: f64,
 }
+ncl_bench::impl_to_json!(TimingRow { dataset, axis, value, or_ms, cr_ms, ed_ms, rt_ms });
 
 fn mean_ms(ds: &[Duration]) -> f64 {
     if ds.is_empty() {

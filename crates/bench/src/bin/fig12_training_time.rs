@@ -13,9 +13,7 @@ use ncl_bench::{table, workload, Scale};
 use ncl_core::comaid::Variant;
 use ncl_core::NclPipeline;
 use ncl_datagen::{Dataset, DatasetConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct TimeRow {
     dataset: String,
     fraction: f32,
@@ -24,6 +22,7 @@ struct TimeRow {
     pretrain_s: f64,
     refine_s: f64,
 }
+ncl_bench::impl_to_json!(TimeRow { dataset, fraction, labeled_pairs, unlabeled, pretrain_s, refine_s });
 
 fn main() {
     let scale = Scale::from_args();

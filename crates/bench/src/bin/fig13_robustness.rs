@@ -14,15 +14,14 @@ use ncl_bench::{eval, table, workload, Scale};
 use ncl_core::comaid::Variant;
 use ncl_core::NclPipeline;
 use ncl_datagen::{Dataset, DatasetConfig};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct RobustRow {
     dataset: String,
     axis: String,
     fraction: f32,
     accuracy: f32,
 }
+ncl_bench::impl_to_json!(RobustRow { dataset, axis, fraction, accuracy });
 
 fn main() {
     let scale = Scale::from_args();

@@ -16,14 +16,13 @@ use ncl_bench::config::table1;
 use ncl_bench::{eval, table, workload, Scale};
 use ncl_core::comaid::Variant;
 use ncl_core::{LinkerConfig, NclPipeline};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Fig5Record {
     k_sweep: Vec<(usize, f32, f32)>,      // (k, cov, acc)
     beta_sweep: Vec<(usize, f32, f32)>,   // (beta, acc hospital-x, acc mimic)
     rewrite_ablation: Vec<(bool, f32)>,   // (rewrite?, acc)
 }
+ncl_bench::impl_to_json!(Fig5Record { k_sweep, beta_sweep, rewrite_ablation });
 
 fn main() {
     let scale = Scale::from_args();

@@ -11,9 +11,7 @@
 use ncl_bench::{eval, table, workload, Scale};
 use ncl_core::comaid::Variant;
 use ncl_core::NclPipeline;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Cell {
     dataset: String,
     variant: String,
@@ -21,6 +19,7 @@ struct Cell {
     accuracy: f32,
     mrr: f32,
 }
+ncl_bench::impl_to_json!(Cell { dataset, variant, dim, accuracy, mrr });
 
 fn main() {
     let scale = Scale::from_args();

@@ -16,15 +16,14 @@ use ncl_datagen::lexicon::PHRASE_ABBREVS;
 use ncl_embedding::corpus::CorpusBuilder;
 use ncl_embedding::{CbowConfig, CbowModel};
 use ncl_text::tokenize;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct MethodResult {
     dataset: String,
     method: String,
     accuracy: f32,
     mrr: f32,
 }
+ncl_bench::impl_to_json!(MethodResult { dataset, method, accuracy, mrr });
 
 fn main() {
     let scale = Scale::from_args();

@@ -10,15 +10,14 @@
 use ncl_bench::{eval, table, workload, Scale};
 use ncl_core::comaid::Variant;
 use ncl_core::NclPipeline;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Cell {
     dataset: String,
     pretrained: bool,
     dim: usize,
     accuracy: f32,
 }
+ncl_bench::impl_to_json!(Cell { dataset, pretrained, dim, accuracy });
 
 fn main() {
     let scale = Scale::from_args();

@@ -14,6 +14,7 @@ fn main() {
         "fig11_online_time",
         "fig12_training_time",
         "fig13_robustness",
+        "fig14_fault_tolerance",
     ];
     let exe_dir = std::env::current_exe()
         .ok()

@@ -6,7 +6,6 @@ use ncl_core::metrics::EvalAccumulator;
 use ncl_core::Linker;
 use ncl_datagen::LabeledQuery;
 use ncl_ontology::ConceptId;
-use serde::Serialize;
 
 /// Adapts an NCL [`Linker`] to the [`Annotator`] interface so it can be
 /// fused with the baselines through `ncl_baselines::Combined` — the
@@ -53,7 +52,7 @@ impl<'a> Annotator for NclAnnotator<'a> {
 }
 
 /// Averaged metric triple.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Metrics {
     /// Top-1 accuracy rate.
     pub accuracy: f32,
@@ -62,6 +61,8 @@ pub struct Metrics {
     /// Phase-I coverage (`Cov` in Figure 5(a)).
     pub coverage: f32,
 }
+
+crate::impl_to_json!(Metrics { accuracy, mrr, coverage });
 
 /// Evaluates an NCL linker over query groups; metrics are averaged over
 /// groups ("the average accuracy/MRR values computed from 10 groups").

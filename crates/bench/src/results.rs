@@ -2,9 +2,216 @@
 //!
 //! Every binary drops a `results/<figure>.json` file so that
 //! `EXPERIMENTS.md` can be regenerated / audited against concrete runs.
+//!
+//! Serialisation is a small hand-rolled pretty-printer ([`ToJson`] plus
+//! the [`impl_to_json!`](crate::impl_to_json) derive macro for
+//! named-field records) — the result records are flat structs of
+//! numbers, strings, and tuple lists, which keeps the emitter tiny and
+//! the crate dependency-free.
 
-use serde::Serialize;
 use std::path::PathBuf;
+
+/// A value that can render itself as JSON.
+///
+/// `indent` is the column at which the value starts; multi-line values
+/// (objects, arrays of containers) indent their children by two spaces
+/// beyond it. Scalars ignore it.
+pub trait ToJson {
+    /// Appends the JSON rendering of `self` to `out`.
+    fn emit(&self, out: &mut String, indent: usize);
+
+    /// Convenience: the pretty-printed JSON document for `self`.
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.emit(&mut out, 0);
+        out
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push(' ');
+    }
+}
+
+/// Escapes and quotes a string per RFC 8259.
+fn emit_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a float the way serde_json does: always with a decimal point
+/// or exponent, and `null` for non-finite values (JSON has no NaN/Inf).
+fn emit_float(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+macro_rules! impl_int_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn emit(&self, out: &mut String, _indent: usize) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+impl_int_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ToJson for f32 {
+    fn emit(&self, out: &mut String, _indent: usize) {
+        emit_float(out, f64::from(*self));
+    }
+}
+
+impl ToJson for f64 {
+    fn emit(&self, out: &mut String, _indent: usize) {
+        emit_float(out, *self);
+    }
+}
+
+impl ToJson for bool {
+    fn emit(&self, out: &mut String, _indent: usize) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl ToJson for str {
+    fn emit(&self, out: &mut String, _indent: usize) {
+        emit_str(out, self);
+    }
+}
+
+impl ToJson for String {
+    fn emit(&self, out: &mut String, _indent: usize) {
+        emit_str(out, self);
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn emit(&self, out: &mut String, indent: usize) {
+        (**self).emit(out, indent);
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn emit(&self, out: &mut String, indent: usize) {
+        match self {
+            Some(v) => v.emit(out, indent),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+/// Sequences print one element per line, like `serde_json`'s pretty
+/// printer; elements that are themselves tuples stay on their line.
+impl<T: ToJson> ToJson for Vec<T> {
+    fn emit(&self, out: &mut String, indent: usize) {
+        self.as_slice().emit(out, indent);
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn emit(&self, out: &mut String, indent: usize) {
+        if self.is_empty() {
+            out.push_str("[]");
+            return;
+        }
+        out.push_str("[\n");
+        for (i, item) in self.iter().enumerate() {
+            pad(out, indent + 2);
+            item.emit(out, indent + 2);
+            if i + 1 < self.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        pad(out, indent);
+        out.push(']');
+    }
+}
+
+macro_rules! impl_tuple_to_json {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: ToJson),+> ToJson for ($($t,)+) {
+            fn emit(&self, out: &mut String, indent: usize) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push_str(", "); }
+                    first = false;
+                    self.$n.emit(out, indent);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )+};
+}
+impl_tuple_to_json!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+/// Emits a JSON object from `(key, value)` pairs — the workhorse behind
+/// [`impl_to_json!`](crate::impl_to_json).
+pub fn emit_object(out: &mut String, indent: usize, fields: &[(&str, &dyn ToJson)]) {
+    if fields.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push_str("{\n");
+    for (i, (key, value)) in fields.iter().enumerate() {
+        pad(out, indent + 2);
+        emit_str(out, key);
+        out.push_str(": ");
+        value.emit(out, indent + 2);
+        if i + 1 < fields.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    pad(out, indent);
+    out.push('}');
+}
+
+/// Derives [`ToJson`] for a named-field struct:
+///
+/// ```
+/// struct Row { dataset: String, accuracy: f32 }
+/// ncl_bench::impl_to_json!(Row { dataset, accuracy });
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::results::ToJson for $ty {
+            fn emit(&self, out: &mut String, indent: usize) {
+                $crate::results::emit_object(
+                    out,
+                    indent,
+                    &[$((stringify!($field), &self.$field as &dyn $crate::results::ToJson)),+],
+                );
+            }
+        }
+    };
+}
 
 /// The results directory (`results/` under the workspace root, or the
 /// current directory when run elsewhere).
@@ -18,22 +225,18 @@ pub fn results_dir() -> PathBuf {
 
 /// Serialises `value` to `results/<name>.json`. Failures are reported to
 /// stderr but never abort an experiment run.
-pub fn write_json<T: Serialize>(name: &str, value: &T) {
+pub fn write_json<T: ToJson>(name: &str, value: &T) {
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(json) => {
-            if let Err(e) = std::fs::write(&path, json) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-            } else {
-                println!("[results] wrote {}", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: cannot serialise {name}: {e}"),
+    let json = value.to_json();
+    if let Err(e) = std::fs::write(&path, json) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+    } else {
+        println!("[results] wrote {}", path.display());
     }
 }
 
@@ -43,10 +246,10 @@ mod tests {
 
     #[test]
     fn write_json_round_trips() {
-        #[derive(Serialize)]
         struct R {
             x: u32,
         }
+        crate::impl_to_json!(R { x });
         // Write into a temp cwd-independent spot by changing name only;
         // just verify no panic and file exists afterwards.
         write_json("__test_record", &R { x: 7 });
@@ -56,5 +259,42 @@ mod tests {
             assert!(body.contains("\"x\": 7"));
             let _ = std::fs::remove_file(path);
         }
+    }
+
+    #[test]
+    fn scalars_and_strings() {
+        assert_eq!(7usize.to_json(), "7");
+        assert_eq!(1.0f32.to_json(), "1.0");
+        assert_eq!(2.5f64.to_json(), "2.5");
+        assert_eq!(f32::NAN.to_json(), "null");
+        assert_eq!(true.to_json(), "true");
+        assert_eq!("a\"b\\c\nd".to_json(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn tuples_and_vectors() {
+        assert_eq!((3usize, 0.5f32, 1.0f32).to_json(), "[3, 0.5, 1.0]");
+        assert_eq!((false, 0.25f32).to_json(), "[false, 0.25]");
+        let v: Vec<u32> = vec![];
+        assert_eq!(v.to_json(), "[]");
+        assert_eq!(vec![1u32, 2].to_json(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn nested_record_pretty_prints() {
+        struct Rec {
+            name: String,
+            rows: Vec<(usize, f32)>,
+        }
+        crate::impl_to_json!(Rec { name, rows });
+        let r = Rec {
+            name: "fig".into(),
+            rows: vec![(1, 0.5), (2, 0.75)],
+        };
+        let json = r.to_json();
+        assert_eq!(
+            json,
+            "{\n  \"name\": \"fig\",\n  \"rows\": [\n    [1, 0.5],\n    [2, 0.75]\n  ]\n}"
+        );
     }
 }

@@ -48,7 +48,12 @@ impl ComAid {
         self.generate_beam(index, concept, max_len, 1)
             .into_iter()
             .next()
-            .expect("beam search always returns at least one hypothesis")
+            // Structurally unreachable: EOS is always a candidate
+            // continuation, so the beam is never empty.
+            .unwrap_or(Decoded {
+                ids: Vec::new(),
+                log_prob: f32::NEG_INFINITY,
+            })
     }
 
     /// Beam-search decoding with `beam_width` hypotheses; returns up to
@@ -90,28 +95,35 @@ impl ComAid {
                 let logits = self.step_logits(&run);
                 let lp = log_softmax(&logits);
                 // Candidate continuations: top `beam_width` words plus
-                // the EOS option.
+                // the EOS option. EOS is *always* a candidate — every
+                // unfinished beam contributes at least one finished
+                // hypothesis, so the search can never end empty (this
+                // makes `generate_greedy`'s non-empty guarantee
+                // structural rather than probabilistic).
                 let mut scored: Vec<(u32, f32)> = (0..lp.len() as u32)
                     .map(|w| (w, lp[w as usize]))
                     .collect();
                 scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 let prefix_lp = run.log_prob - run.step_log_probs.last().copied().unwrap_or(0.0);
-                for &(w, wlp) in scored.iter().take(beam_width + 1) {
-                    if w == Vocab::EOS {
-                        next.push(Beam {
-                            ids: beam.ids.clone(),
-                            log_prob: prefix_lp + wlp,
-                            finished: true,
-                        });
-                    } else if w != Vocab::BOS && w != Vocab::PAD && w != Vocab::UNK {
-                        let mut ids = beam.ids.clone();
-                        ids.push(w);
-                        next.push(Beam {
-                            ids,
-                            log_prob: prefix_lp + wlp,
-                            finished: false,
-                        });
-                    }
+                next.push(Beam {
+                    ids: beam.ids.clone(),
+                    log_prob: prefix_lp + lp[Vocab::EOS as usize],
+                    finished: true,
+                });
+                for &(w, wlp) in scored
+                    .iter()
+                    .filter(|&&(w, _)| {
+                        w != Vocab::EOS && w != Vocab::BOS && w != Vocab::PAD && w != Vocab::UNK
+                    })
+                    .take(beam_width)
+                {
+                    let mut ids = beam.ids.clone();
+                    ids.push(w);
+                    next.push(Beam {
+                        ids,
+                        log_prob: prefix_lp + wlp,
+                        finished: false,
+                    });
                 }
             }
             next.sort_by(|a, b| {

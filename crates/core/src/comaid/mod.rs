@@ -13,6 +13,8 @@
 //! back-propagation through every component, including the ancestor
 //! encodings and the word embeddings.
 
+use ncl_tensor::wire::{Reader, Wire, WireError};
+
 mod decode;
 mod index;
 mod model;
@@ -28,7 +30,7 @@ pub use trace::{AttentionTrace, StepTrace};
 pub use train::{TrainPair, TrainReport};
 
 /// Architecture variants studied in §6.3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// Full COM-AID: both attentions.
     Full,
@@ -70,7 +72,7 @@ impl Variant {
 
 /// How the output layer is evaluated during *training*. Scoring always
 /// uses the exact full softmax of Eq. 9.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OutputMode {
     /// Exact `|V|`-way softmax every step.
     Full,
@@ -87,7 +89,7 @@ pub enum OutputMode {
 
 /// COM-AID hyper-parameters (defaults follow Table 1's bold values, with
 /// training-loop settings chosen for CPU-scale reproduction).
-#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct ComAidConfig {
     /// Word/concept representation dimensionality `d` (Table 1 default
     /// 150; the paper assumes word and concept dimensions are equal,
@@ -140,6 +142,80 @@ impl ComAidConfig {
             batch_size: 8,
             ..Self::default()
         }
+    }
+}
+
+impl Wire for Variant {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Self::Full => 0,
+            Self::NoStruct => 1,
+            Self::NoText => 2,
+            Self::NoBoth => 3,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Self::Full),
+            1 => Ok(Self::NoStruct),
+            2 => Ok(Self::NoText),
+            3 => Ok(Self::NoBoth),
+            t => Err(WireError::Invalid(format!("bad Variant tag {t}"))),
+        }
+    }
+}
+
+impl Wire for OutputMode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::Full => out.push(0),
+            Self::Sampled { noise } => {
+                out.push(1);
+                noise.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Self::Full),
+            1 => Ok(Self::Sampled {
+                noise: usize::decode(r)?,
+            }),
+            t => Err(WireError::Invalid(format!("bad OutputMode tag {t}"))),
+        }
+    }
+}
+
+impl Wire for ComAidConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.dim.encode(out);
+        self.beta.encode(out);
+        self.variant.encode(out);
+        self.epochs.encode(out);
+        self.lr.encode(out);
+        self.lr_decay.encode(out);
+        self.batch_size.encode(out);
+        self.clip_norm.encode(out);
+        self.seed.encode(out);
+        self.output_mode.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let cfg = Self {
+            dim: usize::decode(r)?,
+            beta: usize::decode(r)?,
+            variant: Variant::decode(r)?,
+            epochs: usize::decode(r)?,
+            lr: f32::decode(r)?,
+            lr_decay: f32::decode(r)?,
+            batch_size: usize::decode(r)?,
+            clip_norm: f32::decode(r)?,
+            seed: u64::decode(r)?,
+            output_mode: OutputMode::decode(r)?,
+        };
+        if cfg.dim == 0 {
+            return Err(WireError::Invalid("config: dim must be positive".into()));
+        }
+        Ok(cfg)
     }
 }
 

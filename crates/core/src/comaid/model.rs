@@ -8,6 +8,7 @@ use ncl_nn::param::{HasParams, ParamSet};
 use ncl_nn::softmax_loss::{self, SoftmaxNll};
 use ncl_nn::{DotAttention, Embedding, Lstm};
 use ncl_ontology::ConceptId;
+use ncl_tensor::wire::{Reader, Wire, WireError};
 use ncl_tensor::{Matrix, Vector};
 use ncl_text::{tokenize, Vocab};
 use rand::rngs::StdRng;
@@ -18,7 +19,7 @@ use rand::SeedableRng;
 /// All state is plain data, so a trained model is `Send + Sync` and the
 /// online linker can score candidate concepts from multiple threads
 /// (Appendix B.1 uses ten threads for the encode-decode part).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ComAid {
     config: ComAidConfig,
     vocab: Vocab,
@@ -32,8 +33,87 @@ pub struct ComAid {
     pub(crate) composite: Dense,
     /// Output projection `W_s, b_s` (Eq. 9).
     pub(crate) output: Dense,
-    #[serde(skip, default)]
     attention: DotAttention,
+}
+
+/// Checkpoint payload layout: config, vocab, then the five parameter
+/// blocks. `DotAttention` is stateless and is not persisted. Decoding
+/// cross-checks the pieces against each other (vocab size vs. embedding
+/// rows vs. output rows, `dim` vs. every layer) so a payload that passed
+/// the container checksum but was assembled from mismatched parts still
+/// fails loudly instead of panicking mid-inference.
+impl Wire for ComAid {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.config.encode(out);
+        Wire::encode(&self.vocab, out);
+        self.embedding.encode(out);
+        self.encoder.encode(out);
+        self.decoder.encode(out);
+        self.composite.encode(out);
+        self.output.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let config = ComAidConfig::decode(r)?;
+        let vocab = <Vocab as Wire>::decode(r)?;
+        let embedding = Embedding::decode(r)?;
+        let encoder = Lstm::decode(r)?;
+        let decoder = Lstm::decode(r)?;
+        let composite = Dense::decode(r)?;
+        let output = Dense::decode(r)?;
+
+        let d = config.dim;
+        if embedding.dim() != d {
+            return Err(WireError::Invalid(format!(
+                "model: embedding dim {} != config dim {d}",
+                embedding.dim()
+            )));
+        }
+        if embedding.vocab() != vocab.len() {
+            return Err(WireError::Invalid(format!(
+                "model: embedding has {} rows for a vocab of {}",
+                embedding.vocab(),
+                vocab.len()
+            )));
+        }
+        for (name, lstm) in [("encoder", &encoder), ("decoder", &decoder)] {
+            if lstm.in_dim() != d || lstm.hidden() != d {
+                return Err(WireError::Invalid(format!(
+                    "model: {name} is {}→{}, expected {d}→{d}",
+                    lstm.in_dim(),
+                    lstm.hidden()
+                )));
+            }
+        }
+        let comp_in = d
+            * (1 + usize::from(config.variant.uses_text())
+                + usize::from(config.variant.uses_struct()));
+        if composite.in_dim() != comp_in || composite.out_dim() != d {
+            return Err(WireError::Invalid(format!(
+                "model: composite is {}→{}, expected {comp_in}→{d}",
+                composite.in_dim(),
+                composite.out_dim()
+            )));
+        }
+        if output.in_dim() != d || output.out_dim() != vocab.len() {
+            return Err(WireError::Invalid(format!(
+                "model: output is {}→{}, expected {d}→{}",
+                output.in_dim(),
+                output.out_dim(),
+                vocab.len()
+            )));
+        }
+        Ok(Self {
+            config,
+            vocab,
+            embedding,
+            encoder,
+            decoder,
+            composite,
+            output,
+            attention: DotAttention,
+        })
+    }
 }
 
 /// The output head used at one decoder step: the exact full-vocabulary

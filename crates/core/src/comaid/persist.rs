@@ -1,29 +1,94 @@
-//! Model persistence.
+//! Hardened model persistence.
 //!
 //! The paper's deployment (NCL inside GEMINI's DICE at NUH) trains
 //! COM-AID offline and serves it online; that split requires saving the
-//! trained parameters. Models serialise to JSON — at the paper's largest
-//! setting (`d = 200`, |V| in the tens of thousands) this is tens of
-//! megabytes, which is acceptable for a model that is retrained at the
-//! cadence of expert-feedback batches (Appendix A).
+//! trained parameters and — because a serving process restarts onto
+//! whatever bytes are on disk — requires *distrusting* them on the way
+//! back in. Checkpoints are a self-verifying binary container:
+//!
+//! ```text
+//! ┌─────────┬─────────┬────────────┬───────────┬─────────┐
+//! │ "NCLMODEL" │ version │ payload len │ FNV-1a-64 │ payload │
+//! │  8 bytes   │  u32 LE │   u64 LE    │  u64 LE   │  bytes  │
+//! └─────────┴─────────┴────────────┴───────────┴─────────┘
+//! ```
+//!
+//! The payload is the [`Wire`] encoding of [`ComAid`]. Loading verifies,
+//! in order: magic, version, declared length against actual bytes, and
+//! checksum over the payload — so truncation, bit rot, and
+//! wrong-format files all surface as typed [`PersistError`]s before any
+//! payload decoding is attempted. Saving to a path is atomic: bytes go
+//! to a same-directory temporary file which is fsynced and renamed over
+//! the destination, so a crash mid-save can never leave a half-written
+//! checkpoint under the final name.
 
 use super::ComAid;
+use ncl_tensor::wire::{fnv1a64, Reader, Wire, WireError};
 use std::io::{Read, Write};
 use std::path::Path;
+
+/// File magic: identifies an NCL model checkpoint.
+pub const MAGIC: &[u8; 8] = b"NCLMODEL";
+/// Current checkpoint format version.
+pub const FORMAT_VERSION: u32 = 1;
+/// Header size: magic + version + payload length + checksum.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8;
 
 /// Errors from saving/loading a model.
 #[derive(Debug)]
 pub enum PersistError {
     /// Filesystem failure.
     Io(std::io::Error),
-    /// (De)serialisation failure (corrupt or incompatible file).
-    Codec(serde_json::Error),
+    /// The bytes are not an NCL checkpoint at all (bad magic).
+    NotACheckpoint,
+    /// The checkpoint declares a format version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build writes and reads.
+        supported: u32,
+    },
+    /// The file is shorter than its header declares (truncation).
+    Truncated {
+        /// Bytes the header promised.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The payload checksum does not match (bit rot / partial overwrite).
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// The payload passed the checksum but does not decode to a
+    /// consistent model (format bug or a forged header).
+    Codec(WireError),
 }
 
 impl std::fmt::Display for PersistError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Io(e) => write!(f, "model persistence I/O error: {e}"),
+            Self::NotACheckpoint => {
+                write!(f, "model persistence codec error: not an NCL checkpoint (bad magic)")
+            }
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "model persistence codec error: checkpoint format v{found} \
+                 is not supported (this build reads v{supported})"
+            ),
+            Self::Truncated { expected, actual } => write!(
+                f,
+                "model persistence codec error: checkpoint truncated \
+                 ({actual} payload bytes, header declares {expected})"
+            ),
+            Self::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "model persistence codec error: checksum mismatch \
+                 (stored {stored:#018x}, computed {computed:#018x})"
+            ),
             Self::Codec(e) => write!(f, "model persistence codec error: {e}"),
         }
     }
@@ -34,6 +99,7 @@ impl std::error::Error for PersistError {
         match self {
             Self::Io(e) => Some(e),
             Self::Codec(e) => Some(e),
+            _ => None,
         }
     }
 }
@@ -44,29 +110,121 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-impl From<serde_json::Error> for PersistError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<WireError> for PersistError {
+    fn from(e: WireError) -> Self {
         Self::Codec(e)
     }
 }
 
+/// Frames `payload` in the checkpoint container.
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verifies the container and returns the payload slice.
+fn unframe(bytes: &[u8]) -> Result<&[u8], PersistError> {
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return Err(PersistError::NotACheckpoint);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let declared = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let stored = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    let payload = &bytes[HEADER_LEN..];
+    if (payload.len() as u64) != declared {
+        return Err(PersistError::Truncated {
+            expected: declared,
+            actual: payload.len() as u64,
+        });
+    }
+    let computed = fnv1a64(payload);
+    if computed != stored {
+        return Err(PersistError::ChecksumMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
 impl ComAid {
     /// Serialises the full model (configuration, vocabulary and all
-    /// parameters) to a writer as JSON.
-    pub fn save<W: Write>(&self, writer: W) -> Result<(), PersistError> {
-        serde_json::to_writer(writer, self)?;
+    /// parameters) into the verified checkpoint container.
+    pub fn save<W: Write>(&self, mut writer: W) -> Result<(), PersistError> {
+        let mut payload = Vec::new();
+        Wire::encode(self, &mut payload);
+        writer.write_all(&frame(&payload))?;
+        writer.flush()?;
         Ok(())
     }
 
-    /// Saves to a file path.
+    /// Saves atomically to a file path: the bytes are written to a
+    /// temporary file in the same directory, fsynced, and renamed over
+    /// `path`. Readers either see the old checkpoint or the complete new
+    /// one — never a partial write.
     pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
-        let file = std::fs::File::create(path)?;
-        self.save(std::io::BufWriter::new(file))
+        let path = path.as_ref();
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| {
+                PersistError::Io(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("checkpoint path {} has no file name", path.display()),
+                ))
+            })?
+            .to_os_string();
+        let mut tmp_name = file_name;
+        tmp_name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = match dir {
+            Some(d) => d.join(&tmp_name),
+            None => std::path::PathBuf::from(&tmp_name),
+        };
+
+        let write_result = (|| -> Result<(), PersistError> {
+            let mut file = std::fs::File::create(&tmp)?;
+            self.save(&mut file)?;
+            file.sync_all()?;
+            Ok(())
+        })();
+        if let Err(e) = write_result {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(())
     }
 
-    /// Deserialises a model from a reader.
-    pub fn load<R: Read>(reader: R) -> Result<Self, PersistError> {
-        Ok(serde_json::from_reader(reader)?)
+    /// Loads a model from a reader, verifying the container first.
+    pub fn load<R: Read>(mut reader: R) -> Result<Self, PersistError> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Self::load_bytes(&bytes)
+    }
+
+    /// Loads a model from in-memory checkpoint bytes.
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        let payload = unframe(bytes)?;
+        let mut r = Reader::new(payload);
+        let model = <ComAid as Wire>::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(PersistError::Codec(WireError::Invalid(format!(
+                "{} trailing bytes after model payload",
+                r.remaining()
+            ))));
+        }
+        Ok(model)
     }
 
     /// Loads from a file path.
@@ -78,7 +236,8 @@ impl ComAid {
 
 #[cfg(test)]
 mod tests {
-    use crate::comaid::{ComAid, ComAidConfig, OntologyIndex, TrainPair, Variant};
+    use super::*;
+    use crate::comaid::{ComAidConfig, OntologyIndex, TrainPair, Variant};
     use ncl_ontology::OntologyBuilder;
     use ncl_text::{tokenize, Vocab};
 
@@ -107,11 +266,16 @@ mod tests {
         (o, m)
     }
 
+    fn checkpoint_bytes(model: &ComAid) -> Vec<u8> {
+        let mut buf = Vec::new();
+        model.save(&mut buf).unwrap();
+        buf
+    }
+
     #[test]
     fn round_trip_preserves_scores() {
         let (o, model) = trained_model();
-        let mut buf = Vec::new();
-        model.save(&mut buf).unwrap();
+        let buf = checkpoint_bytes(&model);
         let loaded = ComAid::load(buf.as_slice()).unwrap();
 
         let idx = OntologyIndex::build(&o, model.vocab(), 2);
@@ -129,7 +293,7 @@ mod tests {
         let (_, model) = trained_model();
         let dir = std::env::temp_dir().join("ncl_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("model.json");
+        let path = dir.join("model.nclm");
         model.save_to_path(&path).unwrap();
         let loaded = ComAid::load_from_path(&path).unwrap();
         assert_eq!(loaded.config().beta, model.config().beta);
@@ -138,13 +302,113 @@ mod tests {
 
     #[test]
     fn corrupt_file_reports_codec_error() {
-        let err = ComAid::load("this is not json".as_bytes()).unwrap_err();
+        let err = ComAid::load("this is not a checkpoint".as_bytes()).unwrap_err();
+        assert!(matches!(err, PersistError::NotACheckpoint));
         assert!(err.to_string().contains("codec"));
     }
 
     #[test]
     fn missing_file_reports_io_error() {
-        let err = ComAid::load_from_path("/nonexistent/path/model.json").unwrap_err();
+        let err = ComAid::load_from_path("/nonexistent/path/model.nclm").unwrap_err();
         assert!(err.to_string().contains("I/O"));
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let (_, model) = trained_model();
+        let buf = checkpoint_bytes(&model);
+        // Every proper prefix must be rejected: short ones as
+        // not-a-checkpoint, longer ones as truncation.
+        for cut in [0, 4, HEADER_LEN - 1, HEADER_LEN, buf.len() / 2, buf.len() - 1] {
+            let err = ComAid::load_bytes(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PersistError::NotACheckpoint | PersistError::Truncated { .. }
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_byte_corruption_is_detected() {
+        let (_, model) = trained_model();
+        let buf = checkpoint_bytes(&model);
+        // Flip one payload bit at several positions spread over the file.
+        for pos in [HEADER_LEN, HEADER_LEN + 97, buf.len() - 1] {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x04;
+            let err = ComAid::load_bytes(&bad).unwrap_err();
+            assert!(
+                matches!(err, PersistError::ChecksumMismatch { .. }),
+                "flip at {pos}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let (_, model) = trained_model();
+        let mut buf = checkpoint_bytes(&model);
+        buf[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let err = ComAid::load_bytes(&buf).unwrap_err();
+        assert!(matches!(
+            err,
+            PersistError::UnsupportedVersion { found: 99, supported: FORMAT_VERSION }
+        ));
+    }
+
+    #[test]
+    fn forged_checksum_still_fails_decode() {
+        // Corrupt the payload *and* fix up the checksum: the container
+        // verifies, so the typed decoder must catch the inconsistency.
+        let (_, model) = trained_model();
+        let mut payload = Vec::new();
+        Wire::encode(&model, &mut payload);
+        // Sabotage the config's `dim` (first payload field, u64 LE).
+        payload[..8].copy_from_slice(&0u64.to_le_bytes());
+        let framed = frame(&payload);
+        let err = ComAid::load_bytes(&framed).unwrap_err();
+        assert!(matches!(err, PersistError::Codec(_)), "{err:?}");
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_temp_file() {
+        let (_, model) = trained_model();
+        let dir = std::env::temp_dir().join("ncl_atomic_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.nclm");
+        model.save_to_path(&path).unwrap();
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn atomic_save_preserves_old_checkpoint_on_failure() {
+        // Saving over an existing checkpoint through an unwritable temp
+        // location must fail without damaging the original.
+        let (_, model) = trained_model();
+        let dir = std::env::temp_dir().join("ncl_atomic_keep_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.nclm");
+        model.save_to_path(&path).unwrap();
+        let original = std::fs::read(&path).unwrap();
+
+        // A directory cannot be created as a file: File::create fails.
+        let bad = dir.join("as_dir.nclm");
+        let _ = std::fs::remove_dir_all(&bad);
+        std::fs::create_dir_all(bad.join("x")).unwrap();
+        assert!(model.save_to_path(bad.join("x")).is_err() || bad.join("x").is_dir());
+
+        // The untouched original still loads.
+        assert_eq!(std::fs::read(&path).unwrap(), original);
+        assert!(ComAid::load_from_path(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

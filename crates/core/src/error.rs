@@ -1,0 +1,145 @@
+//! The unified error taxonomy of the serving layer.
+//!
+//! The paper's deployment target (NCL serving coders inside DICE at NUH)
+//! makes the linker a long-lived online service: every failure that can
+//! reach a caller needs one typed surface so the service can decide —
+//! per error class — whether to retry, degrade, or page an operator.
+//! [`NclError`] is that surface. Construction-time errors from the
+//! ontology layer ([`LoadError`], [`BuildError`]) and checkpoint errors
+//! ([`PersistError`]) convert into it via `From`, so `?` composes across
+//! the whole startup path; serving-time conditions (deadline overruns,
+//! scoring-worker panics, malformed queries) have dedicated variants.
+
+use crate::comaid::PersistError;
+use ncl_ontology::{BuildError, LoadError};
+use std::time::Duration;
+
+/// Any error the NCL serving layer can produce.
+#[derive(Debug)]
+pub enum NclError {
+    /// Loading the ontology source failed (I/O or malformed input).
+    OntologyLoad(LoadError),
+    /// The ontology data was readable but structurally invalid.
+    OntologyBuild(BuildError),
+    /// Saving or loading a model checkpoint failed.
+    Persist(PersistError),
+    /// Stored state (checkpoint, index, …) failed an integrity check.
+    Corrupt {
+        /// What was being read.
+        what: &'static str,
+        /// Why it was rejected.
+        detail: String,
+    },
+    /// A deadline budget was exhausted before the work completed.
+    Timeout {
+        /// The phase that ran out of budget (`"or"`, `"cr"`, `"ed"`,
+        /// `"rt"`, or `"total"`).
+        phase: &'static str,
+        /// The budget that was exceeded.
+        budget: Duration,
+    },
+    /// A scoring worker panicked; the panic was isolated and the
+    /// affected candidates were left unscored.
+    WorkerPanic {
+        /// Number of scoring jobs lost to panics.
+        lost_jobs: usize,
+    },
+    /// The query cannot be linked as given (empty after normalisation,
+    /// or over the configured length limit).
+    InvalidQuery {
+        /// Why the query was rejected.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for NclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::OntologyLoad(e) => write!(f, "ontology load failed: {e}"),
+            Self::OntologyBuild(e) => write!(f, "ontology build failed: {e}"),
+            Self::Persist(e) => write!(f, "checkpoint error: {e}"),
+            Self::Corrupt { what, detail } => write!(f, "corrupt {what}: {detail}"),
+            Self::Timeout { phase, budget } => {
+                write!(f, "deadline exceeded in phase {phase} (budget {budget:?})")
+            }
+            Self::WorkerPanic { lost_jobs } => {
+                write!(f, "scoring worker panicked; {lost_jobs} job(s) lost")
+            }
+            Self::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for NclError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::OntologyLoad(e) => Some(e),
+            Self::OntologyBuild(e) => Some(e),
+            Self::Persist(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LoadError> for NclError {
+    fn from(e: LoadError) -> Self {
+        Self::OntologyLoad(e)
+    }
+}
+
+impl From<BuildError> for NclError {
+    fn from(e: BuildError) -> Self {
+        Self::OntologyBuild(e)
+    }
+}
+
+impl From<PersistError> for NclError {
+    fn from(e: PersistError) -> Self {
+        Self::Persist(e)
+    }
+}
+
+impl NclError {
+    /// Whether retrying the same call can plausibly succeed (transient
+    /// conditions), as opposed to a deterministic failure that will
+    /// recur until an operator intervenes.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Self::Timeout { .. } | Self::WorkerPanic { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = NclError::Timeout {
+            phase: "ed",
+            budget: Duration::from_millis(5),
+        };
+        assert!(e.to_string().contains("ed"));
+        let e = NclError::InvalidQuery {
+            reason: "empty".into(),
+        };
+        assert!(e.to_string().contains("empty"));
+    }
+
+    #[test]
+    fn construction_errors_convert() {
+        let e: NclError = BuildError::EmptyDescription("N18".into()).into();
+        assert!(matches!(e, NclError::OntologyBuild(_)));
+        assert!(!e.is_transient());
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn transient_classification() {
+        assert!(NclError::WorkerPanic { lost_jobs: 1 }.is_transient());
+        assert!(!NclError::Corrupt {
+            what: "checkpoint",
+            detail: "checksum".into()
+        }
+        .is_transient());
+    }
+}

@@ -24,12 +24,16 @@
 //!   (§4.2) → train COM-AID → build the online linker.
 
 pub mod comaid;
+pub mod error;
+pub mod faults;
 pub mod feedback;
 pub mod linker;
 pub mod metrics;
 pub mod pipeline;
 
 pub use comaid::{ComAid, ComAidConfig, OutputMode, TrainPair, Variant};
+pub use error::NclError;
+pub use faults::{FaultKind, FaultPlan};
 pub use feedback::{FeedbackConfig, FeedbackController};
-pub use linker::{LinkResult, Linker, LinkerConfig};
+pub use linker::{Degradation, DegradeReason, LinkBudget, LinkResult, Linker, LinkerConfig};
 pub use pipeline::{NclConfig, NclPipeline};

@@ -15,14 +15,32 @@
 //! like the paper, ED is parallelised across candidates ("use ten threads
 //! to perform ED, because … their encode-decode processes can be executed
 //! separately").
+//!
+//! ## Serving robustness
+//!
+//! Because the linker is the online component (it sits in front of
+//! hospital coders in the paper's DICE deployment), `link` is built to
+//! *degrade rather than die*: every scoring job runs behind a panic
+//! isolation boundary, optional per-call / per-phase deadline budgets
+//! ([`LinkBudget`]) cut the expensive phases short, and whatever could
+//! not be neurally scored falls back to its Phase-I TF-IDF ranking. The
+//! result is annotated with a [`Degradation`] marker so callers can
+//! distinguish a full answer from a best-effort one. With no budgets
+//! configured and no faults injected, the fast path computes exactly
+//! what it always did.
 
 use crate::comaid::{ComAid, OntologyIndex};
+use crate::error::NclError;
+use crate::faults::FaultPlan;
 use ncl_embedding::NearestWords;
 use ncl_ontology::{ConceptId, Ontology};
 use ncl_text::edit_distance::nearest_by_edit;
 use ncl_text::tfidf::TfIdfIndex;
 use ncl_text::tokenize;
 use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Online-linking knobs (defaults follow Table 1 and §5).
@@ -48,6 +66,13 @@ pub struct LinkerConfig {
     /// Index concept aliases alongside canonical descriptions in the
     /// Phase-I keyword matcher.
     pub index_aliases: bool,
+    /// Hard cap on query length for the validating entry points
+    /// ([`Linker::try_link`]); longer queries are rejected as
+    /// [`NclError::InvalidQuery`]. The non-validating [`Linker::link`]
+    /// accepts any length.
+    pub max_query_tokens: usize,
+    /// Deadline budgets; all unset by default (no deadline).
+    pub budget: LinkBudget,
 }
 
 impl Default for LinkerConfig {
@@ -60,7 +85,119 @@ impl Default for LinkerConfig {
             rewrite_min_cosine: 0.35,
             threads: 4,
             index_aliases: true,
+            max_query_tokens: 4096,
+            budget: LinkBudget::default(),
         }
+    }
+}
+
+/// Wall-clock budgets for one `link` call. Each field is an independent
+/// cap; `None` means unbounded. The *divisible* phases (OR rewrites one
+/// token at a time, ED scores one candidate at a time) are cut off
+/// mid-phase when their deadline passes; work not reached degrades as
+/// described on [`Degradation`]. The atomic phases are handled at their
+/// boundaries: if `cr` is exceeded (or the call deadline has already
+/// passed when ED would start), ED is skipped entirely, and if the call
+/// deadline has passed when ranking starts while `rt` is set, the
+/// prior-blending of Eq. 11 is skipped (MAP falls back to MLE).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkBudget {
+    /// Cap on the whole call.
+    pub total: Option<Duration>,
+    /// Cap on query rewriting (OR).
+    pub or: Option<Duration>,
+    /// Cap on candidate retrieval (CR).
+    pub cr: Option<Duration>,
+    /// Cap on encode-decode scoring (ED) — the phase the paper measures
+    /// at ~98% of linking time (Appendix B.1), hence the one worth
+    /// cutting short.
+    pub ed: Option<Duration>,
+    /// Cap on ranking (RT).
+    pub rt: Option<Duration>,
+}
+
+impl LinkBudget {
+    /// A budget capping only the whole call.
+    pub fn with_total(d: Duration) -> Self {
+        Self {
+            total: Some(d),
+            ..Self::default()
+        }
+    }
+
+    /// A budget capping only the ED phase.
+    pub fn with_ed(d: Duration) -> Self {
+        Self {
+            ed: Some(d),
+            ..Self::default()
+        }
+    }
+}
+
+/// Why (part of) the neural scoring was skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// A deadline budget ran out mid-scoring.
+    Timeout {
+        /// The budget that was exhausted.
+        budget: Duration,
+    },
+    /// Scoring workers panicked; the panics were isolated per job.
+    WorkerPanic {
+        /// Number of scoring jobs lost to panics.
+        lost_jobs: usize,
+    },
+}
+
+impl DegradeReason {
+    /// The typed error equivalent, for callers that prefer fail-fast
+    /// over best-effort.
+    pub fn to_error(self) -> NclError {
+        match self {
+            Self::Timeout { budget } => NclError::Timeout { phase: "ed", budget },
+            Self::WorkerPanic { lost_jobs } => NclError::WorkerPanic { lost_jobs },
+        }
+    }
+}
+
+/// How complete the neural (Phase II) scoring of a [`LinkResult`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Degradation {
+    /// Every candidate was scored by COM-AID; the full two-phase answer.
+    #[default]
+    None,
+    /// Only the first `scored` of `total` candidates carry COM-AID
+    /// scores; the rest sit at the end of `ranked` in Phase-I TF-IDF
+    /// order with `f32::NEG_INFINITY` scores.
+    PartialEd {
+        /// Candidates that received a COM-AID score.
+        scored: usize,
+        /// Total candidates retrieved.
+        total: usize,
+        /// Why the tail went unscored.
+        reason: DegradeReason,
+    },
+    /// No candidate could be neurally scored; `ranked` is the Phase-I
+    /// TF-IDF ranking (all scores `f32::NEG_INFINITY`).
+    TfIdfOnly {
+        /// Why scoring was skipped entirely.
+        reason: DegradeReason,
+    },
+}
+
+impl Degradation {
+    /// Whether the result is anything less than the full two-phase
+    /// answer.
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self, Self::None)
+    }
+}
+
+/// The earlier of two optional deadlines.
+fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (x, None) | (None, x) => x,
     }
 }
 
@@ -96,6 +233,8 @@ pub struct LinkResult {
     pub candidates: Vec<ConceptId>,
     /// Per-phase timing.
     pub timing: LinkTiming,
+    /// Completeness of the Phase-II scoring (see [`Degradation`]).
+    pub degradation: Degradation,
 }
 
 impl LinkResult {
@@ -107,6 +246,23 @@ impl LinkResult {
     /// Ranked concept ids only.
     pub fn ranked_ids(&self) -> Vec<ConceptId> {
         self.ranked.iter().map(|&(c, _)| c).collect()
+    }
+
+    /// Whether any part of the answer is best-effort rather than fully
+    /// scored.
+    pub fn is_degraded(&self) -> bool {
+        self.degradation.is_degraded()
+    }
+
+    /// The typed error this degradation corresponds to, for callers
+    /// that prefer fail-fast semantics over a best-effort ranking.
+    pub fn degradation_error(&self) -> Option<NclError> {
+        match self.degradation {
+            Degradation::None => None,
+            Degradation::PartialEd { reason, .. } | Degradation::TfIdfOnly { reason } => {
+                Some(reason.to_error())
+            }
+        }
     }
 }
 
@@ -122,6 +278,9 @@ pub struct Linker<'a> {
     /// Optional log-priors for MAP ranking (Eq. 11); `None` = the
     /// paper's default uniform prior (pure MLE, Eq. 12).
     log_prior: Option<HashMap<ConceptId, f32>>,
+    /// Optional deterministic fault schedule (tests and robustness
+    /// benchmarks); `None` in production.
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl<'a> Linker<'a> {
@@ -172,7 +331,16 @@ impl<'a> Linker<'a> {
             doc_map,
             nearest,
             log_prior: None,
+            faults: None,
         }
+    }
+
+    /// Attaches a deterministic [`FaultPlan`]; every fault site inside
+    /// the linking pipeline will consult it. Used by the fault-injection
+    /// suite and the robustness benchmark.
+    pub fn with_faults(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.faults = Some(plan);
+        self
     }
 
     /// Installs a non-uniform concept prior `p(c; Θ)` for **MAP**
@@ -251,16 +419,34 @@ impl<'a> Linker<'a> {
 
     /// Applies query rewriting to a token sequence.
     pub fn rewrite_query(&self, tokens: &[String]) -> Vec<String> {
-        tokens
-            .iter()
-            .map(|w| {
-                if self.tfidf.contains_term(w) {
-                    w.clone()
-                } else {
-                    self.rewrite_word(w).unwrap_or_else(|| w.clone())
+        self.rewrite_query_within(tokens, None)
+    }
+
+    /// Query rewriting with an optional deadline: tokens not reached
+    /// before the deadline pass through unrewritten, and a panic while
+    /// rewriting one token (e.g. an injected fault) leaves only that
+    /// token unrewritten.
+    fn rewrite_query_within(&self, tokens: &[String], deadline: Option<Instant>) -> Vec<String> {
+        let mut out = Vec::with_capacity(tokens.len());
+        let mut expired = false;
+        for w in tokens {
+            if !expired && deadline.is_some_and(|d| Instant::now() >= d) {
+                expired = true;
+            }
+            if expired || self.tfidf.contains_term(w) {
+                out.push(w.clone());
+                continue;
+            }
+            let rewritten = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(plan) = &self.faults {
+                    plan.visit("or.rewrite");
                 }
-            })
-            .collect()
+                self.rewrite_word(w)
+            }))
+            .unwrap_or(None);
+            out.push(rewritten.unwrap_or_else(|| w.clone()));
+        }
+        out
     }
 
     /// Runs Phase I only: rewriting plus candidate retrieval. Used to
@@ -279,48 +465,138 @@ impl<'a> Linker<'a> {
     }
 
     /// Links a query (already tokenised/normalised) to the ontology.
+    ///
+    /// This call *degrades rather than fails*: deadline overruns and
+    /// scoring-worker panics shrink the neurally-scored prefix of
+    /// `ranked` (the unreached tail keeps its Phase-I TF-IDF order with
+    /// `f32::NEG_INFINITY` scores) and are reported in
+    /// [`LinkResult::degradation`]. Callers that prefer typed errors
+    /// should use [`Linker::try_link`] and
+    /// [`LinkResult::degradation_error`].
     pub fn link(&self, tokens: &[String]) -> LinkResult {
+        let start = Instant::now();
+        let budget = self.config.budget;
+        let call_deadline = budget.total.map(|d| start + d);
+
         // Phase I.a: out-of-vocabulary replacement.
         let t0 = Instant::now();
+        let or_deadline = min_deadline(call_deadline, budget.or.map(|d| t0 + d));
         let rewritten = if self.config.rewrite {
-            self.rewrite_query(tokens)
+            self.rewrite_query_within(tokens, or_deadline)
         } else {
             tokens.to_vec()
         };
         let or = t0.elapsed();
 
-        // Phase I.b: candidate retrieval.
+        // Phase I.b: candidate retrieval (panic-isolated: a fault here
+        // yields an empty candidate set, not an abort).
         let t1 = Instant::now();
-        let hits = self.tfidf.top_k(&rewritten, self.config.k);
+        let hits = catch_unwind(AssertUnwindSafe(|| {
+            if let Some(plan) = &self.faults {
+                plan.visit("cr.topk");
+            }
+            self.tfidf.top_k(&rewritten, self.config.k)
+        }));
+        let cr_panicked = hits.is_err();
+        let hits = hits.unwrap_or_default();
         let candidates: Vec<ConceptId> = hits.iter().map(|&(d, _)| self.doc_map[d]).collect();
         let cr = t1.elapsed();
+        let cr_over = budget.cr.is_some_and(|b| cr > b);
 
-        // Phase II.a: encode-decode scoring.
+        // Phase II.a: encode-decode scoring. Skipped entirely when the
+        // call is already over budget; cut off mid-phase otherwise.
         let t2 = Instant::now();
-        let scores = self.score_candidates(&candidates, &rewritten);
+        let ed_deadline = min_deadline(call_deadline, budget.ed.map(|d| t2 + d));
+        let already_over = call_deadline.is_some_and(|d| Instant::now() >= d);
+        let (scores, panicked) = if cr_over || already_over {
+            (vec![None; candidates.len()], 0)
+        } else {
+            self.score_candidates(&candidates, &rewritten, ed_deadline)
+        };
         let ed = t2.elapsed();
 
         // Phase II.b: ranking (MAP when a prior is installed, Eq. 11;
-        // otherwise pure MLE, Eq. 12).
+        // otherwise pure MLE, Eq. 12). Under a blown deadline with an
+        // `rt` budget set, MAP falls back to MLE (the prior lookup is
+        // the only elidable work in this phase).
         let t3 = Instant::now();
+        let skip_prior =
+            budget.rt.is_some() && call_deadline.is_some_and(|d| Instant::now() >= d);
         let mut ranked: Vec<(ConceptId, f32)> = candidates
             .iter()
             .copied()
-            .zip(scores)
-            .map(|(c, lp)| (c, lp + self.concept_log_prior(c)))
+            .zip(scores.iter())
+            .filter_map(|(c, lp)| lp.map(|lp| (c, lp)))
+            .map(|(c, lp)| {
+                let prior = if skip_prior { 0.0 } else { self.concept_log_prior(c) };
+                (c, lp + prior)
+            })
             .collect();
         ranked.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.0.cmp(&b.0))
         });
+        // Unscored tail: Phase-I TF-IDF order, explicitly unscored.
+        ranked.extend(
+            candidates
+                .iter()
+                .copied()
+                .zip(scores.iter())
+                .filter(|(_, lp)| lp.is_none())
+                .map(|(c, _)| (c, f32::NEG_INFINITY)),
+        );
         let rt = t3.elapsed();
+
+        let scored = scores.iter().filter(|s| s.is_some()).count();
+        let total = candidates.len();
+        let degradation = self.classify_degradation(scored, total, panicked, cr_panicked);
 
         LinkResult {
             ranked,
             rewritten,
             candidates,
             timing: LinkTiming { or, cr, ed, rt },
+            degradation,
+        }
+    }
+
+    /// Summarises how far short of a full answer this call fell.
+    fn classify_degradation(
+        &self,
+        scored: usize,
+        total: usize,
+        panicked: usize,
+        cr_panicked: bool,
+    ) -> Degradation {
+        if cr_panicked {
+            return Degradation::TfIdfOnly {
+                reason: DegradeReason::WorkerPanic { lost_jobs: 1 },
+            };
+        }
+        if total == 0 || scored == total {
+            return Degradation::None;
+        }
+        let reason = if panicked > 0 {
+            DegradeReason::WorkerPanic { lost_jobs: panicked }
+        } else {
+            let budget = self.config.budget;
+            DegradeReason::Timeout {
+                budget: budget
+                    .ed
+                    .or(budget.total)
+                    .or(budget.cr)
+                    .unwrap_or(Duration::ZERO),
+            }
+        };
+        if scored == 0 {
+            Degradation::TfIdfOnly { reason }
+        } else {
+            Degradation::PartialEd {
+                scored,
+                total,
+                reason,
+            }
         }
     }
 
@@ -329,9 +605,45 @@ impl<'a> Linker<'a> {
         self.link(&tokenize(text))
     }
 
+    /// Validating entry point: rejects queries that cannot meaningfully
+    /// be linked (empty, whitespace-only, or longer than
+    /// [`LinkerConfig::max_query_tokens`]) with a typed
+    /// [`NclError::InvalidQuery`] instead of returning an empty result.
+    pub fn try_link(&self, tokens: &[String]) -> Result<LinkResult, NclError> {
+        if tokens.iter().all(|t| t.trim().is_empty()) {
+            return Err(NclError::InvalidQuery {
+                reason: "query is empty after normalisation".into(),
+            });
+        }
+        if tokens.len() > self.config.max_query_tokens {
+            return Err(NclError::InvalidQuery {
+                reason: format!(
+                    "query has {} tokens, over the limit of {}",
+                    tokens.len(),
+                    self.config.max_query_tokens
+                ),
+            });
+        }
+        Ok(self.link(tokens))
+    }
+
+    /// [`Linker::try_link`] over a raw snippet.
+    pub fn try_link_text(&self, text: &str) -> Result<LinkResult, NclError> {
+        self.try_link(&tokenize(text))
+    }
+
     /// Scores `log p(q|c)` for each candidate, in parallel when
-    /// configured.
-    fn score_candidates(&self, candidates: &[ConceptId], query: &[String]) -> Vec<f32> {
+    /// configured. Each job runs behind its own `catch_unwind`, so a
+    /// panicking candidate (model bug, injected fault) costs exactly
+    /// that candidate's score, and jobs not started before `deadline`
+    /// stay unscored. Returns per-candidate scores (`None` = unscored)
+    /// and the number of jobs lost to panics.
+    fn score_candidates(
+        &self,
+        candidates: &[ConceptId],
+        query: &[String],
+        deadline: Option<Instant>,
+    ) -> (Vec<Option<f32>>, usize) {
         let jobs: Vec<(ConceptId, Vec<u32>, Vec<bool>)> = candidates
             .iter()
             .map(|&c| {
@@ -339,26 +651,48 @@ impl<'a> Linker<'a> {
                 (c, ids, mask)
             })
             .collect();
-        let score_one = |(c, ids, mask): &(ConceptId, Vec<u32>, Vec<bool>)| {
-            self.model.log_prob_ids_masked(&self.index, *c, ids, mask)
-        };
-        let threads = self.config.threads.max(1).min(jobs.len().max(1));
-        if threads <= 1 || jobs.len() <= 1 {
-            return jobs.iter().map(score_one).collect();
-        }
-        let mut scores = vec![0.0f32; jobs.len()];
-        let chunk = jobs.len().div_ceil(threads);
-        crossbeam::thread::scope(|s| {
-            for (job_chunk, score_chunk) in jobs.chunks(chunk).zip(scores.chunks_mut(chunk)) {
-                s.spawn(move |_| {
-                    for (job, out) in job_chunk.iter().zip(score_chunk.iter_mut()) {
-                        *out = self.model.log_prob_ids_masked(&self.index, job.0, &job.1, &job.2);
-                    }
-                });
+        let panicked = AtomicUsize::new(0);
+        let score_one = |(c, ids, mask): &(ConceptId, Vec<u32>, Vec<bool>)| -> Option<f32> {
+            match catch_unwind(AssertUnwindSafe(|| {
+                if let Some(plan) = &self.faults {
+                    plan.visit("ed.score");
+                }
+                self.model.log_prob_ids_masked(&self.index, *c, ids, mask)
+            })) {
+                Ok(lp) => Some(lp),
+                Err(_) => {
+                    panicked.fetch_add(1, Ordering::Relaxed);
+                    None
+                }
             }
-        })
-        .expect("scoring thread panicked");
-        scores
+        };
+        let expired = |d: Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
+
+        let threads = self.config.threads.max(1).min(jobs.len().max(1));
+        let mut scores: Vec<Option<f32>> = vec![None; jobs.len()];
+        if threads <= 1 || jobs.len() <= 1 {
+            for (job, out) in jobs.iter().zip(scores.iter_mut()) {
+                if expired(deadline) {
+                    break;
+                }
+                *out = score_one(job);
+            }
+        } else {
+            let chunk = jobs.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for (job_chunk, score_chunk) in jobs.chunks(chunk).zip(scores.chunks_mut(chunk)) {
+                    s.spawn(|| {
+                        for (job, out) in job_chunk.iter().zip(score_chunk.iter_mut()) {
+                            if expired(deadline) {
+                                break;
+                            }
+                            *out = score_one(job);
+                        }
+                    });
+                }
+            });
+        }
+        (scores, panicked.load(Ordering::Relaxed))
     }
 
     /// Builds the decode target for Phase II: the full query word ids plus

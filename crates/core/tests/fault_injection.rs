@@ -1,0 +1,323 @@
+//! Fault-injection suite for the serving layer (ISSUE 1 acceptance):
+//! with injected worker panics, ED delays past the deadline, and faults
+//! at every site, every `link()` call must return a ranked list with an
+//! accurate [`Degradation`] annotation and zero process aborts — and
+//! with no faults injected, results must be bit-identical to the plain
+//! linker.
+
+use ncl_core::comaid::{ComAid, ComAidConfig, OntologyIndex, TrainPair, Variant};
+use ncl_core::linker::{Degradation, DegradeReason, LinkBudget, LinkResult, Linker, LinkerConfig};
+use ncl_core::{FaultKind, FaultPlan, NclError};
+use ncl_ontology::Ontology;
+use ncl_text::{tokenize, Vocab};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small trained world: two ICD-style families with aliases, enough
+/// for Phase I to retrieve several candidates per query.
+fn trained_world() -> (Ontology, ComAid) {
+    let mut b = ncl_ontology::OntologyBuilder::new();
+    let n18 = b.add_root_concept("N18", "chronic kidney disease");
+    let n185 = b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+    let n189 = b.add_child(n18, "N18.9", "chronic kidney disease unspecified");
+    let r10 = b.add_root_concept("R10", "abdominal pain");
+    let r100 = b.add_child(r10, "R10.0", "acute abdomen");
+    let r109 = b.add_child(r10, "R10.9", "unspecified abdominal pain");
+    b.add_alias(n185, "ckd stage 5");
+    b.add_alias(n185, "renal disease stage 5");
+    b.add_alias(n189, "ckd unspecified");
+    b.add_alias(r100, "acute abdominal syndrome");
+    b.add_alias(r109, "abdomen pain");
+    let o = b.build().unwrap();
+
+    let mut vocab = Vocab::new();
+    let mut pairs = Vec::new();
+    for (_, c) in o.iter() {
+        for t in tokenize(&c.canonical) {
+            vocab.add(&t);
+        }
+        for alias in &c.aliases {
+            for t in tokenize(alias) {
+                vocab.add(&t);
+            }
+        }
+    }
+    for (id, c) in o.iter() {
+        for alias in &c.aliases {
+            pairs.push(TrainPair {
+                concept: id,
+                target: tokenize(alias).iter().map(|t| vocab.get_or_unk(t)).collect(),
+            });
+        }
+        pairs.push(TrainPair {
+            concept: id,
+            target: tokenize(&c.canonical)
+                .iter()
+                .map(|t| vocab.get_or_unk(t))
+                .collect(),
+        });
+    }
+    let config = ComAidConfig {
+        dim: 10,
+        beta: 2,
+        variant: Variant::Full,
+        epochs: 15,
+        lr: 0.3,
+        lr_decay: 0.97,
+        batch_size: 4,
+        seed: 5,
+        ..ComAidConfig::default()
+    };
+    let mut model = ComAid::new(vocab, config, None);
+    let index = OntologyIndex::build(&o, model.vocab(), 2);
+    model.fit(&index, &pairs);
+    (o, model)
+}
+
+const QUERIES: &[&str] = &[
+    "ckd stage 5",
+    "abdominal pain",
+    "renal disease stage 5",
+    "unspecified disease",
+    "acute abdomne syndrom", // typos exercise the OR rewrite path
+];
+
+/// Structural invariants every result must satisfy, degraded or not.
+fn check_well_formed(res: &LinkResult) {
+    assert_eq!(
+        res.ranked.len(),
+        res.candidates.len(),
+        "every retrieved candidate must appear in the ranking"
+    );
+    let mut ranked_ids = res.ranked_ids();
+    let mut cand_ids = res.candidates.clone();
+    ranked_ids.sort();
+    cand_ids.sort();
+    assert_eq!(ranked_ids, cand_ids, "ranking must be a permutation");
+    // Scored prefix strictly precedes the unscored tail, and the prefix
+    // is sorted descending.
+    let first_unscored = res
+        .ranked
+        .iter()
+        .position(|&(_, s)| s == f32::NEG_INFINITY)
+        .unwrap_or(res.ranked.len());
+    for (_, s) in &res.ranked[first_unscored..] {
+        assert_eq!(*s, f32::NEG_INFINITY, "tail must be uniformly unscored");
+    }
+    for w in res.ranked[..first_unscored].windows(2) {
+        assert!(w[0].1 >= w[1].1, "scored prefix must be sorted");
+    }
+    // The annotation must agree with the scores actually present.
+    match res.degradation {
+        Degradation::None => {
+            assert!(res.ranked.iter().all(|&(_, s)| s > f32::NEG_INFINITY));
+        }
+        Degradation::PartialEd { scored, total, .. } => {
+            assert_eq!(total, res.candidates.len());
+            assert_eq!(first_unscored, scored);
+            assert!(scored > 0 && scored < total);
+        }
+        Degradation::TfIdfOnly { .. } => {
+            assert_eq!(first_unscored, 0, "TfIdfOnly must have no scored prefix");
+        }
+    }
+}
+
+#[test]
+fn no_faults_bit_identical_to_plain_linker() {
+    let (o, model) = trained_world();
+    let plain = Linker::new(&model, &o, LinkerConfig::default());
+    let faulty = Linker::new(&model, &o, LinkerConfig::default())
+        .with_faults(Arc::new(FaultPlan::none()));
+    for q in QUERIES {
+        let a = plain.link_text(q);
+        let b = faulty.link_text(q);
+        assert!(!a.is_degraded());
+        assert!(!b.is_degraded());
+        assert_eq!(a.rewritten, b.rewritten);
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.ranked_ids(), b.ranked_ids());
+        for (&(_, sa), &(_, sb)) in a.ranked.iter().zip(&b.ranked) {
+            assert_eq!(sa.to_bits(), sb.to_bits(), "scores must be bit-identical");
+        }
+        check_well_formed(&a);
+    }
+}
+
+#[test]
+fn certain_scoring_panics_degrade_to_tfidf() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default())
+        .with_faults(Arc::new(FaultPlan::panics(3, "ed.score", 1.0)));
+    let res = linker.link_text("ckd stage 5");
+    assert!(!res.candidates.is_empty());
+    check_well_formed(&res);
+    match res.degradation {
+        Degradation::TfIdfOnly {
+            reason: DegradeReason::WorkerPanic { lost_jobs },
+        } => assert_eq!(lost_jobs, res.candidates.len()),
+        d => panic!("expected TfIdfOnly(WorkerPanic), got {d:?}"),
+    }
+    // The TF-IDF fallback preserves Phase-I retrieval order.
+    assert_eq!(res.ranked_ids(), res.candidates);
+    // The typed-error view classifies this as transient.
+    let err = res.degradation_error().expect("degraded result has an error");
+    assert!(matches!(err, NclError::WorkerPanic { .. }));
+    assert!(err.is_transient());
+}
+
+#[test]
+fn partial_scoring_panics_keep_scored_prefix() {
+    let (o, model) = trained_world();
+    // Sweep probabilities and seeds until both a scored and an unscored
+    // candidate exist in one answer; determinism makes this repeatable.
+    let mut saw_partial = false;
+    for seed in 0..20u64 {
+        let linker = Linker::new(&model, &o, LinkerConfig::default())
+            .with_faults(Arc::new(FaultPlan::panics(seed, "ed.score", 0.5)));
+        for q in QUERIES {
+            let res = linker.link_text(q);
+            check_well_formed(&res);
+            if let Degradation::PartialEd { scored, total, reason } = res.degradation {
+                assert!(scored > 0 && scored < total);
+                assert!(matches!(reason, DegradeReason::WorkerPanic { .. }));
+                saw_partial = true;
+            }
+        }
+    }
+    assert!(saw_partial, "p=0.5 over 100 calls must hit a partial answer");
+}
+
+#[test]
+fn retrieval_panic_yields_empty_but_annotated_answer() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default())
+        .with_faults(Arc::new(FaultPlan::panics(1, "cr.topk", 1.0)));
+    let res = linker.link_text("ckd stage 5");
+    assert!(res.candidates.is_empty());
+    assert!(res.ranked.is_empty());
+    assert!(matches!(
+        res.degradation,
+        Degradation::TfIdfOnly {
+            reason: DegradeReason::WorkerPanic { .. }
+        }
+    ));
+}
+
+#[test]
+fn rewrite_panic_leaves_token_unrewritten() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default())
+        .with_faults(Arc::new(FaultPlan::panics(1, "or.rewrite", 1.0)));
+    // "abdomne" would normally rewrite to "abdomen"; under an OR fault
+    // it passes through untouched, and linking still completes.
+    let res = linker.link_text("abdomne pain");
+    assert_eq!(res.rewritten, tokenize("abdomne pain"));
+    check_well_formed(&res);
+}
+
+#[test]
+fn ed_delays_past_deadline_timeout_degrade() {
+    let (o, model) = trained_world();
+    let cfg = LinkerConfig {
+        threads: 1,
+        budget: LinkBudget::with_ed(Duration::from_millis(4)),
+        ..LinkerConfig::default()
+    };
+    let linker = Linker::new(&model, &o, cfg)
+        .with_faults(Arc::new(FaultPlan::delays(
+            2,
+            "ed.score",
+            1.0,
+            Duration::from_millis(6),
+        )));
+    let res = linker.link_text("abdominal pain");
+    assert!(res.candidates.len() > 1, "need several candidates");
+    check_well_formed(&res);
+    match res.degradation {
+        Degradation::PartialEd {
+            reason: DegradeReason::Timeout { budget },
+            ..
+        } => assert_eq!(budget, Duration::from_millis(4)),
+        d => panic!("expected PartialEd(Timeout), got {d:?}"),
+    }
+}
+
+#[test]
+fn exhausted_total_budget_skips_scoring_entirely() {
+    let (o, model) = trained_world();
+    let cfg = LinkerConfig {
+        budget: LinkBudget::with_total(Duration::ZERO),
+        ..LinkerConfig::default()
+    };
+    let linker = Linker::new(&model, &o, cfg);
+    let res = linker.link_text("ckd stage 5");
+    assert!(!res.candidates.is_empty());
+    check_well_formed(&res);
+    assert!(matches!(
+        res.degradation,
+        Degradation::TfIdfOnly {
+            reason: DegradeReason::Timeout { .. }
+        }
+    ));
+    // Top-1 falls back to the best TF-IDF hit.
+    assert_eq!(res.top1(), res.candidates.first().copied());
+}
+
+/// The headline guarantee: under faults at *every* site, across kinds,
+/// seeds, probabilities, and thread counts, `link` never aborts and
+/// every answer is well-formed with an accurate annotation.
+#[test]
+fn fault_sweep_never_aborts() {
+    let (o, model) = trained_world();
+    let kinds = [
+        FaultKind::Panic,
+        FaultKind::Delay(Duration::from_micros(200)),
+        FaultKind::Io,
+    ];
+    let mut calls = 0u32;
+    for kind in kinds {
+        for seed in 0..6u64 {
+            for threads in [1usize, 4] {
+                let plan = Arc::new(
+                    FaultPlan::new(seed)
+                        .with_rule("or", kind, 0.4)
+                        .with_rule("cr", kind, 0.2)
+                        .with_rule("ed", kind, 0.6),
+                );
+                let cfg = LinkerConfig {
+                    threads,
+                    ..LinkerConfig::default()
+                };
+                let linker = Linker::new(&model, &o, cfg).with_faults(Arc::clone(&plan));
+                for q in QUERIES {
+                    let res = linker.link_text(q);
+                    check_well_formed(&res);
+                    calls += 1;
+                }
+                assert!(plan.visits() > 0, "sweep must actually exercise sites");
+            }
+        }
+    }
+    assert_eq!(calls, 6 * 2 * 5 * kinds.len() as u32);
+}
+
+/// Determinism of the harness itself: the same seed yields the same
+/// degradation pattern across runs.
+#[test]
+fn same_seed_same_degradation() {
+    let (o, model) = trained_world();
+    let run = |seed: u64| -> Vec<bool> {
+        let linker = Linker::new(
+            &model,
+            &o,
+            LinkerConfig {
+                threads: 1,
+                ..LinkerConfig::default()
+            },
+        )
+        .with_faults(Arc::new(FaultPlan::panics(seed, "ed", 0.5)));
+        QUERIES.iter().map(|q| linker.link_text(q).is_degraded()).collect()
+    };
+    assert_eq!(run(9), run(9));
+}

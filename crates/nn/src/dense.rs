@@ -7,11 +7,12 @@
 
 use crate::param::{HasParams, MatParam, ParamSet, VecParam};
 use ncl_tensor::ops::tanh_grad_from_output;
+use ncl_tensor::wire::{Reader, Wire, WireError};
 use ncl_tensor::{init, Vector};
 use rand::Rng;
 
 /// Whether the layer applies `tanh` after the affine map.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// Identity (used before a softmax).
     Linear,
@@ -20,7 +21,7 @@ pub enum Activation {
 }
 
 /// A dense layer `y = act(W x + b)`.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dense {
     /// Weight matrix `out × in`.
     pub w: MatParam,
@@ -168,6 +169,43 @@ impl HasParams for Dense {
     fn collect_params<'a>(&'a mut self, set: &mut ParamSet<'a>) {
         set.add("dense.w", &mut self.w);
         set.add("dense.b", &mut self.b);
+    }
+}
+
+impl Wire for Activation {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Activation::Linear => 0,
+            Activation::Tanh => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match u8::decode(r)? {
+            0 => Ok(Activation::Linear),
+            1 => Ok(Activation::Tanh),
+            t => Err(WireError::Invalid(format!("bad Activation tag {t}"))),
+        }
+    }
+}
+
+impl Wire for Dense {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.w.encode(out);
+        self.b.encode(out);
+        self.act.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let w = MatParam::decode(r)?;
+        let b = VecParam::decode(r)?;
+        let act = Activation::decode(r)?;
+        if w.v.rows() != b.v.len() {
+            return Err(WireError::Invalid(format!(
+                "dense: weight rows {} != bias length {}",
+                w.v.rows(),
+                b.v.len()
+            )));
+        }
+        Ok(Self { w, b, act })
     }
 }
 

@@ -9,11 +9,12 @@
 //! `zero_grad` stays O(touched) instead of O(vocab).
 
 use crate::param::{MatParam, Parameter};
+use ncl_tensor::wire::{Reader, Wire, WireError};
 use ncl_tensor::{init, Matrix, Vector};
 use rand::Rng;
 
 /// An embedding table `|V| × d`.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Embedding {
     table: MatParam,
     touched: Vec<u32>,
@@ -172,6 +173,24 @@ impl Parameter for Embedding {
     }
     fn grads(&self) -> &[f32] {
         self.table.g.as_slice()
+    }
+}
+
+/// Values only; the touched-row list is transient training state and
+/// decodes empty.
+impl Wire for Embedding {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.table.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let table = MatParam::decode(r)?;
+        if table.v.rows() == 0 {
+            return Err(WireError::Invalid("embedding: empty table".into()));
+        }
+        Ok(Self {
+            table,
+            touched: Vec::new(),
+        })
     }
 }
 

@@ -18,11 +18,12 @@
 
 use crate::param::{HasParams, MatParam, ParamSet, VecParam};
 use ncl_tensor::ops::{sigmoid_grad_from_output, sigmoid_inplace, tanh_grad_from_output, tanh_inplace, tanh_vec};
+use ncl_tensor::wire::{Reader, Wire, WireError};
 use ncl_tensor::{init, Vector};
 use rand::Rng;
 
 /// One LSTM layer (a chain of identical cells).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Lstm {
     in_dim: usize,
     hidden: usize,
@@ -325,6 +326,70 @@ impl HasParams for Lstm {
         set.add("lstm.bf", &mut self.bf);
         set.add("lstm.bo", &mut self.bo);
         set.add("lstm.bg", &mut self.bg);
+    }
+}
+
+impl Wire for Lstm {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.in_dim.encode(out);
+        self.hidden.encode(out);
+        for m in [
+            &self.wi, &self.wf, &self.wo, &self.wg, &self.ui, &self.uf, &self.uo, &self.ug,
+        ] {
+            m.encode(out);
+        }
+        for b in [&self.bi, &self.bf, &self.bo, &self.bg] {
+            b.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let in_dim = usize::decode(r)?;
+        let hidden = usize::decode(r)?;
+        let mut mats = Vec::with_capacity(8);
+        for (i, &cols) in [in_dim, in_dim, in_dim, in_dim, hidden, hidden, hidden, hidden]
+            .iter()
+            .enumerate()
+        {
+            let m = MatParam::decode(r)?;
+            if m.v.rows() != hidden || m.v.cols() != cols {
+                return Err(WireError::Invalid(format!(
+                    "lstm: weight {i} is {}x{}, expected {hidden}x{cols}",
+                    m.v.rows(),
+                    m.v.cols()
+                )));
+            }
+            mats.push(m);
+        }
+        let mut biases = Vec::with_capacity(4);
+        for i in 0..4 {
+            let b = VecParam::decode(r)?;
+            if b.v.len() != hidden {
+                return Err(WireError::Invalid(format!(
+                    "lstm: bias {i} has length {}, expected {hidden}",
+                    b.v.len()
+                )));
+            }
+            biases.push(b);
+        }
+        let [wi, wf, wo, wg, ui, uf, uo, ug]: [MatParam; 8] = mats.try_into().unwrap();
+        let [bi, bf, bo, bg]: [VecParam; 4] = biases.try_into().unwrap();
+        Ok(Self {
+            in_dim,
+            hidden,
+            wi,
+            wf,
+            wo,
+            wg,
+            ui,
+            uf,
+            uo,
+            ug,
+            bi,
+            bf,
+            bo,
+            bg,
+        })
     }
 }
 

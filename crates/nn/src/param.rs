@@ -7,6 +7,7 @@
 //! [`Parameter`] trait so the optimizer and the gradient checker can walk
 //! `Θ` generically.
 
+use ncl_tensor::wire::{Reader, Wire, WireError};
 use ncl_tensor::{Matrix, Vector};
 
 /// Uniform view over a trainable parameter tensor.
@@ -28,7 +29,7 @@ pub trait Parameter {
 }
 
 /// A matrix-shaped parameter.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MatParam {
     /// Current value.
     pub v: Matrix,
@@ -69,7 +70,7 @@ impl Parameter for MatParam {
 }
 
 /// A vector-shaped parameter (biases).
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VecParam {
     /// Current value.
     pub v: Vector,
@@ -166,6 +167,27 @@ impl<'a> Default for ParamSet<'a> {
 pub trait HasParams {
     /// Registers all owned parameters into `set`.
     fn collect_params<'a>(&'a mut self, set: &mut ParamSet<'a>);
+}
+
+/// Checkpoints persist parameter *values* only; gradients are transient
+/// training state and decode as zeros.
+impl Wire for MatParam {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.v.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self::new(Matrix::decode(r)?))
+    }
+}
+
+/// See [`MatParam`]'s `Wire` impl: values only, fresh zero gradient.
+impl Wire for VecParam {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.v.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self::new(Vector::decode(r)?))
+    }
 }
 
 #[cfg(test)]

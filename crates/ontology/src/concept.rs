@@ -1,14 +1,10 @@
 //! Concepts: identifier + canonical description + knowledge-base aliases.
 
-use serde::{Deserialize, Serialize};
-
 /// Dense index of a concept inside an [`crate::Ontology`].
 ///
 /// Node storage is index-based (no `Rc` cycles); `ConceptId` is a newtype
 /// so ontology indices cannot be confused with word ids or document ids.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ConceptId(pub u32);
 
 impl ConceptId {
@@ -29,7 +25,7 @@ impl std::fmt::Display for ConceptId {
 /// alternative descriptions (aliases) that the UMLS knowledge base supplies
 /// per concept (§3, Model Training: "in UMLS … a concept may have
 /// different descriptions in different standards").
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Concept {
     /// External code, e.g. the ICD-10-CM code `N18.5`.
     pub code: String,

@@ -20,6 +20,7 @@ pub mod concept;
 pub mod io;
 pub mod ontology;
 
-pub use builder::OntologyBuilder;
+pub use builder::{BuildError, OntologyBuilder};
 pub use concept::{Concept, ConceptId};
+pub use io::LoadError;
 pub use ontology::Ontology;

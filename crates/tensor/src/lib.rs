@@ -29,9 +29,11 @@ pub mod ops;
 pub mod pca;
 pub mod stats;
 pub mod vector;
+pub mod wire;
 
 pub use matrix::Matrix;
 pub use vector::Vector;
+pub use wire::{Reader, Wire, WireError};
 
 /// Tolerance used throughout the crate's internal assertions.
 pub const EPS: f32 = 1e-6;

@@ -11,7 +11,7 @@ use std::fmt;
 /// the compiler auto-vectorises them; for the model sizes used in the paper
 /// (`d ≤ 200`) this is within a small factor of a tuned BLAS and keeps the
 /// crate dependency-free.
-#[derive(Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,

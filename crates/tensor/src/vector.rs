@@ -11,7 +11,7 @@ use std::ops::{Index, IndexMut};
 /// output logits are all `Vector`s. It wraps a `Vec<f32>` and exposes the
 /// small set of in-place kernels that manual back-propagation needs, so hot
 /// loops avoid intermediate allocations.
-#[derive(Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Default)]
 pub struct Vector {
     data: Vec<f32>,
 }

@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use ncl_tensor::wire::{Reader, Wire, WireError};
+
 /// Dense integer id of an interned word.
 pub type WordId = u32;
 
@@ -18,7 +20,7 @@ pub type WordId = u32;
 /// decoder (the chain rule of Eq. 3 needs a terminal symbol so that
 /// `p(q|c)` is a proper distribution over variable-length queries), and
 /// [`Vocab::PAD`] for fixed-width batches.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Vocab {
     word_to_id: HashMap<String, WordId>,
     id_to_word: Vec<String>,
@@ -126,6 +128,38 @@ impl Default for Vocab {
     }
 }
 
+impl Wire for Vocab {
+    /// Only `id_to_word` is written; the reverse map is rebuilt on decode,
+    /// which also rejects tables with duplicate words (a duplicate would
+    /// silently shadow an id and corrupt every downstream encode).
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id_to_word.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let id_to_word = Vec::<String>::decode(r)?;
+        if id_to_word.len() < 4 {
+            return Err(WireError::Invalid(format!(
+                "vocab has {} entries, fewer than the 4 reserved specials",
+                id_to_word.len()
+            )));
+        }
+        if id_to_word.len() > WordId::MAX as usize {
+            return Err(WireError::Invalid("vocab exceeds WordId range".into()));
+        }
+        let mut word_to_id = HashMap::with_capacity(id_to_word.len());
+        for (id, w) in id_to_word.iter().enumerate() {
+            if word_to_id.insert(w.clone(), id as WordId).is_some() {
+                return Err(WireError::Invalid(format!("duplicate vocab word {w:?}")));
+            }
+        }
+        Ok(Self {
+            word_to_id,
+            id_to_word,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,6 +210,25 @@ mod tests {
         v.add("pain");
         let words: Vec<&str> = v.iter_words().map(|(_, w)| w).collect();
         assert_eq!(words, vec!["pain"]);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_ids() {
+        let mut v = Vocab::new();
+        v.add_all(["chronic", "kidney", "disease"]);
+        let mut buf = Vec::new();
+        Wire::encode(&v, &mut buf);
+        let back = <Vocab as Wire>::decode(&mut Reader::new(&buf)).unwrap();
+        assert_eq!(back.len(), v.len());
+        assert_eq!(back.get("kidney"), v.get("kidney"));
+        assert_eq!(back.word(Vocab::EOS), Some("</s>"));
+    }
+
+    #[test]
+    fn wire_rejects_duplicate_words() {
+        let mut buf = Vec::new();
+        vec!["<unk>".to_string(); 5].encode(&mut buf);
+        assert!(<Vocab as Wire>::decode(&mut Reader::new(&buf)).is_err());
     }
 
     #[test]

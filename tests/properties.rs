@@ -35,6 +35,20 @@ fn world() -> &'static World {
     })
 }
 
+/// Strategy: hostile tokens — empty strings, printable ASCII with
+/// punctuation, control characters, emoji, accented Latin, and kana.
+fn hostile_token() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        Just(" ".to_string()),
+        "[ -~]{0,12}",
+        "[\u{1}-\u{1f}]{1,4}",
+        "[😀-🙏]{1,3}",
+        "[À-ÿ]{1,6}",
+        "[ぁ-ゖ]{1,5}",
+    ]
+}
+
 /// Strategy: 1–6 lowercase words, a mix of in- and out-of-vocabulary.
 fn query_strategy() -> impl Strategy<Value = Vec<String>> {
     proptest::collection::vec(
@@ -104,6 +118,29 @@ proptest! {
         prop_assert!(res.candidates.len() <= linker.config().k);
     }
 
+    /// `link` never panics and always returns a well-formed ranking on
+    /// arbitrary UTF-8 queries (ISSUE 1: empty strings, emoji, control
+    /// characters); so do the raw-text and validating entry points.
+    #[test]
+    fn link_never_panics_on_hostile_utf8(q in proptest::collection::vec(hostile_token(), 0..8)) {
+        let w = world();
+        let linker = w.pipeline.linker(&w.ds.ontology);
+        let res = linker.link(&q);
+        prop_assert_eq!(res.ranked.len(), res.candidates.len());
+        prop_assert!(!res.is_degraded(), "no faults, no budgets — no degradation");
+        for pair in res.ranked.windows(2) {
+            prop_assert!(pair[0].1 >= pair[1].1);
+        }
+        // The raw-text path re-tokenises; it must digest the same bytes.
+        let _ = linker.link_text(&q.join(" "));
+        // The validating entry point may reject, but only with the
+        // typed InvalidQuery error.
+        match linker.try_link(&q) {
+            Ok(r) => prop_assert_eq!(r.ranked.len(), r.candidates.len()),
+            Err(e) => prop_assert!(matches!(e, ncl::core::NclError::InvalidQuery { .. })),
+        }
+    }
+
     /// Phase-I retrieval with a larger k extends (never reorders) the
     /// candidate prefix.
     #[test]
@@ -124,4 +161,27 @@ proptest! {
         prop_assert!(c5.len() <= c15.len());
         prop_assert_eq!(&c15[..c5.len()], &c5[..]);
     }
+}
+
+/// A 10k-token query links without panicking (the non-validating path
+/// accepts any length), and the validating path rejects it with the
+/// typed `InvalidQuery` error (default `max_query_tokens` is 4096).
+#[test]
+fn link_handles_10k_token_query() {
+    let w = world();
+    let linker = w.pipeline.linker(&w.ds.ontology);
+    let q: Vec<String> = (0..10_000)
+        .map(|i| match i % 4 {
+            0 => "anemia".to_string(),
+            1 => "chronic".to_string(),
+            2 => format!("tok{i}"),
+            _ => "🩺".to_string(),
+        })
+        .collect();
+    let res = linker.link(&q);
+    assert_eq!(res.ranked.len(), res.candidates.len());
+    assert!(matches!(
+        linker.try_link(&q),
+        Err(ncl::core::NclError::InvalidQuery { .. })
+    ));
 }
