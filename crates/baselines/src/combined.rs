@@ -88,11 +88,7 @@ impl<'a> Annotator for Combined<'a> {
         "Combined"
     }
 
-    fn rank_candidates(
-        &self,
-        query: &[String],
-        candidates: &[ConceptId],
-    ) -> Vec<(ConceptId, f32)> {
+    fn rank_candidates(&self, query: &[String], candidates: &[ConceptId]) -> Vec<(ConceptId, f32)> {
         let lists = self
             .members
             .iter()

@@ -201,11 +201,7 @@ impl Annotator for Doc2Vec {
         "Doc2Vec"
     }
 
-    fn rank_candidates(
-        &self,
-        query: &[String],
-        candidates: &[ConceptId],
-    ) -> Vec<(ConceptId, f32)> {
+    fn rank_candidates(&self, query: &[String], candidates: &[ConceptId]) -> Vec<(ConceptId, f32)> {
         let q = self.infer(query);
         let mut ranked: Vec<(ConceptId, f32)> = self
             .concepts

@@ -48,11 +48,7 @@ pub trait Annotator {
     /// Ranks `candidates` for the query, best first, with scores
     /// (higher = better). Implementations may return fewer entries than
     /// candidates when some score as complete non-matches.
-    fn rank_candidates(
-        &self,
-        query: &[String],
-        candidates: &[ConceptId],
-    ) -> Vec<(ConceptId, f32)>;
+    fn rank_candidates(&self, query: &[String], candidates: &[ConceptId]) -> Vec<(ConceptId, f32)>;
 
     /// Ranks the annotator's whole concept universe, truncated to `k`.
     fn rank(&self, query: &[String], k: usize) -> Vec<(ConceptId, f32)> {

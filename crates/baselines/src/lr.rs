@@ -183,14 +183,7 @@ impl LrPlus {
             .find(|(id, _, _)| *id == concept)
             .map(|(_, canonical, anc)| {
                 let f = features(query, canonical, anc);
-                sigmoid(
-                    self.weights
-                        .iter()
-                        .zip(&f)
-                        .map(|(w, x)| w * x)
-                        .sum::<f32>()
-                        + self.bias,
-                )
+                sigmoid(self.weights.iter().zip(&f).map(|(w, x)| w * x).sum::<f32>() + self.bias)
             })
     }
 }
@@ -200,11 +193,7 @@ impl Annotator for LrPlus {
         "LR+"
     }
 
-    fn rank_candidates(
-        &self,
-        query: &[String],
-        candidates: &[ConceptId],
-    ) -> Vec<(ConceptId, f32)> {
+    fn rank_candidates(&self, query: &[String], candidates: &[ConceptId]) -> Vec<(ConceptId, f32)> {
         let mut ranked: Vec<(ConceptId, f32)> = candidates
             .iter()
             .filter_map(|&c| self.score(query, c).map(|s| (c, s)))
@@ -310,7 +299,9 @@ mod tests {
         let o = world();
         let lr = LrPlus::train(&o, 5, 0.5, 3);
         // The root is not a fine-grained concept.
-        assert!(lr.score(&tokenize("x"), ncl_ontology::Ontology::ROOT).is_none());
+        assert!(lr
+            .score(&tokenize("x"), ncl_ontology::Ontology::ROOT)
+            .is_none());
     }
 
     #[test]

@@ -119,11 +119,7 @@ impl Annotator for NobleCoder {
         "NC"
     }
 
-    fn rank_candidates(
-        &self,
-        query: &[String],
-        candidates: &[ConceptId],
-    ) -> Vec<(ConceptId, f32)> {
+    fn rank_candidates(&self, query: &[String], candidates: &[ConceptId]) -> Vec<(ConceptId, f32)> {
         let scores = self.score(query);
         let mut ranked: Vec<(ConceptId, f32)> = candidates
             .iter()
@@ -187,7 +183,10 @@ mod tests {
         let o = world();
         let nc = NobleCoder::build(&o);
         let ranked = nc.rank(&tokenize("anemia menorrhagia"), 5);
-        assert!(ranked.len() >= 2, "expected multi-concept link, got {ranked:?}");
+        assert!(
+            ranked.len() >= 2,
+            "expected multi-concept link, got {ranked:?}"
+        );
     }
 
     #[test]

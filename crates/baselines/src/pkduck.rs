@@ -118,8 +118,7 @@ impl Pkduck {
                 matched += 1;
                 continue;
             }
-            if let Some(j) = (0..target.len())
-                .find(|&j| !used[j] && token_matches(qw, &target[j]))
+            if let Some(j) = (0..target.len()).find(|&j| !used[j] && token_matches(qw, &target[j]))
             {
                 used[j] = true;
                 matched += 1;
@@ -134,11 +133,7 @@ impl Annotator for Pkduck {
         "pkduck"
     }
 
-    fn rank_candidates(
-        &self,
-        query: &[String],
-        candidates: &[ConceptId],
-    ) -> Vec<(ConceptId, f32)> {
+    fn rank_candidates(&self, query: &[String], candidates: &[ConceptId]) -> Vec<(ConceptId, f32)> {
         let mut ranked: Vec<(ConceptId, f32)> = self
             .strings
             .iter()
@@ -185,7 +180,11 @@ mod tests {
         let n18 = b.add_root_concept("N18", "chronic kidney disease");
         b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
         let d50 = b.add_root_concept("D50", "iron deficiency anemia");
-        b.add_child(d50, "D50.0", "iron deficiency anemia secondary to blood loss");
+        b.add_child(
+            d50,
+            "D50.0",
+            "iron deficiency anemia secondary to blood loss",
+        );
         let d53 = b.add_root_concept("D53", "other nutritional anemias");
         b.add_child(d53, "D53.0", "protein deficiency anemia");
         b.build().unwrap()
@@ -259,7 +258,10 @@ mod tests {
     fn similarity_symmetric_bounds() {
         let o = world();
         let pk = Pkduck::build(&o, 0.1, RULES);
-        let s = pk.pair_similarity(&tokenize("iron anemia"), &tokenize("iron deficiency anemia"));
+        let s = pk.pair_similarity(
+            &tokenize("iron anemia"),
+            &tokenize("iron deficiency anemia"),
+        );
         assert!((0.0..=1.0).contains(&s));
         assert!((s - 2.0 / 3.0).abs() < 1e-6);
     }

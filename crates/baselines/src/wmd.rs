@@ -43,10 +43,7 @@ fn nbow(tokens: &[String], vocab: &Vocab) -> Nbow {
     if total == 0.0 {
         return Vec::new();
     }
-    let mut v: Vec<(u32, f32)> = counts
-        .into_iter()
-        .map(|(id, c)| (id, c / total))
-        .collect();
+    let mut v: Vec<(u32, f32)> = counts.into_iter().map(|(id, c)| (id, c / total)).collect();
     v.sort_by_key(|&(id, _)| id);
     v
 }
@@ -123,11 +120,7 @@ impl Annotator for Wmd {
         "WMD"
     }
 
-    fn rank_candidates(
-        &self,
-        query: &[String],
-        candidates: &[ConceptId],
-    ) -> Vec<(ConceptId, f32)> {
+    fn rank_candidates(&self, query: &[String], candidates: &[ConceptId]) -> Vec<(ConceptId, f32)> {
         let q = self.query_nbow(query);
         let mut ranked: Vec<(ConceptId, f32)> = self
             .docs
@@ -182,7 +175,9 @@ mod tests {
         let o = b.build().unwrap();
 
         let mut v = Vocab::new();
-        for w in ["kidney", "disease", "stage", "iron", "anemia", "blood", "renal"] {
+        for w in [
+            "kidney", "disease", "stage", "iron", "anemia", "blood", "renal",
+        ] {
             v.add(w);
         }
         let d = 2;

@@ -77,7 +77,12 @@ fn bench_tfidf(c: &mut Criterion) {
 
 fn bench_edit_distance(c: &mut Criterion) {
     c.bench_function("damerau_neuropaty", |b| {
-        b.iter(|| black_box(damerau_levenshtein(black_box("neuropaty"), black_box("neuropathy"))))
+        b.iter(|| {
+            black_box(damerau_levenshtein(
+                black_box("neuropaty"),
+                black_box("neuropathy"),
+            ))
+        })
     });
 }
 

@@ -16,7 +16,10 @@ fn bench_cbow_epoch(c: &mut Criterion) {
     let ds = workload::dataset(DatasetProfile::MimicIii, &scale);
     let mut cb = CorpusBuilder::new();
     for (_, concept) in ds.ontology.iter() {
-        cb.add_labeled(&tokenize(&concept.canonical), &concept.code.to_ascii_lowercase());
+        cb.add_labeled(
+            &tokenize(&concept.canonical),
+            &concept.code.to_ascii_lowercase(),
+        );
     }
     for s in &ds.unlabeled {
         cb.add_unlabeled(s);
@@ -46,7 +49,10 @@ fn bench_comaid_epoch(c: &mut Criterion) {
     // Build vocabulary and pairs once.
     let mut cb = CorpusBuilder::new();
     for (_, concept) in ds.ontology.iter() {
-        cb.add_labeled(&tokenize(&concept.canonical), &concept.code.to_ascii_lowercase());
+        cb.add_labeled(
+            &tokenize(&concept.canonical),
+            &concept.code.to_ascii_lowercase(),
+        );
         for a in &concept.aliases {
             cb.add_labeled(&tokenize(a), &concept.code.to_ascii_lowercase());
         }
@@ -59,9 +65,7 @@ fn bench_comaid_epoch(c: &mut Criterion) {
     let pairs: Vec<TrainPair> = ds
         .ontology
         .iter()
-        .flat_map(|(id, concept)| {
-            concept.aliases.iter().map(move |a| (id, a.clone()))
-        })
+        .flat_map(|(id, concept)| concept.aliases.iter().map(move |a| (id, a.clone())))
         .map(|(id, a)| TrainPair {
             concept: id,
             target: tokenize(&a).iter().map(|t| vocab.get_or_unk(t)).collect(),

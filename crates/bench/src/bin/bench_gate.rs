@@ -1,0 +1,161 @@
+//! CI perf-regression gate.
+//!
+//! Compares a freshly measured benchmark record (the flat JSON the
+//! `fig15_serving_throughput` binary drops, e.g. `BENCH_fig15.json`)
+//! against a checked-in baseline (`ci/bench_baseline_fig15.json`) and
+//! exits non-zero when any metric regressed by more than the tolerance.
+//!
+//! ```text
+//! bench_gate <current.json> <baseline.json> [--tolerance 0.20]
+//! ```
+//!
+//! Every numeric key in the *baseline* is gated, higher-is-better: the
+//! current value must reach `baseline * (1 - tolerance)`. Keys present
+//! only in the current file are informational (new metrics don't need a
+//! baseline to land); keys missing from the current file fail the gate
+//! (a silently dropped metric must not pass). Baselines are set well
+//! below locally observed rates so runner-speed variance does not flake
+//! the gate while a real (>20%-plus-headroom) regression still trips it.
+//!
+//! The parser handles exactly the flat `{"key": number, ...}` shape the
+//! bench binaries emit — no nesting, no arrays — which keeps this
+//! dependency-free.
+
+use std::process::ExitCode;
+
+/// Parses a flat JSON object's `"key": number` pairs, ignoring anything
+/// non-numeric (string values, etc.).
+fn parse_flat_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(start) = rest.find('"') {
+        rest = &rest[start + 1..];
+        let Some(end) = rest.find('"') else { break };
+        let key = &rest[..end];
+        rest = &rest[end + 1..];
+        let trimmed = rest.trim_start();
+        let Some(after_colon) = trimmed.strip_prefix(':') else {
+            continue;
+        };
+        let value_text = after_colon.trim_start();
+        let len = value_text
+            .find([',', '}', '\n', ' '])
+            .unwrap_or(value_text.len());
+        if let Ok(v) = value_text[..len].trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+        rest = value_text;
+    }
+    out
+}
+
+fn load(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let metrics = parse_flat_json(&text);
+    if metrics.is_empty() {
+        return Err(format!("{path}: no numeric metrics found"));
+    }
+    Ok(metrics)
+}
+
+fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<bool, String> {
+    let current = load(current_path)?;
+    let baseline = load(baseline_path)?;
+    let lookup = |metrics: &[(String, f64)], key: &str| -> Option<f64> {
+        metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    };
+
+    println!(
+        "bench_gate: {current_path} vs {baseline_path} (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    let mut failures = 0usize;
+    for (key, base) in &baseline {
+        let floor = base * (1.0 - tolerance);
+        match lookup(&current, key) {
+            None => {
+                failures += 1;
+                println!("  FAIL {key}: missing from {current_path} (baseline {base:.3})");
+            }
+            Some(now) if now < floor => {
+                failures += 1;
+                println!(
+                    "  FAIL {key}: {now:.3} < floor {floor:.3} ({:.1}% below baseline {base:.3})",
+                    (1.0 - now / base) * 100.0
+                );
+            }
+            Some(now) => {
+                println!("  ok   {key}: {now:.3} (baseline {base:.3}, floor {floor:.3})");
+            }
+        }
+    }
+    for (key, now) in &current {
+        if lookup(&baseline, key).is_none() {
+            println!("  info {key}: {now:.3} (no baseline)");
+        }
+    }
+    Ok(failures == 0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.20f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--tolerance" {
+            match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                _ => {
+                    eprintln!("bench_gate: --tolerance needs a value in [0, 1)");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [current, baseline] = paths.as_slice() else {
+        eprintln!("usage: bench_gate <current.json> <baseline.json> [--tolerance 0.20]");
+        return ExitCode::from(2);
+    };
+    match run(current, baseline, tolerance) {
+        Ok(true) => {
+            println!("bench_gate: PASS");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!("bench_gate: FAIL — throughput regressed beyond tolerance");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_numeric_object() {
+        let m = parse_flat_json("{\n  \"a_qps\": 123.5,\n  \"b\": 7,\n  \"name\": \"x\"\n}\n");
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0], ("a_qps".to_string(), 123.5));
+        assert_eq!(m[1], ("b".to_string(), 7.0));
+    }
+
+    #[test]
+    fn parses_compact_form() {
+        let m = parse_flat_json(r#"{"x":1.25,"y":-3}"#);
+        assert_eq!(m, vec![("x".into(), 1.25), ("y".into(), -3.0)]);
+    }
+
+    #[test]
+    fn ignores_strings_and_empty() {
+        assert!(parse_flat_json("{}").is_empty());
+        assert!(parse_flat_json(r#"{"only": "strings"}"#).is_empty());
+    }
+}

@@ -21,7 +21,12 @@ struct Row {
     accuracy: f32,
     mrr: f32,
 }
-ncl_bench::impl_to_json!(Row { dataset, method, accuracy, mrr });
+ncl_bench::impl_to_json!(Row {
+    dataset,
+    method,
+    accuracy,
+    mrr
+});
 
 fn main() {
     let scale = Scale::from_args();
@@ -45,9 +50,16 @@ fn main() {
             ("NCL", eval::evaluate_annotator(&ncl, &groups, k)),
             ("pkduck t=0.1", eval::evaluate_annotator(&pk, &groups, k)),
             ("NC", eval::evaluate_annotator(&nc, &groups, k)),
-            ("NCL+pkduck+NC (RRF)", eval::evaluate_annotator(&fused, &groups, k)),
+            (
+                "NCL+pkduck+NC (RRF)",
+                eval::evaluate_annotator(&fused, &groups, k),
+            ),
         ] {
-            rows.push(vec![name.to_string(), table::f(m.accuracy), table::f(m.mrr)]);
+            rows.push(vec![
+                name.to_string(),
+                table::f(m.accuracy),
+                table::f(m.mrr),
+            ]);
             records.push(Row {
                 dataset: ds.profile.name().to_string(),
                 method: name.to_string(),

@@ -24,7 +24,11 @@ struct Snapshot {
     concept_coords: Vec<(String, f32, f32)>,
     word_coords: Vec<(String, f32, f32)>,
 }
-ncl_bench::impl_to_json!(Snapshot { label, concept_coords, word_coords });
+ncl_bench::impl_to_json!(Snapshot {
+    label,
+    concept_coords,
+    word_coords
+});
 
 fn main() {
     let scale = Scale::from_args();
@@ -49,7 +53,8 @@ fn main() {
     let watched_words = ["anemia", "blood", "acute", "chronic", "deficiency", "iron"];
 
     // The three incremental feedbacks, mirroring the paper's f1–f3.
-    let feedbacks = [ExpertLabel {
+    let feedbacks = [
+        ExpertLabel {
             concept: anemia[0],
             query: tokenize("hemorrhagic anemia"),
         },
@@ -60,7 +65,8 @@ fn main() {
         ExpertLabel {
             concept: anemia[anemia.len() - 1],
             query: tokenize("vitamin c deficiency anemia"),
-        }];
+        },
+    ];
 
     let snapshot = |pipeline: &ncl_core::NclPipeline, label: &str| -> Snapshot {
         let index = OntologyIndex::build(&ds.ontology, pipeline.model.vocab(), 2);
@@ -140,14 +146,12 @@ fn main() {
 
     // Shape check: the fed concept's representation must move between
     // consecutive snapshots (the paper's octagon/triangle drift).
-    let moved = snapshots
-        .windows(2)
-        .all(|w| {
-            w[0].concept_coords
-                .iter()
-                .zip(&w[1].concept_coords)
-                .any(|(a, b)| (a.1 - b.1).abs() + (a.2 - b.2).abs() > 1e-4)
-        });
+    let moved = snapshots.windows(2).all(|w| {
+        w[0].concept_coords
+            .iter()
+            .zip(&w[1].concept_coords)
+            .any(|(a, b)| (a.1 - b.1).abs() + (a.2 - b.2).abs() > 1e-4)
+    });
     table::banner("Shape check");
     println!("representations drift after each feedback: {moved}");
 

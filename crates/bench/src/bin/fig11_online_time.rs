@@ -25,7 +25,15 @@ struct TimingRow {
     ed_ms: f64,
     rt_ms: f64,
 }
-ncl_bench::impl_to_json!(TimingRow { dataset, axis, value, or_ms, cr_ms, ed_ms, rt_ms });
+ncl_bench::impl_to_json!(TimingRow {
+    dataset,
+    axis,
+    value,
+    or_ms,
+    cr_ms,
+    ed_ms,
+    rt_ms
+});
 
 fn mean_ms(ds: &[Duration]) -> f64 {
     if ds.is_empty() {

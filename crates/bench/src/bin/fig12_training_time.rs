@@ -22,7 +22,14 @@ struct TimeRow {
     pretrain_s: f64,
     refine_s: f64,
 }
-ncl_bench::impl_to_json!(TimeRow { dataset, fraction, labeled_pairs, unlabeled, pretrain_s, refine_s });
+ncl_bench::impl_to_json!(TimeRow {
+    dataset,
+    fraction,
+    labeled_pairs,
+    unlabeled,
+    pretrain_s,
+    refine_s
+});
 
 fn main() {
     let scale = Scale::from_args();
@@ -67,7 +74,13 @@ fn main() {
         println!(
             "{}",
             table::render(
-                &["data", "labeled pairs", "unlabeled", "pre-train (a)", "refine (b)"],
+                &[
+                    "data",
+                    "labeled pairs",
+                    "unlabeled",
+                    "pre-train (a)",
+                    "refine (b)"
+                ],
                 &rows
             )
         );

@@ -21,7 +21,12 @@ struct RobustRow {
     fraction: f32,
     accuracy: f32,
 }
-ncl_bench::impl_to_json!(RobustRow { dataset, axis, fraction, accuracy });
+ncl_bench::impl_to_json!(RobustRow {
+    dataset,
+    axis,
+    fraction,
+    accuracy
+});
 
 fn main() {
     let scale = Scale::from_args();

@@ -30,7 +30,13 @@ struct FaultRow {
     accuracy: f32,
     degraded_frac: f32,
 }
-ncl_bench::impl_to_json!(FaultRow { dataset, axis, level, accuracy, degraded_frac });
+ncl_bench::impl_to_json!(FaultRow {
+    dataset,
+    axis,
+    level,
+    accuracy,
+    degraded_frac
+});
 
 /// Accuracy plus the fraction of *linkable* calls (≥ 1 candidate — a
 /// call with nothing to score cannot degrade) that returned a degraded
@@ -125,15 +131,15 @@ fn main() {
             } else {
                 format!("{budget_ms}ms")
             };
-            rows.push(vec![
-                label,
-                table::f(acc),
-                format!("{:.0}%", frac * 100.0),
-            ]);
+            rows.push(vec![label, table::f(acc), format!("{:.0}%", frac * 100.0)]);
             records.push(FaultRow {
                 dataset: profile.name().into(),
                 axis: "ed_budget_ms".into(),
-                level: if budget_ms == u64::MAX { -1.0 } else { budget_ms as f32 },
+                level: if budget_ms == u64::MAX {
+                    -1.0
+                } else {
+                    budget_ms as f32
+                },
                 accuracy: acc,
                 degraded_frac: frac,
             });
@@ -142,7 +148,10 @@ fn main() {
             "ED budget vs 2ms injected delays, {}",
             profile.name()
         ));
-        println!("{}", table::render(&["ED budget", "Acc", "degraded"], &rows));
+        println!(
+            "{}",
+            table::render(&["ED budget", "Acc", "degraded"], &rows)
+        );
     }
 
     // Shape checks: the ladder must hold — no-fault accuracy on top, the

@@ -18,15 +18,22 @@ use ncl_core::comaid::Variant;
 use ncl_core::{LinkerConfig, NclPipeline};
 
 struct Fig5Record {
-    k_sweep: Vec<(usize, f32, f32)>,      // (k, cov, acc)
-    beta_sweep: Vec<(usize, f32, f32)>,   // (beta, acc hospital-x, acc mimic)
-    rewrite_ablation: Vec<(bool, f32)>,   // (rewrite?, acc)
+    k_sweep: Vec<(usize, f32, f32)>,    // (k, cov, acc)
+    beta_sweep: Vec<(usize, f32, f32)>, // (beta, acc hospital-x, acc mimic)
+    rewrite_ablation: Vec<(bool, f32)>, // (rewrite?, acc)
 }
-ncl_bench::impl_to_json!(Fig5Record { k_sweep, beta_sweep, rewrite_ablation });
+ncl_bench::impl_to_json!(Fig5Record {
+    k_sweep,
+    beta_sweep,
+    rewrite_ablation
+});
 
 fn main() {
     let scale = Scale::from_args();
-    println!("Figure 5 reproduction — parameter tuning (scale: {} categories)", scale.categories);
+    println!(
+        "Figure 5 reproduction — parameter tuning (scale: {} categories)",
+        scale.categories
+    );
 
     // Shared datasets and default-trained pipelines.
     let datasets: Vec<_> = workload::PROFILES

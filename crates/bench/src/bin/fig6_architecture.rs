@@ -19,7 +19,13 @@ struct Cell {
     accuracy: f32,
     mrr: f32,
 }
-ncl_bench::impl_to_json!(Cell { dataset, variant, dim, accuracy, mrr });
+ncl_bench::impl_to_json!(Cell {
+    dataset,
+    variant,
+    dim,
+    accuracy,
+    mrr
+});
 
 fn main() {
     let scale = Scale::from_args();

@@ -9,9 +9,9 @@
 //! pkduck, accuracy rises as θ falls while MRR converges towards
 //! accuracy as θ grows.
 
-use ncl_bench::{eval, table, workload, Scale};
-use ncl_baselines::{Doc2Vec, LrPlus, NobleCoder, Pkduck, Wmd};
 use ncl_baselines::doc2vec::Doc2VecConfig;
+use ncl_baselines::{Doc2Vec, LrPlus, NobleCoder, Pkduck, Wmd};
+use ncl_bench::{eval, table, workload, Scale};
 use ncl_datagen::lexicon::PHRASE_ABBREVS;
 use ncl_embedding::corpus::CorpusBuilder;
 use ncl_embedding::{CbowConfig, CbowModel};
@@ -23,7 +23,12 @@ struct MethodResult {
     accuracy: f32,
     mrr: f32,
 }
-ncl_bench::impl_to_json!(MethodResult { dataset, method, accuracy, mrr });
+ncl_bench::impl_to_json!(MethodResult {
+    dataset,
+    method,
+    accuracy,
+    mrr
+});
 
 fn main() {
     let scale = Scale::from_args();
@@ -36,9 +41,9 @@ fn main() {
         let groups = workload::query_groups(&ds, &scale);
         let mut rows = Vec::new();
         let push = |records: &mut Vec<MethodResult>,
-                        rows: &mut Vec<Vec<String>>,
-                        name: String,
-                        m: eval::Metrics| {
+                    rows: &mut Vec<Vec<String>>,
+                    name: String,
+                    m: eval::Metrics| {
             rows.push(vec![name.clone(), table::f(m.accuracy), table::f(m.mrr)]);
             records.push(MethodResult {
                 dataset: ds.profile.name().to_string(),
@@ -58,12 +63,7 @@ fn main() {
         for theta in [0.1f32, 0.2, 0.3, 0.4, 0.5] {
             let pk = Pkduck::build(&ds.ontology, theta, PHRASE_ABBREVS);
             let m = eval::evaluate_annotator(&pk, &groups, k);
-            push(
-                &mut records,
-                &mut rows,
-                format!("pkduck t={theta:.1}"),
-                m,
-            );
+            push(&mut records, &mut rows, format!("pkduck t={theta:.1}"), m);
         }
 
         // NC.

@@ -17,7 +17,12 @@ struct Cell {
     dim: usize,
     accuracy: f32,
 }
-ncl_bench::impl_to_json!(Cell { dataset, pretrained, dim, accuracy });
+ncl_bench::impl_to_json!(Cell {
+    dataset,
+    pretrained,
+    dim,
+    accuracy
+});
 
 fn main() {
     let scale = Scale::from_args();

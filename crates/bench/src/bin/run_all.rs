@@ -15,6 +15,7 @@ fn main() {
         "fig12_training_time",
         "fig13_robustness",
         "fig14_fault_tolerance",
+        "fig15_serving_throughput",
     ];
     let exe_dir = std::env::current_exe()
         .ok()

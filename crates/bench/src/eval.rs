@@ -27,11 +27,7 @@ impl<'a> Annotator for NclAnnotator<'a> {
         "NCL"
     }
 
-    fn rank_candidates(
-        &self,
-        query: &[String],
-        candidates: &[ConceptId],
-    ) -> Vec<(ConceptId, f32)> {
+    fn rank_candidates(&self, query: &[String], candidates: &[ConceptId]) -> Vec<(ConceptId, f32)> {
         self.linker
             .link(query)
             .ranked
@@ -62,7 +58,11 @@ pub struct Metrics {
     pub coverage: f32,
 }
 
-crate::impl_to_json!(Metrics { accuracy, mrr, coverage });
+crate::impl_to_json!(Metrics {
+    accuracy,
+    mrr,
+    coverage
+});
 
 /// Evaluates an NCL linker over query groups; metrics are averaged over
 /// groups ("the average accuracy/MRR values computed from 10 groups").

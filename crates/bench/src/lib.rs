@@ -16,7 +16,14 @@
 //! | `fig11_online_time` | Figure 11(a)–(d): OR/CR/ED/RT time vs `k` and `\|q\|` |
 //! | `fig12_training_time` | Figure 12(a)(b): pre-train / refine time vs data size |
 //! | `fig13_robustness` | Figure 13(a)(b): concept-% and unlabeled-% sweeps |
+//! | `fig14_fault_tolerance` | Figure 14 (extension): degradation ladder under injected faults |
+//! | `fig15_serving_throughput` | Figure 15 (extension): queries/sec with/without the frozen concept cache |
 //! | `run_all` | every binary in sequence |
+//!
+//! `fig15_serving_throughput` additionally drops a flat `BENCH_fig15.json`
+//! at the working directory root; `bench_gate` compares such a record
+//! against `ci/bench_baseline_fig15.json` and fails CI on a >20%
+//! throughput regression.
 //!
 //! Each binary prints paper-style tables and writes a JSON record under
 //! `results/` for `EXPERIMENTS.md`. Because the substrate is a synthetic

@@ -1,0 +1,534 @@
+//! Frozen-model serving cache.
+//!
+//! At serving time the model parameters are fixed, so everything Phase II
+//! recomputes per query *about the concepts* is loop-invariant: the
+//! encoder states `h_1..h_n^c` of every candidate's canonical description
+//! (the textual attention memory of Eq. 5), the final state `h_n^c` that
+//! seeds the decoder (`s_0 = h_n^c`, §4.1.2) together with the final
+//! cell, and the β ancestor encodings forming the structural attention
+//! memory (Eq. 7). [`ComAid::freeze`] precomputes all of it once per
+//! ontology; online scoring then only runs the decoder over the query.
+//!
+//! Two invariants make the cache safe and exact:
+//!
+//! - **Bit identity.** Cached scoring reuses the very kernels of the
+//!   uncached forward pass (`gemv_acc` gates, the same attention, the
+//!   same composite layer) in the same order, so `log p(q|c)` is
+//!   bit-identical to [`ComAid::log_prob_ids_masked`] — asserted by
+//!   tests, relied on by the linker.
+//! - **Version coherence.** A cache remembers the parameter generation
+//!   ([`ComAid::version`]) it was frozen from. Training bumps the
+//!   generation and loading a checkpoint draws a fresh one, so a stale
+//!   cache can never silently serve: every cached entry point checks
+//!   [`ConceptCache::is_valid_for`] and falls back to the uncached path.
+
+use super::{ComAid, OntologyIndex};
+use ncl_nn::softmax_loss;
+use ncl_ontology::ConceptId;
+use ncl_tensor::ops::{log_softmax_at_slice, log_sum_exp_slice};
+use ncl_tensor::{Matrix, Vector};
+use ncl_text::Vocab;
+
+/// Precomputed per-concept encoder state, frozen at a specific parameter
+/// generation. Index-aligned with the [`OntologyIndex`] it was built
+/// from (entry `cid.index()` belongs to concept `cid`).
+///
+/// Plain data: `Send + Sync`, so scoring threads share one cache.
+#[derive(Debug, Clone)]
+pub struct ConceptCache {
+    /// The [`ComAid::version`] this cache was frozen from.
+    version: u64,
+    dim: usize,
+    /// `enc_hs[i]` = encoder hidden states `h_1..h_n^c` of concept `i`
+    /// (the textual attention memory; empty for token-less concepts).
+    enc_hs: Vec<Vec<Vector>>,
+    /// `enc_final_c[i]` = the encoder's final cell state (seeds the
+    /// decoder alongside `h_n^c`).
+    enc_final_c: Vec<Vector>,
+    /// `struct_memory[i]` = the β slot-expanded ancestor representations
+    /// (the structural attention memory; empty when the variant has no
+    /// structural attention).
+    struct_memory: Vec<Vec<Vector>>,
+    /// `dec_h1[i]`/`dec_c1[i]` = the decoder state after consuming the
+    /// `⟨BOS⟩` embedding. The first decoder step sees only the concept
+    /// (its input is the fixed BOS vector, its initial state the encoder
+    /// final state), so it is query-invariant and frozen here.
+    dec_h1: Vec<Vector>,
+    dec_c1: Vec<Vector>,
+    /// `step0_logits[i]` = the full output logits of that first decoder
+    /// step (Eq. 9 at `t = 0`): also query-invariant, so the first
+    /// scored word of every query costs one table lookup instead of an
+    /// attention + composite + output pass.
+    step0_logits: Vec<Vector>,
+    /// `step0_lse[i]` = the log-sum-exp denominator of `step0_logits[i]`
+    /// ([`ncl_tensor::ops::log_sum_exp_slice`]), so the step-0 log-prob
+    /// `logits[w] − lse` is bit-identical to `log_softmax(logits)[w]`.
+    step0_lse: Vec<f32>,
+}
+
+impl ConceptCache {
+    /// The parameter generation this cache was frozen from.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Whether this cache may serve for `model`: true exactly when the
+    /// model's parameters are the generation the cache was frozen from.
+    pub fn is_valid_for(&self, model: &ComAid) -> bool {
+        self.version == model.version()
+    }
+
+    /// Number of ontology nodes covered (including the root slot).
+    pub fn len(&self) -> usize {
+        self.enc_hs.len()
+    }
+
+    /// Whether the cache covers no concepts.
+    pub fn is_empty(&self) -> bool {
+        self.enc_hs.is_empty()
+    }
+
+    /// Total cache footprint in `f32`s:
+    /// `Σ_c (n_c + 3 + β_c) · d  +  |C| · (|V| + 1)` — the per-token
+    /// encoder states, the final cell, the slot-expanded ancestor
+    /// memory, the frozen post-BOS decoder state (2·d), and the frozen
+    /// step-0 logits with their log-sum-exp denominator.
+    pub fn memory_floats(&self) -> usize {
+        let vectors = self.enc_hs.iter().map(Vec::len).sum::<usize>()
+            + self.enc_final_c.len()
+            + self.struct_memory.iter().map(Vec::len).sum::<usize>()
+            + self.dec_h1.len()
+            + self.dec_c1.len();
+        vectors * self.dim
+            + self.step0_logits.iter().map(Vector::len).sum::<usize>()
+            + self.step0_lse.len()
+    }
+}
+
+impl ComAid {
+    /// Precomputes the serving cache for every concept of `index` under
+    /// the current parameters (one encoder pass per ontology node; the
+    /// structural memory reuses those same passes, because an ancestor's
+    /// encoding *is* that ancestor's concept encoding).
+    pub fn freeze(&self, index: &OntologyIndex) -> ConceptCache {
+        let d = self.config().dim;
+        let zero = Vector::zeros(d);
+        let n = index.len();
+        let mut enc_hs = Vec::with_capacity(n);
+        let mut enc_final_c = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = ConceptId(i as u32);
+            let xs = self.embedding.lookup_seq(index.tokens(id));
+            let (hs, final_c) = self.encoder.forward_states(&xs, &zero, &zero);
+            enc_hs.push(hs);
+            enc_final_c.push(final_c);
+        }
+        let mut struct_memory: Vec<Vec<Vector>> = Vec::with_capacity(n);
+        if self.config().variant.uses_struct() {
+            for i in 0..n {
+                let id = ConceptId(i as u32);
+                let mem = index
+                    .context(id)
+                    .iter()
+                    .map(|anc| {
+                        // Final encoder state of the ancestor; the zero
+                        // fallback mirrors LstmTape::final_h() on an
+                        // empty sequence (the synthetic root).
+                        enc_hs[anc.index()]
+                            .last()
+                            .cloned()
+                            .unwrap_or_else(|| zero.clone())
+                    })
+                    .collect();
+                struct_memory.push(mem);
+            }
+        } else {
+            struct_memory.resize(n, Vec::new());
+        }
+        // The first decoder step is query-invariant: its input is the
+        // BOS embedding and its state the encoder final state, both
+        // frozen above. Run it once per concept, head included.
+        let x_bos = self
+            .embedding
+            .lookup_seq(&[Vocab::BOS])
+            .pop()
+            .expect("BOS embedding");
+        let mut dec_h1 = Vec::with_capacity(n);
+        let mut dec_c1 = Vec::with_capacity(n);
+        let mut step0_logits = Vec::with_capacity(n);
+        let mut step0_lse = Vec::with_capacity(n);
+        for i in 0..n {
+            let h0 = enc_hs[i].last().cloned().unwrap_or_else(|| zero.clone());
+            let (h1, c1) = self.decoder.step_infer(&x_bos, &h0, &enc_final_c[i]);
+            let comp_in = self.composite_input_cached(&h1, &enc_hs[i], &struct_memory[i], &zero);
+            let logits = self.output.apply(&self.composite.apply(&comp_in));
+            step0_lse.push(log_sum_exp_slice(logits.as_slice()));
+            step0_logits.push(logits);
+            dec_h1.push(h1);
+            dec_c1.push(c1);
+        }
+        ConceptCache {
+            version: self.version(),
+            dim: d,
+            enc_hs,
+            enc_final_c,
+            struct_memory,
+            dec_h1,
+            dec_c1,
+            step0_logits,
+            step0_lse,
+        }
+    }
+
+    /// Cached [`ComAid::log_prob_ids_masked`]: bit-identical score, but
+    /// the concept-side encoder work comes from `cache`. A stale cache
+    /// (parameters changed since [`ComAid::freeze`]) transparently falls
+    /// back to the uncached path.
+    ///
+    /// # Panics
+    /// Panics if `count.len() != target.len()`.
+    pub fn log_prob_ids_masked_cached(
+        &self,
+        index: &OntologyIndex,
+        cache: &ConceptCache,
+        concept: ConceptId,
+        target: &[u32],
+        count: &[bool],
+    ) -> f32 {
+        if !cache.is_valid_for(self) {
+            return self.log_prob_ids_masked(index, concept, target, count);
+        }
+        assert_eq!(count.len(), target.len(), "mask length mismatch");
+        let dec_xs = self.decoder_inputs(target);
+        let zero = Vector::zeros(self.config().dim);
+        let ci = concept.index();
+        let enc_hs = &cache.enc_hs[ci];
+        let struct_mem = &cache.struct_memory[ci];
+        // Step 0 (the BOS step) is frozen in the cache: resume from the
+        // precomputed state, and read the first word's log-prob off the
+        // precomputed logits when the step is counted.
+        let mut h = cache.dec_h1[ci].clone();
+        let mut c = cache.dec_c1[ci].clone();
+        let mut lp = 0.0f32;
+        if count.first().copied().unwrap_or(true) {
+            let word = target.first().copied().unwrap_or(Vocab::EOS) as usize;
+            lp += cache.step0_logits[ci][word] - cache.step0_lse[ci];
+        }
+        for (t, dec_x) in dec_xs.iter().enumerate().skip(1) {
+            let (nh, nc) = self.decoder.step_infer(dec_x, &h, &c);
+            h = nh;
+            c = nc;
+            // The EOS step (t == target.len()) is always counted.
+            if !count.get(t).copied().unwrap_or(true) {
+                // Uncounted steps contribute nothing to the masked sum
+                // and nothing downstream depends on their head outputs,
+                // so the attention/composite/output work is skipped
+                // entirely — the decoder recurrence above is all that
+                // must advance.
+                continue;
+            }
+            let word = target.get(t).copied().unwrap_or(Vocab::EOS) as usize;
+            let comp_in = self.composite_input_cached(&h, enc_hs, struct_mem, &zero);
+            let s_tilde = self.composite.apply(&comp_in);
+            let logits = self.output.apply(&s_tilde);
+            lp += softmax_loss::log_prob(&logits, word);
+        }
+        lp
+    }
+
+    /// Scores `log p(q|c)` for a *batch* of candidates sharing one
+    /// decoded query, advancing all candidates one timestep per pass so
+    /// the output projection `W_s` (by far the largest matrix) is
+    /// streamed once per step for the whole batch instead of once per
+    /// candidate per step. Per-candidate results are bit-identical to
+    /// [`ComAid::log_prob_ids_masked_cached`]. `counts[i]` is candidate
+    /// `i`'s masking of the shared `target`. A stale cache falls back to
+    /// the uncached path per candidate.
+    ///
+    /// # Panics
+    /// Panics if `counts.len() != concepts.len()` or any mask's length
+    /// differs from `target.len()`.
+    pub fn log_prob_batch_cached(
+        &self,
+        index: &OntologyIndex,
+        cache: &ConceptCache,
+        concepts: &[ConceptId],
+        target: &[u32],
+        counts: &[Vec<bool>],
+    ) -> Vec<f32> {
+        assert_eq!(counts.len(), concepts.len(), "one mask per concept");
+        if !cache.is_valid_for(self) {
+            return concepts
+                .iter()
+                .zip(counts)
+                .map(|(&c, m)| self.log_prob_ids_masked(index, c, target, m))
+                .collect();
+        }
+        for m in counts {
+            assert_eq!(m.len(), target.len(), "mask length mismatch");
+        }
+        let k = concepts.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        let zero = Vector::zeros(self.config().dim);
+        let dec_xs = self.decoder_inputs(target);
+
+        // Every candidate resumes from its frozen post-BOS decoder state;
+        // counted first words come straight off the frozen step-0 logits.
+        let mut hs: Vec<Vector> = Vec::with_capacity(k);
+        let mut cs: Vec<Vector> = Vec::with_capacity(k);
+        let mut lps = vec![0.0f32; k];
+        let word0 = target.first().copied().unwrap_or(Vocab::EOS) as usize;
+        for (i, (&concept, m)) in concepts.iter().zip(counts).enumerate() {
+            let ci = concept.index();
+            hs.push(cache.dec_h1[ci].clone());
+            cs.push(cache.dec_c1[ci].clone());
+            if m.first().copied().unwrap_or(true) {
+                lps[i] += cache.step0_logits[ci][word0] - cache.step0_lse[ci];
+            }
+        }
+
+        let mut counted: Vec<usize> = Vec::with_capacity(k);
+        for (t, dec_x) in dec_xs.iter().enumerate().skip(1) {
+            for i in 0..k {
+                let (nh, nc) = self.decoder.step_infer(dec_x, &hs[i], &cs[i]);
+                hs[i] = nh;
+                cs[i] = nc;
+            }
+            counted.clear();
+            counted.extend(
+                counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.get(t).copied().unwrap_or(true))
+                    .map(|(i, _)| i),
+            );
+            if counted.is_empty() {
+                continue;
+            }
+            let word = target.get(t).copied().unwrap_or(Vocab::EOS) as usize;
+            let mut comp = Matrix::zeros(counted.len(), self.composite.in_dim());
+            for (r, &i) in counted.iter().enumerate() {
+                let ci = concepts[i].index();
+                let comp_in = self.composite_input_cached(
+                    &hs[i],
+                    &cache.enc_hs[ci],
+                    &cache.struct_memory[ci],
+                    &zero,
+                );
+                comp.set_row(r, &comp_in);
+            }
+            let s_tilde = self.composite.apply_batch(&comp);
+            let logits = self.output.apply_batch(&s_tilde);
+            for (r, &i) in counted.iter().enumerate() {
+                lps[i] += log_softmax_at_slice(logits.row(r), word);
+            }
+        }
+        lps
+    }
+
+    /// Embeds the decoder input sequence `⟨BOS, target…⟩`.
+    fn decoder_inputs(&self, target: &[u32]) -> Vec<Vector> {
+        let mut ids = Vec::with_capacity(target.len() + 1);
+        ids.push(Vocab::BOS);
+        ids.extend_from_slice(target);
+        self.embedding.lookup_seq(&ids)
+    }
+
+    /// Builds one step's composite-layer input `[s_t ‖ textual ctx ‖
+    /// structural ctx]` from cached memories, with exactly the
+    /// zero-padding rules of the uncached forward pass: a variant that
+    /// *uses* a context but has an empty memory gets a zero block.
+    fn composite_input_cached(
+        &self,
+        s_t: &Vector,
+        enc_hs: &[Vector],
+        struct_mem: &[Vector],
+        zero: &Vector,
+    ) -> Vector {
+        let variant = self.config().variant;
+        let mut comp_in = Vec::with_capacity(self.composite.in_dim());
+        comp_in.extend_from_slice(s_t.as_slice());
+        if variant.uses_text() {
+            if enc_hs.is_empty() {
+                comp_in.extend_from_slice(zero.as_slice());
+            } else {
+                let (tc, _) = self.attention.forward(enc_hs, s_t);
+                comp_in.extend_from_slice(tc.as_slice());
+            }
+        }
+        if variant.uses_struct() {
+            if struct_mem.is_empty() {
+                comp_in.extend_from_slice(zero.as_slice());
+            } else {
+                let (sc, _) = self.attention.forward(struct_mem, s_t);
+                comp_in.extend_from_slice(sc.as_slice());
+            }
+        }
+        Vector::from_vec(comp_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{ComAidConfig, Variant};
+    use super::*;
+    use ncl_ontology::{Ontology, OntologyBuilder};
+    use ncl_text::tokenize;
+
+    fn tiny_world() -> (Ontology, Vocab) {
+        let mut b = OntologyBuilder::new();
+        let n18 = b.add_root_concept("N18", "chronic kidney disease");
+        b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+        b.add_child(n18, "N18.9", "chronic kidney disease unspecified");
+        let r10 = b.add_root_concept("R10", "abdominal pain");
+        b.add_child(r10, "R10.0", "acute abdomen");
+        let o = b.build().unwrap();
+        let mut v = Vocab::new();
+        for (_, c) in o.iter() {
+            for t in tokenize(&c.canonical) {
+                v.add(&t);
+            }
+        }
+        v.add("ckd");
+        (o, v)
+    }
+
+    fn model_for(variant: Variant, vocab: Vocab) -> ComAid {
+        let config = ComAidConfig {
+            dim: 6,
+            beta: 2,
+            variant,
+            seed: 23,
+            ..ComAidConfig::tiny()
+        };
+        ComAid::new(vocab, config, None)
+    }
+
+    #[test]
+    fn cached_score_bit_identical_for_all_variants() {
+        let (o, v) = tiny_world();
+        let idx = OntologyIndex::build(&o, &v, 2);
+        for &variant in Variant::ALL {
+            let m = model_for(variant, v.clone());
+            let cache = m.freeze(&idx);
+            assert!(cache.is_valid_for(&m));
+            let target = m.encode_text("ckd stage 5");
+            let masks = [
+                vec![true; target.len()],
+                vec![false; target.len()],
+                (0..target.len()).map(|i| i % 2 == 0).collect::<Vec<_>>(),
+            ];
+            for id in o.all_concepts() {
+                for mask in &masks {
+                    let plain = m.log_prob_ids_masked(&idx, id, &target, mask);
+                    let cached = m.log_prob_ids_masked_cached(&idx, &cache, id, &target, mask);
+                    assert_eq!(
+                        plain.to_bits(),
+                        cached.to_bits(),
+                        "{variant:?} {:?} mask {mask:?}",
+                        o.concept(id).code
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_scores_bit_identical_to_single() {
+        let (o, v) = tiny_world();
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let m = model_for(Variant::Full, v);
+        let cache = m.freeze(&idx);
+        let target = m.encode_text("chronic kidney disease stage 5");
+        let concepts: Vec<ConceptId> = o.all_concepts().collect();
+        // Per-candidate masks that differ (as shared-word removal does).
+        let counts: Vec<Vec<bool>> = (0..concepts.len())
+            .map(|i| (0..target.len()).map(|t| (t + i) % 3 != 0).collect())
+            .collect();
+        let batch = m.log_prob_batch_cached(&idx, &cache, &concepts, &target, &counts);
+        for ((&c, mask), lp) in concepts.iter().zip(&counts).zip(&batch) {
+            let single = m.log_prob_ids_masked_cached(&idx, &cache, c, &target, mask);
+            assert_eq!(single.to_bits(), lp.to_bits(), "{:?}", o.concept(c).code);
+        }
+    }
+
+    #[test]
+    fn empty_target_and_empty_batch() {
+        let (o, v) = tiny_world();
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let m = model_for(Variant::Full, v);
+        let cache = m.freeze(&idx);
+        let c = o.by_code("R10.0").unwrap();
+        let plain = m.log_prob_ids_masked(&idx, c, &[], &[]);
+        let cached = m.log_prob_ids_masked_cached(&idx, &cache, c, &[], &[]);
+        assert_eq!(plain.to_bits(), cached.to_bits());
+        assert!(m
+            .log_prob_batch_cached(&idx, &cache, &[], &[], &[])
+            .is_empty());
+    }
+
+    #[test]
+    fn stale_cache_falls_back_to_uncached() {
+        let (o, v) = tiny_world();
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let mut m = model_for(Variant::Full, v);
+        let cache = m.freeze(&idx);
+        let c = o.by_code("N18.5").unwrap();
+        let target = m.encode_text("ckd stage 5");
+        let mask = vec![true; target.len()];
+
+        // Mutate the parameters through the training chokepoint.
+        let pairs = vec![super::super::TrainPair {
+            concept: c,
+            target: target.clone(),
+        }];
+        m.fit_epochs(
+            &idx,
+            &pairs,
+            1,
+            ncl_nn::optimizer::LrSchedule::constant(0.1),
+        );
+
+        assert!(!cache.is_valid_for(&m));
+        // The stale cache must not serve stale encodings: the cached
+        // entry points fall back to the live parameters.
+        let plain = m.log_prob_ids_masked(&idx, c, &target, &mask);
+        let via_cache = m.log_prob_ids_masked_cached(&idx, &cache, c, &target, &mask);
+        assert_eq!(plain.to_bits(), via_cache.to_bits());
+        let via_batch = m.log_prob_batch_cached(&idx, &cache, &[c], &target, &[mask]);
+        assert_eq!(plain.to_bits(), via_batch[0].to_bits());
+
+        // Refreezing restores validity.
+        let fresh = m.freeze(&idx);
+        assert!(fresh.is_valid_for(&m));
+    }
+
+    #[test]
+    fn clone_keeps_cache_valid_until_either_trains() {
+        let (o, v) = tiny_world();
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let m = model_for(Variant::Full, v);
+        let cache = m.freeze(&idx);
+        let clone = m.clone();
+        // Identical parameters: the cache serves for both.
+        assert!(cache.is_valid_for(&clone));
+        assert_eq!(m.version(), clone.version());
+    }
+
+    #[test]
+    fn memory_accounting_counts_all_vectors() {
+        let (o, v) = tiny_world();
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let m = model_for(Variant::Full, v);
+        let cache = m.freeze(&idx);
+        assert_eq!(cache.len(), idx.len());
+        assert!(!cache.is_empty());
+        // Lower bound: every node has a final cell (1·d), plus β = 2
+        // ancestor slots for each non-root node.
+        let d = 6;
+        let non_root = idx.len() - 1;
+        assert!(cache.memory_floats() >= d * (idx.len() + 2 * non_root));
+    }
+}

@@ -100,9 +100,8 @@ impl ComAid {
                 // hypothesis, so the search can never end empty (this
                 // makes `generate_greedy`'s non-empty guarantee
                 // structural rather than probabilistic).
-                let mut scored: Vec<(u32, f32)> = (0..lp.len() as u32)
-                    .map(|w| (w, lp[w as usize]))
-                    .collect();
+                let mut scored: Vec<(u32, f32)> =
+                    (0..lp.len() as u32).map(|w| (w, lp[w as usize])).collect();
                 scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
                 let prefix_lp = run.log_prob - run.step_log_probs.last().copied().unwrap_or(0.0);
                 next.push(Beam {
@@ -189,8 +188,18 @@ mod tests {
         let o = b.build().unwrap();
         let mut v = ncl_text::Vocab::new();
         for w in [
-            "chronic", "kidney", "disease", "stage", "5", "ckd", "iron", "deficiency", "anemia",
-            "blood", "loss", "fe",
+            "chronic",
+            "kidney",
+            "disease",
+            "stage",
+            "5",
+            "ckd",
+            "iron",
+            "deficiency",
+            "anemia",
+            "blood",
+            "loss",
+            "fe",
         ] {
             v.add(w);
         }

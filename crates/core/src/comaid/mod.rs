@@ -15,6 +15,7 @@
 
 use ncl_tensor::wire::{Reader, Wire, WireError};
 
+mod cache;
 mod decode;
 mod index;
 mod model;
@@ -22,6 +23,7 @@ mod persist;
 mod trace;
 mod train;
 
+pub use cache::ConceptCache;
 pub use decode::Decoded;
 pub use index::OntologyIndex;
 pub use model::ComAid;
@@ -66,8 +68,7 @@ impl Variant {
     }
 
     /// All four variants, full model first.
-    pub const ALL: &'static [Variant] =
-        &[Self::Full, Self::NoStruct, Self::NoText, Self::NoBoth];
+    pub const ALL: &'static [Variant] = &[Self::Full, Self::NoStruct, Self::NoText, Self::NoBoth];
 }
 
 /// How the output layer is evaluated during *training*. Scoring always

@@ -33,7 +33,25 @@ pub struct ComAid {
     pub(crate) composite: Dense,
     /// Output projection `W_s, b_s` (Eq. 9).
     pub(crate) output: Dense,
-    attention: DotAttention,
+    pub(crate) attention: DotAttention,
+    /// Parameter generation, compared against
+    /// [`ConceptCache::version`](super::ConceptCache::version) to detect
+    /// stale serving caches. Drawn from a process-global counter at
+    /// construction/decode and bumped on every training run; a clone
+    /// keeps its source's version (identical parameters ⇒ caches built
+    /// from either remain valid).
+    pub(crate) version: u64,
+}
+
+/// Process-global parameter-generation counter behind
+/// [`ComAid::version`]. Monotonic and never reused, so a version match
+/// can only mean "the same parameters the cache was built from": a model
+/// loaded from disk draws a *fresh* generation, which is what invalidates
+/// any pre-existing cache on load.
+fn next_version() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    COUNTER.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Checkpoint payload layout: config, vocab, then the five parameter
@@ -112,6 +130,9 @@ impl Wire for ComAid {
             composite,
             output,
             attention: DotAttention,
+            // A decoded model is a *new* parameter generation: any cache
+            // built before the save/load round-trip must not match it.
+            version: next_version(),
         })
     }
 }
@@ -217,7 +238,22 @@ impl ComAid {
             attention: DotAttention,
             vocab,
             config,
+            version: next_version(),
         }
+    }
+
+    /// The current parameter generation (see the `version` field). A
+    /// [`ConceptCache`](super::ConceptCache) is valid only for the exact
+    /// generation it was frozen from.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Marks the parameters as mutated, invalidating every existing
+    /// serving cache. Called at the single training chokepoint
+    /// (`fit_epochs`); any future in-place mutation path must do the same.
+    pub(crate) fn bump_version(&mut self) {
+        self.version = next_version();
     }
 
     /// The model configuration.
@@ -259,12 +295,7 @@ impl ComAid {
     /// `log p(q|c; Θ)` for arbitrary target word ids (Eq. 3); the linker
     /// ranks candidates by this score, and `Loss = −log p` feeds the
     /// feedback controller (Appendix A).
-    pub fn log_prob_ids(
-        &self,
-        index: &OntologyIndex,
-        concept: ConceptId,
-        target: &[u32],
-    ) -> f32 {
+    pub fn log_prob_ids(&self, index: &OntologyIndex, concept: ConceptId, target: &[u32]) -> f32 {
         self.run_example(index, concept, target).log_prob
     }
 
@@ -298,7 +329,11 @@ impl ComAid {
     }
 
     /// Builds the deduplicated ancestor structures for `concept`.
-    fn context_slots(&self, index: &OntologyIndex, concept: ConceptId) -> (Vec<Vec<u32>>, Vec<usize>) {
+    fn context_slots(
+        &self,
+        index: &OntologyIndex,
+        concept: ConceptId,
+    ) -> (Vec<Vec<u32>>, Vec<usize>) {
         let mut unique_ids: Vec<ConceptId> = Vec::new();
         let mut slot_map = Vec::new();
         for &anc in index.context(concept) {
@@ -552,7 +587,8 @@ impl ComAid {
             let mut dhs = vec![Vector::zeros(d); n];
             dhs[n - 1] = d_anc_final[u].clone();
             let grads = self.encoder.backward_seq(tape, &dhs);
-            self.embedding.accumulate_grad_seq(&run.anc_ids[u], &grads.dxs);
+            self.embedding
+                .accumulate_grad_seq(&run.anc_ids[u], &grads.dxs);
         }
     }
 
@@ -670,10 +706,7 @@ mod tests {
         };
         let m = ComAid::new(v.clone(), config, Some(&table));
         let id = v.get("chronic").unwrap();
-        assert_eq!(
-            m.embedding().lookup(id).as_slice(),
-            table.row(id as usize)
-        );
+        assert_eq!(m.embedding().lookup(id).as_slice(), table.row(id as usize));
         let _ = o;
     }
 
@@ -706,7 +739,10 @@ mod tests {
 
         check_params(
             &mut m,
-            |m| m.run_example_with_noise(&idx, c, &target, Some(&noise)).loss,
+            |m| {
+                m.run_example_with_noise(&idx, c, &target, Some(&noise))
+                    .loss
+            },
             |m, set| m.collect_params(set),
             2e-2,
             5e-2,

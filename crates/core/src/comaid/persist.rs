@@ -21,6 +21,14 @@
 //! to a same-directory temporary file which is fsynced and renamed over
 //! the destination, so a crash mid-save can never leave a half-written
 //! checkpoint under the final name.
+//!
+//! Loading also invalidates serving caches: a decoded model draws a
+//! fresh parameter generation ([`ComAid::version`]), so any
+//! [`ConceptCache`](super::ConceptCache) frozen before the round-trip
+//! fails its validity check against the loaded model and must be rebuilt
+//! with [`ComAid::freeze`]. The checkpoint deliberately does *not* carry
+//! the cache — it is derived state, cheap to recompute relative to
+//! distrusting it.
 
 use super::ComAid;
 use ncl_tensor::wire::{fnv1a64, Reader, Wire, WireError};
@@ -72,7 +80,10 @@ impl std::fmt::Display for PersistError {
         match self {
             Self::Io(e) => write!(f, "model persistence I/O error: {e}"),
             Self::NotACheckpoint => {
-                write!(f, "model persistence codec error: not an NCL checkpoint (bad magic)")
+                write!(
+                    f,
+                    "model persistence codec error: not an NCL checkpoint (bad magic)"
+                )
             }
             Self::UnsupportedVersion { found, supported } => write!(
                 f,
@@ -260,7 +271,10 @@ mod tests {
         let idx = OntologyIndex::build(&o, &v, 2);
         let pairs = vec![TrainPair {
             concept: o.by_code("N18.5").unwrap(),
-            target: tokenize("ckd stage 5").iter().map(|t| v.get_or_unk(t)).collect(),
+            target: tokenize("ckd stage 5")
+                .iter()
+                .map(|t| v.get_or_unk(t))
+                .collect(),
         }];
         m.fit(&idx, &pairs);
         (o, m)
@@ -319,7 +333,14 @@ mod tests {
         let buf = checkpoint_bytes(&model);
         // Every proper prefix must be rejected: short ones as
         // not-a-checkpoint, longer ones as truncation.
-        for cut in [0, 4, HEADER_LEN - 1, HEADER_LEN, buf.len() / 2, buf.len() - 1] {
+        for cut in [
+            0,
+            4,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            buf.len() / 2,
+            buf.len() - 1,
+        ] {
             let err = ComAid::load_bytes(&buf[..cut]).unwrap_err();
             assert!(
                 matches!(
@@ -355,7 +376,10 @@ mod tests {
         let err = ComAid::load_bytes(&buf).unwrap_err();
         assert!(matches!(
             err,
-            PersistError::UnsupportedVersion { found: 99, supported: FORMAT_VERSION }
+            PersistError::UnsupportedVersion {
+                found: 99,
+                supported: FORMAT_VERSION
+            }
         ));
     }
 

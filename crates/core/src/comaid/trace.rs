@@ -108,7 +108,14 @@ mod tests {
         let r109 = b.add_child(r10, "R10.9", "unspecified abdominal pain");
         let o = b.build().unwrap();
         let mut v = Vocab::new();
-        for w in ["abdominal", "and", "pelvic", "pain", "unspecified", "abdomen"] {
+        for w in [
+            "abdominal",
+            "and",
+            "pelvic",
+            "pain",
+            "unspecified",
+            "abdomen",
+        ] {
             v.add(w);
         }
         let config = ComAidConfig {

@@ -46,12 +46,21 @@ impl ComAid {
     /// # Panics
     /// Panics if `pairs` is empty.
     pub fn fit(&mut self, index: &OntologyIndex, pairs: &[TrainPair]) -> TrainReport {
-        let (epochs, lr, decay) = (self.config().epochs, self.config().lr, self.config().lr_decay);
-        self.fit_epochs(index, pairs, epochs, LrSchedule {
-            lr0: lr,
-            decay,
-            min_lr: lr * 0.05,
-        })
+        let (epochs, lr, decay) = (
+            self.config().epochs,
+            self.config().lr,
+            self.config().lr_decay,
+        );
+        self.fit_epochs(
+            index,
+            pairs,
+            epochs,
+            LrSchedule {
+                lr0: lr,
+                decay,
+                min_lr: lr * 0.05,
+            },
+        )
     }
 
     /// Trains for an explicit number of epochs with an explicit schedule
@@ -65,6 +74,8 @@ impl ComAid {
         schedule: LrSchedule,
     ) -> TrainReport {
         assert!(!pairs.is_empty(), "fit: no training pairs");
+        // Parameters are about to change: invalidate frozen serving caches.
+        self.bump_version();
         let batch_size = self.config().batch_size.max(1);
         let clip = self.config().clip_norm;
         let mut rng = StdRng::seed_from_u64(self.config().seed ^ 0x7EA1);
@@ -86,11 +97,7 @@ impl ComAid {
                         OutputMode::Full => None,
                         OutputMode::Sampled { noise } => {
                             let vocab_size = self.vocab().len() as u32;
-                            Some(
-                                (0..noise)
-                                    .map(|_| rng.gen_range(4..vocab_size))
-                                    .collect(),
-                            )
+                            Some((0..noise).map(|_| rng.gen_range(4..vocab_size)).collect())
                         }
                     };
                     let run = self.run_example_with_noise(
@@ -132,7 +139,11 @@ mod tests {
         let n185 = b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
         let n189 = b.add_child(n18, "N18.9", "chronic kidney disease unspecified");
         let d50 = b.add_root_concept("D50", "iron deficiency anemia");
-        let d500 = b.add_child(d50, "D50.0", "iron deficiency anemia secondary to blood loss");
+        let d500 = b.add_child(
+            d50,
+            "D50.0",
+            "iron deficiency anemia secondary to blood loss",
+        );
         let o = b.build().unwrap();
 
         let aliases: Vec<(ConceptId, &str)> = vec![
@@ -266,8 +277,7 @@ mod tests {
         let pair = &pairs[0];
         let full = m.run_example(&idx, pair.concept, &pair.target);
         let noise: Vec<u32> = (4..10).collect();
-        let sampled =
-            m.run_example_with_noise(&idx, pair.concept, &pair.target, Some(&noise));
+        let sampled = m.run_example_with_noise(&idx, pair.concept, &pair.target, Some(&noise));
         assert!(sampled.loss <= full.loss + 1e-3);
         assert!(sampled.loss > 0.0);
     }
@@ -297,6 +307,9 @@ mod tests {
         all.push(extra.clone());
         m.fit_epochs(&idx, &all, 5, ncl_nn::optimizer::LrSchedule::constant(0.1));
         let after = m.log_prob_ids(&idx, extra.concept, &extra.target);
-        assert!(after > before, "feedback should raise p: {before} -> {after}");
+        assert!(
+            after > before,
+            "feedback should raise p: {before} -> {after}"
+        );
     }
 }

@@ -12,6 +12,13 @@
 //! Sites are hierarchical dot-paths (`"ed.score"`, `"or.rewrite"`), and
 //! rules match by prefix, so a rule on `"ed"` covers every ED-phase
 //! site.
+//!
+//! The linking pipeline's sites: `"or.rewrite"` (one visit per rewritten
+//! token), `"cr.topk"` (candidate retrieval), `"ed.score"` (one visit
+//! per scored candidate), and `"ed.cache"` (an I/O-style site consulted
+//! per candidate when serving from the frozen concept cache — an
+//! injected error models a cache miss, degrading that candidate to the
+//! uncached scoring path with an identical score).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -207,7 +214,9 @@ mod tests {
     fn decisions_are_deterministic_per_seed() {
         let outcomes = |seed: u64| -> Vec<bool> {
             let plan = FaultPlan::new(seed).with_rule("ed", FaultKind::Io, 0.5);
-            (0..64).map(|_| plan.visit_io("ed.score").is_err()).collect()
+            (0..64)
+                .map(|_| plan.visit_io("ed.score").is_err())
+                .collect()
         };
         assert_eq!(outcomes(42), outcomes(42));
         assert_ne!(outcomes(42), outcomes(43), "seeds should decorrelate");

@@ -29,7 +29,7 @@
 //! configured and no faults injected, the fast path computes exactly
 //! what it always did.
 
-use crate::comaid::{ComAid, OntologyIndex};
+use crate::comaid::{ComAid, ConceptCache, OntologyIndex};
 use crate::error::NclError;
 use crate::faults::FaultPlan;
 use ncl_embedding::NearestWords;
@@ -61,8 +61,19 @@ pub struct LinkerConfig {
     /// (e.g. "of", "symptomatic") with its *weakly* nearest description
     /// word would inject misleading content words into the query.
     pub rewrite_min_cosine: f32,
-    /// Worker threads for the ED part (the paper uses ten).
+    /// Worker threads for the ED part. Defaults to 10, the paper's
+    /// serving setting (Appendix B.1: "use ten threads to perform ED,
+    /// because … their encode-decode processes can be executed
+    /// separately"). Override with struct-update syntax, e.g.
+    /// `LinkerConfig { threads: 1, ..LinkerConfig::default() }` for
+    /// deterministic single-threaded scoring.
     pub threads: usize,
+    /// Precompute the frozen concept-encoding cache at [`Linker::new`]
+    /// ([`ComAid::freeze`]): every candidate's encoder states and
+    /// ancestor memory are computed once per linker instead of once per
+    /// (query, candidate). Scores are bit-identical either way; turning
+    /// this off only trades serving throughput for build time/memory.
+    pub precompute: bool,
     /// Index concept aliases alongside canonical descriptions in the
     /// Phase-I keyword matcher.
     pub index_aliases: bool,
@@ -83,7 +94,8 @@ impl Default for LinkerConfig {
             remove_shared: true,
             edit_max_dist: 2,
             rewrite_min_cosine: 0.35,
-            threads: 4,
+            threads: 10,
+            precompute: true,
             index_aliases: true,
             max_query_tokens: 4096,
             budget: LinkBudget::default(),
@@ -154,7 +166,10 @@ impl DegradeReason {
     /// over best-effort.
     pub fn to_error(self) -> NclError {
         match self {
-            Self::Timeout { budget } => NclError::Timeout { phase: "ed", budget },
+            Self::Timeout { budget } => NclError::Timeout {
+                phase: "ed",
+                budget,
+            },
             Self::WorkerPanic { lost_jobs } => NclError::WorkerPanic { lost_jobs },
         }
     }
@@ -281,6 +296,16 @@ pub struct Linker<'a> {
     /// Optional deterministic fault schedule (tests and robustness
     /// benchmarks); `None` in production.
     faults: Option<Arc<FaultPlan>>,
+    /// Frozen concept-encoding cache ([`ComAid::freeze`]), built at
+    /// construction when [`LinkerConfig::precompute`] is on. The linker
+    /// holds a shared borrow of the model, so the parameters cannot
+    /// change underneath it — but staleness is still re-checked at every
+    /// scoring call (the version check is two integers).
+    cache: Option<ConceptCache>,
+    /// Tokenised canonical description of every concept, as a set —
+    /// shared-word removal consults this per (query, candidate), so
+    /// tokenising at scoring time would dominate the cached fast path.
+    canonical_sets: Vec<HashSet<String>>,
 }
 
 impl<'a> Linker<'a> {
@@ -322,6 +347,13 @@ impl<'a> Linker<'a> {
             .collect();
         let nearest = NearestWords::new(model.embedding().table(), Some(allowed));
 
+        let cache = config.precompute.then(|| model.freeze(&index));
+
+        let mut canonical_sets = vec![HashSet::new(); ontology.len()];
+        for (id, c) in ontology.iter() {
+            canonical_sets[id.index()] = tokenize(&c.canonical).into_iter().collect();
+        }
+
         Self {
             model,
             ontology,
@@ -332,7 +364,15 @@ impl<'a> Linker<'a> {
             nearest,
             log_prior: None,
             faults: None,
+            cache,
+            canonical_sets,
         }
+    }
+
+    /// The frozen concept-encoding cache, if one was precomputed
+    /// ([`LinkerConfig::precompute`]).
+    pub fn cache(&self) -> Option<&ConceptCache> {
+        self.cache.as_ref()
     }
 
     /// Attaches a deterministic [`FaultPlan`]; every fault site inside
@@ -520,15 +560,18 @@ impl<'a> Linker<'a> {
         // `rt` budget set, MAP falls back to MLE (the prior lookup is
         // the only elidable work in this phase).
         let t3 = Instant::now();
-        let skip_prior =
-            budget.rt.is_some() && call_deadline.is_some_and(|d| Instant::now() >= d);
+        let skip_prior = budget.rt.is_some() && call_deadline.is_some_and(|d| Instant::now() >= d);
         let mut ranked: Vec<(ConceptId, f32)> = candidates
             .iter()
             .copied()
             .zip(scores.iter())
             .filter_map(|(c, lp)| lp.map(|lp| (c, lp)))
             .map(|(c, lp)| {
-                let prior = if skip_prior { 0.0 } else { self.concept_log_prior(c) };
+                let prior = if skip_prior {
+                    0.0
+                } else {
+                    self.concept_log_prior(c)
+                };
                 (c, lp + prior)
             })
             .collect();
@@ -578,7 +621,9 @@ impl<'a> Linker<'a> {
             return Degradation::None;
         }
         let reason = if panicked > 0 {
-            DegradeReason::WorkerPanic { lost_jobs: panicked }
+            DegradeReason::WorkerPanic {
+                lost_jobs: panicked,
+            }
         } else {
             let budget = self.config.budget;
             DegradeReason::Timeout {
@@ -633,31 +678,67 @@ impl<'a> Linker<'a> {
     }
 
     /// Scores `log p(q|c)` for each candidate, in parallel when
-    /// configured. Each job runs behind its own `catch_unwind`, so a
-    /// panicking candidate (model bug, injected fault) costs exactly
-    /// that candidate's score, and jobs not started before `deadline`
-    /// stay unscored. Returns per-candidate scores (`None` = unscored)
-    /// and the number of jobs lost to panics.
+    /// configured. Each job runs behind its own panic-isolation
+    /// boundary, so a panicking candidate (model bug, injected fault)
+    /// costs exactly that candidate's score, and jobs not started before
+    /// `deadline` stay unscored. Returns per-candidate scores
+    /// (`None` = unscored) and the number of jobs lost to panics.
+    ///
+    /// With a valid precomputed cache, no faults, and no deadline, the
+    /// *batched* fast path runs: all candidates advance one decoder
+    /// timestep per output-matrix pass ([`ComAid::log_prob_batch_cached`]),
+    /// chunked across the configured threads. Scores are bit-identical
+    /// to the per-candidate path. Under faults or a deadline the
+    /// per-candidate loop runs instead so the PR-1 degradation ladder
+    /// (per-job isolation, mid-phase cutoff) keeps its granularity; it
+    /// still serves from the cache, with the "ed.cache" fault site
+    /// modelling a cache miss that falls back to uncached scoring.
     fn score_candidates(
         &self,
         candidates: &[ConceptId],
         query: &[String],
         deadline: Option<Instant>,
     ) -> (Vec<Option<f32>>, usize) {
-        let jobs: Vec<(ConceptId, Vec<u32>, Vec<bool>)> = candidates
+        // The decoded word ids are candidate-independent; only the
+        // counting masks differ (shared-word removal is per candidate).
+        let ids = self.query_ids(query);
+        let masks: Vec<Vec<bool>> = candidates
             .iter()
-            .map(|&c| {
-                let (ids, mask) = self.scoring_target(c, query);
-                (c, ids, mask)
-            })
+            .map(|&c| self.scoring_mask(c, query))
             .collect();
+        let cache = self
+            .cache
+            .as_ref()
+            .filter(|cache| cache.is_valid_for(self.model));
+
+        if self.faults.is_none() && deadline.is_none() {
+            if let Some(cache) = cache {
+                return self.score_batched(cache, candidates, &ids, &masks);
+            }
+        }
+
         let panicked = AtomicUsize::new(0);
-        let score_one = |(c, ids, mask): &(ConceptId, Vec<u32>, Vec<bool>)| -> Option<f32> {
+        let score_one = |c: ConceptId, mask: &Vec<bool>| -> Option<f32> {
             match catch_unwind(AssertUnwindSafe(|| {
                 if let Some(plan) = &self.faults {
                     plan.visit("ed.score");
                 }
-                self.model.log_prob_ids_masked(&self.index, *c, ids, mask)
+                // "ed.cache" models a serving-cache miss: an injected
+                // fault here degrades this candidate to the uncached
+                // (slower, identically-scored) path — never to a wrong
+                // or missing score.
+                let cache_hit = match (&self.faults, cache) {
+                    (_, None) => false,
+                    (None, Some(_)) => true,
+                    (Some(plan), Some(_)) => plan.visit_io("ed.cache").is_ok(),
+                };
+                match (cache_hit, cache) {
+                    (true, Some(cache)) => {
+                        self.model
+                            .log_prob_ids_masked_cached(&self.index, cache, c, &ids, mask)
+                    }
+                    _ => self.model.log_prob_ids_masked(&self.index, c, &ids, mask),
+                }
             })) {
                 Ok(lp) => Some(lp),
                 Err(_) => {
@@ -668,27 +749,94 @@ impl<'a> Linker<'a> {
         };
         let expired = |d: Option<Instant>| d.is_some_and(|d| Instant::now() >= d);
 
-        let threads = self.config.threads.max(1).min(jobs.len().max(1));
+        let jobs: Vec<(ConceptId, &Vec<bool>)> =
+            candidates.iter().copied().zip(masks.iter()).collect();
+        let threads = self.worker_threads(jobs.len());
         let mut scores: Vec<Option<f32>> = vec![None; jobs.len()];
         if threads <= 1 || jobs.len() <= 1 {
-            for (job, out) in jobs.iter().zip(scores.iter_mut()) {
+            for (&(c, mask), out) in jobs.iter().zip(scores.iter_mut()) {
                 if expired(deadline) {
                     break;
                 }
-                *out = score_one(job);
+                *out = score_one(c, mask);
             }
         } else {
             let chunk = jobs.len().div_ceil(threads);
             std::thread::scope(|s| {
                 for (job_chunk, score_chunk) in jobs.chunks(chunk).zip(scores.chunks_mut(chunk)) {
                     s.spawn(|| {
-                        for (job, out) in job_chunk.iter().zip(score_chunk.iter_mut()) {
+                        for (&(c, mask), out) in job_chunk.iter().zip(score_chunk.iter_mut()) {
                             if expired(deadline) {
                                 break;
                             }
-                            *out = score_one(job);
+                            *out = score_one(c, mask);
                         }
                     });
+                }
+            });
+        }
+        (scores, panicked.load(Ordering::Relaxed))
+    }
+
+    /// The batched cached fast path of [`Linker::score_candidates`].
+    /// Panic isolation is per chunk first (the common case pays one
+    /// `catch_unwind` per thread, not per candidate); a chunk that does
+    /// panic is retried candidate-by-candidate so only the faulty
+    /// candidate loses its score.
+    fn score_batched(
+        &self,
+        cache: &ConceptCache,
+        candidates: &[ConceptId],
+        ids: &[u32],
+        masks: &[Vec<bool>],
+    ) -> (Vec<Option<f32>>, usize) {
+        let k = candidates.len();
+        let panicked = AtomicUsize::new(0);
+        let run_chunk = |cands: &[ConceptId], mask_chunk: &[Vec<bool>], out: &mut [Option<f32>]| {
+            let batch = catch_unwind(AssertUnwindSafe(|| {
+                self.model
+                    .log_prob_batch_cached(&self.index, cache, cands, ids, mask_chunk)
+            }));
+            match batch {
+                Ok(lps) => {
+                    for (o, lp) in out.iter_mut().zip(lps) {
+                        *o = Some(lp);
+                    }
+                }
+                Err(_) => {
+                    for ((o, &c), mask) in out.iter_mut().zip(cands).zip(mask_chunk) {
+                        match catch_unwind(AssertUnwindSafe(|| {
+                            self.model
+                                .log_prob_ids_masked_cached(&self.index, cache, c, ids, mask)
+                        })) {
+                            Ok(lp) => *o = Some(lp),
+                            Err(_) => {
+                                panicked.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            }
+        };
+
+        // Batched chunks amortise the per-step output-matrix pass across
+        // their candidates, and a scoped-thread spawn costs about as much
+        // as batch-scoring one candidate — so each worker must own a
+        // sizeable chunk before splitting pays.
+        const MIN_BATCH_CHUNK: usize = 8;
+        let threads = self.worker_threads(k).min((k / MIN_BATCH_CHUNK).max(1));
+        let mut scores: Vec<Option<f32>> = vec![None; k];
+        if threads <= 1 || k <= 1 {
+            run_chunk(candidates, masks, &mut scores);
+        } else {
+            let chunk = k.div_ceil(threads);
+            std::thread::scope(|s| {
+                for ((cand_chunk, mask_chunk), score_chunk) in candidates
+                    .chunks(chunk)
+                    .zip(masks.chunks(chunk))
+                    .zip(scores.chunks_mut(chunk))
+                {
+                    s.spawn(|| run_chunk(cand_chunk, mask_chunk, score_chunk));
                 }
             });
         }
@@ -701,17 +849,35 @@ impl<'a> Linker<'a> {
     /// probability ("temporarily removed", §5 Phase II) while the decoded
     /// sequence itself stays intact so every step keeps its natural left
     /// context.
+    #[cfg(test)]
     fn scoring_target(&self, concept: ConceptId, query: &[String]) -> (Vec<u32>, Vec<bool>) {
+        (self.query_ids(query), self.scoring_mask(concept, query))
+    }
+
+    /// Worker count for scoring `jobs` candidates: the configured
+    /// [`LinkerConfig::threads`], capped by the host's available
+    /// parallelism (oversubscribing a small machine buys no concurrency,
+    /// only per-query spawn latency) and by the job count.
+    fn worker_threads(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        self.config.threads.max(1).min(hw).min(jobs.max(1))
+    }
+
+    /// The decoded word ids of a query — identical for every candidate.
+    fn query_ids(&self, query: &[String]) -> Vec<u32> {
         let vocab = self.model.vocab();
-        let ids: Vec<u32> = query.iter().map(|w| vocab.get_or_unk(w)).collect();
+        query.iter().map(|w| vocab.get_or_unk(w)).collect()
+    }
+
+    /// The per-candidate counting mask of [`Linker::scoring_target`].
+    fn scoring_mask(&self, concept: ConceptId, query: &[String]) -> Vec<bool> {
         if !self.config.remove_shared {
-            return (ids, vec![true; query.len()]);
+            return vec![true; query.len()];
         }
-        let canonical: HashSet<String> = tokenize(&self.ontology.concept(concept).canonical)
-            .into_iter()
-            .collect();
-        let mask: Vec<bool> = query.iter().map(|w| !canonical.contains(w)).collect();
-        (ids, mask)
+        let canonical = &self.canonical_sets[concept.index()];
+        query.iter().map(|w| !canonical.contains(w)).collect()
     }
 }
 
@@ -754,7 +920,10 @@ mod tests {
             for alias in &c.aliases {
                 pairs.push(TrainPair {
                     concept: id,
-                    target: tokenize(alias).iter().map(|t| vocab.get_or_unk(t)).collect(),
+                    target: tokenize(alias)
+                        .iter()
+                        .map(|t| vocab.get_or_unk(t))
+                        .collect(),
                 });
             }
             // Self-supervision with the canonical description words keeps
@@ -890,12 +1059,72 @@ mod tests {
     }
 
     #[test]
+    fn cached_and_uncached_linkers_agree_bitwise() {
+        let (o, model) = trained_world();
+        let cached = Linker::new(&model, &o, LinkerConfig::default());
+        let uncached = Linker::new(
+            &model,
+            &o,
+            LinkerConfig {
+                precompute: false,
+                ..LinkerConfig::default()
+            },
+        );
+        assert!(cached.cache().is_some());
+        assert!(uncached.cache().is_none());
+        for q in [
+            "ckd stage 5",
+            "abdominal pain",
+            "renal disease stage 5",
+            "unspecified disease",
+        ] {
+            let a = cached.link_text(q);
+            let b = uncached.link_text(q);
+            assert_eq!(a.ranked_ids(), b.ranked_ids(), "query {q}");
+            for (&(ca, sa), &(cb, sb)) in a.ranked.iter().zip(&b.ranked) {
+                assert_eq!(ca, cb);
+                assert_eq!(sa.to_bits(), sb.to_bits(), "query {q}");
+            }
+            assert_eq!(a.degradation, Degradation::None);
+            assert_eq!(b.degradation, Degradation::None);
+        }
+    }
+
+    #[test]
+    fn deadline_path_serves_from_cache_with_identical_scores() {
+        // A (generous) deadline routes scoring through the per-candidate
+        // loop rather than the batched fast path; both must serve the
+        // same bits from the same cache.
+        let (o, model) = trained_world();
+        let fast = Linker::new(&model, &o, LinkerConfig::default());
+        let slow = Linker::new(
+            &model,
+            &o,
+            LinkerConfig {
+                budget: LinkBudget::with_total(Duration::from_secs(3600)),
+                ..LinkerConfig::default()
+            },
+        );
+        let a = fast.link_text("ckd stage 5");
+        let b = slow.link_text("ckd stage 5");
+        assert_eq!(a.ranked_ids(), b.ranked_ids());
+        for (&(_, sa), &(_, sb)) in a.ranked.iter().zip(&b.ranked) {
+            assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+        assert_eq!(b.degradation, Degradation::None);
+    }
+
+    #[test]
     fn only_fine_grained_concepts_are_returned() {
         let (o, model) = trained_world();
         let linker = Linker::new(&model, &o, LinkerConfig::default());
         let res = linker.link_text("chronic kidney disease");
         for (c, _) in &res.ranked {
-            assert!(o.is_fine_grained(*c), "non-leaf {:?} returned", o.concept(*c).code);
+            assert!(
+                o.is_fine_grained(*c),
+                "non-leaf {:?} returned",
+                o.concept(*c).code
+            );
         }
     }
 
@@ -932,11 +1161,9 @@ mod tests {
     fn uniform_prior_matches_no_prior() {
         let (o, model) = trained_world();
         let fine = o.fine_grained();
-        let uniform: Vec<(ncl_ontology::ConceptId, f32)> =
-            fine.iter().map(|&c| (c, 1.0)).collect();
+        let uniform: Vec<(ncl_ontology::ConceptId, f32)> = fine.iter().map(|&c| (c, 1.0)).collect();
         let plain = Linker::new(&model, &o, LinkerConfig::default());
-        let with_uniform =
-            Linker::new(&model, &o, LinkerConfig::default()).with_prior(&uniform);
+        let with_uniform = Linker::new(&model, &o, LinkerConfig::default()).with_prior(&uniform);
         let q = tokenize("ckd stage 5");
         assert_eq!(
             plain.link(&q).ranked_ids(),

@@ -118,7 +118,10 @@ impl NclPipeline {
             for alias in &concept.aliases {
                 pairs.push(TrainPair {
                     concept: id,
-                    target: tokenize(alias).iter().map(|t| vocab.get_or_unk(t)).collect(),
+                    target: tokenize(alias)
+                        .iter()
+                        .map(|t| vocab.get_or_unk(t))
+                        .collect(),
                 });
             }
         }
@@ -171,7 +174,10 @@ impl NclPipeline {
             for alias in &concept.aliases {
                 pairs.push(TrainPair {
                     concept: id,
-                    target: tokenize(alias).iter().map(|t| vocab.get_or_unk(t)).collect(),
+                    target: tokenize(alias)
+                        .iter()
+                        .map(|t| vocab.get_or_unk(t))
+                        .collect(),
                 });
             }
         }
@@ -203,7 +209,11 @@ mod tests {
         let n185 = b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
         let n189 = b.add_child(n18, "N18.9", "chronic kidney disease unspecified");
         let d50 = b.add_root_concept("D50", "iron deficiency anemia");
-        let d500 = b.add_child(d50, "D50.0", "iron deficiency anemia secondary to blood loss");
+        let d500 = b.add_child(
+            d50,
+            "D50.0",
+            "iron deficiency anemia secondary to blood loss",
+        );
         b.add_alias(n185, "ckd stage 5");
         b.add_alias(n185, "renal disease stage 5");
         b.add_alias(n189, "ckd unspecified");

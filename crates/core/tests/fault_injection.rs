@@ -46,7 +46,10 @@ fn trained_world() -> (Ontology, ComAid) {
         for alias in &c.aliases {
             pairs.push(TrainPair {
                 concept: id,
-                target: tokenize(alias).iter().map(|t| vocab.get_or_unk(t)).collect(),
+                target: tokenize(alias)
+                    .iter()
+                    .map(|t| vocab.get_or_unk(t))
+                    .collect(),
             });
         }
         pairs.push(TrainPair {
@@ -127,8 +130,8 @@ fn check_well_formed(res: &LinkResult) {
 fn no_faults_bit_identical_to_plain_linker() {
     let (o, model) = trained_world();
     let plain = Linker::new(&model, &o, LinkerConfig::default());
-    let faulty = Linker::new(&model, &o, LinkerConfig::default())
-        .with_faults(Arc::new(FaultPlan::none()));
+    let faulty =
+        Linker::new(&model, &o, LinkerConfig::default()).with_faults(Arc::new(FaultPlan::none()));
     for q in QUERIES {
         let a = plain.link_text(q);
         let b = faulty.link_text(q);
@@ -161,7 +164,9 @@ fn certain_scoring_panics_degrade_to_tfidf() {
     // The TF-IDF fallback preserves Phase-I retrieval order.
     assert_eq!(res.ranked_ids(), res.candidates);
     // The typed-error view classifies this as transient.
-    let err = res.degradation_error().expect("degraded result has an error");
+    let err = res
+        .degradation_error()
+        .expect("degraded result has an error");
     assert!(matches!(err, NclError::WorkerPanic { .. }));
     assert!(err.is_transient());
 }
@@ -178,14 +183,22 @@ fn partial_scoring_panics_keep_scored_prefix() {
         for q in QUERIES {
             let res = linker.link_text(q);
             check_well_formed(&res);
-            if let Degradation::PartialEd { scored, total, reason } = res.degradation {
+            if let Degradation::PartialEd {
+                scored,
+                total,
+                reason,
+            } = res.degradation
+            {
                 assert!(scored > 0 && scored < total);
                 assert!(matches!(reason, DegradeReason::WorkerPanic { .. }));
                 saw_partial = true;
             }
         }
     }
-    assert!(saw_partial, "p=0.5 over 100 calls must hit a partial answer");
+    assert!(
+        saw_partial,
+        "p=0.5 over 100 calls must hit a partial answer"
+    );
 }
 
 #[test]
@@ -224,13 +237,12 @@ fn ed_delays_past_deadline_timeout_degrade() {
         budget: LinkBudget::with_ed(Duration::from_millis(4)),
         ..LinkerConfig::default()
     };
-    let linker = Linker::new(&model, &o, cfg)
-        .with_faults(Arc::new(FaultPlan::delays(
-            2,
-            "ed.score",
-            1.0,
-            Duration::from_millis(6),
-        )));
+    let linker = Linker::new(&model, &o, cfg).with_faults(Arc::new(FaultPlan::delays(
+        2,
+        "ed.score",
+        1.0,
+        Duration::from_millis(6),
+    )));
     let res = linker.link_text("abdominal pain");
     assert!(res.candidates.len() > 1, "need several candidates");
     check_well_formed(&res);
@@ -302,6 +314,36 @@ fn fault_sweep_never_aborts() {
     assert_eq!(calls, 6 * 2 * 5 * kinds.len() as u32);
 }
 
+/// Injected serving-cache misses ("ed.cache" I/O faults) must degrade
+/// only the *speed* of the affected candidates: they fall back to the
+/// uncached scoring path, whose scores are bit-identical, so the answer
+/// carries no degradation annotation at all.
+#[test]
+fn injected_cache_misses_fall_back_with_identical_scores() {
+    let (o, model) = trained_world();
+    let plain = Linker::new(&model, &o, LinkerConfig::default());
+    let plan = Arc::new(FaultPlan::new(7).with_rule("ed.cache", FaultKind::Io, 1.0));
+    let missing = Linker::new(&model, &o, LinkerConfig::default()).with_faults(Arc::clone(&plan));
+    for q in QUERIES {
+        let a = plain.link_text(q);
+        let b = missing.link_text(q);
+        check_well_formed(&b);
+        assert_eq!(a.ranked_ids(), b.ranked_ids(), "query {q}");
+        for (&(_, sa), &(_, sb)) in a.ranked.iter().zip(&b.ranked) {
+            assert_eq!(sa.to_bits(), sb.to_bits(), "cache miss changed a score");
+        }
+        assert_eq!(
+            b.degradation,
+            Degradation::None,
+            "a cache miss is not a degradation"
+        );
+    }
+    assert!(
+        plan.fired() > 0,
+        "the ed.cache site must actually be exercised"
+    );
+}
+
 /// Determinism of the harness itself: the same seed yields the same
 /// degradation pattern across runs.
 #[test]
@@ -317,7 +359,10 @@ fn same_seed_same_degradation() {
             },
         )
         .with_faults(Arc::new(FaultPlan::panics(seed, "ed", 0.5)));
-        QUERIES.iter().map(|q| linker.link_text(q).is_degraded()).collect()
+        QUERIES
+            .iter()
+            .map(|q| linker.link_text(q).is_degraded())
+            .collect()
     };
     assert_eq!(run(9), run(9));
 }

@@ -1,0 +1,309 @@
+//! Serving-cache acceptance suite (ISSUE 2): the frozen concept-encoding
+//! cache must be *invisible* except for speed — cached and uncached
+//! linkers return bit-identical ranked results, a cache outlives neither
+//! a training step nor a checkpoint round-trip, and the batched scoring
+//! path agrees with the per-candidate path to the last bit.
+
+use ncl_core::comaid::{ComAid, ComAidConfig, OntologyIndex, TrainPair, Variant};
+use ncl_core::linker::{Degradation, Linker, LinkerConfig};
+use ncl_ontology::{Ontology, OntologyBuilder};
+use ncl_text::{tokenize, Vocab};
+use proptest::prelude::*;
+
+/// A small trained world shared by the deterministic tests.
+fn trained_world() -> (Ontology, ComAid) {
+    let mut b = OntologyBuilder::new();
+    let n18 = b.add_root_concept("N18", "chronic kidney disease");
+    let n185 = b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+    let n189 = b.add_child(n18, "N18.9", "chronic kidney disease unspecified");
+    let r10 = b.add_root_concept("R10", "abdominal pain");
+    let r100 = b.add_child(r10, "R10.0", "acute abdomen");
+    let r109 = b.add_child(r10, "R10.9", "unspecified abdominal pain");
+    b.add_alias(n185, "ckd stage 5");
+    b.add_alias(n185, "renal disease stage 5");
+    b.add_alias(n189, "ckd unspecified");
+    b.add_alias(r100, "acute abdominal syndrome");
+    b.add_alias(r109, "abdomen pain");
+    let o = b.build().unwrap();
+
+    let mut vocab = Vocab::new();
+    let mut pairs = Vec::new();
+    for (_, c) in o.iter() {
+        for t in tokenize(&c.canonical) {
+            vocab.add(&t);
+        }
+        for alias in &c.aliases {
+            for t in tokenize(alias) {
+                vocab.add(&t);
+            }
+        }
+    }
+    for (id, c) in o.iter() {
+        for alias in &c.aliases {
+            pairs.push(TrainPair {
+                concept: id,
+                target: tokenize(alias)
+                    .iter()
+                    .map(|t| vocab.get_or_unk(t))
+                    .collect(),
+            });
+        }
+        pairs.push(TrainPair {
+            concept: id,
+            target: tokenize(&c.canonical)
+                .iter()
+                .map(|t| vocab.get_or_unk(t))
+                .collect(),
+        });
+    }
+    let config = ComAidConfig {
+        dim: 10,
+        beta: 2,
+        variant: Variant::Full,
+        epochs: 15,
+        lr: 0.3,
+        lr_decay: 0.97,
+        batch_size: 4,
+        seed: 5,
+        ..ComAidConfig::default()
+    };
+    let mut model = ComAid::new(vocab, config, None);
+    let index = OntologyIndex::build(&o, model.vocab(), 2);
+    model.fit(&index, &pairs);
+    (o, model)
+}
+
+const QUERIES: &[&str] = &[
+    "ckd stage 5",
+    "abdominal pain",
+    "renal disease stage 5",
+    "unspecified disease",
+    "acute abdominal syndrome",
+];
+
+fn assert_bit_identical(
+    a: &ncl_core::linker::LinkResult,
+    b: &ncl_core::linker::LinkResult,
+    ctx: &str,
+) {
+    assert_eq!(a.ranked_ids(), b.ranked_ids(), "{ctx}: ranking differs");
+    for (&(ca, sa), &(cb, sb)) in a.ranked.iter().zip(&b.ranked) {
+        assert_eq!(ca, cb, "{ctx}");
+        assert_eq!(
+            sa.to_bits(),
+            sb.to_bits(),
+            "{ctx}: score differs for {ca:?} ({sa} vs {sb})"
+        );
+    }
+}
+
+/// The acceptance bit: cached and uncached linkers agree bitwise across
+/// thread counts and candidate-list sizes (which exercise both the
+/// serial and the chunked batched path).
+#[test]
+fn cached_and_uncached_agree_across_threads_and_k() {
+    let (o, model) = trained_world();
+    for threads in [1usize, 4, 10] {
+        for k in [2usize, 20] {
+            let cached = Linker::new(
+                &model,
+                &o,
+                LinkerConfig {
+                    threads,
+                    k,
+                    ..LinkerConfig::default()
+                },
+            );
+            let uncached = Linker::new(
+                &model,
+                &o,
+                LinkerConfig {
+                    threads,
+                    k,
+                    precompute: false,
+                    ..LinkerConfig::default()
+                },
+            );
+            for q in QUERIES {
+                let a = cached.link_text(q);
+                let b = uncached.link_text(q);
+                assert_bit_identical(&a, &b, &format!("threads={threads} k={k} q={q}"));
+                assert_eq!(a.degradation, Degradation::None);
+            }
+        }
+    }
+}
+
+/// Mutating the model after a freeze (a feedback-driven training step)
+/// must invalidate the cache; a rebuilt linker then serves the *new*
+/// parameters, again bit-identically to the uncached path.
+#[test]
+fn training_after_freeze_invalidates_and_rebuild_recovers() {
+    let (o, mut model) = trained_world();
+    let index = OntologyIndex::build(&o, model.vocab(), 2);
+    let cache = model.freeze(&index);
+    assert!(cache.is_valid_for(&model));
+
+    // One more epoch through the training chokepoint.
+    let c = o.by_code("N18.5").unwrap();
+    let target = model.encode_text("ckd stage 5");
+    let pairs = vec![TrainPair {
+        concept: c,
+        target: target.clone(),
+    }];
+    model.fit_epochs(
+        &index,
+        &pairs,
+        1,
+        ncl_nn::optimizer::LrSchedule::constant(0.05),
+    );
+    assert!(
+        !cache.is_valid_for(&model),
+        "a training step must invalidate the frozen cache"
+    );
+
+    // The stale cache falls back to live parameters (correct score)…
+    let mask = vec![true; target.len()];
+    let live = model.log_prob_ids_masked(&index, c, &target, &mask);
+    let via_stale = model.log_prob_ids_masked_cached(&index, &cache, c, &target, &mask);
+    assert_eq!(live.to_bits(), via_stale.to_bits());
+
+    // …and a rebuilt linker (fresh freeze) serves bit-identically.
+    let cached = Linker::new(&model, &o, LinkerConfig::default());
+    assert!(cached.cache().is_some_and(|cc| cc.is_valid_for(&model)));
+    let uncached = Linker::new(
+        &model,
+        &o,
+        LinkerConfig {
+            precompute: false,
+            ..LinkerConfig::default()
+        },
+    );
+    for q in QUERIES {
+        assert_bit_identical(&cached.link_text(q), &uncached.link_text(q), q);
+    }
+}
+
+/// A checkpoint round-trip yields a new parameter generation, so caches
+/// frozen before the save never match the loaded model — the persist
+/// layer's cache-invalidation-on-load rule.
+#[test]
+fn checkpoint_round_trip_invalidates_pre_save_caches() {
+    let (o, model) = trained_world();
+    let index = OntologyIndex::build(&o, model.vocab(), 2);
+    let cache = model.freeze(&index);
+
+    let mut bytes = Vec::new();
+    model.save(&mut bytes).expect("save");
+    let loaded = ComAid::load_bytes(&bytes).expect("load");
+
+    assert!(cache.is_valid_for(&model));
+    assert!(
+        !cache.is_valid_for(&loaded),
+        "a loaded model must not accept a pre-save cache"
+    );
+
+    // The loaded model freezes its own cache and serves identically to
+    // the original (identical parameters, fresh generation).
+    let fresh = loaded.freeze(&index);
+    assert!(fresh.is_valid_for(&loaded));
+    let c = o.by_code("N18.9").unwrap();
+    let target = loaded.encode_text("ckd unspecified");
+    let mask = vec![true; target.len()];
+    let a = model.log_prob_ids_masked_cached(&index, &cache, c, &target, &mask);
+    let b = loaded.log_prob_ids_masked_cached(&index, &fresh, c, &target, &mask);
+    assert_eq!(a.to_bits(), b.to_bits());
+}
+
+/// The batched scoring path must agree with the single-candidate cached
+/// path for every candidate the linker would consider.
+#[test]
+fn batched_scoring_agrees_with_single_candidate() {
+    let (o, model) = trained_world();
+    let index = OntologyIndex::build(&o, model.vocab(), 2);
+    let cache = model.freeze(&index);
+    let target = model.encode_text("chronic kidney disease stage 5");
+    let concepts: Vec<_> = o.fine_grained();
+    let counts: Vec<Vec<bool>> = concepts
+        .iter()
+        .enumerate()
+        .map(|(i, _)| (0..target.len()).map(|t| (t + i) % 2 == 0).collect())
+        .collect();
+    let batch = model.log_prob_batch_cached(&index, &cache, &concepts, &target, &counts);
+    assert_eq!(batch.len(), concepts.len());
+    for ((&c, mask), lp) in concepts.iter().zip(&counts).zip(&batch) {
+        let single = model.log_prob_ids_masked_cached(&index, &cache, c, &target, mask);
+        assert_eq!(single.to_bits(), lp.to_bits());
+        let plain = model.log_prob_ids_masked(&index, c, &target, mask);
+        assert_eq!(plain.to_bits(), lp.to_bits());
+    }
+}
+
+/// Deterministic word pool for the generated ontologies.
+const WORDS: &[&str] = &[
+    "renal", "disease", "pain", "acute", "chronic", "stage", "kidney", "failure", "syndrome",
+    "severe",
+];
+
+/// Builds an ontology from a proptest-drawn shape vector: each entry
+/// attaches one concept (to the root pool or to an earlier concept) with
+/// a canonical description drawn from [`WORDS`].
+fn build_world(shape: &[usize]) -> (Ontology, Vocab) {
+    let mut b = OntologyBuilder::new();
+    let mut ids = Vec::new();
+    for (i, &s) in shape.iter().enumerate() {
+        let w1 = WORDS[s % WORDS.len()];
+        let w2 = WORDS[(s / WORDS.len() + i) % WORDS.len()];
+        let canonical = format!("{w1} {w2}");
+        let code = format!("C{i}");
+        let id = if ids.is_empty() || s % 3 == 0 {
+            b.add_root_concept(code, canonical)
+        } else {
+            b.add_child(ids[s % ids.len()], code, canonical)
+        };
+        ids.push(id);
+    }
+    let o = b.build().unwrap();
+    let mut v = Vocab::new();
+    for (_, c) in o.iter() {
+        for t in tokenize(&c.canonical) {
+            v.add(&t);
+        }
+    }
+    (o, v)
+}
+
+proptest! {
+    /// Property: for random ontologies and random queries, a cached and
+    /// an uncached linker produce the same ranked concept ids (and
+    /// bit-identical scores). The model is untrained — the property is
+    /// about the serving path, not about score quality.
+    #[test]
+    fn cached_and_uncached_link_agree_on_random_ontologies(
+        shape in proptest::collection::vec(0usize..30, 2..12),
+        qsel in proptest::collection::vec(0usize..WORDS.len(), 1..5),
+        seed in 0u64..1000,
+    ) {
+        let (o, v) = build_world(&shape);
+        let config = ComAidConfig {
+            dim: 6,
+            beta: 2,
+            variant: Variant::Full,
+            seed,
+            ..ComAidConfig::tiny()
+        };
+        let model = ComAid::new(v, config, None);
+        let cached = Linker::new(&model, &o, LinkerConfig::default());
+        let uncached = Linker::new(&model, &o, LinkerConfig {
+            precompute: false,
+            ..LinkerConfig::default()
+        });
+        let query: Vec<String> = qsel.iter().map(|&i| WORDS[i].to_string()).collect();
+        let a = cached.link(&query);
+        let b = uncached.link(&query);
+        prop_assert_eq!(a.ranked_ids(), b.ranked_ids());
+        for (&(_, sa), &(_, sb)) in a.ranked.iter().zip(&b.ranked) {
+            prop_assert_eq!(sa.to_bits(), sb.to_bits());
+        }
+    }
+}

@@ -138,7 +138,8 @@ mod tests {
     fn synonym_substitution_present() {
         let a = aliases_for("kidney failure acute", 20, 5);
         assert!(
-            a.iter().any(|s| s.contains("renal") || s.contains("insufficiency")),
+            a.iter()
+                .any(|s| s.contains("renal") || s.contains("insufficiency")),
             "no synonym alias in {a:?}"
         );
     }

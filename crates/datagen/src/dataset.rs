@@ -255,7 +255,12 @@ impl Dataset {
     /// Generates one evaluation group: `purposive` queries cycling through
     /// every non-exact corruption class, plus random queries up to
     /// `group_size` (§6.1's 84 + 400 protocol, scaled).
-    pub fn query_group(&self, group_size: usize, purposive: usize, group_seed: u64) -> Vec<LabeledQuery> {
+    pub fn query_group(
+        &self,
+        group_size: usize,
+        purposive: usize,
+        group_seed: u64,
+    ) -> Vec<LabeledQuery> {
         assert!(purposive <= group_size, "purposive exceeds group size");
         let mut rng = StdRng::seed_from_u64(self.config.seed ^ group_seed.wrapping_mul(0x9E3779B9));
         let fine = self.ontology.fine_grained();
@@ -349,8 +354,7 @@ mod tests {
         let group = d.query_group(48, 12, 1);
         assert_eq!(group.len(), 48);
         // The purposive prefix covers every non-exact class.
-        let classes: std::collections::HashSet<_> =
-            group[..12].iter().map(|q| q.class).collect();
+        let classes: std::collections::HashSet<_> = group[..12].iter().map(|q| q.class).collect();
         assert_eq!(classes.len(), CorruptionClass::PURPOSIVE.len());
         // Truths are fine-grained concepts.
         for q in &group {

@@ -67,7 +67,13 @@ pub const FAMILIES: &[(&str, bool)] = &[
 /// Nutrients for the "`{nutrient}` deficiency anemia" family (the D50–D53
 /// block of the paper's Figure 1).
 pub const NUTRIENTS: &[&str] = &[
-    "iron", "protein", "folate", "vitamin b12", "vitamin c", "zinc", "copper",
+    "iron",
+    "protein",
+    "folate",
+    "vitamin b12",
+    "vitamin c",
+    "zinc",
+    "copper",
 ];
 
 /// Word-level synonyms (common term → technical/alternative terms).
@@ -174,7 +180,15 @@ pub fn abbreviation_of(phrase: &str) -> Option<&'static str> {
 /// Words that can be dropped without changing the referred concept
 /// (function words and vacuous qualifiers) — the "simplification"
 /// discrepancy class.
-pub const DROPPABLE: &[&str] = &["of", "the", "unspecified", "nos", "stage", "with", "without"];
+pub const DROPPABLE: &[&str] = &[
+    "of",
+    "the",
+    "unspecified",
+    "nos",
+    "stage",
+    "with",
+    "without",
+];
 
 /// Returns true if dropping `word` preserves the concept reference.
 pub fn is_droppable(word: &str) -> bool {

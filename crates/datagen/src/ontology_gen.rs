@@ -9,9 +9,9 @@
 //! depths of ICD-9-CM and ICD-10-CM are typically less than 3 levels".
 
 use crate::lexicon::{synonyms_of, CAUSES, FAMILIES, NUTRIENTS, SITES};
-use ncl_text::tokenize;
 use ncl_ontology::codes::IcdRevision;
 use ncl_ontology::{Ontology, OntologyBuilder};
+use ncl_text::tokenize;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -264,7 +264,10 @@ mod tests {
         }
         // Most leaves keep the category wording; a minority diverge via
         // synonyms (the structural-context signal).
-        assert!(verbatim * 3 >= total * 2 - total / 10, "verbatim {verbatim}/{total}");
+        assert!(
+            verbatim * 3 >= total * 2 - total / 10,
+            "verbatim {verbatim}/{total}"
+        );
         assert!(verbatim < total, "no synonym-variant leaves generated");
     }
 

@@ -93,7 +93,9 @@ fn abbreviate(tokens: &[String], rng: &mut impl Rng) -> Vec<String> {
         }
     }
     // Fallback: prefix-abbreviate the longest abbreviable word.
-    let mut idxs: Vec<usize> = (0..tokens.len()).filter(|&i| tokens[i].len() >= 6).collect();
+    let mut idxs: Vec<usize> = (0..tokens.len())
+        .filter(|&i| tokens[i].len() >= 6)
+        .collect();
     idxs.sort_by_key(|&i| std::cmp::Reverse(tokens[i].len()));
     if let Some(&i) = idxs.first() {
         let keep = rng.gen_range(3..=4);
@@ -149,7 +151,11 @@ fn synonymize(tokens: &[String], rng: &mut impl Rng) -> Vec<String> {
 /// Drops function words / vacuous qualifiers; if nothing is droppable,
 /// drops the final token (provided ≥ 2 remain).
 fn simplify(tokens: &[String]) -> Vec<String> {
-    let core: Vec<String> = tokens.iter().filter(|t| !is_droppable(t)).cloned().collect();
+    let core: Vec<String> = tokens
+        .iter()
+        .filter(|t| !is_droppable(t))
+        .cloned()
+        .collect();
     if core.len() < tokens.len() && !core.is_empty() {
         core
     } else if tokens.len() > 2 {

@@ -75,8 +75,7 @@ impl CbowModel {
         for _epoch in 0..config.epochs {
             for sent in &corpus.sentences {
                 for (i, &center) in sent.iter().enumerate() {
-                    let lr = (config.lr
-                        * (1.0 - step as f32 / total_steps as f32))
+                    let lr = (config.lr * (1.0 - step as f32 / total_steps as f32))
                         .max(config.lr * 1e-4);
                     step += 1;
 
@@ -135,11 +134,7 @@ impl CbowModel {
             }
         }
 
-        Self {
-            syn0,
-            syn1,
-            config,
-        }
+        Self { syn0, syn1, config }
     }
 
     /// The learned word representations, one row per vocabulary entry —

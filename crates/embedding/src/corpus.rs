@@ -126,10 +126,7 @@ mod tests {
     #[test]
     fn incorporation_matches_paper_example() {
         let out = incorporate_concept_id(&toks("protein deficiency anemia"), "d53.0");
-        assert_eq!(
-            out,
-            toks("d53.0 protein d53.0 deficiency d53.0 anemia")
-        );
+        assert_eq!(out, toks("d53.0 protein d53.0 deficiency d53.0 anemia"));
     }
 
     #[test]

@@ -24,9 +24,7 @@ impl NearestWords {
     /// `None` to allow all rows except ids `0..4` (the special tokens).
     pub fn new(embeddings: &Matrix, allowed: Option<Vec<bool>>) -> Self {
         let rows = embeddings.rows();
-        let allowed = allowed.unwrap_or_else(|| {
-            (0..rows).map(|i| i >= 4).collect()
-        });
+        let allowed = allowed.unwrap_or_else(|| (0..rows).map(|i| i >= 4).collect());
         assert_eq!(allowed.len(), rows, "nearest: mask length mismatch");
         let mut normalized = embeddings.clone();
         for r in 0..rows {
@@ -97,10 +95,7 @@ mod tests {
         // ids: 0..4 specials (never returned), 4..7 real words.
         let rows = vec![
             0.0, 0.0, // specials
-            0.0, 0.0,
-            0.0, 0.0,
-            0.0, 0.0,
-            1.0, 0.0, // 4
+            0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 0.0, // 4
             0.9, 0.1, // 5
             0.0, 1.0, // 6
         ];
@@ -110,7 +105,9 @@ mod tests {
     #[test]
     fn nearest_finds_most_aligned() {
         let idx = toy_index();
-        let (id, sim) = idx.nearest(&Vector::from_slice(&[1.0, 0.05]), None).unwrap();
+        let (id, sim) = idx
+            .nearest(&Vector::from_slice(&[1.0, 0.05]), None)
+            .unwrap();
         assert_eq!(id, 4);
         assert!(sim > 0.99);
     }

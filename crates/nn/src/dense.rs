@@ -69,13 +69,52 @@ impl Dense {
         if self.act == Activation::Tanh {
             ncl_tensor::ops::tanh_inplace(&mut y);
         }
-        (
-            y.clone(),
-            DenseCache {
-                x: x.clone(),
-                y,
-            },
-        )
+        (y.clone(), DenseCache { x: x.clone(), y })
+    }
+
+    /// Inference-only forward pass: the fused affine + activation of
+    /// [`Dense::forward`] without building a [`DenseCache`] (which clones
+    /// both the input and the output). The arithmetic — bias first, then
+    /// one ascending-index dot product accumulated per row — is the same,
+    /// so the result is bit-identical to `forward(x).0`. This is the
+    /// serving path for the composite layer (Eq. 8), where no backward
+    /// pass will ever consume the cache.
+    pub fn apply(&self, x: &Vector) -> Vector {
+        let mut y = self.b.v.clone();
+        self.w.v.gemv_acc(x, &mut y);
+        if self.act == Activation::Tanh {
+            ncl_tensor::ops::tanh_inplace(&mut y);
+        }
+        y
+    }
+
+    /// Inference-only batched forward: one row of output per row of `xs`,
+    /// `out[i] = act(W xs[i] + b)`. The product runs through the blocked
+    /// [`Matrix::gemm_nt`](ncl_tensor::Matrix::gemm_nt) kernel, so the
+    /// weight matrix is streamed through the cache once for the whole
+    /// batch instead of once per input — the point of advancing all top-k
+    /// candidates one decoder timestep per output-matrix pass.
+    ///
+    /// Per-entry arithmetic (full ascending dot, then a single bias add)
+    /// is bit-identical to [`Dense::apply`] on each row.
+    ///
+    /// # Panics
+    /// Panics if `xs.cols() != in_dim`.
+    pub fn apply_batch(&self, xs: &ncl_tensor::Matrix) -> ncl_tensor::Matrix {
+        assert_eq!(xs.cols(), self.in_dim(), "apply_batch: input dimension");
+        let mut out = xs.gemm_nt(&self.w.v);
+        for i in 0..out.rows() {
+            for (o, bv) in out.row_mut(i).iter_mut().zip(self.b.v.iter()) {
+                // acc + b is bit-equal to gemv_acc's b + acc.
+                *o += bv;
+            }
+        }
+        if self.act == Activation::Tanh {
+            for v in out.as_mut_slice() {
+                *v = v.tanh();
+            }
+        }
+        out
     }
 
     /// Backward pass: accumulates parameter gradients and returns `dL/dx`.
@@ -258,6 +297,51 @@ mod tests {
             1e-2,
             2e-2,
         );
+    }
+
+    #[test]
+    fn apply_bit_identical_to_forward() {
+        for act in [Activation::Linear, Activation::Tanh] {
+            let mut rng = StdRng::seed_from_u64(21);
+            let d = Dense::new(5, 7, act, &mut rng);
+            let x = init::uniform_vector(5, -1.0, 1.0, &mut rng);
+            let (full, _) = d.forward(&x);
+            let fast = d.apply(&x);
+            for (a, b) in fast.iter().zip(full.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_batch_bit_identical_to_apply_rows() {
+        for act in [Activation::Linear, Activation::Tanh] {
+            let mut rng = StdRng::seed_from_u64(22);
+            // 37 output rows spans multiple gemm_nt tiles.
+            let d = Dense::new(6, 37, act, &mut rng);
+            let xs: Vec<Vector> = (0..5)
+                .map(|_| init::uniform_vector(6, -1.0, 1.0, &mut rng))
+                .collect();
+            let mut batch = ncl_tensor::Matrix::zeros(5, 6);
+            for (i, x) in xs.iter().enumerate() {
+                batch.set_row(i, x);
+            }
+            let out = d.apply_batch(&batch);
+            for (i, x) in xs.iter().enumerate() {
+                let row = d.apply(x);
+                for (a, b) in out.row(i).iter().zip(row.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension")]
+    fn apply_batch_wrong_dim_panics() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let d = Dense::new(3, 2, Activation::Linear, &mut rng);
+        let _ = d.apply_batch(&ncl_tensor::Matrix::zeros(1, 4));
     }
 
     #[test]

@@ -17,7 +17,9 @@
 //! chain `s_0 = h_n^c` routes gradient into the final state only.
 
 use crate::param::{HasParams, MatParam, ParamSet, VecParam};
-use ncl_tensor::ops::{sigmoid_grad_from_output, sigmoid_inplace, tanh_grad_from_output, tanh_inplace, tanh_vec};
+use ncl_tensor::ops::{
+    sigmoid_grad_from_output, sigmoid_inplace, tanh_grad_from_output, tanh_inplace, tanh_vec,
+};
 use ncl_tensor::wire::{Reader, Wire, WireError};
 use ncl_tensor::{init, Vector};
 use rand::Rng;
@@ -180,6 +182,51 @@ impl Lstm {
             tc,
         };
         (h, c, cache)
+    }
+
+    /// One inference-only cell step: the recurrence of [`Lstm::forward_seq`]
+    /// without building a `StepCache` (which clones the input and both
+    /// previous states). Every gate is computed by the same fused
+    /// bias-then-`gemv_acc` kernel in the same order, so the returned
+    /// `(h, c)` are bit-identical to the taped step's. This is the serving
+    /// path: online scoring never back-propagates.
+    pub fn step_infer(&self, x: &Vector, h_prev: &Vector, c_prev: &Vector) -> (Vector, Vector) {
+        let mut i = self.gate(&self.wi, &self.ui, &self.bi, x, h_prev);
+        sigmoid_inplace(&mut i);
+        let mut f = self.gate(&self.wf, &self.uf, &self.bf, x, h_prev);
+        sigmoid_inplace(&mut f);
+        let mut o = self.gate(&self.wo, &self.uo, &self.bo, x, h_prev);
+        sigmoid_inplace(&mut o);
+        let mut g = self.gate(&self.wg, &self.ug, &self.bg, x, h_prev);
+        tanh_inplace(&mut g);
+
+        let mut c = f.hadamard(c_prev);
+        c.add_hadamard(1.0, &i, &g);
+        let tc = tanh_vec(&c);
+        let h = o.hadamard(&tc);
+        (h, c)
+    }
+
+    /// Inference-only sequence forward: the hidden states `h_1..h_T` and
+    /// the final cell state, without the per-step caches a tape carries.
+    /// Bit-identical to `forward_seq(xs, h0, c0)`'s `hs` / `final_c()`.
+    ///
+    /// # Panics
+    /// Panics if any input has the wrong dimension.
+    pub fn forward_states(&self, xs: &[Vector], h0: &Vector, c0: &Vector) -> (Vec<Vector>, Vector) {
+        assert_eq!(h0.len(), self.hidden, "forward_states: h0 dimension");
+        assert_eq!(c0.len(), self.hidden, "forward_states: c0 dimension");
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut h = h0.clone();
+        let mut c = c0.clone();
+        for x in xs {
+            assert_eq!(x.len(), self.in_dim, "forward_states: input dimension");
+            let (nh, nc) = self.step_infer(x, &h, &c);
+            hs.push(nh.clone());
+            h = nh;
+            c = nc;
+        }
+        (hs, c)
     }
 
     /// Runs the whole sequence forward from `(h0, c0)`, recording a tape.
@@ -347,9 +394,11 @@ impl Wire for Lstm {
         let in_dim = usize::decode(r)?;
         let hidden = usize::decode(r)?;
         let mut mats = Vec::with_capacity(8);
-        for (i, &cols) in [in_dim, in_dim, in_dim, in_dim, hidden, hidden, hidden, hidden]
-            .iter()
-            .enumerate()
+        for (i, &cols) in [
+            in_dim, in_dim, in_dim, in_dim, hidden, hidden, hidden, hidden,
+        ]
+        .iter()
+        .enumerate()
         {
             let m = MatParam::decode(r)?;
             if m.v.rows() != hidden || m.v.cols() != cols {
@@ -444,6 +493,36 @@ mod tests {
         for h in &tape.hs {
             assert!(h.iter().all(|v| v.abs() < 1.0));
         }
+    }
+
+    #[test]
+    fn forward_states_bit_identical_to_tape() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let xs = inputs(&mut rng, 6, 3);
+        let h0 = init::uniform_vector(5, -0.5, 0.5, &mut rng);
+        let c0 = init::uniform_vector(5, -0.5, 0.5, &mut rng);
+        let tape = lstm.forward_seq(&xs, &h0, &c0);
+        let (hs, final_c) = lstm.forward_states(&xs, &h0, &c0);
+        assert_eq!(hs.len(), tape.len());
+        for (a, b) in hs.iter().zip(&tape.hs) {
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        for (x, y) in final_c.iter().zip(tape.final_c().iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn forward_states_empty_sequence() {
+        let mut rng = StdRng::seed_from_u64(18);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        let (h0, c0) = zero_state(5);
+        let (hs, final_c) = lstm.forward_states(&[], &h0, &c0);
+        assert!(hs.is_empty());
+        assert_eq!(final_c.as_slice(), c0.as_slice());
     }
 
     #[test]

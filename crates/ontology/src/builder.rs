@@ -112,7 +112,10 @@ impl OntologyBuilder {
                 if c.canonical.trim().is_empty() {
                     return Err(BuildError::EmptyDescription(c.code.clone()));
                 }
-                if by_code.insert(c.code.clone(), ConceptId(i as u32)).is_some() {
+                if by_code
+                    .insert(c.code.clone(), ConceptId(i as u32))
+                    .is_some()
+                {
                     return Err(BuildError::DuplicateCode(c.code.clone()));
                 }
             }

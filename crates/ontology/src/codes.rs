@@ -123,7 +123,10 @@ mod tests {
         for code in ["N18.5", "S52.521", "A00.0"] {
             let mut cur = code.to_string();
             while let Some(p) = parent_code(&cur) {
-                assert!(is_ancestor_code(&p, code), "{p} should be ancestor of {code}");
+                assert!(
+                    is_ancestor_code(&p, code),
+                    "{p} should be ancestor of {code}"
+                );
                 cur = p;
             }
         }

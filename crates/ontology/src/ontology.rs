@@ -154,7 +154,10 @@ impl Ontology {
     /// depths of ICD-9-CM and ICD-10-CM are typically less than 3 levels"
     /// when explaining why accuracy declines for β > 2 (§6.2).
     pub fn max_depth(&self) -> usize {
-        self.all_concepts().map(|id| self.depth(id)).max().unwrap_or(0)
+        self.all_concepts()
+            .map(|id| self.depth(id))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Iterator over `(id, concept)` pairs excluding the root.
@@ -182,7 +185,11 @@ mod tests {
     pub(crate) fn figure1b() -> Ontology {
         let mut b = OntologyBuilder::new();
         let d50 = b.add_root_concept("D50", "iron deficiency anemia");
-        b.add_child(d50, "D50.0", "iron deficiency anemia secondary to blood loss");
+        b.add_child(
+            d50,
+            "D50.0",
+            "iron deficiency anemia secondary to blood loss",
+        );
         let d53 = b.add_root_concept("D53", "other nutritional anemias");
         b.add_child(d53, "D53.0", "protein deficiency anemia");
         b.add_child(d53, "D53.2", "scorbutic anemia");

@@ -1,0 +1,66 @@
+//! Micro-benchmarks for the serving-path kernels added alongside the
+//! frozen concept cache: the blocked `gemm_nt` scoring product and the
+//! allocation-free scalar `log_softmax_at`, each against the naive
+//! formulation it replaces.
+//!
+//! Shapes mirror online scoring at paper scale: `k ≤ 50` candidate
+//! decoder states of width `d = 150` against a `|V| ≈ 4000`-row output
+//! matrix.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ncl_tensor::ops::{log_softmax, log_softmax_at};
+use ncl_tensor::{Matrix, Vector};
+
+fn filled(rows: usize, cols: usize, phase: f32) -> Matrix {
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|i| ((i as f32) * 0.37 + phase).sin())
+            .collect(),
+    )
+}
+
+fn bench_gemm_nt(c: &mut Criterion) {
+    let d = 150;
+    let vocab = 4000;
+    let w = filled(vocab, d, 0.0);
+    let mut group = c.benchmark_group("output_logits");
+    group.sample_size(20);
+    for &k in &[1usize, 10, 50] {
+        let s = filled(k, d, 1.0);
+        group.bench_with_input(BenchmarkId::new("gemv_per_row", k), &s, |b, s| {
+            b.iter(|| {
+                for i in 0..s.rows() {
+                    black_box(w.gemv(&s.row_vector(i)));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gemm_nt_blocked", k), &s, |b, s| {
+            b.iter(|| black_box(s.gemm_nt(&w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_log_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("target_log_prob");
+    group.sample_size(20);
+    for &n in &[512usize, 4096] {
+        let logits = Vector::from_vec((0..n).map(|i| ((i as f32) * 0.11).cos()).collect());
+        group.bench_with_input(
+            BenchmarkId::new("full_log_softmax", n),
+            &logits,
+            |b, logits| b.iter(|| black_box(log_softmax(logits)[n / 3])),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("log_softmax_at", n),
+            &logits,
+            |b, logits| b.iter(|| black_box(log_softmax_at(logits, n / 3))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(kernels, bench_gemm_nt, bench_log_softmax);
+criterion_main!(kernels);

@@ -189,6 +189,47 @@ impl Matrix {
         out
     }
 
+    /// Blocked matrix product against a transposed right operand:
+    /// `C = A Bᵀ`, i.e. `C[i][j] = A.row(i) · B.row(j)` — both operands
+    /// are walked along contiguous rows, so no transpose is materialised.
+    ///
+    /// This is the serving-side scoring kernel: with `A` holding one
+    /// decoder state `s̃_t` per candidate (k × d) and `B` the output
+    /// weights `W_s` (|V| × d), one call produces the logits of every
+    /// candidate while streaming the large `W_s` through the cache
+    /// exactly once. Rows of `B` are processed in tiles of
+    /// [`Matrix::GEMM_NT_TILE`] so a tile stays cache-resident across all
+    /// rows of `A`.
+    ///
+    /// Each output entry is an independent ascending-index dot product —
+    /// the same accumulation order as [`Matrix::gemv`]/[`Matrix::gemv_acc`]
+    /// — so `gemm_nt` results are bit-identical to row-by-row `gemv`.
+    pub fn gemm_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "gemm_nt: inner dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for jb in (0..other.rows).step_by(Self::GEMM_NT_TILE) {
+            let jend = (jb + Self::GEMM_NT_TILE).min(other.rows);
+            for i in 0..self.rows {
+                let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                let crow = &mut out.data[i * other.rows..(i + 1) * other.rows];
+                for (out, j) in crow[jb..jend].iter_mut().zip(jb..jend) {
+                    let brow = &other.data[j * other.cols..(j + 1) * other.cols];
+                    let mut acc = 0.0f32;
+                    for (a, b) in arow.iter().zip(brow) {
+                        acc += a * b;
+                    }
+                    *out = acc;
+                }
+            }
+        }
+        out
+    }
+
+    /// Tile height (rows of the right operand) for [`Matrix::gemm_nt`]:
+    /// 16 rows of `d ≤ 200` floats fit comfortably in L1 alongside one
+    /// left-operand row.
+    pub const GEMM_NT_TILE: usize = 16;
+
     /// Returns the transpose as a new matrix.
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
@@ -331,6 +372,42 @@ mod tests {
     }
 
     #[test]
+    fn gemm_nt_matches_gemm_of_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|i| i as f32 * 0.25 - 1.0).collect());
+        let fast = a.gemm_nt(&b);
+        let slow = a.gemm(&b.transpose());
+        assert_eq!(fast.rows(), 2);
+        assert_eq!(fast.cols(), 4);
+        for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gemm_nt_rows_bit_match_gemv() {
+        // The serving cache depends on gemm_nt being *bit-identical* to
+        // per-row gemv, tile boundaries included (33 rows spans three
+        // tiles of 16).
+        let d = 7;
+        let a = Matrix::from_vec(3, d, (0..3 * d).map(|i| (i as f32).sin()).collect());
+        let b = Matrix::from_vec(33, d, (0..33 * d).map(|i| (i as f32 * 0.7).cos()).collect());
+        let c = a.gemm_nt(&b);
+        for i in 0..3 {
+            let y = b.gemv(&a.row_vector(i));
+            for j in 0..33 {
+                assert_eq!(c[(i, j)].to_bits(), y[j].to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_nt_wrong_dim_panics() {
+        let _ = sample().gemm_nt(&Matrix::zeros(2, 4));
+    }
+
+    #[test]
     fn transpose_involution() {
         let m = sample();
         assert_eq!(m.transpose().transpose().as_slice(), m.as_slice());
@@ -388,6 +465,20 @@ mod tests {
             let lhs = m.gemv(&vx).dot(&vy);
             let rhs = vx.dot(&m.gemv_t(&vy));
             prop_assert!((lhs - rhs).abs() < 1e-2);
+        }
+
+        #[test]
+        fn gemm_nt_equals_transposed_gemm(
+            a in proptest::collection::vec(-2.0f32..2.0, 10),
+            b in proptest::collection::vec(-2.0f32..2.0, 35),
+        ) {
+            let a = Matrix::from_vec(2, 5, a);
+            let b = Matrix::from_vec(7, 5, b);
+            let fast = a.gemm_nt(&b);
+            let slow = a.gemm(&b.transpose());
+            for (x, y) in fast.as_slice().iter().zip(slow.as_slice()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
         }
     }
 }

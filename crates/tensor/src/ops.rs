@@ -94,6 +94,42 @@ pub fn log_softmax(x: &Vector) -> Vector {
     Vector::from_vec(x.iter().map(|&v| v - lse).collect())
 }
 
+/// The `idx`-th entry of [`log_softmax`] without materialising the output
+/// vector — the scoring kernel of Eq. 3, where only `log p(w_t | ·)` of
+/// the *target* word is ever read while the full `|V|`-vector would be
+/// thrown away.
+///
+/// Two passes over `x` (max, then exp-sum), no allocation. The pass
+/// structure and accumulation order match [`log_softmax`] exactly, so the
+/// result is bit-identical to `log_softmax(x)[idx]` — the serving cache's
+/// "same score to the last bit" guarantee rests on this.
+///
+/// # Panics
+/// Panics if `idx` is out of range.
+pub fn log_softmax_at(x: &Vector, idx: usize) -> f32 {
+    log_softmax_at_slice(x.as_slice(), idx)
+}
+
+/// [`log_softmax_at`] over a raw slice — for callers holding a row of a
+/// batched logits [`Matrix`](crate::Matrix) rather than a [`Vector`].
+///
+/// # Panics
+/// Panics if `idx` is out of range.
+pub fn log_softmax_at_slice(x: &[f32], idx: usize) -> f32 {
+    assert!(idx < x.len(), "log_softmax_at: index out of range");
+    x[idx] - log_sum_exp_slice(x)
+}
+
+/// The max-shifted log-sum-exp `m + ln Σ exp(x_i − m)` of a slice, with
+/// the same pass structure and accumulation order as [`log_softmax`], so
+/// `x[i] - log_sum_exp_slice(x)` is bit-identical to `log_softmax(x)[i]`.
+/// Callers that score the same logits vector repeatedly (the serving
+/// cache's precomputed first decoder step) store this denominator once.
+pub fn log_sum_exp_slice(x: &[f32]) -> f32 {
+    let m = x.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    m + x.iter().map(|&v| (v - m).exp()).sum::<f32>().ln()
+}
+
 /// Backward pass through a softmax: given the output `y = softmax(x)` and
 /// the upstream gradient `dy`, returns `dx = (diag(y) − y yᵀ) dy`, i.e.
 /// `dx_i = y_i (dy_i − Σ_j y_j dy_j)`.
@@ -181,6 +217,23 @@ mod tests {
     }
 
     #[test]
+    fn log_softmax_at_bit_identical_to_full() {
+        // Not approximate: the serving cache asserts bit-identical scores,
+        // so the scalar kernel must reproduce the vector kernel exactly.
+        let x = Vector::from_slice(&[0.1, -2.0, 3.5, 0.0, 17.25, -0.875]);
+        let full = log_softmax(&x);
+        for i in 0..x.len() {
+            assert_eq!(log_softmax_at(&x, i).to_bits(), full[i].to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of range")]
+    fn log_softmax_at_out_of_range_panics() {
+        let _ = log_softmax_at(&Vector::from_slice(&[0.0, 1.0]), 2);
+    }
+
+    #[test]
     fn softmax_backward_matches_finite_difference() {
         let x = Vector::from_slice(&[0.2, -0.4, 1.0]);
         let dy = Vector::from_slice(&[0.3, -0.1, 0.7]);
@@ -223,6 +276,17 @@ mod tests {
         fn log_softmax_nonpositive(x in proptest::collection::vec(-10.0f32..10.0, 1..16)) {
             let ls = log_softmax(&Vector::from_slice(&x));
             prop_assert!(ls.iter().all(|&v| v <= 1e-5));
+        }
+
+        #[test]
+        fn log_softmax_at_agrees_everywhere(
+            x in proptest::collection::vec(-30.0f32..30.0, 1..24),
+        ) {
+            let v = Vector::from_slice(&x);
+            let full = log_softmax(&v);
+            for i in 0..x.len() {
+                prop_assert_eq!(log_softmax_at(&v, i).to_bits(), full[i].to_bits());
+            }
         }
     }
 }

@@ -159,7 +159,10 @@ mod tests {
             assert!((vi.norm() - 1.0).abs() < 1e-3, "component {i} not unit");
             for j in 0..i {
                 let vj = pca.components.row_vector(j);
-                assert!(vi.dot(&vj).abs() < 1e-2, "components {i},{j} not orthogonal");
+                assert!(
+                    vi.dot(&vj).abs() < 1e-2,
+                    "components {i},{j} not orthogonal"
+                );
             }
         }
     }

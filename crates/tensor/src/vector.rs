@@ -82,11 +82,7 @@ impl Vector {
     #[inline]
     pub fn dot(&self, other: &Self) -> f32 {
         assert_eq!(self.len(), other.len(), "dot: dimension mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| a * b)
-            .sum()
+        self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
     /// In-place `self += alpha * x` (the BLAS `axpy` kernel).
@@ -186,11 +182,8 @@ impl Vector {
                 _ => best = Some((i, v)),
             }
         }
-        best.map(|(i, _)| i).or(if self.data.is_empty() {
-            None
-        } else {
-            Some(0)
-        })
+        best.map(|(i, _)| i)
+            .or(if self.data.is_empty() { None } else { Some(0) })
     }
 
     /// Cosine similarity between two vectors; zero if either has zero norm.

@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn acronym_keeps_numbers() {
-        assert_eq!(acronym(&["chronic", "kidney", "disease", "stage", "5"]), "ckds5");
+        assert_eq!(
+            acronym(&["chronic", "kidney", "disease", "stage", "5"]),
+            "ckds5"
+        );
     }
 
     #[test]

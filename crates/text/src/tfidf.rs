@@ -61,14 +61,16 @@ impl TfIdfIndex {
             for t in doc {
                 *tf.entry(t.as_ref()).or_insert(0.0) += 1.0;
             }
+            // Sorted-term accumulation keeps `doc_norms` bit-reproducible
+            // across index builds (f32 addition is order-sensitive), so
+            // identically-seeded pipelines rank identically.
+            let mut tf: Vec<(&str, f32)> = tf.into_iter().collect();
+            tf.sort_unstable_by(|a, b| a.0.cmp(b.0));
             let mut norm_sq = 0.0f32;
             for (t, f) in tf {
                 let w = f * idf[t];
                 norm_sq += w * w;
-                postings
-                    .entry(t.to_string())
-                    .or_default()
-                    .push((doc_id, w));
+                postings.entry(t.to_string()).or_default().push((doc_id, w));
             }
             doc_norms[doc_id] = norm_sq.sqrt();
         }
@@ -122,11 +124,16 @@ impl TfIdfIndex {
         if k == 0 || query.is_empty() {
             return Vec::new();
         }
-        // Query TF-IDF weights.
+        // Query TF-IDF weights. Accumulation below runs in sorted-term
+        // order: f32 addition is not associative, so summing in hash-map
+        // iteration order would make scores (and therefore near-tie
+        // rankings at the k boundary) vary from call to call.
         let mut qtf: HashMap<&str, f32> = HashMap::new();
         for t in query {
             *qtf.entry(t.as_ref()).or_insert(0.0) += 1.0;
         }
+        let mut qtf: Vec<(&str, f32)> = qtf.into_iter().collect();
+        qtf.sort_unstable_by(|a, b| a.0.cmp(b.0));
         let mut qnorm_sq = 0.0f32;
         let mut scores: HashMap<DocId, f32> = HashMap::new();
         for (t, f) in qtf {
@@ -172,13 +179,13 @@ mod tests {
 
     fn index() -> TfIdfIndex {
         let docs: Vec<Vec<String>> = [
-            "iron deficiency anemia",                      // 0 (D50)
+            "iron deficiency anemia",                         // 0 (D50)
             "iron deficiency anemia secondary to blood loss", // 1 (D50.0)
-            "protein deficiency anemia",                   // 2 (D53.0)
-            "scorbutic anemia",                            // 3 (D53.2)
-            "chronic kidney disease stage 5",              // 4 (N18.5)
-            "acute abdomen",                               // 5 (R10.0)
-            "unspecified abdominal pain",                  // 6 (R10.9)
+            "protein deficiency anemia",                      // 2 (D53.0)
+            "scorbutic anemia",                               // 3 (D53.2)
+            "chronic kidney disease stage 5",                 // 4 (N18.5)
+            "acute abdomen",                                  // 5 (R10.0)
+            "unspecified abdominal pain",                     // 6 (R10.9)
         ]
         .iter()
         .map(|s| tokenize(s))

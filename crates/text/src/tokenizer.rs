@@ -93,7 +93,10 @@ mod tests {
     #[test]
     fn keeps_numbers() {
         assert_eq!(tokenize("ckd 5"), vec!["ckd", "5"]);
-        assert_eq!(tokenize("hypertension ef 75%"), vec!["hypertension", "ef", "75"]);
+        assert_eq!(
+            tokenize("hypertension ef 75%"),
+            vec!["hypertension", "ef", "75"]
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ fn main() {
     //    for investigation" analogue).
     let mut b = OntologyBuilder::new();
     let d50 = b.add_root_concept("D50", "iron deficiency anemia");
-    let d500 = b.add_child(d50, "D50.0", "iron deficiency anemia secondary to blood loss");
+    let d500 = b.add_child(
+        d50,
+        "D50.0",
+        "iron deficiency anemia secondary to blood loss",
+    );
     let d509 = b.add_child(d50, "D50.9", "iron deficiency anemia unspecified");
     let d53 = b.add_root_concept("D53", "other nutritional anemias");
     let d530 = b.add_child(d53, "D53.0", "protein deficiency anemia");
@@ -114,7 +118,11 @@ fn main() {
             });
         }
     }
-    println!("expert labeled {} queries; retrain ready: {}", controller.label_count(), controller.retrain_ready());
+    println!(
+        "expert labeled {} queries; retrain ready: {}",
+        controller.label_count(),
+        controller.retrain_ready()
+    );
 
     // 4. Retrain with the feedback (Appendix A: "COM-AID will be
     //    re-trained by taking into account the newly collected
@@ -144,5 +152,8 @@ fn main() {
             verdict.top_loss, verdict.uncertain
         );
     }
-    println!("\n{fixed}/{} previously-uncertain queries now link correctly", tricky.len());
+    println!(
+        "\n{fixed}/{} previously-uncertain queries now link correctly",
+        tricky.len()
+    );
 }

@@ -22,7 +22,11 @@ fn main() {
     // 1. The Figure 1(b) ontology fragment (plus N02/N02.8 for q3).
     let mut b = OntologyBuilder::new();
     let d50 = b.add_root_concept("D50", "iron deficiency anemia");
-    let d500 = b.add_child(d50, "D50.0", "iron deficiency anemia secondary to blood loss");
+    let d500 = b.add_child(
+        d50,
+        "D50.0",
+        "iron deficiency anemia secondary to blood loss",
+    );
     let d53 = b.add_root_concept("D53", "other nutritional anemias");
     let d530 = b.add_child(d53, "D53.0", "protein deficiency anemia");
     let d532 = b.add_child(d53, "D53.2", "scorbutic anemia");
@@ -40,7 +44,10 @@ fn main() {
     //    R10.0 has "acute abdomen", "acute abdominal syndrome",
     //    "pain; abdomen".
     for (id, alias) in [
-        (d500, "iron deficiency anemia secondary to blood loss chronic"),
+        (
+            d500,
+            "iron deficiency anemia secondary to blood loss chronic",
+        ),
         (d500, "anemia chronic blood loss"),
         (d500, "chronic blood loss anemia"),
         (d500, "anemia due to menorrhagia"),
@@ -127,5 +134,8 @@ fn main() {
             );
         }
     }
-    println!("\n{correct}/{} of the paper's motivating queries linked correctly", queries.len());
+    println!(
+        "\n{correct}/{} of the paper's motivating queries linked correctly",
+        queries.len()
+    );
 }

@@ -34,7 +34,11 @@ fn accuracy(ds: &Dataset, variant: Variant, pretrain: bool) -> f32 {
     let mut acc = EvalAccumulator::new();
     for q in ds.query_group(120, 18, 1) {
         let res = linker.link(&q.tokens);
-        acc.record(&res.ranked_ids(), q.truth, res.candidates.contains(&q.truth));
+        acc.record(
+            &res.ranked_ids(),
+            q.truth,
+            res.candidates.contains(&q.truth),
+        );
     }
     acc.accuracy()
 }

@@ -34,7 +34,11 @@ fn pipeline_links_above_chance() {
     let mut acc = EvalAccumulator::new();
     for q in &group {
         let res = linker.link(&q.tokens);
-        acc.record(&res.ranked_ids(), q.truth, res.candidates.contains(&q.truth));
+        acc.record(
+            &res.ranked_ids(),
+            q.truth,
+            res.candidates.contains(&q.truth),
+        );
     }
     let n_concepts = ds.ontology.fine_grained().len() as f32;
     let chance = 1.0 / n_concepts;
@@ -85,7 +89,10 @@ fn two_pipelines_same_seed_agree() {
     let l1 = p1.linker(&ds.ontology);
     let l2 = p2.linker(&ds.ontology);
     let q = ds.query_group(3, 0, 1).remove(0);
-    assert_eq!(l1.link(&q.tokens).ranked_ids(), l2.link(&q.tokens).ranked_ids());
+    assert_eq!(
+        l1.link(&q.tokens).ranked_ids(),
+        l2.link(&q.tokens).ranked_ids()
+    );
 }
 
 #[test]
@@ -116,5 +123,9 @@ fn mimic_profile_end_to_end() {
         .iter()
         .filter(|q| linker.link(&q.tokens).top1() == Some(q.truth))
         .count();
-    assert!(hits * 3 >= group.len(), "only {hits}/{} linked", group.len());
+    assert!(
+        hits * 3 >= group.len(),
+        "only {hits}/{} linked",
+        group.len()
+    );
 }

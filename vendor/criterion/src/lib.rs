@@ -56,7 +56,8 @@ impl Bencher {
         let warm = Instant::now();
         black_box(f());
         let once = warm.elapsed().max(Duration::from_nanos(1));
-        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
+        let batch =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
         for _ in 0..self.samples {
             let t0 = Instant::now();
             for _ in 0..batch {
@@ -74,7 +75,10 @@ fn report(label: &str, samples: &[Duration]) {
     let min = samples.iter().min().unwrap();
     let max = samples.iter().max().unwrap();
     let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
-    println!("{label:<40} [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]  ({} samples)", samples.len());
+    println!(
+        "{label:<40} [{min:>10.2?} {mean:>10.2?} {max:>10.2?}]  ({} samples)",
+        samples.len()
+    );
 }
 
 /// A named group of related benchmarks.

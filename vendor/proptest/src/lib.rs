@@ -264,13 +264,28 @@ pub mod prelude {
 /// Runs each contained `fn name(binding in strategy, ..) { body }` as a
 /// deterministic multi-case test. An optional leading
 /// `#![proptest_config(expr)]` sets the case count.
+///
+/// Generated tests live in a `proptests` child module (which re-imports
+/// the surrounding scope via `use super::*;`), so their paths all
+/// contain `proptests` and the whole property suite can be run
+/// explicitly with `cargo test --workspace proptests` — the CI leg that
+/// keeps property coverage from silently rotting. One `proptest!` block
+/// per module, since each expansion defines the module.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
-        $crate::__proptest_fns! { ($cfg); $($rest)* }
+        mod proptests {
+            #[allow(unused_imports)]
+            use super::*;
+            $crate::__proptest_fns! { ($cfg); $($rest)* }
+        }
     };
     ($($rest:tt)*) => {
-        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+        mod proptests {
+            #[allow(unused_imports)]
+            use super::*;
+            $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+        }
     };
 }
 
