@@ -1,12 +1,13 @@
 //! CI perf-regression gate.
 //!
-//! Compares a freshly measured benchmark record (the flat JSON the
-//! `fig15_serving_throughput` binary drops, e.g. `BENCH_fig15.json`)
-//! against a checked-in baseline (`ci/bench_baseline_fig15.json`) and
-//! exits non-zero when any metric regressed by more than the tolerance.
+//! Compares freshly measured benchmark records (the flat JSON the
+//! `fig15_serving_throughput` / `fig12_training_time` binaries drop,
+//! e.g. `BENCH_fig15.json`) against checked-in baselines
+//! (`ci/bench_baseline_*.json`) and exits non-zero when any metric in
+//! any pair regressed by more than the tolerance.
 //!
 //! ```text
-//! bench_gate <current.json> <baseline.json> [--tolerance 0.20]
+//! bench_gate <current.json> <baseline.json> [<current2> <baseline2> ...] [--tolerance 0.20]
 //! ```
 //!
 //! Every numeric key in the *baseline* is gated, higher-is-better: the
@@ -115,23 +116,30 @@ fn main() -> ExitCode {
             paths.push(a.clone());
         }
     }
-    let [current, baseline] = paths.as_slice() else {
-        eprintln!("usage: bench_gate <current.json> <baseline.json> [--tolerance 0.20]");
+    if paths.is_empty() || paths.len() % 2 != 0 {
+        eprintln!(
+            "usage: bench_gate <current.json> <baseline.json> \
+             [<current2> <baseline2> ...] [--tolerance 0.20]"
+        );
         return ExitCode::from(2);
-    };
-    match run(current, baseline, tolerance) {
-        Ok(true) => {
-            println!("bench_gate: PASS");
-            ExitCode::SUCCESS
+    }
+    let mut all_pass = true;
+    for pair in paths.chunks(2) {
+        match run(&pair[0], &pair[1], tolerance) {
+            Ok(true) => {}
+            Ok(false) => all_pass = false,
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
         }
-        Ok(false) => {
-            eprintln!("bench_gate: FAIL — throughput regressed beyond tolerance");
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("bench_gate: {e}");
-            ExitCode::from(2)
-        }
+    }
+    if all_pass {
+        println!("bench_gate: PASS");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_gate: FAIL — throughput regressed beyond tolerance");
+        ExitCode::FAILURE
     }
 }
 

@@ -38,6 +38,7 @@ pub fn ncl_config(scale: &Scale, dim: usize, variant: Variant, pretrain: bool) -
             clip_norm: 5.0,
             seed: scale.seed ^ dim as u64,
             output_mode: ncl_core::comaid::OutputMode::Full,
+            train_threads: 1,
         },
         cbow: CbowConfig {
             dim,
@@ -46,6 +47,7 @@ pub fn ncl_config(scale: &Scale, dim: usize, variant: Variant, pretrain: bool) -
             epochs: scale.cbow_epochs,
             lr: 0.05,
             seed: scale.seed ^ 0xCB0,
+            threads: 1,
         },
         pretrain,
         linker: LinkerConfig {

@@ -114,6 +114,11 @@ pub struct ComAidConfig {
     pub seed: u64,
     /// Output-layer mode during training (scoring is always exact).
     pub output_mode: OutputMode,
+    /// Worker threads for data-parallel refinement training (capped by
+    /// the machine's available parallelism). An execution knob, not part
+    /// of the model identity: it is *not* persisted in checkpoints, and
+    /// `epoch_losses` are identical at every setting for a given seed.
+    pub train_threads: usize,
 }
 
 impl Default for ComAidConfig {
@@ -129,6 +134,7 @@ impl Default for ComAidConfig {
             clip_norm: 5.0,
             seed: 0xC0A1D,
             output_mode: OutputMode::Full,
+            train_threads: 1,
         }
     }
 }
@@ -187,6 +193,10 @@ impl Wire for OutputMode {
     }
 }
 
+/// `train_threads` is deliberately absent from the checkpoint format: two
+/// models trained with different thread counts are the same model, and
+/// adding the field would break every existing `NCLMODEL` container.
+/// Decoding always yields `train_threads: 1`.
 impl Wire for ComAidConfig {
     fn encode(&self, out: &mut Vec<u8>) {
         self.dim.encode(out);
@@ -212,6 +222,7 @@ impl Wire for ComAidConfig {
             clip_norm: f32::decode(r)?,
             seed: u64::decode(r)?,
             output_mode: OutputMode::decode(r)?,
+            train_threads: 1,
         };
         if cfg.dim == 0 {
             return Err(WireError::Invalid("config: dim must be positive".into()));

@@ -4,7 +4,7 @@ use super::{ComAidConfig, OntologyIndex};
 use ncl_nn::attention::AttentionCache;
 use ncl_nn::dense::{Activation, Dense, DenseCache, DenseRowsCache};
 use ncl_nn::lstm::LstmTape;
-use ncl_nn::param::{HasParams, ParamSet};
+use ncl_nn::param::{HasParams, ParamSet, Parameter};
 use ncl_nn::softmax_loss::{self, SoftmaxNll};
 use ncl_nn::{DotAttention, Embedding, Lstm};
 use ncl_ontology::ConceptId;
@@ -594,13 +594,71 @@ impl ComAid {
 
     /// Registers `Θ` — all trainable tensors (§4.2: "the word embeddings
     /// and the concept representations in the neural networks are also
-    /// updated", the latter implicitly through the encoder).
+    /// updated", the latter implicitly through the encoder). The training
+    /// hot loop uses the allocation-free [`Self::visit_params`] instead;
+    /// this borrow-holding form remains for the gradient checker.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn collect_params<'a>(&'a mut self, set: &mut ParamSet<'a>) {
         set.add("embedding", &mut self.embedding);
         self.encoder.collect_params(set);
         self.decoder.collect_params(set);
         self.composite.collect_params(set);
         self.output.collect_params(set);
+    }
+
+    /// Visits `Θ` in [`Self::collect_params`] order without building a
+    /// `ParamSet` — the allocation-free walk used by the training hot
+    /// loop (a `ParamSet` would hold `&mut self` across forward passes).
+    pub(crate) fn visit_params(&mut self, f: &mut dyn FnMut(&'static str, &mut dyn Parameter)) {
+        f("embedding", &mut self.embedding);
+        self.encoder.visit_params(f);
+        self.decoder.visit_params(f);
+        self.composite.visit_params(f);
+        self.output.visit_params(f);
+    }
+
+    /// One SGD update over `Θ` with global gradient-norm clipping,
+    /// bitwise identical to `Sgd::new(lr, clip).step` over
+    /// [`Self::collect_params`] (same walk order, same clip arithmetic)
+    /// but with no per-step allocation. Returns the pre-clip norm.
+    pub(crate) fn sgd_step(&mut self, lr: f32, clip: f32) -> f32 {
+        let mut sq = 0.0f32;
+        self.visit_params(&mut |_, p| sq += p.sq_grad_norm());
+        let norm = sq.sqrt();
+        let factor = if norm > clip && norm > 0.0 {
+            clip / norm
+        } else {
+            1.0
+        };
+        self.visit_params(&mut |_, p| {
+            if factor != 1.0 {
+                p.scale_grad(factor);
+            }
+            p.step(lr);
+            p.zero_grad();
+        });
+        norm
+    }
+
+    /// Drains `donor`'s accumulated gradients into this model, layer by
+    /// layer in `collect_params` order (the shard-merge step of the
+    /// data-parallel trainer). Embedding rows merge sparsely.
+    pub(crate) fn merge_grads_from(&mut self, donor: &mut ComAid) {
+        Parameter::merge_grad_from(&mut self.embedding, &mut donor.embedding);
+        self.encoder.merge_grads_from(&mut donor.encoder);
+        self.decoder.merge_grads_from(&mut donor.decoder);
+        self.composite.merge_grads_from(&mut donor.composite);
+        self.output.merge_grads_from(&mut donor.output);
+    }
+
+    /// Overwrites all parameter values with `src`'s (replica sync before
+    /// a shard's forward/backward pass). Gradients are untouched.
+    pub(crate) fn sync_values_from(&mut self, src: &ComAid) {
+        self.embedding.copy_values_from(&src.embedding);
+        self.encoder.copy_values_from(&src.encoder);
+        self.decoder.copy_values_from(&src.decoder);
+        self.composite.copy_values_from(&src.composite);
+        self.output.copy_values_from(&src.output);
     }
 }
 

@@ -7,12 +7,27 @@
 //! the concept representations in the neural networks are also updated."
 
 use super::{ComAid, OntologyIndex, OutputMode};
-use ncl_nn::optimizer::{LrSchedule, Sgd};
-use ncl_nn::param::ParamSet;
+use ncl_nn::optimizer::LrSchedule;
 use ncl_ontology::ConceptId;
+use ncl_tensor::pool::WorkerPool;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Word ids below this are reserved control tokens (`UNK`/`BOS`/`EOS`/
+/// `PAD`, see `ncl_text::Vocab`); sampled-softmax noise is drawn from the
+/// regular words at or above it.
+const FIRST_REGULAR_WORD: u32 = 4;
+
+/// Examples per gradient shard. The batch is cut into fixed-width shards
+/// **as a function of batch length only** — never of `train_threads` —
+/// so the shard partition, and with it every float-add order, is
+/// identical at any thread count.
+const SHARD_WIDTH: usize = 8;
+
+/// Ceiling on shards per batch (bounds replica memory).
+const MAX_SHARDS: usize = 8;
 
 /// One labeled training example: decode `target` (an alias, or an expert
 /// feedback snippet) from `concept`.
@@ -31,12 +46,31 @@ pub struct TrainReport {
     pub epoch_losses: Vec<f32>,
     /// Total number of SGD steps taken.
     pub steps: usize,
+    /// Wall-clock seconds per epoch (parallel to `epoch_losses`).
+    pub epoch_seconds: Vec<f64>,
+    /// Training pairs processed per epoch.
+    pub pairs_per_epoch: usize,
 }
 
 impl TrainReport {
     /// The final epoch's mean loss.
     pub fn final_loss(&self) -> f32 {
         self.epoch_losses.last().copied().unwrap_or(f32::NAN)
+    }
+
+    /// Total wall-clock seconds across all epochs.
+    pub fn total_seconds(&self) -> f64 {
+        self.epoch_seconds.iter().sum()
+    }
+
+    /// Refinement throughput: training pairs processed per second over
+    /// the whole run.
+    pub fn pairs_per_sec(&self) -> f64 {
+        let secs = self.total_seconds();
+        if secs <= 0.0 {
+            return f64::INFINITY;
+        }
+        (self.pairs_per_epoch * self.epoch_seconds.len()) as f64 / secs
     }
 }
 
@@ -78,49 +112,167 @@ impl ComAid {
         self.bump_version();
         let batch_size = self.config().batch_size.max(1);
         let clip = self.config().clip_norm;
+        let vocab_size = self.vocab().len() as u32;
+        // Sampled softmax draws noise from the regular words; a vocab
+        // with none (only reserved control tokens) would make the draw
+        // range empty, so fall back to the exact softmax — cheap anyway
+        // at such a vocabulary size.
+        let output_mode = match self.config().output_mode {
+            OutputMode::Sampled { .. } if vocab_size <= FIRST_REGULAR_WORD => OutputMode::Full,
+            mode => mode,
+        };
         let mut rng = StdRng::seed_from_u64(self.config().seed ^ 0x7EA1);
         let mut order: Vec<usize> = (0..pairs.len()).collect();
         let mut epoch_losses = Vec::with_capacity(epochs);
+        let mut epoch_seconds = Vec::with_capacity(epochs);
         let mut steps = 0usize;
 
+        // Data-parallel machinery. The shard partition depends only on
+        // batch length; single-shard batches take the direct in-place
+        // path below, so replicas and the pool only matter when a batch
+        // is wide enough to split.
+        let max_shards = batch_size.div_ceil(SHARD_WIDTH).min(MAX_SHARDS);
+        let pool = WorkerPool::new(self.train_executors());
+        let mut replicas: Vec<ComAid> = (1..max_shards)
+            .map(|_| {
+                let mut r = self.clone();
+                // Clones inherit any transient gradient state; shards
+                // must start from zero.
+                r.visit_params(&mut |_, p| p.zero_grad());
+                r
+            })
+            .collect();
+        let mut noise_buf: Vec<Option<Vec<u32>>> = Vec::with_capacity(batch_size);
+        let mut shard_losses = vec![0.0f64; max_shards];
+
         for epoch in 0..epochs {
+            let t0 = Instant::now();
             order.shuffle(&mut rng);
-            let opt = Sgd::new(schedule.at(epoch), clip);
+            let lr = schedule.at(epoch);
             let mut epoch_loss = 0.0f64;
             for batch in order.chunks(batch_size) {
                 let scale = 1.0 / batch.len() as f32;
-                for &i in batch {
-                    let pair = &pairs[i];
-                    // BlackOut-style sampled softmax (Appendix B.2):
-                    // draw a fresh shared noise set per example.
-                    let noise: Option<Vec<u32>> = match self.config().output_mode {
+                // BlackOut-style sampled softmax (Appendix B.2): draw a
+                // fresh shared noise set per example. Drawn up front in
+                // example order so the RNG stream is independent of how
+                // the batch is later sharded.
+                noise_buf.clear();
+                for _ in batch {
+                    noise_buf.push(match output_mode {
                         OutputMode::Full => None,
                         OutputMode::Sampled { noise } => {
-                            let vocab_size = self.vocab().len() as u32;
-                            Some((0..noise).map(|_| rng.gen_range(4..vocab_size)).collect())
+                            debug_assert!(vocab_size > FIRST_REGULAR_WORD);
+                            Some(
+                                (0..noise)
+                                    .map(|_| rng.gen_range(FIRST_REGULAR_WORD..vocab_size))
+                                    .collect(),
+                            )
                         }
-                    };
-                    let run = self.run_example_with_noise(
-                        index,
-                        pair.concept,
-                        &pair.target,
-                        noise.as_deref(),
-                    );
-                    epoch_loss += run.loss as f64;
-                    self.backward_example(&run, scale);
+                    });
                 }
-                let mut set = ParamSet::new();
-                self.collect_params(&mut set);
-                opt.step(&mut set);
+
+                let shard_w = batch
+                    .len()
+                    .div_ceil(batch.len().div_ceil(SHARD_WIDTH).min(MAX_SHARDS));
+                let shards: Vec<&[usize]> = batch.chunks(shard_w).collect();
+                if shards.len() == 1 {
+                    // Narrow batch: accumulate straight into the live
+                    // model — the exact sequential float-add order.
+                    run_shard(
+                        self,
+                        index,
+                        pairs,
+                        batch,
+                        &noise_buf,
+                        scale,
+                        &mut epoch_loss,
+                    );
+                } else {
+                    let ns = shards.len();
+                    for r in replicas[..ns - 1].iter_mut() {
+                        r.sync_values_from(self);
+                    }
+                    for slot in shard_losses[..ns].iter_mut() {
+                        *slot = 0.0;
+                    }
+                    let mut jobs: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(ns);
+                    {
+                        let mut loss_slots = shard_losses[..ns].iter_mut();
+                        let mut noise_chunks = noise_buf.chunks(shard_w);
+                        let mut shard_iter = shards.iter();
+
+                        // Shard 0 runs on the live model (inline on the
+                        // calling thread — it is job 0 of the pool deal).
+                        let out = loss_slots.next().unwrap();
+                        let ids = *shard_iter.next().unwrap();
+                        let nz = noise_chunks.next().unwrap();
+                        let main: &mut ComAid = self;
+                        jobs.push(Box::new(move || {
+                            run_shard(main, index, pairs, ids, nz, scale, out)
+                        }));
+                        for r in replicas[..ns - 1].iter_mut() {
+                            let out = loss_slots.next().unwrap();
+                            let ids = *shard_iter.next().unwrap();
+                            let nz = noise_chunks.next().unwrap();
+                            jobs.push(Box::new(move || {
+                                run_shard(r, index, pairs, ids, nz, scale, out)
+                            }));
+                        }
+                    }
+                    pool.run(jobs);
+                    // Merge in fixed shard order (left fold), then fold
+                    // the losses the same way: both are independent of
+                    // the executor count, so `epoch_losses` are too.
+                    for r in replicas[..ns - 1].iter_mut() {
+                        self.merge_grads_from(r);
+                    }
+                    for &l in &shard_losses[..ns] {
+                        epoch_loss += l;
+                    }
+                }
+                self.sgd_step(lr, clip);
                 steps += 1;
             }
             epoch_losses.push((epoch_loss / pairs.len() as f64) as f32);
+            epoch_seconds.push(t0.elapsed().as_secs_f64());
         }
 
         TrainReport {
             epoch_losses,
             steps,
+            epoch_seconds,
+            pairs_per_epoch: pairs.len(),
         }
+    }
+
+    /// Executors for data-parallel training: `train_threads`, clamped to
+    /// at least 1 and at most the machine's available parallelism. Only
+    /// affects wall-clock speed, never results.
+    fn train_executors(&self) -> usize {
+        let hw = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.config().train_threads.max(1).min(hw)
+    }
+}
+
+/// Forward + backward over one gradient shard, accumulating into
+/// `model`'s gradient buffers and summing the f64 loss into `out` in
+/// example order.
+fn run_shard(
+    model: &mut ComAid,
+    index: &OntologyIndex,
+    pairs: &[TrainPair],
+    ids: &[usize],
+    noises: &[Option<Vec<u32>>],
+    scale: f32,
+    out: &mut f64,
+) {
+    for (&i, noise) in ids.iter().zip(noises) {
+        let pair = &pairs[i];
+        let run = model.run_example_with_noise(index, pair.concept, &pair.target, noise.as_deref());
+        *out += run.loss as f64;
+        model.backward_example(&run, scale);
     }
 }
 
@@ -188,6 +340,7 @@ mod tests {
             clip_norm: 5.0,
             seed: 21,
             output_mode: super::OutputMode::Full,
+            train_threads: 1,
         }
     }
 
@@ -280,6 +433,206 @@ mod tests {
         let sampled = m.run_example_with_noise(&idx, pair.concept, &pair.target, Some(&noise));
         assert!(sampled.loss <= full.loss + 1e-3);
         assert!(sampled.loss > 0.0);
+    }
+
+    /// Regression: a vocabulary with only the four reserved control
+    /// tokens used to panic in sampled mode (`gen_range(4..4)` is an
+    /// empty range); it must fall back to the exact softmax instead.
+    #[test]
+    fn tiny_vocab_sampled_softmax_falls_back_to_full() {
+        let mut b = OntologyBuilder::new();
+        let c = b.add_root_concept("C1", "alpha");
+        let o = b.build().unwrap();
+        let v = Vocab::new(); // no regular words: everything maps to UNK
+        let pairs = vec![TrainPair {
+            concept: c,
+            target: vec![Vocab::UNK],
+        }];
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let mut cfg = config();
+        cfg.epochs = 2;
+        cfg.output_mode = super::super::OutputMode::Sampled { noise: 8 };
+        let mut m = ComAid::new(v, cfg, None);
+        let report = m.fit(&idx, &pairs);
+        assert!(report.final_loss().is_finite());
+    }
+
+    /// A workload wide enough that every full batch splits into three
+    /// gradient shards must produce bit-identical losses AND parameters
+    /// at 1, 2, and 4 training threads.
+    #[test]
+    fn wide_batches_are_deterministic_across_thread_counts() {
+        use ncl_tensor::wire::Wire;
+        let (o, v, pairs) = world();
+        let mut wide: Vec<TrainPair> = Vec::new();
+        for _ in 0..4 {
+            wide.extend(pairs.iter().cloned());
+        }
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let mut cfg = config();
+        cfg.batch_size = 24;
+        cfg.epochs = 4;
+        let mut reference: Option<(Vec<f32>, Vec<u8>)> = None;
+        for threads in [1usize, 2, 4] {
+            cfg.train_threads = threads;
+            let mut m = ComAid::new(v.clone(), cfg, None);
+            let r = m.fit(&idx, &wide);
+            let mut bytes = Vec::new();
+            m.encode(&mut bytes);
+            match &reference {
+                None => reference = Some((r.epoch_losses.clone(), bytes)),
+                Some((losses, model_bytes)) => {
+                    assert_eq!(
+                        &r.epoch_losses, losses,
+                        "losses differ at {threads} threads"
+                    );
+                    assert_eq!(
+                        &bytes, model_bytes,
+                        "parameters differ at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    /// One merged two-shard step equals one sequential step over the same
+    /// batch, up to float reassociation in the shard sums.
+    #[test]
+    fn merged_shard_step_matches_sequential_step() {
+        let (o, v, pairs) = world();
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let mut seq = ComAid::new(v, config(), None);
+        let mut par = seq.clone();
+        let mut replica = seq.clone();
+        // 12 examples → shards [0..8) and [8..12) at width 8.
+        let ids: Vec<usize> = (0..12).map(|k| k % pairs.len()).collect();
+        let noises: Vec<Option<Vec<u32>>> = vec![None; ids.len()];
+        let scale = 1.0 / ids.len() as f32;
+
+        let mut loss_seq = 0.0f64;
+        run_shard(&mut seq, &idx, &pairs, &ids, &noises, scale, &mut loss_seq);
+        seq.sgd_step(0.1, 5.0);
+
+        let (mut l0, mut l1) = (0.0f64, 0.0f64);
+        run_shard(
+            &mut par,
+            &idx,
+            &pairs,
+            &ids[..8],
+            &noises[..8],
+            scale,
+            &mut l0,
+        );
+        run_shard(
+            &mut replica,
+            &idx,
+            &pairs,
+            &ids[8..],
+            &noises[8..],
+            scale,
+            &mut l1,
+        );
+        par.merge_grads_from(&mut replica);
+        par.sgd_step(0.1, 5.0);
+
+        assert!((loss_seq - (l0 + l1)).abs() < 1e-9);
+        let mut seq_vals = Vec::new();
+        seq.visit_params(&mut |_, p| seq_vals.extend_from_slice(p.values_mut()));
+        let mut par_vals = Vec::new();
+        par.visit_params(&mut |_, p| par_vals.extend_from_slice(p.values_mut()));
+        assert_eq!(seq_vals.len(), par_vals.len());
+        for (a, b) in seq_vals.iter().zip(&par_vals) {
+            assert!(
+                (a - b).abs() <= 1e-5 * (1.0 + a.abs()),
+                "param mismatch: {a} vs {b}"
+            );
+        }
+    }
+
+    /// The allocation-free walk must visit `Θ` in exactly the
+    /// `collect_params` registration order (the merge and step arithmetic
+    /// depend on it).
+    #[test]
+    fn visit_params_matches_collect_params_order() {
+        let (_, v, _) = world();
+        let mut m = ComAid::new(v, config(), None);
+        let mut visited = Vec::new();
+        m.visit_params(&mut |name, _| visited.push(name));
+        let mut set = ncl_nn::param::ParamSet::new();
+        m.collect_params(&mut set);
+        let collected: Vec<&'static str> = set.iter_mut().map(|(n, _)| n).collect();
+        assert_eq!(visited, collected);
+    }
+
+    /// `ComAid::sgd_step` must replicate `Sgd::step` bit for bit,
+    /// including the clipping branch.
+    #[test]
+    fn sgd_step_is_bitwise_identical_to_optimizer_step() {
+        let (o, v, pairs) = world();
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let mut a = ComAid::new(v, config(), None);
+        let mut b = a.clone();
+        let ids: Vec<usize> = (0..pairs.len()).collect();
+        let noises: Vec<Option<Vec<u32>>> = vec![None; ids.len()];
+        let (mut la, mut lb) = (0.0f64, 0.0f64);
+        run_shard(&mut a, &idx, &pairs, &ids, &noises, 0.5, &mut la);
+        run_shard(&mut b, &idx, &pairs, &ids, &noises, 0.5, &mut lb);
+        // A tight clip so the scaling branch is exercised.
+        let norm_a = a.sgd_step(0.7, 0.5);
+        let opt = ncl_nn::optimizer::Sgd::new(0.7, 0.5);
+        let mut set = ncl_nn::param::ParamSet::new();
+        b.collect_params(&mut set);
+        let norm_b = opt.step(&mut set);
+        drop(set);
+        assert_eq!(norm_a.to_bits(), norm_b.to_bits());
+        let mut va = Vec::new();
+        a.visit_params(&mut |_, p| va.extend_from_slice(p.values_mut()));
+        let mut vb = Vec::new();
+        b.visit_params(&mut |_, p| vb.extend_from_slice(p.values_mut()));
+        assert_eq!(va.len(), vb.len());
+        for (x, y) in va.iter().zip(&vb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            /// Property: for random seeds, batch sizes, and learning
+            /// rates, `fit` reports identical epoch losses at 1, 2, and
+            /// 4 training threads.
+            #[test]
+            fn epoch_losses_are_thread_invariant(
+                seed in 0u64..500,
+                batch_size in 1usize..32,
+                lr in 0.05f32..0.4,
+            ) {
+                let (o, v, pairs) = world();
+                let mut wide: Vec<TrainPair> = Vec::new();
+                for _ in 0..3 {
+                    wide.extend(pairs.iter().cloned());
+                }
+                let idx = OntologyIndex::build(&o, &v, 2);
+                let mut cfg = config();
+                cfg.seed = seed;
+                cfg.batch_size = batch_size;
+                cfg.lr = lr;
+                cfg.epochs = 2;
+                let mut reference: Option<Vec<f32>> = None;
+                for threads in [1usize, 2, 4] {
+                    cfg.train_threads = threads;
+                    let mut m = ComAid::new(v.clone(), cfg, None);
+                    let r = m.fit(&idx, &wide);
+                    match &reference {
+                        None => reference = Some(r.epoch_losses.clone()),
+                        Some(l) => prop_assert_eq!(&r.epoch_losses, l),
+                    }
+                }
+            }
+        }
     }
 
     #[test]

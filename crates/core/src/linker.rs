@@ -34,6 +34,7 @@ use crate::error::NclError;
 use crate::faults::FaultPlan;
 use ncl_embedding::NearestWords;
 use ncl_ontology::{ConceptId, Ontology};
+use ncl_tensor::pool::WorkerPool;
 use ncl_text::edit_distance::nearest_by_edit;
 use ncl_text::tfidf::TfIdfIndex;
 use ncl_text::tokenize;
@@ -306,6 +307,11 @@ pub struct Linker<'a> {
     /// shared-word removal consults this per (query, candidate), so
     /// tokenising at scoring time would dominate the cached fast path.
     canonical_sets: Vec<HashSet<String>>,
+    /// Persistent scoring workers (Appendix B.1: "use ten threads to
+    /// perform ED"), spawned once at construction. A per-query
+    /// `thread::scope` spawn costs about as much as scoring a candidate,
+    /// which is why the threads outlive the queries.
+    pool: WorkerPool,
 }
 
 impl<'a> Linker<'a> {
@@ -354,6 +360,11 @@ impl<'a> Linker<'a> {
             canonical_sets[id.index()] = tokenize(&c.canonical).into_iter().collect();
         }
 
+        let hw = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        let pool = WorkerPool::new(config.threads.max(1).min(hw));
+
         Self {
             model,
             ontology,
@@ -366,6 +377,7 @@ impl<'a> Linker<'a> {
             faults: None,
             cache,
             canonical_sets,
+            pool,
         }
     }
 
@@ -762,9 +774,12 @@ impl<'a> Linker<'a> {
             }
         } else {
             let chunk = jobs.len().div_ceil(threads);
-            std::thread::scope(|s| {
-                for (job_chunk, score_chunk) in jobs.chunks(chunk).zip(scores.chunks_mut(chunk)) {
-                    s.spawn(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = jobs
+                .chunks(chunk)
+                .zip(scores.chunks_mut(chunk))
+                .map(|(job_chunk, score_chunk)| {
+                    let score_one = &score_one;
+                    let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                         for (&(c, mask), out) in job_chunk.iter().zip(score_chunk.iter_mut()) {
                             if expired(deadline) {
                                 break;
@@ -772,8 +787,10 @@ impl<'a> Linker<'a> {
                             *out = score_one(c, mask);
                         }
                     });
-                }
-            });
+                    task
+                })
+                .collect();
+            self.pool.run(tasks);
         }
         (scores, panicked.load(Ordering::Relaxed))
     }
@@ -820,9 +837,9 @@ impl<'a> Linker<'a> {
         };
 
         // Batched chunks amortise the per-step output-matrix pass across
-        // their candidates, and a scoped-thread spawn costs about as much
-        // as batch-scoring one candidate — so each worker must own a
-        // sizeable chunk before splitting pays.
+        // their candidates — each worker must own a sizeable chunk before
+        // splitting pays, even with the persistent pool absorbing the
+        // spawn cost.
         const MIN_BATCH_CHUNK: usize = 8;
         let threads = self.worker_threads(k).min((k / MIN_BATCH_CHUNK).max(1));
         let mut scores: Vec<Option<f32>> = vec![None; k];
@@ -830,15 +847,18 @@ impl<'a> Linker<'a> {
             run_chunk(candidates, masks, &mut scores);
         } else {
             let chunk = k.div_ceil(threads);
-            std::thread::scope(|s| {
-                for ((cand_chunk, mask_chunk), score_chunk) in candidates
-                    .chunks(chunk)
-                    .zip(masks.chunks(chunk))
-                    .zip(scores.chunks_mut(chunk))
-                {
-                    s.spawn(|| run_chunk(cand_chunk, mask_chunk, score_chunk));
-                }
-            });
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = candidates
+                .chunks(chunk)
+                .zip(masks.chunks(chunk))
+                .zip(scores.chunks_mut(chunk))
+                .map(|((cand_chunk, mask_chunk), score_chunk)| {
+                    let run_chunk = &run_chunk;
+                    let task: Box<dyn FnOnce() + Send + '_> =
+                        Box::new(move || run_chunk(cand_chunk, mask_chunk, score_chunk));
+                    task
+                })
+                .collect();
+            self.pool.run(tasks);
         }
         (scores, panicked.load(Ordering::Relaxed))
     }
@@ -947,6 +967,7 @@ mod tests {
             clip_norm: 5.0,
             seed: 5,
             output_mode: crate::comaid::OutputMode::Full,
+            train_threads: 1,
         };
         let mut model = ComAid::new(vocab, config, None);
         let index = OntologyIndex::build(&o, model.vocab(), 2);

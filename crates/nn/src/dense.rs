@@ -5,7 +5,7 @@
 //! projection of Eq. 9, `W_s s̃_t + b_s` (whose softmax lives in
 //! [`crate::softmax_loss`]).
 
-use crate::param::{HasParams, MatParam, ParamSet, VecParam};
+use crate::param::{HasParams, MatParam, ParamSet, Parameter, VecParam};
 use ncl_tensor::ops::tanh_grad_from_output;
 use ncl_tensor::wire::{Reader, Wire, WireError};
 use ncl_tensor::{init, Vector};
@@ -201,6 +201,33 @@ impl Dense {
             }
         }
         dx
+    }
+}
+
+impl Dense {
+    /// Visits both parameters in [`HasParams::collect_params`] order (see
+    /// [`crate::Lstm::visit_params`]).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&'static str, &mut dyn Parameter)) {
+        f("dense.w", &mut self.w);
+        f("dense.b", &mut self.b);
+    }
+
+    /// Overwrites weights and bias with `src`'s (replica sync).
+    ///
+    /// # Panics
+    /// Panics if the layer shapes differ.
+    pub fn copy_values_from(&mut self, src: &Dense) {
+        self.w.copy_values_from(&src.w);
+        self.b.copy_values_from(&src.b);
+    }
+
+    /// Drains `donor`'s gradients into this layer (shard merge).
+    ///
+    /// # Panics
+    /// Panics if the layer shapes differ.
+    pub fn merge_grads_from(&mut self, donor: &mut Dense) {
+        self.w.merge_grad_from(&mut donor.w);
+        self.b.merge_grad_from(&mut donor.b);
     }
 }
 

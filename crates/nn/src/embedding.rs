@@ -150,6 +150,16 @@ impl Embedding {
     pub fn as_dense_param(&mut self) -> &mut MatParam {
         &mut self.table
     }
+
+    /// Overwrites this table's values with `src`'s (replica sync for the
+    /// data-parallel trainer). Gradients and the touched list are left
+    /// alone.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn copy_values_from(&mut self, src: &Embedding) {
+        self.table.copy_values_from(&src.table);
+    }
 }
 
 impl Parameter for Embedding {
@@ -173,6 +183,41 @@ impl Parameter for Embedding {
     }
     fn grads(&self) -> &[f32] {
         self.table.g.as_slice()
+    }
+    fn grads_mut(&mut self) -> &mut [f32] {
+        self.table.g.as_mut_slice()
+    }
+    fn touched(&self) -> Option<&[u32]> {
+        Some(&self.touched)
+    }
+    /// Sparse merge: only the donor's touched rows are added, and those
+    /// rows join this table's touched list so the subsequent sparse step
+    /// (`step_touched`) sees them. The default dense merge would add the
+    /// right *values* but lose the row bookkeeping.
+    fn merge_grad_from(&mut self, donor: &mut dyn Parameter) {
+        assert_eq!(
+            self.table.g.as_slice().len(),
+            donor.grads().len(),
+            "embedding merge: size mismatch"
+        );
+        let mut rows: Vec<u32> = match donor.touched() {
+            Some(rows) => rows.to_vec(),
+            // Dense donor (e.g. a plain MatParam view): every row is live.
+            None => (0..self.vocab() as u32).collect(),
+        };
+        rows.sort_unstable();
+        rows.dedup();
+        let dim = self.dim();
+        let src = donor.grads();
+        for &id in &rows {
+            let r = id as usize;
+            let dst = self.table.g.row_mut(r);
+            for (d, s) in dst.iter_mut().zip(&src[r * dim..(r + 1) * dim]) {
+                *d += s;
+            }
+        }
+        self.touched.extend_from_slice(&rows);
+        donor.zero_grad();
     }
 }
 
@@ -270,6 +315,26 @@ mod tests {
         assert_eq!(e.lookup(1).as_slice(), &[3.0, 4.0]);
         assert_eq!(e.vocab(), 2);
         assert_eq!(e.dim(), 2);
+    }
+
+    #[test]
+    fn sparse_merge_carries_touched_rows_across_tables() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut main = Embedding::new(6, 2, &mut rng);
+        let mut shard = main.clone();
+        main.accumulate_grad(1, &Vector::from_slice(&[1.0, 0.0]));
+        shard.accumulate_grad(3, &Vector::from_slice(&[0.0, 2.0]));
+        shard.accumulate_grad(1, &Vector::from_slice(&[0.5, 0.0]));
+        Parameter::merge_grad_from(&mut main, &mut shard);
+        // Donor is drained.
+        assert_eq!(Embedding::sq_grad_norm(&shard), 0.0);
+        // The merged step must update BOTH rows 1 and 3 — row 3 only
+        // became known to `main` through the merge's touched transfer.
+        let before1 = main.lookup(1);
+        let before3 = main.lookup(3);
+        main.step_touched(1.0);
+        assert!((main.lookup(1)[0] - (before1[0] - 1.5)).abs() < 1e-6);
+        assert!((main.lookup(3)[1] - (before3[1] - 2.0)).abs() < 1e-6);
     }
 
     #[test]

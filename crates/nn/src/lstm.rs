@@ -16,7 +16,7 @@
 //! (Eq. 5–6) routes gradient into each encoder state `h_r^c`, while the
 //! chain `s_0 = h_n^c` routes gradient into the final state only.
 
-use crate::param::{HasParams, MatParam, ParamSet, VecParam};
+use crate::param::{HasParams, MatParam, ParamSet, Parameter, VecParam};
 use ncl_tensor::ops::{
     sigmoid_grad_from_output, sigmoid_inplace, tanh_grad_from_output, tanh_inplace, tanh_vec,
 };
@@ -356,6 +356,62 @@ impl Lstm {
             dh0: dh_next,
             dc0: dc_next,
         }
+    }
+
+    /// Visits every parameter in [`HasParams::collect_params`] order
+    /// without borrowing the layer for a whole `ParamSet` lifetime —
+    /// lets the trainer walk `Θ` repeatedly with no per-step allocation.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&'static str, &mut dyn Parameter)) {
+        f("lstm.wi", &mut self.wi);
+        f("lstm.wf", &mut self.wf);
+        f("lstm.wo", &mut self.wo);
+        f("lstm.wg", &mut self.wg);
+        f("lstm.ui", &mut self.ui);
+        f("lstm.uf", &mut self.uf);
+        f("lstm.uo", &mut self.uo);
+        f("lstm.ug", &mut self.ug);
+        f("lstm.bi", &mut self.bi);
+        f("lstm.bf", &mut self.bf);
+        f("lstm.bo", &mut self.bo);
+        f("lstm.bg", &mut self.bg);
+    }
+
+    /// Overwrites all weights/biases with `src`'s (replica sync).
+    ///
+    /// # Panics
+    /// Panics if the layer shapes differ.
+    pub fn copy_values_from(&mut self, src: &Lstm) {
+        self.wi.copy_values_from(&src.wi);
+        self.wf.copy_values_from(&src.wf);
+        self.wo.copy_values_from(&src.wo);
+        self.wg.copy_values_from(&src.wg);
+        self.ui.copy_values_from(&src.ui);
+        self.uf.copy_values_from(&src.uf);
+        self.uo.copy_values_from(&src.uo);
+        self.ug.copy_values_from(&src.ug);
+        self.bi.copy_values_from(&src.bi);
+        self.bf.copy_values_from(&src.bf);
+        self.bo.copy_values_from(&src.bo);
+        self.bg.copy_values_from(&src.bg);
+    }
+
+    /// Drains `donor`'s gradients into this layer (shard merge).
+    ///
+    /// # Panics
+    /// Panics if the layer shapes differ.
+    pub fn merge_grads_from(&mut self, donor: &mut Lstm) {
+        self.wi.merge_grad_from(&mut donor.wi);
+        self.wf.merge_grad_from(&mut donor.wf);
+        self.wo.merge_grad_from(&mut donor.wo);
+        self.wg.merge_grad_from(&mut donor.wg);
+        self.ui.merge_grad_from(&mut donor.ui);
+        self.uf.merge_grad_from(&mut donor.uf);
+        self.uo.merge_grad_from(&mut donor.uo);
+        self.ug.merge_grad_from(&mut donor.ug);
+        self.bi.merge_grad_from(&mut donor.bi);
+        self.bf.merge_grad_from(&mut donor.bf);
+        self.bo.merge_grad_from(&mut donor.bo);
+        self.bg.merge_grad_from(&mut donor.bg);
     }
 }
 

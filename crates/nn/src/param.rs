@@ -26,6 +26,29 @@ pub trait Parameter {
     fn values_mut(&mut self) -> &mut [f32];
     /// View of the gradient buffer.
     fn grads(&self) -> &[f32];
+    /// Mutable view of the gradient buffer (shard merging).
+    fn grads_mut(&mut self) -> &mut [f32];
+    /// For sparse parameters: the rows whose gradients are live. `None`
+    /// means the whole gradient buffer is dense/live.
+    fn touched(&self) -> Option<&[u32]> {
+        None
+    }
+    /// Drains `donor`'s accumulated gradient into this parameter
+    /// (`self.g += donor.g; donor.g = 0`), the merge step of the
+    /// data-parallel trainer. The default is a dense element-wise add;
+    /// sparse parameters override it to stay O(touched).
+    ///
+    /// # Panics
+    /// Panics if the two parameters have different sizes.
+    fn merge_grad_from(&mut self, donor: &mut dyn Parameter) {
+        let dst = self.grads_mut();
+        let src = donor.grads();
+        assert_eq!(dst.len(), src.len(), "merge_grad_from: size mismatch");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d += s;
+        }
+        donor.zero_grad();
+    }
 }
 
 /// A matrix-shaped parameter.
@@ -42,6 +65,20 @@ impl MatParam {
     pub fn new(v: Matrix) -> Self {
         let g = Matrix::zeros(v.rows(), v.cols());
         Self { v, g }
+    }
+
+    /// Overwrites this parameter's values with `src`'s (replica sync for
+    /// the data-parallel trainer). Gradients are untouched.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn copy_values_from(&mut self, src: &Self) {
+        assert_eq!(
+            self.v.as_slice().len(),
+            src.v.as_slice().len(),
+            "copy_values_from: shape mismatch"
+        );
+        self.v.as_mut_slice().copy_from_slice(src.v.as_slice());
     }
 }
 
@@ -67,6 +104,9 @@ impl Parameter for MatParam {
     fn grads(&self) -> &[f32] {
         self.g.as_slice()
     }
+    fn grads_mut(&mut self) -> &mut [f32] {
+        self.g.as_mut_slice()
+    }
 }
 
 /// A vector-shaped parameter (biases).
@@ -88,6 +128,19 @@ impl VecParam {
     /// A zero-initialised parameter of length `n` (the usual bias init).
     pub fn zeros(n: usize) -> Self {
         Self::new(Vector::zeros(n))
+    }
+
+    /// Overwrites this parameter's values with `src`'s (replica sync).
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn copy_values_from(&mut self, src: &Self) {
+        assert_eq!(
+            self.v.len(),
+            src.v.len(),
+            "copy_values_from: length mismatch"
+        );
+        self.v.as_mut_slice().copy_from_slice(src.v.as_slice());
     }
 }
 
@@ -112,6 +165,9 @@ impl Parameter for VecParam {
     }
     fn grads(&self) -> &[f32] {
         self.g.as_slice()
+    }
+    fn grads_mut(&mut self) -> &mut [f32] {
+        self.g.as_mut_slice()
     }
 }
 
@@ -154,6 +210,40 @@ impl<'a> ParamSet<'a> {
     /// Total scalar parameter count.
     pub fn num_params(&self) -> usize {
         self.entries.iter().map(|(_, p)| p.num_params()).sum()
+    }
+
+    /// Scales every registered gradient by `factor`.
+    pub fn scale_grads(&mut self, factor: f32) {
+        for (_, p) in self.iter_mut() {
+            p.scale_grad(factor);
+        }
+    }
+
+    /// Clears every registered gradient.
+    pub fn zero_grads(&mut self) {
+        for (_, p) in self.iter_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Drains `donor`'s gradients into this set, tensor by tensor in
+    /// registration order. Both sets must have been collected from
+    /// identically-shaped models (same walk, same order).
+    ///
+    /// # Panics
+    /// Panics if the sets have different lengths or mismatched names.
+    pub fn merge_grads_from(&mut self, donor: &mut ParamSet<'_>) {
+        assert_eq!(
+            self.entries.len(),
+            donor.entries.len(),
+            "merge_grads_from: tensor count mismatch"
+        );
+        for ((name, dst), (donor_name, src)) in
+            self.entries.iter_mut().zip(donor.entries.iter_mut())
+        {
+            assert_eq!(*name, *donor_name, "merge_grads_from: walk order differs");
+            dst.merge_grad_from(&mut **src);
+        }
     }
 }
 
@@ -218,6 +308,49 @@ mod tests {
         p.g[1] = 4.0;
         p.scale_grad(0.5);
         assert_eq!(p.grads(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn merge_grad_from_adds_and_drains_donor() {
+        let mut dst = VecParam::zeros(3);
+        let mut src = VecParam::zeros(3);
+        dst.g.as_mut_slice().copy_from_slice(&[1.0, 0.0, -1.0]);
+        src.g.as_mut_slice().copy_from_slice(&[0.5, 2.0, 1.0]);
+        dst.merge_grad_from(&mut src);
+        assert_eq!(dst.grads(), &[1.5, 2.0, 0.0]);
+        assert_eq!(src.grads(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn param_set_merge_walks_in_order() {
+        let mut a1 = MatParam::new(Matrix::zeros(2, 2));
+        let mut b1 = VecParam::zeros(2);
+        let mut a2 = MatParam::new(Matrix::zeros(2, 2));
+        let mut b2 = VecParam::zeros(2);
+        a2.g.as_mut_slice().fill(1.0);
+        b2.g.as_mut_slice().fill(2.0);
+        let mut dst = ParamSet::new();
+        dst.add("a", &mut a1);
+        dst.add("b", &mut b1);
+        let mut donor = ParamSet::new();
+        donor.add("a", &mut a2);
+        donor.add("b", &mut b2);
+        dst.merge_grads_from(&mut donor);
+        drop(dst);
+        drop(donor);
+        assert_eq!(a1.grads(), &[1.0; 4]);
+        assert_eq!(b1.grads(), &[2.0; 2]);
+        assert_eq!(a2.grads(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn copy_values_from_syncs_without_touching_grads() {
+        let mut dst = MatParam::new(Matrix::zeros(2, 2));
+        dst.g.as_mut_slice().fill(3.0);
+        let src = MatParam::new(Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]));
+        dst.copy_values_from(&src);
+        assert_eq!(dst.v.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(dst.grads(), &[3.0; 4]);
     }
 
     #[test]

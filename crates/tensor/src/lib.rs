@@ -27,6 +27,7 @@ pub mod init;
 pub mod matrix;
 pub mod ops;
 pub mod pca;
+pub mod pool;
 pub mod stats;
 pub mod vector;
 pub mod wire;
