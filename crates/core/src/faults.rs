@@ -14,11 +14,19 @@
 //! site.
 //!
 //! The linking pipeline's sites: `"or.rewrite"` (one visit per rewritten
-//! token), `"cr.topk"` (candidate retrieval), `"ed.score"` (one visit
-//! per scored candidate), and `"ed.cache"` (an I/O-style site consulted
-//! per candidate when serving from the frozen concept cache — an
-//! injected error models a cache miss, degrading that candidate to the
-//! uncached scoring path with an identical score).
+//! token), `"cr.topk"` (candidate retrieval — now the MaxScore-pruned
+//! scan; a panic here still yields an empty candidate set, not an
+//! abort), `"ed.score"` (one visit per scored candidate), and
+//! `"ed.cache"` (an I/O-style site consulted per candidate when serving
+//! from the frozen concept cache — an injected error models a cache
+//! miss, degrading that candidate to the uncached scoring path with an
+//! identical score).
+//!
+//! Attaching a plan also disables the linker's rewrite memo: memoising
+//! out-of-vocabulary rewrites would change how many times `"or.rewrite"`
+//! is visited across repeated queries, and the visit *ordinal* is an
+//! input to the fault decision — replay determinism requires the visit
+//! sequence to be a pure function of the query stream.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;

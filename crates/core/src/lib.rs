@@ -36,4 +36,5 @@ pub use error::NclError;
 pub use faults::{FaultKind, FaultPlan};
 pub use feedback::{FeedbackConfig, FeedbackController};
 pub use linker::{Degradation, DegradeReason, LinkBudget, LinkResult, Linker, LinkerConfig};
+pub use ncl_text::tfidf::RetrievalStats;
 pub use pipeline::{NclConfig, NclPipeline};

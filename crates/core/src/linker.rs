@@ -35,13 +35,15 @@ use crate::faults::FaultPlan;
 use ncl_embedding::NearestWords;
 use ncl_ontology::{ConceptId, Ontology};
 use ncl_tensor::pool::WorkerPool;
-use ncl_text::edit_distance::nearest_by_edit;
-use ncl_text::tfidf::TfIdfIndex;
+use ncl_tensor::Vector;
+use ncl_text::edit_index::EditIndex;
+use ncl_text::tfidf::{RetrievalStats, TfIdfIndex};
 use ncl_text::tokenize;
+use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Online-linking knobs (defaults follow Table 1 and §5).
@@ -249,6 +251,11 @@ pub struct LinkResult {
     pub candidates: Vec<ConceptId>,
     /// Per-phase timing.
     pub timing: LinkTiming,
+    /// Phase-I work counters: postings examined/scored/pruned by the
+    /// MaxScore scan, heap evictions, and rewrite-memo hit rates — the
+    /// "postings examined" cost model of Figure 11(c)/(d), exposed per
+    /// call for tracing alongside [`LinkTiming`].
+    pub retrieval: RetrievalStats,
     /// Completeness of the Phase-II scoring (see [`Degradation`]).
     pub degradation: Degradation,
 }
@@ -290,7 +297,20 @@ pub struct Linker<'a> {
     index: OntologyIndex,
     tfidf: TfIdfIndex,
     doc_map: Vec<ConceptId>,
-    nearest: NearestWords,
+    /// Embedding nearest-neighbour index for query rewriting, built on
+    /// first use: it clones and row-normalises the full embedding table,
+    /// which a linker serving with `rewrite: false` (or queries that are
+    /// never out-of-vocabulary) should not pay for.
+    nearest: OnceLock<NearestWords>,
+    /// Length/prefix-bucketed edit-distance index over Ω', also built on
+    /// first use — the textual fallback of rewriting.
+    edit_index: OnceLock<EditIndex>,
+    /// Per-linker rewrite memo: OOV token → rewrite outcome (including
+    /// negative outcomes), so repeated OOV tokens cost one lookup per
+    /// linker lifetime. Bypassed entirely when a [`FaultPlan`] is
+    /// attached: memoisation would change how often the `or.rewrite`
+    /// site is visited, breaking deterministic fault replay.
+    rewrite_memo: Mutex<HashMap<String, Option<String>>>,
     /// Optional log-priors for MAP ranking (Eq. 11); `None` = the
     /// paper's default uniform prior (pure MLE, Eq. 12).
     log_prior: Option<HashMap<ConceptId, f32>>,
@@ -337,22 +357,6 @@ impl<'a> Linker<'a> {
         }
         let tfidf = TfIdfIndex::build(&docs);
 
-        // Ω mask over Ω': only words that occur in the indexed concept
-        // descriptions may be rewriting targets.
-        let vocab = model.vocab();
-        let allowed: Vec<bool> = (0..vocab.len())
-            .map(|i| {
-                if i < 4 {
-                    return false;
-                }
-                vocab
-                    .word(i as u32)
-                    .map(|w| tfidf.contains_term(w))
-                    .unwrap_or(false)
-            })
-            .collect();
-        let nearest = NearestWords::new(model.embedding().table(), Some(allowed));
-
         let cache = config.precompute.then(|| model.freeze(&index));
 
         let mut canonical_sets = vec![HashSet::new(); ontology.len()];
@@ -372,7 +376,9 @@ impl<'a> Linker<'a> {
             index,
             tfidf,
             doc_map,
-            nearest,
+            nearest: OnceLock::new(),
+            edit_index: OnceLock::new(),
+            rewrite_memo: Mutex::new(HashMap::new()),
             log_prior: None,
             faults: None,
             cache,
@@ -441,6 +447,37 @@ impl<'a> Linker<'a> {
         self.ontology
     }
 
+    /// The embedding nearest-neighbour index masked to the description
+    /// vocabulary Ω, built on first use (see the field docs).
+    fn nearest_words(&self) -> &NearestWords {
+        self.nearest.get_or_init(|| {
+            // Ω mask over Ω': only words that occur in the indexed
+            // concept descriptions may be rewriting targets.
+            let vocab = self.model.vocab();
+            let allowed: Vec<bool> = (0..vocab.len())
+                .map(|i| {
+                    if i < 4 {
+                        return false;
+                    }
+                    vocab
+                        .word(i as u32)
+                        .map(|w| self.tfidf.contains_term(w))
+                        .unwrap_or(false)
+                })
+                .collect();
+            NearestWords::new(self.model.embedding().table(), Some(allowed))
+        })
+    }
+
+    /// The bucketed edit-distance index over Ω', built on first use.
+    /// Insertion order is the vocabulary's word-id order, so lookups
+    /// break ties exactly like the linear `nearest_by_edit` sweep over
+    /// `vocab.iter_words()` did.
+    fn edit_lookup(&self) -> &EditIndex {
+        self.edit_index
+            .get_or_init(|| EditIndex::new(self.model.vocab().iter_words().map(|(_, w)| w)))
+    }
+
     /// Rewrites one out-of-vocabulary word (Eq. 13 with edit-distance
     /// fallback); returns `None` when no replacement is found.
     fn rewrite_word(&self, word: &str) -> Option<String> {
@@ -449,21 +486,22 @@ impl<'a> Linker<'a> {
         if let Some(id) = vocab.get(word) {
             let v = self.model.embedding().lookup(id);
             return self
-                .nearest
+                .nearest_words()
                 .nearest(&v, Some(id))
                 .filter(|&(_, cos)| cos >= self.config.rewrite_min_cosine)
                 .and_then(|(nid, _)| vocab.word(nid).map(|s| s.to_string()));
         }
         // Textual fallback: the closest Ω' word by edit distance, then
         // Eq. 13 from that word's embedding.
-        let candidates = vocab.iter_words().map(|(_, w)| w);
-        let similar = nearest_by_edit(word, candidates, self.config.edit_max_dist)?;
+        let similar = self
+            .edit_lookup()
+            .nearest(word, self.config.edit_max_dist)?;
         if self.tfidf.contains_term(similar) {
             return Some(similar.to_string());
         }
         let sid = vocab.get(similar)?;
         let v = self.model.embedding().lookup(sid);
-        self.nearest
+        self.nearest_words()
             .nearest(&v, Some(sid))
             .filter(|&(_, cos)| cos >= self.config.rewrite_min_cosine)
             .and_then(|(nid, _)| vocab.word(nid).map(|s| s.to_string()))
@@ -471,49 +509,172 @@ impl<'a> Linker<'a> {
 
     /// Applies query rewriting to a token sequence.
     pub fn rewrite_query(&self, tokens: &[String]) -> Vec<String> {
-        self.rewrite_query_within(tokens, None)
+        let mut stats = RetrievalStats::default();
+        self.rewrite_query_within(tokens, None, &mut stats)
+            .into_owned()
+    }
+
+    /// Resolves the embedding-space (in-Ω') rewrites of every distinct
+    /// uncached OOV token in one blocked matrix pass
+    /// ([`NearestWords::nearest_batch`]), priming the memo so the
+    /// per-token loop only pays hash lookups. Returns the words this
+    /// call inserted, so the caller does not re-count their first use as
+    /// a memo hit. Words outside Ω' (the edit-distance fallback) are
+    /// left for the per-token path.
+    fn prefetch_rewrites<'q>(
+        &self,
+        tokens: &'q [String],
+        stats: &mut RetrievalStats,
+    ) -> HashSet<&'q str> {
+        let vocab = self.model.vocab();
+        let mut words: Vec<(&'q String, u32)> = Vec::new();
+        {
+            let memo = self.rewrite_memo.lock().expect("rewrite memo poisoned");
+            let mut seen: HashSet<&str> = HashSet::new();
+            for w in tokens {
+                if self.tfidf.contains_term(w) || !seen.insert(w) || memo.contains_key(w.as_str()) {
+                    continue;
+                }
+                if let Some(id) = vocab.get(w) {
+                    words.push((w, id));
+                }
+            }
+        }
+        // A single lookup gains nothing from batching; let the per-token
+        // path handle it.
+        if words.len() < 2 {
+            return HashSet::new();
+        }
+        let queries: Vec<Vector> = words
+            .iter()
+            .map(|&(_, id)| self.model.embedding().lookup(id))
+            .collect();
+        let excludes: Vec<Option<u32>> = words.iter().map(|&(_, id)| Some(id)).collect();
+        let hits = self.nearest_words().nearest_batch(&queries, &excludes);
+        let mut memo = self.rewrite_memo.lock().expect("rewrite memo poisoned");
+        let mut inserted = HashSet::new();
+        for (&(w, _), hit) in words.iter().zip(&hits) {
+            let target = hit
+                .filter(|&(_, cos)| cos >= self.config.rewrite_min_cosine)
+                .and_then(|(nid, _)| vocab.word(nid).map(|s| s.to_string()));
+            memo.insert(w.clone(), target);
+            stats.rewrite_cache_misses += 1;
+            inserted.insert(w.as_str());
+        }
+        inserted
     }
 
     /// Query rewriting with an optional deadline: tokens not reached
     /// before the deadline pass through unrewritten, and a panic while
     /// rewriting one token (e.g. an injected fault) leaves only that
     /// token unrewritten.
-    fn rewrite_query_within(&self, tokens: &[String], deadline: Option<Instant>) -> Vec<String> {
-        let mut out = Vec::with_capacity(tokens.len());
+    ///
+    /// Returns `Cow::Borrowed` when nothing was rewritten (the common
+    /// case for in-vocabulary queries), so callers pay no per-token
+    /// clone. With no faults attached, outcomes are memoised per linker;
+    /// with faults, every OOV token recomputes under the `or.rewrite`
+    /// site so injection ordinals stay deterministic.
+    fn rewrite_query_within<'q>(
+        &self,
+        tokens: &'q [String],
+        deadline: Option<Instant>,
+        stats: &mut RetrievalStats,
+    ) -> Cow<'q, [String]> {
+        let use_memo = self.faults.is_none();
+        let mut prefetched: HashSet<&str> = HashSet::new();
+        if use_memo && deadline.is_none() {
+            prefetched = self.prefetch_rewrites(tokens, stats);
+        }
+        let mut out: Option<Vec<String>> = None;
         let mut expired = false;
-        for w in tokens {
+        for (i, w) in tokens.iter().enumerate() {
             if !expired && deadline.is_some_and(|d| Instant::now() >= d) {
                 expired = true;
             }
             if expired || self.tfidf.contains_term(w) {
-                out.push(w.clone());
+                if let Some(out) = out.as_mut() {
+                    out.push(w.clone());
+                }
                 continue;
             }
-            let rewritten = catch_unwind(AssertUnwindSafe(|| {
-                if let Some(plan) = &self.faults {
-                    plan.visit("or.rewrite");
+            let replacement: Option<String> = if use_memo {
+                let cached = self
+                    .rewrite_memo
+                    .lock()
+                    .expect("rewrite memo poisoned")
+                    .get(w.as_str())
+                    .cloned();
+                match cached {
+                    Some(outcome) => {
+                        // A word prefetched by *this* call already counted
+                        // as a miss; later repeats are genuine hits.
+                        if !prefetched.remove(w.as_str()) {
+                            stats.rewrite_cache_hits += 1;
+                        }
+                        outcome
+                    }
+                    None => {
+                        stats.rewrite_cache_misses += 1;
+                        let outcome = self.rewrite_word(w);
+                        self.rewrite_memo
+                            .lock()
+                            .expect("rewrite memo poisoned")
+                            .insert(w.clone(), outcome.clone());
+                        outcome
+                    }
                 }
-                self.rewrite_word(w)
-            }))
-            .unwrap_or(None);
-            out.push(rewritten.unwrap_or_else(|| w.clone()));
+            } else {
+                stats.rewrite_cache_misses += 1;
+                catch_unwind(AssertUnwindSafe(|| {
+                    if let Some(plan) = &self.faults {
+                        plan.visit("or.rewrite");
+                    }
+                    self.rewrite_word(w)
+                }))
+                .unwrap_or(None)
+            };
+            match replacement {
+                Some(r) => {
+                    out.get_or_insert_with(|| tokens[..i].to_vec()).push(r);
+                }
+                None => {
+                    if let Some(out) = out.as_mut() {
+                        out.push(w.clone());
+                    }
+                }
+            }
         }
-        out
+        match out {
+            Some(v) => Cow::Owned(v),
+            None => Cow::Borrowed(tokens),
+        }
     }
 
     /// Runs Phase I only: rewriting plus candidate retrieval. Used to
     /// measure the coverage metric of §6.2 and to restrict baselines
     /// (LR⁺ is evaluated on "the candidate concepts retrieved by NCL",
-    /// §6.4).
-    pub fn retrieve(&self, tokens: &[String]) -> (Vec<String>, Vec<ConceptId>) {
-        let rewritten = if self.config.rewrite {
-            self.rewrite_query(tokens)
-        } else {
-            tokens.to_vec()
-        };
-        let hits = self.tfidf.top_k(&rewritten, self.config.k);
-        let candidates = hits.iter().map(|&(d, _)| self.doc_map[d]).collect();
+    /// §6.4). The rewritten query borrows the input when nothing
+    /// changed (always, when rewriting is off).
+    pub fn retrieve<'q>(&self, tokens: &'q [String]) -> (Cow<'q, [String]>, Vec<ConceptId>) {
+        let (rewritten, candidates, _) = self.retrieve_with_stats(tokens);
         (rewritten, candidates)
+    }
+
+    /// [`Linker::retrieve`] plus the Phase-I work counters.
+    pub fn retrieve_with_stats<'q>(
+        &self,
+        tokens: &'q [String],
+    ) -> (Cow<'q, [String]>, Vec<ConceptId>, RetrievalStats) {
+        let mut stats = RetrievalStats::default();
+        let rewritten = if self.config.rewrite {
+            self.rewrite_query_within(tokens, None, &mut stats)
+        } else {
+            Cow::Borrowed(tokens)
+        };
+        let (hits, index_stats) = self.tfidf.top_k_with_stats(&rewritten, self.config.k);
+        stats.merge(&index_stats);
+        let candidates = hits.iter().map(|&(d, _)| self.doc_map[d]).collect();
+        (rewritten, candidates, stats)
     }
 
     /// Links a query (already tokenised/normalised) to the ontology.
@@ -530,13 +691,15 @@ impl<'a> Linker<'a> {
         let budget = self.config.budget;
         let call_deadline = budget.total.map(|d| start + d);
 
-        // Phase I.a: out-of-vocabulary replacement.
+        // Phase I.a: out-of-vocabulary replacement. Borrows the input
+        // tokens when nothing gets rewritten.
+        let mut retrieval = RetrievalStats::default();
         let t0 = Instant::now();
         let or_deadline = min_deadline(call_deadline, budget.or.map(|d| t0 + d));
-        let rewritten = if self.config.rewrite {
-            self.rewrite_query_within(tokens, or_deadline)
+        let rewritten: Cow<'_, [String]> = if self.config.rewrite {
+            self.rewrite_query_within(tokens, or_deadline, &mut retrieval)
         } else {
-            tokens.to_vec()
+            Cow::Borrowed(tokens)
         };
         let or = t0.elapsed();
 
@@ -547,10 +710,11 @@ impl<'a> Linker<'a> {
             if let Some(plan) = &self.faults {
                 plan.visit("cr.topk");
             }
-            self.tfidf.top_k(&rewritten, self.config.k)
+            self.tfidf.top_k_with_stats(&rewritten, self.config.k)
         }));
         let cr_panicked = hits.is_err();
-        let hits = hits.unwrap_or_default();
+        let (hits, index_stats) = hits.unwrap_or_default();
+        retrieval.merge(&index_stats);
         let candidates: Vec<ConceptId> = hits.iter().map(|&(d, _)| self.doc_map[d]).collect();
         let cr = t1.elapsed();
         let cr_over = budget.cr.is_some_and(|b| cr > b);
@@ -609,9 +773,10 @@ impl<'a> Linker<'a> {
 
         LinkResult {
             ranked,
-            rewritten,
+            rewritten: rewritten.into_owned(),
             candidates,
             timing: LinkTiming { or, cr, ed, rt },
+            retrieval,
             degradation,
         }
     }
@@ -1003,6 +1168,72 @@ mod tests {
         let rewritten = linker.rewrite_query(&tokenize("abdomne pain"));
         assert_eq!(rewritten[0], "abdomen");
         assert_eq!(rewritten[1], "pain");
+    }
+
+    #[test]
+    fn rewrite_memo_serves_repeated_oov_tokens() {
+        let (o, model) = trained_world();
+        let linker = Linker::new(&model, &o, LinkerConfig::default());
+        let q = tokenize("abdomne pain");
+        let (r1, _, s1) = linker.retrieve_with_stats(&q);
+        assert_eq!(s1.rewrite_cache_misses, 1);
+        assert_eq!(s1.rewrite_cache_hits, 0);
+        // Same query again: the OOV token is served from the memo.
+        let (r2, _, s2) = linker.retrieve_with_stats(&q);
+        assert_eq!(s2.rewrite_cache_misses, 0);
+        assert_eq!(s2.rewrite_cache_hits, 1);
+        assert_eq!(r1, r2);
+        assert_eq!(r1[0], "abdomen");
+    }
+
+    #[test]
+    fn unrewritten_queries_borrow_the_input() {
+        let (o, model) = trained_world();
+        // Rewriting disabled: always a borrow, even for OOV tokens.
+        let off = Linker::new(
+            &model,
+            &o,
+            LinkerConfig {
+                rewrite: false,
+                ..LinkerConfig::default()
+            },
+        );
+        let q = tokenize("abdomne pain");
+        let (rewritten, _) = off.retrieve(&q);
+        assert!(matches!(rewritten, Cow::Borrowed(_)));
+        // Rewriting enabled but every token in-vocabulary: still a borrow.
+        let on = Linker::new(&model, &o, LinkerConfig::default());
+        let q = tokenize("abdominal pain");
+        let (rewritten, _) = on.retrieve(&q);
+        assert!(matches!(rewritten, Cow::Borrowed(_)));
+    }
+
+    #[test]
+    fn link_reports_retrieval_stats() {
+        let (o, model) = trained_world();
+        let linker = Linker::new(&model, &o, LinkerConfig::default());
+        let res = linker.link_text("ckd stage 5");
+        let s = res.retrieval;
+        assert!(s.postings_examined + s.postings_pruned > 0);
+        assert!(s.docs_scored > 0);
+        assert!(s.postings_scored <= s.postings_examined);
+    }
+
+    #[test]
+    fn batched_and_per_token_rewrites_agree() {
+        let (o, model) = trained_world();
+        // Without alias indexing, alias-only words ("ckd", "renal",
+        // "syndrome") are in Ω' but not in Ω — in-Ω' OOV tokens that the
+        // batched prefetch resolves. A never-firing fault plan forces the
+        // other linker down the per-token, memo-free path.
+        let cfg = LinkerConfig {
+            index_aliases: false,
+            ..LinkerConfig::default()
+        };
+        let batched = Linker::new(&model, &o, cfg);
+        let per_token = Linker::new(&model, &o, cfg).with_faults(Arc::new(FaultPlan::none()));
+        let q = tokenize("ckd renal syndrome abdomne");
+        assert_eq!(batched.rewrite_query(&q), per_token.rewrite_query(&q));
     }
 
     #[test]

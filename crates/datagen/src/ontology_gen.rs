@@ -144,6 +144,31 @@ pub fn generate(config: OntologyGenConfig) -> Ontology {
         }
     }
     specs.shuffle(&mut rng);
+    // The base pool covers `NUTRIENTS + FAMILIES × SITES` (≈ 490
+    // categories). Scale sweeps (the fig11 retrieval benchmark) need
+    // 10k–100k-concept ontologies, so when more categories are requested
+    // the shuffled pool is cycled with a deterministic `type N`
+    // elaboration per round — mirroring ICD's own numbered subtypes
+    // ("diabetes mellitus type 2"). No further RNG draws happen, so
+    // configurations within the base pool remain byte-identical to what
+    // this function has always produced.
+    let base_len = specs.len();
+    if config.categories > base_len && base_len > 0 {
+        let mut round = 1usize;
+        'extend: loop {
+            for i in 0..base_len {
+                if specs.len() >= config.categories {
+                    break 'extend;
+                }
+                let CategorySpec { base, scheme } = &specs[i];
+                specs.push(CategorySpec {
+                    base: format!("{base} type {round}"),
+                    scheme: *scheme,
+                });
+            }
+            round += 1;
+        }
+    }
     specs.truncate(config.categories);
 
     let mut builder = OntologyBuilder::new();
@@ -151,8 +176,14 @@ pub fn generate(config: OntologyGenConfig) -> Ontology {
         let chapter = ci / 36;
         let number = ci % 100;
         let cat_code = match config.revision {
-            IcdRevision::Icd10 => config.revision.category_code(chapter, number),
-            IcdRevision::Icd9 => format!("{:03}", ci % 1000),
+            // The `LNN` grid holds 26 × 36 = 936 distinct codes and the
+            // 3-digit grid 1000; past those, wraparound would collide, so
+            // scaled categories switch to wider formats whose lengths can
+            // never clash with a legacy 3-character code.
+            IcdRevision::Icd10 if ci < 936 => config.revision.category_code(chapter, number),
+            IcdRevision::Icd10 => format!("U{ci:05}"),
+            IcdRevision::Icd9 if ci < 1000 => format!("{ci:03}"),
+            IcdRevision::Icd9 => format!("{ci:06}"),
         };
         // A third of the categories get a compound elaboration, mirroring
         // long ICD-10-CM descriptions; this lengthens encoder sequences
@@ -209,6 +240,28 @@ pub fn generate(config: OntologyGenConfig) -> Ontology {
     builder
         .build()
         .expect("generated ontology must always validate")
+}
+
+/// Generates an ontology with **at least** `min_concepts` concepts.
+///
+/// Concept yield per category varies with the qualifier mix (roughly 4×
+/// on average), so the category count is grown geometrically until the
+/// generated ontology is large enough. The result is a pure function of
+/// `(revision, min_concepts, seed)` — the scale benchmarks rely on this
+/// to regenerate identical corpora across runs.
+pub fn generate_at_least(revision: IcdRevision, min_concepts: usize, seed: u64) -> Ontology {
+    let mut categories = (min_concepts / 4).max(1);
+    loop {
+        let o = generate(OntologyGenConfig {
+            revision,
+            categories,
+            seed,
+        });
+        if o.num_concepts() >= min_concepts {
+            return o;
+        }
+        categories = categories * 3 / 2 + 1;
+    }
 }
 
 #[cfg(test)]
@@ -349,6 +402,72 @@ mod tests {
             let (category, _) = ncl_ontology::codes::split_code(code);
             assert!(category.chars().all(|c| c.is_ascii_digit()), "code {code}");
         }
+    }
+
+    #[test]
+    fn scales_past_the_base_pool() {
+        // 3000 categories ≫ the ~490-spec base pool: the cycled pool must
+        // produce unique codes (build() rejects duplicates) and the
+        // requested breadth at the first level.
+        let o = generate(OntologyGenConfig {
+            revision: IcdRevision::Icd10,
+            categories: 3000,
+            seed: 11,
+        });
+        assert_eq!(o.children(Ontology::ROOT).len(), 3000);
+        assert!(o.num_concepts() > 12_000, "got {}", o.num_concepts());
+        // Cycled categories carry the round label.
+        let typed = o
+            .iter()
+            .filter(|(_, c)| c.canonical.contains(" type "))
+            .count();
+        assert!(typed > 0, "no cycled categories at 3000");
+    }
+
+    #[test]
+    fn scaling_preserves_the_base_prefix() {
+        // Growing the category count must not perturb the ontology's
+        // existing prefix: same seed, first 100 categories identical.
+        let small = generate(OntologyGenConfig {
+            revision: IcdRevision::Icd10,
+            categories: 100,
+            seed: 5,
+        });
+        let large = generate(OntologyGenConfig {
+            revision: IcdRevision::Icd10,
+            categories: 2000,
+            seed: 5,
+        });
+        let cats_small = small.children(Ontology::ROOT).to_vec();
+        let cats_large = large.children(Ontology::ROOT).to_vec();
+        for (a, b) in cats_small.iter().zip(cats_large.iter()).take(100) {
+            assert_eq!(small.concept(*a).code, large.concept(*b).code);
+            assert_eq!(small.concept(*a).canonical, large.concept(*b).canonical);
+        }
+    }
+
+    #[test]
+    fn scaled_icd9_codes_stay_numeric() {
+        let o = generate(OntologyGenConfig {
+            revision: IcdRevision::Icd9,
+            categories: 1500,
+            seed: 2,
+        });
+        assert_eq!(o.children(Ontology::ROOT).len(), 1500);
+        for cat in o.children(Ontology::ROOT) {
+            let code = &o.concept(*cat).code;
+            let (category, _) = ncl_ontology::codes::split_code(code);
+            assert!(category.chars().all(|c| c.is_ascii_digit()), "code {code}");
+        }
+    }
+
+    #[test]
+    fn generate_at_least_meets_the_floor() {
+        let o = generate_at_least(IcdRevision::Icd10, 10_000, 9);
+        assert!(o.num_concepts() >= 10_000, "got {}", o.num_concepts());
+        // Deterministic: same inputs, same ontology.
+        let o2 = generate_at_least(IcdRevision::Icd10, 10_000, 9);
+        assert_eq!(o.num_concepts(), o2.num_concepts());
     }
 
     #[test]

@@ -85,6 +85,68 @@ impl NearestWords {
         hits.truncate(k);
         hits
     }
+
+    /// Resolves many queries in one pass, returning what
+    /// [`NearestWords::nearest`] would return for each — bit-identically.
+    ///
+    /// The scan is blocked over the index rows (all queries visit a row
+    /// block while it is hot in cache) instead of re-streaming the whole
+    /// embedding matrix per query, which is where a per-token rewrite
+    /// loop spends its time. Each (query, row) dot product uses the exact
+    /// forward accumulation of the single-query path, and ties keep the
+    /// first (lowest-id) row, so results match `nearest` bit for bit.
+    pub fn nearest_batch(
+        &self,
+        queries: &[Vector],
+        exclude_ids: &[Option<u32>],
+    ) -> Vec<Option<(u32, f32)>> {
+        assert_eq!(
+            queries.len(),
+            exclude_ids.len(),
+            "nearest_batch: queries/exclude length mismatch"
+        );
+        // Pre-normalise queries exactly as `top_k` does; zero-norm
+        // queries resolve to None without touching the matrix.
+        let normed: Vec<Option<Vector>> = queries
+            .iter()
+            .map(|query| {
+                let qnorm = query.norm();
+                (qnorm > f32::EPSILON).then(|| {
+                    let mut q = query.clone();
+                    q.scale(1.0 / qnorm);
+                    q
+                })
+            })
+            .collect();
+        let mut best: Vec<Option<(u32, f32)>> = vec![None; queries.len()];
+        const ROW_BLOCK: usize = 64;
+        let rows = self.normalized.rows();
+        let mut r0 = 0usize;
+        while r0 < rows {
+            let r1 = (r0 + ROW_BLOCK).min(rows);
+            for (qi, q) in normed.iter().enumerate() {
+                let Some(q) = q else { continue };
+                for r in r0..r1 {
+                    if !self.allowed[r] || Some(r as u32) == exclude_ids[qi] {
+                        continue;
+                    }
+                    let row = self.normalized.row(r);
+                    let mut dot = 0.0f32;
+                    for (a, b) in row.iter().zip(q.as_slice()) {
+                        dot += a * b;
+                    }
+                    // Rows are visited in ascending id order, so a strict
+                    // improvement test reproduces the (cosine desc, id
+                    // asc) tie-break of the sorted single-query path.
+                    if best[qi].is_none_or(|(_, bd)| dot > bd) {
+                        best[qi] = Some((r as u32, dot));
+                    }
+                }
+            }
+            r0 = r1;
+        }
+        best
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +214,58 @@ mod tests {
         assert_eq!(hits[1].0, 5);
         assert_eq!(hits[2].0, 6);
         assert!(hits[0].1 >= hits[1].1 && hits[1].1 >= hits[2].1);
+    }
+
+    #[test]
+    fn batch_matches_singles_bit_for_bit() {
+        let idx = toy_index();
+        let queries = vec![
+            Vector::from_slice(&[1.0, 0.05]),
+            Vector::from_slice(&[1.0, 0.0]),
+            Vector::zeros(2),
+            Vector::from_slice(&[0.3, 0.7]),
+        ];
+        let excludes = vec![None, Some(4), None, Some(6)];
+        let batch = idx.nearest_batch(&queries, &excludes);
+        for ((q, ex), got) in queries.iter().zip(&excludes).zip(&batch) {
+            let single = idx.nearest(q, *ex);
+            assert_eq!(single.map(|(id, _)| id), got.map(|(id, _)| id));
+            assert_eq!(
+                single.map(|(_, c)| c.to_bits()),
+                got.map(|(_, c)| c.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn batch_spanning_many_row_blocks() {
+        // 200 rows > the 64-row block, with exact duplicates so the
+        // lowest-id tie-break is exercised across block boundaries.
+        let dim = 3;
+        let mut data = Vec::with_capacity(200 * dim);
+        for r in 0..200 {
+            let angle = (r % 50) as f32 * 0.1;
+            data.extend_from_slice(&[angle.cos(), angle.sin(), 0.25]);
+        }
+        let idx = NearestWords::new(&Matrix::from_vec(200, dim, data), None);
+        let queries: Vec<Vector> = (0..7)
+            .map(|i| Vector::from_slice(&[1.0, i as f32 * 0.3, 0.1]))
+            .collect();
+        let excludes = vec![None; queries.len()];
+        let batch = idx.nearest_batch(&queries, &excludes);
+        for (q, got) in queries.iter().zip(&batch) {
+            let single = idx.nearest(q, None);
+            assert_eq!(single.map(|(id, _)| id), got.map(|(id, _)| id));
+            assert_eq!(
+                single.map(|(_, c)| c.to_bits()),
+                got.map(|(_, c)| c.to_bits())
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let idx = toy_index();
+        assert!(idx.nearest_batch(&[], &[]).is_empty());
     }
 }

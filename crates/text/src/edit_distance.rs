@@ -66,6 +66,69 @@ pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
     d[n][m]
 }
 
+/// Banded (Ukkonen-style) restricted Damerau–Levenshtein: returns
+/// `Some(distance)` when the distance is `<= max_dist`, `None` otherwise,
+/// in `O(max_dist · min(n, m))` time instead of `O(n · m)`.
+///
+/// Cells with `|i − j| > max_dist` cannot lie on any edit path of cost
+/// `<= max_dist` (each off-diagonal step costs at least one), so only a
+/// `2·max_dist + 1` band around the diagonal is evaluated; everything
+/// outside is treated as +∞. When the minimum of a completed band row
+/// already exceeds `max_dist` the distance can only grow, so the scan
+/// exits early — the property [`crate::edit_index::EditIndex`] exploits by
+/// shrinking `max_dist` to the best distance found so far.
+pub fn damerau_levenshtein_bounded(a: &str, b: &str, max_dist: usize) -> Option<usize> {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > max_dist {
+        return None;
+    }
+    if n == 0 || m == 0 {
+        // Distance is the other length, already known to be within bound.
+        return Some(n.max(m));
+    }
+    // +∞ stand-in far from usize overflow after `+ 1` increments.
+    const INF: usize = usize::MAX / 4;
+    // Three rolling rows (i-2, i-1, i) over the full width; out-of-band
+    // cells stay INF.
+    let mut prev2 = vec![INF; m + 1];
+    let mut prev = vec![INF; m + 1];
+    let mut cur = vec![INF; m + 1];
+    for (j, cell) in prev.iter_mut().enumerate().take(m + 1) {
+        if j <= max_dist {
+            *cell = j;
+        }
+    }
+    for i in 1..=n {
+        cur.fill(INF);
+        let lo = i.saturating_sub(max_dist).max(1);
+        let hi = (i + max_dist).min(m);
+        let mut row_min = if i <= max_dist {
+            cur[0] = i;
+            i
+        } else {
+            INF
+        };
+        for j in lo..=hi {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + cost);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(prev2[j - 2] + 1);
+            }
+            cur[j] = best;
+            row_min = row_min.min(best);
+        }
+        if row_min > max_dist {
+            return None;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[m];
+    (d <= max_dist).then_some(d)
+}
+
 /// Edit similarity in `[0, 1]`: `1 − dist / max_len`, using the Damerau
 /// variant. Two empty strings are maximally similar.
 pub fn edit_similarity(a: &str, b: &str) -> f32 {
@@ -156,6 +219,32 @@ mod tests {
         assert_eq!(levenshtein("café", "cafe"), 1);
     }
 
+    #[test]
+    fn bounded_matches_full_within_bound() {
+        assert_eq!(damerau_levenshtein_bounded("caht", "chat", 2), Some(1));
+        assert_eq!(damerau_levenshtein_bounded("anemia", "anemia", 0), Some(0));
+        assert_eq!(
+            damerau_levenshtein_bounded("neuropaty", "neuropathy", 2),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn bounded_rejects_beyond_bound() {
+        // True distance 3 > bound 2.
+        assert_eq!(damerau_levenshtein("kitten", "sitting"), 3);
+        assert_eq!(damerau_levenshtein_bounded("kitten", "sitting", 2), None);
+        // Length-difference pre-check.
+        assert_eq!(damerau_levenshtein_bounded("ab", "abcdef", 2), None);
+    }
+
+    #[test]
+    fn bounded_handles_empty_sides() {
+        assert_eq!(damerau_levenshtein_bounded("", "", 0), Some(0));
+        assert_eq!(damerau_levenshtein_bounded("", "ab", 2), Some(2));
+        assert_eq!(damerau_levenshtein_bounded("ab", "", 1), None);
+    }
+
     proptest! {
         /// Metric axioms for Levenshtein on short ASCII strings.
         #[test]
@@ -185,6 +274,19 @@ mod tests {
             let d = levenshtein(&a, &b);
             prop_assert!(d <= a.len().max(b.len()));
             prop_assert!(d >= a.len().abs_diff(b.len()));
+        }
+
+        /// The banded computation agrees with the full matrix everywhere:
+        /// `Some(d)` iff the true distance is within the bound.
+        #[test]
+        fn banded_agrees_with_full(
+            a in "[a-e]{0,10}",
+            b in "[a-e]{0,10}",
+            max_dist in 0usize..5,
+        ) {
+            let full = damerau_levenshtein(&a, &b);
+            let banded = damerau_levenshtein_bounded(&a, &b, max_dist);
+            prop_assert_eq!(banded, (full <= max_dist).then_some(full));
         }
     }
 }

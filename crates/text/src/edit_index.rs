@@ -1,0 +1,197 @@
+//! Bucketed nearest-word-by-edit-distance lookup.
+//!
+//! The paper's Phase-I query rewrite falls back to "its textually similar
+//! word in Ω' (e.g., using edit-distance)" (§5) for out-of-vocabulary
+//! tokens. A naive sweep computes a full Damerau–Levenshtein matrix
+//! against every vocabulary word — `O(|Ω'| · len²)` per OOV token, the
+//! dominant rewrite cost at production vocabulary sizes. [`EditIndex`]
+//! makes the sweep sub-linear in practice:
+//!
+//! * candidates are bucketed by **character length**: a word whose length
+//!   differs from the query's by more than `max_dist` can never be within
+//!   `max_dist` edits, so whole buckets are skipped without a single DP
+//!   cell;
+//! * within the eligible lengths, buckets sharing the query's **first
+//!   character** are probed before the rest — a pure ordering heuristic
+//!   (never an exclusion), which tends to find a near-match early;
+//! * every candidate is scored with the banded
+//!   [`damerau_levenshtein_bounded`] under a cutoff that **shrinks** to
+//!   the best distance seen so far, so most candidates die after a few
+//!   band rows.
+//!
+//! The result is exactly what [`nearest_by_edit`] over the same words in
+//! insertion order returns (minimum distance, ties to the earliest
+//! inserted word) — verified by the `proptests` module below.
+//!
+//! [`nearest_by_edit`]: crate::edit_distance::nearest_by_edit
+
+use crate::edit_distance::damerau_levenshtein_bounded;
+use std::collections::BTreeMap;
+
+/// Bucket key: (character length, first character; `None` for the empty
+/// word). `BTreeMap` keeps probe order deterministic.
+type BucketKey = (usize, Option<char>);
+
+/// An immutable index over a word list supporting "closest word within
+/// `max_dist` edits" queries, preserving the tie semantics of
+/// [`crate::edit_distance::nearest_by_edit`] (earliest inserted word wins
+/// among equally close matches).
+#[derive(Debug, Clone, Default)]
+pub struct EditIndex {
+    buckets: BTreeMap<BucketKey, Vec<(u32, String)>>,
+    len: usize,
+}
+
+impl EditIndex {
+    /// Builds the index; insertion order defines tie-breaking priority.
+    pub fn new<'a, I>(words: I) -> Self
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut buckets: BTreeMap<BucketKey, Vec<(u32, String)>> = BTreeMap::new();
+        let mut len = 0usize;
+        for (i, w) in words.into_iter().enumerate() {
+            let key = (w.chars().count(), w.chars().next());
+            buckets
+                .entry(key)
+                .or_default()
+                .push((i as u32, w.to_string()));
+            len += 1;
+        }
+        Self { buckets, len }
+    }
+
+    /// Number of indexed words.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Finds the indexed word with the smallest Damerau–Levenshtein
+    /// distance to `word`, subject to `max_dist`; ties break to the
+    /// earliest inserted word. Equivalent to calling
+    /// [`crate::edit_distance::nearest_by_edit`] with the words in
+    /// insertion order.
+    pub fn nearest(&self, word: &str, max_dist: usize) -> Option<&str> {
+        let qlen = word.chars().count();
+        let qfirst = word.chars().next();
+        // Exact-match fast path: distance 0 beats everything and the
+        // matching string is unique per bucket entry value.
+        if let Some(bucket) = self.buckets.get(&(qlen, qfirst)) {
+            if let Some((_, w)) = bucket.iter().find(|(_, w)| w == word) {
+                return Some(w);
+            }
+        }
+        let lo = qlen.saturating_sub(max_dist);
+        let hi = qlen + max_dist;
+        // Probe same-first-char buckets before the rest: ordering only —
+        // the (distance, insertion index) minimisation below is exact
+        // regardless of visit order; an early near-match just tightens
+        // the band cutoff sooner.
+        let eligible = self
+            .buckets
+            .range((lo, None)..=(hi, Some(char::MAX)))
+            .filter(|((l, _), _)| (lo..=hi).contains(l));
+        let (preferred, rest): (Vec<_>, Vec<_>) =
+            eligible.partition(|((_, f), _)| *f == qfirst && qfirst.is_some());
+
+        let mut best: Option<(usize, u32, &str)> = None;
+        for (_, bucket) in preferred.into_iter().chain(rest) {
+            for (idx, cand) in bucket {
+                // A candidate only improves on the incumbent if its
+                // distance is <= best's (strictly smaller, or equal with
+                // an earlier insertion index), so the incumbent distance
+                // is a valid cutoff.
+                let cutoff = best.map_or(max_dist, |(bd, _, _)| bd.min(max_dist));
+                let Some(d) = damerau_levenshtein_bounded(word, cand, cutoff) else {
+                    continue;
+                };
+                let better = match best {
+                    None => true,
+                    Some((bd, bi, _)) => d < bd || (d == bd && *idx < bi),
+                };
+                if better {
+                    best = Some((d, *idx, cand.as_str()));
+                }
+            }
+        }
+        best.map(|(_, _, w)| w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_closest_like_linear_sweep() {
+        let vocab = ["neuropathy", "nephropathy", "neoplasm"];
+        let idx = EditIndex::new(vocab.iter().copied());
+        assert_eq!(idx.nearest("neuropaty", 2), Some("neuropathy"));
+        assert_eq!(idx.nearest("zzzzz", 2), None);
+        assert_eq!(idx.len(), 3);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn exact_match_short_circuits() {
+        let idx = EditIndex::new(["alpha", "beta"]);
+        assert_eq!(idx.nearest("beta", 3), Some("beta"));
+    }
+
+    #[test]
+    fn ties_break_to_earliest_insertion() {
+        // "cat" is distance 1 from both; "cart" was inserted first.
+        let idx = EditIndex::new(["cart", "bat"]);
+        assert_eq!(idx.nearest("cat", 2), Some("cart"));
+        // Reversed insertion order flips the winner.
+        let idx = EditIndex::new(["bat", "cart"]);
+        assert_eq!(idx.nearest("cat", 2), Some("bat"));
+    }
+
+    #[test]
+    fn length_buckets_never_exclude_true_matches() {
+        // Lengths 3..=7 around a length-5 query with max_dist 2.
+        let idx = EditIndex::new(["ab", "abc", "abcde", "abcdefg", "abcdefgh"]);
+        assert_eq!(idx.nearest("abcde", 0), Some("abcde"));
+        assert_eq!(idx.nearest("abcdx", 2), Some("abcde"));
+        // Bound 1 excludes everything for a far query.
+        assert_eq!(idx.nearest("zzzzz", 1), None);
+    }
+
+    #[test]
+    fn empty_index_and_empty_query() {
+        let idx = EditIndex::new(std::iter::empty());
+        assert!(idx.is_empty());
+        assert_eq!(idx.nearest("word", 2), None);
+        let idx = EditIndex::new(["a", "ab"]);
+        assert_eq!(idx.nearest("", 1), Some("a"));
+    }
+}
+
+#[cfg(test)]
+mod equivalence {
+    use super::*;
+    use crate::edit_distance::nearest_by_edit;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The bucketed index returns exactly what the linear
+        /// `nearest_by_edit` sweep over the same insertion order returns —
+        /// same word, same tie-breaking, across random vocabularies.
+        #[test]
+        fn index_equals_linear_sweep(
+            words in proptest::collection::vec("[a-d]{0,6}", 0..30),
+            query in "[a-d]{0,6}",
+            max_dist in 0usize..4,
+        ) {
+            let idx = EditIndex::new(words.iter().map(|s| s.as_str()));
+            let linear = nearest_by_edit(&query, words.iter().map(|s| s.as_str()), max_dist);
+            prop_assert_eq!(idx.nearest(&query, max_dist), linear);
+        }
+    }
+}

@@ -17,12 +17,14 @@
 //! * [`tokenizer`] — normalisation and word splitting,
 //! * [`vocab`] — word ↔ id interning with special tokens,
 //! * [`edit_distance`] — Levenshtein and Damerau–Levenshtein distances,
+//! * [`edit_index`] — length/prefix-bucketed nearest-by-edit lookup,
 //! * [`ngram`] — character n-gram extraction,
 //! * [`tfidf`] — inverted index with TF-IDF cosine top-k retrieval,
 //! * [`abbrev`] — abbreviation/acronym generation and matching rules.
 
 pub mod abbrev;
 pub mod edit_distance;
+pub mod edit_index;
 pub mod ngram;
 pub mod tfidf;
 pub mod tokenizer;
