@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerates the three checked-in perf baselines
+# (ci/bench_baseline_fig{11,12,15}.json) from a fresh local run.
+#
+# Run this ONLY after an intentional performance change, on a quiet
+# machine comparable to the CI runners, and commit the result together
+# with the change that justifies it. The gated key set of each baseline
+# is preserved exactly (see `bench_gate --rebase`); new informational
+# keys must be promoted by hand before they are gated.
+#
+# Usage:
+#   ci/refresh_baselines.sh            # quick profile, 50% headroom
+#   HEADROOM=0.6 ci/refresh_baselines.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+HEADROOM="${HEADROOM:-0.5}"
+
+cargo build --release -p ncl-bench
+
+# Each binary drops its flat BENCH_fig*.json at the repo root — the same
+# records the CI bench-smoke job feeds to the gate.
+cargo run --release -p ncl-bench --bin fig15_serving_throughput -- --quick
+cargo run --release -p ncl-bench --bin fig12_training_time -- --quick
+cargo run --release -p ncl-bench --bin fig11_online_time -- --quick
+
+cargo run --release -p ncl-bench --bin bench_gate -- \
+  BENCH_fig15.json ci/bench_baseline_fig15.json \
+  BENCH_fig12.json ci/bench_baseline_fig12.json \
+  BENCH_fig11.json ci/bench_baseline_fig11.json \
+  --rebase --headroom "$HEADROOM"
+
+# Sanity: a gate run against the fresh baselines must pass by a wide
+# margin (we just set them below the measurement).
+cargo run --release -p ncl-bench --bin bench_gate -- \
+  BENCH_fig15.json ci/bench_baseline_fig15.json \
+  BENCH_fig12.json ci/bench_baseline_fig12.json \
+  BENCH_fig11.json ci/bench_baseline_fig11.json \
+  --tolerance 0.20
+
+echo "refresh_baselines: done — review and commit ci/bench_baseline_fig*.json"

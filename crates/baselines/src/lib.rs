@@ -24,18 +24,22 @@
 //!   structural features the NCL authors add (the same features computed
 //!   against the concept's ancestors).
 //!
-//! The seq2seq [40] and attentional-NMT [2] baselines are, as in §6.3 of
+//! The seq2seq \[40\] and attentional-NMT \[2\] baselines are, as in §6.3 of
 //! the paper, the `NoBoth` and `NoStruct` variants of COM-AID in
 //! `ncl-core`.
 //!
 //! All baselines implement [`Annotator`], so the experiment harness can
-//! sweep them uniformly.
+//! sweep them uniformly; [`scorer::AnnotatorScore`] additionally adapts
+//! any annotator to the staged serving engine's `ScoreStage` interface,
+//! so baselines re-rank NCL's Phase-I candidates through the *same*
+//! pipeline (rewriting, retrieval, budgets, degradation) as COM-AID.
 
 pub mod combined;
 pub mod doc2vec;
 pub mod lr;
 pub mod noblecoder;
 pub mod pkduck;
+pub mod scorer;
 pub mod wmd;
 
 use ncl_ontology::ConceptId;
@@ -67,4 +71,5 @@ pub use doc2vec::Doc2Vec;
 pub use lr::LrPlus;
 pub use noblecoder::NobleCoder;
 pub use pkduck::Pkduck;
+pub use scorer::AnnotatorScore;
 pub use wmd::Wmd;

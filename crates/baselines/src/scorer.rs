@@ -1,0 +1,109 @@
+//! Baselines as pluggable Phase-II scorers for the staged serving
+//! engine (`ncl_core::serving`).
+//!
+//! §6.4 evaluates LR⁺ "on the candidate concepts retrieved by NCL" —
+//! i.e. the baselines re-rank NCL's Phase-I candidates. This adapter
+//! makes that protocol literal: any [`Annotator`] becomes a
+//! [`ScoreStage`], so `Linker::link_with_scorer` serves it through the
+//! *same* pipeline as COM-AID — query rewriting, TF-IDF retrieval,
+//! budgets, panic isolation, and the degradation ladder all apply
+//! unchanged.
+
+use crate::Annotator;
+use ncl_core::serving::{CacheUse, ScoreOutcome, ScoreRequest, ScoreStage};
+use std::collections::HashMap;
+
+/// Adapts an [`Annotator`] to the staged pipeline's [`ScoreStage`]
+/// interface.
+pub struct AnnotatorScore<'a> {
+    annotator: &'a (dyn Annotator + Sync),
+}
+
+impl<'a> AnnotatorScore<'a> {
+    /// Wraps an annotator for use with `Linker::link_with_scorer`.
+    pub fn new(annotator: &'a (dyn Annotator + Sync)) -> Self {
+        Self { annotator }
+    }
+}
+
+impl ScoreStage for AnnotatorScore<'_> {
+    fn name(&self) -> &str {
+        self.annotator.name()
+    }
+
+    fn score(&self, req: ScoreRequest<'_>) -> ScoreOutcome {
+        // Annotators rank atomically; the deadline only applies at the
+        // stage boundary (the chain skips scoring when the call is
+        // already over budget).
+        let ranked = self.annotator.rank_candidates(req.query, req.candidates);
+        let by_concept: HashMap<_, _> = ranked.into_iter().collect();
+        let scores = req
+            .candidates
+            .iter()
+            .map(|c| by_concept.get(c).copied())
+            .collect();
+        ScoreOutcome {
+            scores,
+            lost_jobs: 0,
+            // An annotator returning fewer entries judged the rest
+            // complete non-matches (see `Annotator::rank_candidates`) —
+            // that is an answer, not a degradation. The unscored tail
+            // still ranks below every scored candidate, in Phase-I
+            // order.
+            unscored_is_nonmatch: true,
+            cache: CacheUse::Unconfigured,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_ontology::ConceptId;
+
+    /// A deterministic stub annotator: scores candidates by descending
+    /// id parity, drops every third one as a non-match.
+    struct Stub;
+    impl Annotator for Stub {
+        fn name(&self) -> &str {
+            "stub"
+        }
+        fn rank_candidates(
+            &self,
+            _query: &[String],
+            candidates: &[ConceptId],
+        ) -> Vec<(ConceptId, f32)> {
+            let mut out: Vec<(ConceptId, f32)> = candidates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % 3 != 2)
+                .map(|(i, &c)| (c, -(i as f32)))
+                .collect();
+            out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+            out
+        }
+        fn universe(&self) -> Vec<ConceptId> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn maps_subset_rankings_back_to_candidate_positions() {
+        let cands: Vec<ConceptId> = (0..5).map(ConceptId).collect();
+        let q = vec!["x".to_string()];
+        let out = AnnotatorScore::new(&Stub).score(ScoreRequest {
+            query: &q,
+            candidates: &cands,
+            deadline: None,
+        });
+        assert_eq!(out.scores.len(), 5);
+        // Positions 2 of each triple are non-matches.
+        assert_eq!(out.scores[0], Some(0.0));
+        assert_eq!(out.scores[1], Some(-1.0));
+        assert_eq!(out.scores[2], None);
+        assert_eq!(out.scores[3], Some(-3.0));
+        assert_eq!(out.scores[4], Some(-4.0));
+        assert!(out.unscored_is_nonmatch);
+        assert_eq!(out.lost_jobs, 0);
+    }
+}

@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! bench_gate <current.json> <baseline.json> [<current2> <baseline2> ...] [--tolerance 0.20]
+//! bench_gate <current.json> <baseline.json> [...] --rebase [--headroom 0.5]
 //! ```
 //!
 //! Every numeric key in the *baseline* is gated, higher-is-better: the
@@ -17,6 +18,14 @@
 //! (a silently dropped metric must not pass). Baselines are set well
 //! below locally observed rates so runner-speed variance does not flake
 //! the gate while a real (>20%-plus-headroom) regression still trips it.
+//!
+//! `--rebase` rewrites each baseline file in place from a fresh
+//! measurement: every *gated* key (i.e. every key already in the
+//! baseline — the curated set is preserved, informational current-only
+//! keys stay ungated) is set to `measured * (1 - headroom)`. Promote an
+//! informational key by adding it to the baseline file by hand first,
+//! then rebasing. `ci/refresh_baselines.sh` wires the three fig
+//! binaries through this mode.
 //!
 //! The parser handles exactly the flat `{"key": number, ...}` shape the
 //! bench binaries emit — no nesting, no arrays — which keeps this
@@ -98,20 +107,54 @@ fn run(current_path: &str, baseline_path: &str, tolerance: f64) -> Result<bool, 
     Ok(failures == 0)
 }
 
+/// Rewrites `baseline_path` in place: every key it already gates gets
+/// the freshly measured value minus `headroom`. The curated key set is
+/// preserved exactly — current-only keys stay informational.
+fn rebase(current_path: &str, baseline_path: &str, headroom: f64) -> Result<(), String> {
+    let current = load(current_path)?;
+    let baseline = load(baseline_path)?;
+    let mut out = String::from("{\n");
+    for (i, (key, old)) in baseline.iter().enumerate() {
+        let now = current
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|&(_, v)| v)
+            .ok_or_else(|| format!("{key}: gated key missing from {current_path}"))?;
+        let new = now * (1.0 - headroom);
+        println!(
+            "  rebase {key}: {old:.3} -> {new:.3} (measured {now:.3}, headroom {:.0}%)",
+            headroom * 100.0
+        );
+        let sep = if i + 1 == baseline.len() { "" } else { "," };
+        out.push_str(&format!("  \"{key}\": {new:.3}{sep}\n"));
+    }
+    out.push_str("}\n");
+    std::fs::write(baseline_path, out).map_err(|e| format!("cannot write {baseline_path}: {e}"))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tolerance = 0.20f64;
+    let mut headroom = 0.5f64;
+    let mut do_rebase = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--tolerance" {
+        if a == "--tolerance" || a == "--headroom" {
+            let target = if a == "--tolerance" {
+                &mut tolerance
+            } else {
+                &mut headroom
+            };
             match it.next().and_then(|v| v.parse::<f64>().ok()) {
-                Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                Some(t) if (0.0..1.0).contains(&t) => *target = t,
                 _ => {
-                    eprintln!("bench_gate: --tolerance needs a value in [0, 1)");
+                    eprintln!("bench_gate: {a} needs a value in [0, 1)");
                     return ExitCode::from(2);
                 }
             }
+        } else if a == "--rebase" {
+            do_rebase = true;
         } else {
             paths.push(a.clone());
         }
@@ -119,9 +162,20 @@ fn main() -> ExitCode {
     if paths.is_empty() || paths.len() % 2 != 0 {
         eprintln!(
             "usage: bench_gate <current.json> <baseline.json> \
-             [<current2> <baseline2> ...] [--tolerance 0.20]"
+             [<current2> <baseline2> ...] [--tolerance 0.20 | --rebase [--headroom 0.5]]"
         );
         return ExitCode::from(2);
+    }
+    if do_rebase {
+        for pair in paths.chunks(2) {
+            println!("bench_gate: rebasing {} from {}", pair[1], pair[0]);
+            if let Err(e) = rebase(&pair[0], &pair[1], headroom) {
+                eprintln!("bench_gate: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        println!("bench_gate: baselines rebased");
+        return ExitCode::SUCCESS;
     }
     let mut all_pass = true;
     for pair in paths.chunks(2) {
@@ -165,5 +219,25 @@ mod tests {
     fn ignores_strings_and_empty() {
         assert!(parse_flat_json("{}").is_empty());
         assert!(parse_flat_json(r#"{"only": "strings"}"#).is_empty());
+    }
+
+    #[test]
+    fn rebase_rewrites_gated_keys_with_headroom() {
+        let dir = std::env::temp_dir().join("ncl_bench_gate_rebase_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cur = dir.join("current.json");
+        let base = dir.join("baseline.json");
+        // The current file carries an extra informational key that must
+        // NOT be promoted into the baseline.
+        std::fs::write(&cur, "{\n  \"a_qps\": 1000.0,\n  \"extra\": 5.0\n}\n").unwrap();
+        std::fs::write(&base, "{\n  \"a_qps\": 10.0\n}\n").unwrap();
+        rebase(cur.to_str().unwrap(), base.to_str().unwrap(), 0.5).unwrap();
+        let rebased = parse_flat_json(&std::fs::read_to_string(&base).unwrap());
+        assert_eq!(rebased, vec![("a_qps".to_string(), 500.0)]);
+        // A gated key missing from the measurement is an error, not a
+        // silent drop.
+        std::fs::write(&base, "{\n  \"a_qps\": 10.0,\n  \"gone\": 1.0\n}\n").unwrap();
+        assert!(rebase(cur.to_str().unwrap(), base.to_str().unwrap(), 0.5).is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -25,7 +25,7 @@
 
 use ncl_bench::config::table1;
 use ncl_bench::{table, workload, Scale};
-use ncl_core::{Linker, LinkerConfig};
+use ncl_core::{Linker, LinkerConfig, StageKind};
 use ncl_datagen::ontology_gen::generate_at_least;
 use ncl_ontology::codes::IcdRevision;
 use ncl_text::tfidf::{RetrievalStats, TfIdfIndex};
@@ -155,10 +155,10 @@ fn main() {
             let (mut or, mut cr, mut ed, mut rt) = (vec![], vec![], vec![], vec![]);
             for q in &queries {
                 let res = linker.link(&q.tokens);
-                or.push(res.timing.or);
-                cr.push(res.timing.cr);
-                ed.push(res.timing.ed);
-                rt.push(res.timing.rt);
+                or.push(res.trace.stage_wall(StageKind::Rewrite));
+                cr.push(res.trace.stage_wall(StageKind::Retrieve));
+                ed.push(res.trace.stage_wall(StageKind::Score));
+                rt.push(res.trace.stage_wall(StageKind::Rank));
             }
             let (o, c, e, r) = (mean_ms(&or), mean_ms(&cr), mean_ms(&ed), mean_ms(&rt));
             rows.push(vec![
@@ -207,10 +207,10 @@ fn main() {
             let (mut or, mut cr, mut ed, mut rt) = (vec![], vec![], vec![], vec![]);
             for toks in &subset {
                 let res = linker.link(toks);
-                or.push(res.timing.or);
-                cr.push(res.timing.cr);
-                ed.push(res.timing.ed);
-                rt.push(res.timing.rt);
+                or.push(res.trace.stage_wall(StageKind::Rewrite));
+                cr.push(res.trace.stage_wall(StageKind::Retrieve));
+                ed.push(res.trace.stage_wall(StageKind::Score));
+                rt.push(res.trace.stage_wall(StageKind::Rank));
             }
             let (o, c, e, r) = (mean_ms(&or), mean_ms(&cr), mean_ms(&ed), mean_ms(&rt));
             rows.push(vec![

@@ -11,7 +11,8 @@
 //!
 //! A second sweep exercises the data-parallel training engine: threads
 //! × phase (CBOW pre-training, COM-AID refinement) on one profile,
-//! with per-epoch wall-clock and pairs/sec from [`TrainReport`]. It
+//! with per-epoch wall-clock and pairs/sec from
+//! [`ncl_core::comaid::TrainReport`]. It
 //! drops a flat `BENCH_fig12.json` at the working directory root for
 //! the CI regression gate (`bench_gate` vs
 //! `ci/bench_baseline_fig12.json`) and hard-asserts a >= 2x refinement

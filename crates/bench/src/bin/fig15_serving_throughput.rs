@@ -193,6 +193,65 @@ fn main() {
         "headline (paired, k=10, threads=10): cached {cached_qps:.1} vs uncached {uncached_qps:.1} q/s — {speedup:.2}x"
     );
 
+    // ---- Staged batch serving (`Linker::link_batch`) ----
+    // The batch entry point fans out across the worker pool, one chunk
+    // of whole queries per worker with serial per-query scoring —
+    // versus single `link`, which parallelises within the ED phase of
+    // one query at a time. Answers must be bit-identical; at batch
+    // >= 16 the cross-query fan-out must also pay for itself wherever
+    // enough hardware threads exist.
+    let batch_linker = headline(true);
+    let mut batch: Vec<Vec<String>> = Vec::new();
+    while batch.len() < 16 {
+        batch.extend(queries.iter().cloned());
+    }
+    let batched = batch_linker.link_batch(&batch);
+    for (q, b) in batch.iter().zip(&batched) {
+        let single = batch_linker.link(q);
+        assert_eq!(
+            b.candidates, single.candidates,
+            "batch candidates diverged for {q:?}"
+        );
+        assert_eq!(
+            b.ranked.len(),
+            single.ranked.len(),
+            "batch ranking length diverged"
+        );
+        for (&(cb, sb), &(cs, ss)) in b.ranked.iter().zip(&single.ranked) {
+            assert_eq!(cb, cs, "batch ranking diverged for {q:?}");
+            assert_eq!(
+                sb.to_bits(),
+                ss.to_bits(),
+                "batch scores diverged for {q:?}"
+            );
+        }
+    }
+    println!("batch bit-identity vs looped link (n={}): ok", batch.len());
+
+    // Paired alternating rounds again, so drift cannot fake the ratio.
+    let _ = batch_linker.link_batch(&batch); // warm-up
+    let (mut t_loop, mut t_batch) = (0.0f64, 0.0f64);
+    let (mut n_loop, mut n_batch) = (0usize, 0usize);
+    while t_loop + t_batch < 2.0 * min_secs {
+        let s = Instant::now();
+        for q in &batch {
+            let _ = batch_linker.link(q);
+        }
+        t_loop += s.elapsed().as_secs_f64();
+        n_loop += batch.len();
+        let s = Instant::now();
+        let _ = batch_linker.link_batch(&batch);
+        t_batch += s.elapsed().as_secs_f64();
+        n_batch += batch.len();
+    }
+    let loop_qps = n_loop as f64 / t_loop;
+    let batch_qps = n_batch as f64 / t_batch;
+    let batch_speedup = batch_qps / loop_qps;
+    println!(
+        "batch (paired, n={}, k=10, threads=10): batched {batch_qps:.1} vs looped {loop_qps:.1} q/s — {batch_speedup:.2}x",
+        batch.len()
+    );
+
     ncl_bench::results::write_json("fig15_serving_throughput", &records);
 
     // Flat gate record at the invocation root: the CI bench-smoke job
@@ -209,6 +268,9 @@ fn main() {
     gate.push_str(&format!(
         "  \"headline_cached_qps\": {cached_qps:.3},\n  \"headline_uncached_qps\": {uncached_qps:.3},\n"
     ));
+    gate.push_str(&format!(
+        "  \"batch_qps\": {batch_qps:.3},\n  \"loop_qps\": {loop_qps:.3},\n  \"batch_speedup\": {batch_speedup:.3},\n"
+    ));
     gate.push_str(&format!("  \"speedup_t10_k10\": {speedup:.3}\n}}\n"));
     match std::fs::write("BENCH_fig15.json", &gate) {
         Ok(()) => println!("[results] wrote BENCH_fig15.json"),
@@ -220,5 +282,22 @@ fn main() {
         speedup >= 3.0,
         "frozen cache must give >= 3x queries/sec at k=10, threads=10 (got {speedup:.2}x)"
     );
-    println!("\nfig15 acceptance: cache >= 3x at k=10/threads=10 — ok");
+    // Cross-query fan-out only helps with real hardware parallelism; on
+    // smaller machines the bit-identity check above still ran and the
+    // rate is informational (same policy as fig12's thread sweep).
+    let hw = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if hw >= 4 {
+        assert!(
+            batch_speedup >= 1.1,
+            "link_batch at n={} must be measurably faster per query than looped link (got {batch_speedup:.2}x)",
+            batch.len()
+        );
+        println!("\nfig15 acceptance: cache >= 3x and batch >= 1.1x — ok");
+    } else {
+        println!(
+            "\nfig15 acceptance: cache >= 3x — ok (batch speedup {batch_speedup:.2}x informational, {hw} hardware threads)"
+        );
+    }
 }

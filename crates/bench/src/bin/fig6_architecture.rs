@@ -1,8 +1,8 @@
 //! Figure 6: network architecture study (§6.3).
 //!
-//! COM-AID vs COM-AID⁻ᶜ (no structural attention ≙ attentional NMT [2]),
+//! COM-AID vs COM-AID⁻ᶜ (no structural attention ≙ attentional NMT \[2\]),
 //! COM-AID⁻ʷ (no textual attention), COM-AID⁻ʷᶜ (neither ≙ seq2seq
-//! [40]), sweeping the hidden dimension `d` on both datasets; accuracy
+//! \[40\]), sweeping the hidden dimension `d` on both datasets; accuracy
 //! (Figures 6(a)(c)) and MRR (Figures 6(b)(d)).
 //!
 //! Expected shape (§6.3): `Full > −c ≈ −w > −wc`, with average accuracy

@@ -37,12 +37,12 @@ pub enum Variant {
     /// Full COM-AID: both attentions.
     Full,
     /// COM-AID⁻ᶜ: structural attention removed — "an instance of the
-    /// attentional neural network [2]" (Bahdanau et al.).
+    /// attentional neural network \[2\]" (Bahdanau et al.).
     NoStruct,
     /// COM-AID⁻ʷ: textual attention removed.
     NoText,
     /// COM-AID⁻ʷᶜ: both removed — "becomes a sequence-to-sequence
-    /// network [40]" (Sutskever et al.).
+    /// network \[40\]" (Sutskever et al.).
     NoBoth,
 }
 

@@ -11,11 +11,14 @@
 //!   and structural (Eq. 7) attention, the composite layer (Eq. 8), the
 //!   vocabulary softmax (Eq. 9), MLE training (Eq. 10) and the four
 //!   architecture variants of the §6.3 study (`Full`, `NoStruct` ≙
-//!   COM-AID⁻ᶜ ≙ attention NMT [2], `NoText` ≙ COM-AID⁻ʷ, `NoBoth` ≙
-//!   COM-AID⁻ʷᶜ ≙ seq2seq [40]),
+//!   COM-AID⁻ᶜ ≙ attention NMT \[2\], `NoText` ≙ COM-AID⁻ʷ, `NoBoth` ≙
+//!   COM-AID⁻ʷᶜ ≙ seq2seq \[40\]),
 //! * [`linker`] — the two-phase online linking of §5: TF-IDF candidate
 //!   retrieval with query rewriting (Eq. 13), COM-AID re-ranking, and the
 //!   OR/CR/ED/RT timing breakdown measured in Figure 11,
+//! * [`serving`] — the staged serving engine behind [`linker`]:
+//!   `Rewrite → Retrieve → Score → Rank` over a per-request context,
+//!   with pluggable Phase-II scorers and a unified [`LinkTrace`],
 //! * [`feedback`] — the feedback controller of Appendix A (loss /
 //!   standard-deviation uncertainty gates, pooling, retrain triggering),
 //! * [`metrics`] — top-1 accuracy, MRR (with the paper's missing-rank
@@ -30,11 +33,18 @@ pub mod feedback;
 pub mod linker;
 pub mod metrics;
 pub mod pipeline;
+pub mod serving;
 
 pub use comaid::{ComAid, ComAidConfig, OutputMode, TrainPair, Variant};
 pub use error::NclError;
 pub use faults::{FaultKind, FaultPlan};
 pub use feedback::{FeedbackConfig, FeedbackController};
-pub use linker::{Degradation, DegradeReason, LinkBudget, LinkResult, Linker, LinkerConfig};
+pub use linker::{
+    Degradation, DegradeReason, LinkBudget, LinkResult, Linker, LinkerConfig, PriorTable,
+};
 pub use ncl_text::tfidf::RetrievalStats;
 pub use pipeline::{NclConfig, NclPipeline};
+pub use serving::{
+    CacheUse, ComAidScore, LinkTrace, RequestCtx, RewriteDecision, ScoreOutcome, ScoreRequest,
+    ScoreStage, Stage, StageKind, StageTiming, TraceEvent,
+};

@@ -32,6 +32,9 @@
 use crate::comaid::{ComAid, ConceptCache, OntologyIndex};
 use crate::error::NclError;
 use crate::faults::FaultPlan;
+use crate::serving::{
+    self, ComAidScore, LinkTrace, RewriteDecision, ScoreStage, StageKind, TraceEvent,
+};
 use ncl_embedding::NearestWords;
 use ncl_ontology::{ConceptId, Ontology};
 use ncl_tensor::pool::WorkerPool;
@@ -212,7 +215,7 @@ impl Degradation {
 }
 
 /// The earlier of two optional deadlines.
-fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
+pub(crate) fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
     match (a, b) {
         (Some(a), Some(b)) => Some(a.min(b)),
         (x, None) | (None, x) => x,
@@ -220,6 +223,10 @@ fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Instant> {
 }
 
 /// Wall-clock breakdown of one linking call (Figure 11's stacked bars).
+#[deprecated(
+    note = "coarse OR/CR/ED/RT view; read per-stage timings from `LinkResult::trace` \
+            (`LinkTrace::stage_wall`) instead"
+)]
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LinkTiming {
     /// Out-of-vocabulary word replacement (query rewriting).
@@ -232,6 +239,7 @@ pub struct LinkTiming {
     pub rt: Duration,
 }
 
+#[allow(deprecated)]
 impl LinkTiming {
     /// Total time across the four parts.
     pub fn total(&self) -> Duration {
@@ -249,15 +257,22 @@ pub struct LinkResult {
     pub rewritten: Vec<String>,
     /// Phase-I candidates in retrieval order (before re-ranking).
     pub candidates: Vec<ConceptId>,
-    /// Per-phase timing.
+    /// Per-phase timing (deprecated shim: derived from
+    /// [`LinkResult::trace`], kept so existing callers compile).
+    #[deprecated(note = "read `trace.stage_wall(StageKind::…)` instead")]
+    #[allow(deprecated)]
     pub timing: LinkTiming,
     /// Phase-I work counters: postings examined/scored/pruned by the
     /// MaxScore scan, heap evictions, and rewrite-memo hit rates — the
-    /// "postings examined" cost model of Figure 11(c)/(d), exposed per
-    /// call for tracing alongside [`LinkTiming`].
+    /// "postings examined" cost model of Figure 11(c)/(d). A copy of
+    /// [`LinkTrace::retrieval`], kept as a direct field for callers of
+    /// the pre-trace API.
     pub retrieval: RetrievalStats,
     /// Completeness of the Phase-II scoring (see [`Degradation`]).
     pub degradation: Degradation,
+    /// The unified per-request trace: per-stage wall-clock, retrieval
+    /// counters, cache usage, rewrite decisions, degradation events.
+    pub trace: LinkTrace,
 }
 
 impl LinkResult {
@@ -290,13 +305,18 @@ impl LinkResult {
 }
 
 /// The online linker: borrows a trained model and its ontology.
+///
+/// Serving goes through the staged engine in [`crate::serving`]:
+/// [`Linker::link`] drives one request through
+/// `Rewrite → Retrieve → Score → Rank`, and this struct holds the
+/// shared, immutable structures the stages borrow.
 pub struct Linker<'a> {
-    model: &'a ComAid,
+    pub(crate) model: &'a ComAid,
     ontology: &'a Ontology,
     config: LinkerConfig,
     index: OntologyIndex,
-    tfidf: TfIdfIndex,
-    doc_map: Vec<ConceptId>,
+    pub(crate) tfidf: TfIdfIndex,
+    pub(crate) doc_map: Vec<ConceptId>,
     /// Embedding nearest-neighbour index for query rewriting, built on
     /// first use: it clones and row-normalises the full embedding table,
     /// which a linker serving with `rewrite: false` (or queries that are
@@ -311,18 +331,21 @@ pub struct Linker<'a> {
     /// attached: memoisation would change how often the `or.rewrite`
     /// site is visited, breaking deterministic fault replay.
     rewrite_memo: Mutex<HashMap<String, Option<String>>>,
-    /// Optional log-priors for MAP ranking (Eq. 11); `None` = the
-    /// paper's default uniform prior (pure MLE, Eq. 12).
-    log_prior: Option<HashMap<ConceptId, f32>>,
+    /// Optional shared log-prior table for MAP ranking (Eq. 11);
+    /// `None` = the paper's default uniform prior (pure MLE, Eq. 12).
+    /// Behind an `Arc` so one table built from hospital coding
+    /// frequencies can be shared across linkers and batch requests
+    /// without rebuilding the lookup map.
+    prior: Option<Arc<PriorTable>>,
     /// Optional deterministic fault schedule (tests and robustness
     /// benchmarks); `None` in production.
-    faults: Option<Arc<FaultPlan>>,
+    pub(crate) faults: Option<Arc<FaultPlan>>,
     /// Frozen concept-encoding cache ([`ComAid::freeze`]), built at
     /// construction when [`LinkerConfig::precompute`] is on. The linker
     /// holds a shared borrow of the model, so the parameters cannot
     /// change underneath it — but staleness is still re-checked at every
     /// scoring call (the version check is two integers).
-    cache: Option<ConceptCache>,
+    pub(crate) cache: Option<ConceptCache>,
     /// Tokenised canonical description of every concept, as a set —
     /// shared-word removal consults this per (query, candidate), so
     /// tokenising at scoring time would dominate the cached fast path.
@@ -331,7 +354,60 @@ pub struct Linker<'a> {
     /// perform ED"), spawned once at construction. A per-query
     /// `thread::scope` spawn costs about as much as scoring a candidate,
     /// which is why the threads outlive the queries.
-    pool: WorkerPool,
+    pub(crate) pool: WorkerPool,
+}
+
+/// A normalised log-prior lookup table for MAP ranking (Eq. 11), built
+/// **once** from a raw frequency table and shared (via `Arc`) across
+/// linkers and batch requests — prior attachment used to re-normalise
+/// per linker construction.
+///
+/// Zero or negative probabilities are clamped to a tiny floor so a
+/// sparse frequency table never produces `-inf` scores; concepts absent
+/// from the table receive the floor prior.
+#[derive(Debug, Clone)]
+pub struct PriorTable {
+    log_prior: HashMap<ConceptId, f32>,
+}
+
+impl PriorTable {
+    /// Builds the table from raw (concept, probability-mass) pairs.
+    ///
+    /// # Panics
+    /// Panics if `priors` is empty.
+    pub fn new(priors: &[(ConceptId, f32)]) -> Self {
+        assert!(!priors.is_empty(), "PriorTable: empty prior table");
+        let total: f32 = priors.iter().map(|&(_, p)| p.max(0.0)).sum();
+        let floor = 1e-6f32;
+        let log_prior = priors
+            .iter()
+            .map(|&(c, p)| {
+                let norm = if total > 0.0 { p.max(0.0) / total } else { 0.0 };
+                (c, norm.max(floor).ln())
+            })
+            .collect();
+        Self { log_prior }
+    }
+
+    /// The log-prior of a concept (unlisted concepts receive the floor
+    /// prior).
+    pub fn log_prior(&self, c: ConceptId) -> f32 {
+        self.log_prior
+            .get(&c)
+            .copied()
+            .unwrap_or_else(|| 1e-6f32.ln())
+    }
+
+    /// Number of concepts with an explicit prior entry.
+    pub fn len(&self) -> usize {
+        self.log_prior.len()
+    }
+
+    /// Whether the table has no explicit entries (never true for a
+    /// constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.log_prior.is_empty()
+    }
 }
 
 impl<'a> Linker<'a> {
@@ -341,12 +417,20 @@ impl<'a> Linker<'a> {
     pub fn new(model: &'a ComAid, ontology: &'a Ontology, config: LinkerConfig) -> Self {
         let index = OntologyIndex::build(ontology, model.vocab(), model.config().beta);
 
+        // Canonical descriptions are tokenised exactly once (shared
+        // `ncl_text::tokenize`): the token lists feed the Phase-I
+        // documents, the per-concept sets feed shared-word removal.
+        let mut canonical_toks: Vec<Vec<String>> = vec![Vec::new(); ontology.len()];
+        for (id, c) in ontology.iter() {
+            canonical_toks[id.index()] = tokenize(&c.canonical);
+        }
+
         // Phase-I documents: one per fine-grained concept.
         let mut docs: Vec<Vec<String>> = Vec::new();
         let mut doc_map = Vec::new();
         for id in ontology.fine_grained() {
             let c = ontology.concept(id);
-            let mut toks = tokenize(&c.canonical);
+            let mut toks = canonical_toks[id.index()].clone();
             if config.index_aliases {
                 for alias in &c.aliases {
                     toks.extend(tokenize(alias));
@@ -359,10 +443,10 @@ impl<'a> Linker<'a> {
 
         let cache = config.precompute.then(|| model.freeze(&index));
 
-        let mut canonical_sets = vec![HashSet::new(); ontology.len()];
-        for (id, c) in ontology.iter() {
-            canonical_sets[id.index()] = tokenize(&c.canonical).into_iter().collect();
-        }
+        let canonical_sets: Vec<HashSet<String>> = canonical_toks
+            .into_iter()
+            .map(|toks| toks.into_iter().collect())
+            .collect();
 
         let hw = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -379,7 +463,7 @@ impl<'a> Linker<'a> {
             nearest: OnceLock::new(),
             edit_index: OnceLock::new(),
             rewrite_memo: Mutex::new(HashMap::new()),
-            log_prior: None,
+            prior: None,
             faults: None,
             cache,
             canonical_sets,
@@ -411,29 +495,35 @@ impl<'a> Linker<'a> {
     /// Zero or negative probabilities are clamped to a tiny floor so a
     /// sparse frequency table never produces `-inf` scores.
     ///
+    /// The lookup map is built **once** (as a [`PriorTable`]) and can
+    /// be shared across linkers and batch requests — use
+    /// [`Linker::with_prior_table`] to attach an existing table
+    /// without re-normalising.
+    ///
     /// # Panics
     /// Panics if `priors` is empty.
-    pub fn with_prior(mut self, priors: &[(ConceptId, f32)]) -> Self {
-        assert!(!priors.is_empty(), "with_prior: empty prior table");
-        let total: f32 = priors.iter().map(|&(_, p)| p.max(0.0)).sum();
-        let floor = 1e-6f32;
-        let map = priors
-            .iter()
-            .map(|&(c, p)| {
-                let norm = if total > 0.0 { p.max(0.0) / total } else { 0.0 };
-                (c, norm.max(floor).ln())
-            })
-            .collect();
-        self.log_prior = Some(map);
+    pub fn with_prior(self, priors: &[(ConceptId, f32)]) -> Self {
+        self.with_prior_table(Arc::new(PriorTable::new(priors)))
+    }
+
+    /// Attaches an already-built (possibly shared) [`PriorTable`].
+    pub fn with_prior_table(mut self, table: Arc<PriorTable>) -> Self {
+        self.prior = Some(table);
         self
+    }
+
+    /// The installed prior table, if any — clone the `Arc` to share it
+    /// with another linker.
+    pub fn prior_table(&self) -> Option<&Arc<PriorTable>> {
+        self.prior.as_ref()
     }
 
     /// The log-prior of a concept under the installed prior (unlisted
     /// concepts receive the floor prior).
-    fn concept_log_prior(&self, c: ConceptId) -> f32 {
-        match &self.log_prior {
+    pub(crate) fn concept_log_prior(&self, c: ConceptId) -> f32 {
+        match &self.prior {
             None => 0.0,
-            Some(map) => map.get(&c).copied().unwrap_or_else(|| 1e-6f32.ln()),
+            Some(table) => table.log_prior(c),
         }
     }
 
@@ -509,8 +599,8 @@ impl<'a> Linker<'a> {
 
     /// Applies query rewriting to a token sequence.
     pub fn rewrite_query(&self, tokens: &[String]) -> Vec<String> {
-        let mut stats = RetrievalStats::default();
-        self.rewrite_query_within(tokens, None, &mut stats)
+        let mut trace = LinkTrace::default();
+        self.rewrite_query_within(tokens, None, &mut trace)
             .into_owned()
     }
 
@@ -574,22 +664,30 @@ impl<'a> Linker<'a> {
     /// clone. With no faults attached, outcomes are memoised per linker;
     /// with faults, every OOV token recomputes under the `or.rewrite`
     /// site so injection ordinals stay deterministic.
-    fn rewrite_query_within<'q>(
+    ///
+    /// Work counters accumulate into `trace.retrieval`; every
+    /// considered OOV token is additionally recorded as a
+    /// [`RewriteDecision`] on the trace (observability only — the
+    /// rewriting itself is unchanged by tracing).
+    pub(crate) fn rewrite_query_within<'q>(
         &self,
         tokens: &'q [String],
         deadline: Option<Instant>,
-        stats: &mut RetrievalStats,
+        trace: &mut LinkTrace,
     ) -> Cow<'q, [String]> {
         let use_memo = self.faults.is_none();
         let mut prefetched: HashSet<&str> = HashSet::new();
         if use_memo && deadline.is_none() {
-            prefetched = self.prefetch_rewrites(tokens, stats);
+            prefetched = self.prefetch_rewrites(tokens, &mut trace.retrieval);
         }
         let mut out: Option<Vec<String>> = None;
         let mut expired = false;
         for (i, w) in tokens.iter().enumerate() {
             if !expired && deadline.is_some_and(|d| Instant::now() >= d) {
                 expired = true;
+                trace.events.push(TraceEvent::DeadlineExpired {
+                    stage: StageKind::Rewrite,
+                });
             }
             if expired || self.tfidf.contains_term(w) {
                 if let Some(out) = out.as_mut() {
@@ -597,6 +695,7 @@ impl<'a> Linker<'a> {
                 }
                 continue;
             }
+            let mut memo_hit = false;
             let replacement: Option<String> = if use_memo {
                 let cached = self
                     .rewrite_memo
@@ -609,12 +708,13 @@ impl<'a> Linker<'a> {
                         // A word prefetched by *this* call already counted
                         // as a miss; later repeats are genuine hits.
                         if !prefetched.remove(w.as_str()) {
-                            stats.rewrite_cache_hits += 1;
+                            trace.retrieval.rewrite_cache_hits += 1;
+                            memo_hit = true;
                         }
                         outcome
                     }
                     None => {
-                        stats.rewrite_cache_misses += 1;
+                        trace.retrieval.rewrite_cache_misses += 1;
                         let outcome = self.rewrite_word(w);
                         self.rewrite_memo
                             .lock()
@@ -624,7 +724,7 @@ impl<'a> Linker<'a> {
                     }
                 }
             } else {
-                stats.rewrite_cache_misses += 1;
+                trace.retrieval.rewrite_cache_misses += 1;
                 catch_unwind(AssertUnwindSafe(|| {
                     if let Some(plan) = &self.faults {
                         plan.visit("or.rewrite");
@@ -633,6 +733,11 @@ impl<'a> Linker<'a> {
                 }))
                 .unwrap_or(None)
             };
+            trace.rewrites.push(RewriteDecision {
+                token: w.clone(),
+                replacement: replacement.clone(),
+                memo_hit,
+            });
             match replacement {
                 Some(r) => {
                     out.get_or_insert_with(|| tokens[..i].to_vec()).push(r);
@@ -665,12 +770,13 @@ impl<'a> Linker<'a> {
         &self,
         tokens: &'q [String],
     ) -> (Cow<'q, [String]>, Vec<ConceptId>, RetrievalStats) {
-        let mut stats = RetrievalStats::default();
+        let mut trace = LinkTrace::default();
         let rewritten = if self.config.rewrite {
-            self.rewrite_query_within(tokens, None, &mut stats)
+            self.rewrite_query_within(tokens, None, &mut trace)
         } else {
             Cow::Borrowed(tokens)
         };
+        let mut stats = trace.retrieval;
         let (hits, index_stats) = self.tfidf.top_k_with_stats(&rewritten, self.config.k);
         stats.merge(&index_stats);
         let candidates = hits.iter().map(|&(d, _)| self.doc_map[d]).collect();
@@ -687,21 +793,60 @@ impl<'a> Linker<'a> {
     /// should use [`Linker::try_link`] and
     /// [`LinkResult::degradation_error`].
     pub fn link(&self, tokens: &[String]) -> LinkResult {
+        serving::drive(self, tokens, &ComAidScore::new(self))
+    }
+
+    /// Links a query with a **custom Phase-II scorer** behind the same
+    /// staged pipeline as [`Linker::link`]: rewriting, retrieval,
+    /// budgets, fault isolation, the degradation ladder, and tracing
+    /// all apply unchanged; only the candidate scoring differs. The
+    /// `lr`/`doc2vec` baselines plug in this way (see
+    /// `ncl_baselines::AnnotatorScore`).
+    pub fn link_with_scorer(&self, tokens: &[String], scorer: &dyn ScoreStage) -> LinkResult {
+        serving::drive(self, tokens, scorer)
+    }
+
+    /// Links a batch of queries, parallelising **across** queries on
+    /// the persistent worker pool (single-query [`Linker::link`]
+    /// parallelises within the ED phase instead). Results are
+    /// positionally aligned with `queries` and bit-identical to
+    /// looping [`Linker::link`] over the batch.
+    pub fn link_batch(&self, queries: &[Vec<String>]) -> Vec<LinkResult> {
+        let refs: Vec<&[String]> = queries.iter().map(|q| q.as_slice()).collect();
+        serving::link_batch(self, &refs)
+    }
+
+    /// Validating batch entry point: per-query
+    /// [`NclError::InvalidQuery`] verdicts with the valid remainder
+    /// linked through [`Linker::link_batch`]. Results are positionally
+    /// aligned with `queries`.
+    pub fn try_link_batch(&self, queries: &[Vec<String>]) -> Vec<Result<LinkResult, NclError>> {
+        serving::try_link_batch(self, queries)
+    }
+
+    /// The **frozen pre-refactor monolith** `link` body, kept verbatim
+    /// as the equivalence oracle for the staged engine: the
+    /// `staged_serving` tests assert `link` ≡ `link_oracle` (ranked
+    /// ids, score bits, rewrites, degradation) on arbitrary queries,
+    /// with and without fault plans. Not part of the serving API.
+    #[doc(hidden)]
+    pub fn link_oracle(&self, tokens: &[String]) -> LinkResult {
         let start = Instant::now();
         let budget = self.config.budget;
         let call_deadline = budget.total.map(|d| start + d);
 
         // Phase I.a: out-of-vocabulary replacement. Borrows the input
         // tokens when nothing gets rewritten.
-        let mut retrieval = RetrievalStats::default();
+        let mut trace = LinkTrace::default();
         let t0 = Instant::now();
         let or_deadline = min_deadline(call_deadline, budget.or.map(|d| t0 + d));
         let rewritten: Cow<'_, [String]> = if self.config.rewrite {
-            self.rewrite_query_within(tokens, or_deadline, &mut retrieval)
+            self.rewrite_query_within(tokens, or_deadline, &mut trace)
         } else {
             Cow::Borrowed(tokens)
         };
         let or = t0.elapsed();
+        let mut retrieval = trace.retrieval;
 
         // Phase I.b: candidate retrieval (panic-isolated: a fault here
         // yields an empty candidate set, not an abort).
@@ -727,7 +872,7 @@ impl<'a> Linker<'a> {
         let (scores, panicked) = if cr_over || already_over {
             (vec![None; candidates.len()], 0)
         } else {
-            self.score_candidates(&candidates, &rewritten, ed_deadline)
+            self.score_candidates(&candidates, &rewritten, ed_deadline, false)
         };
         let ed = t2.elapsed();
 
@@ -771,6 +916,7 @@ impl<'a> Linker<'a> {
         let total = candidates.len();
         let degradation = self.classify_degradation(scored, total, panicked, cr_panicked);
 
+        #[allow(deprecated)]
         LinkResult {
             ranked,
             rewritten: rewritten.into_owned(),
@@ -778,10 +924,16 @@ impl<'a> Linker<'a> {
             timing: LinkTiming { or, cr, ed, rt },
             retrieval,
             degradation,
+            trace: LinkTrace {
+                retrieval,
+                ..LinkTrace::default()
+            },
         }
     }
 
-    /// Summarises how far short of a full answer this call fell.
+    /// Summarises how far short of a full answer this call fell — the
+    /// shared ladder lives with the Rank stage; COM-AID scores every
+    /// candidate, so unscored never means "non-match" here.
     fn classify_degradation(
         &self,
         scored: usize,
@@ -789,37 +941,14 @@ impl<'a> Linker<'a> {
         panicked: usize,
         cr_panicked: bool,
     ) -> Degradation {
-        if cr_panicked {
-            return Degradation::TfIdfOnly {
-                reason: DegradeReason::WorkerPanic { lost_jobs: 1 },
-            };
-        }
-        if total == 0 || scored == total {
-            return Degradation::None;
-        }
-        let reason = if panicked > 0 {
-            DegradeReason::WorkerPanic {
-                lost_jobs: panicked,
-            }
-        } else {
-            let budget = self.config.budget;
-            DegradeReason::Timeout {
-                budget: budget
-                    .ed
-                    .or(budget.total)
-                    .or(budget.cr)
-                    .unwrap_or(Duration::ZERO),
-            }
-        };
-        if scored == 0 {
-            Degradation::TfIdfOnly { reason }
-        } else {
-            Degradation::PartialEd {
-                scored,
-                total,
-                reason,
-            }
-        }
+        crate::serving::classify_degradation(
+            self.config.budget,
+            scored,
+            total,
+            panicked,
+            cr_panicked,
+            false,
+        )
     }
 
     /// Convenience: links a raw snippet.
@@ -832,6 +961,12 @@ impl<'a> Linker<'a> {
     /// [`LinkerConfig::max_query_tokens`]) with a typed
     /// [`NclError::InvalidQuery`] instead of returning an empty result.
     pub fn try_link(&self, tokens: &[String]) -> Result<LinkResult, NclError> {
+        self.validate_query(tokens)?;
+        Ok(self.link(tokens))
+    }
+
+    /// The shared validation of the `try_link*` entry points.
+    pub(crate) fn validate_query(&self, tokens: &[String]) -> Result<(), NclError> {
         if tokens.iter().all(|t| t.trim().is_empty()) {
             return Err(NclError::InvalidQuery {
                 reason: "query is empty after normalisation".into(),
@@ -846,7 +981,7 @@ impl<'a> Linker<'a> {
                 ),
             });
         }
-        Ok(self.link(tokens))
+        Ok(())
     }
 
     /// [`Linker::try_link`] over a raw snippet.
@@ -870,11 +1005,18 @@ impl<'a> Linker<'a> {
     /// (per-job isolation, mid-phase cutoff) keeps its granularity; it
     /// still serves from the cache, with the "ed.cache" fault site
     /// modelling a cache miss that falls back to uncached scoring.
-    fn score_candidates(
+    ///
+    /// `serial` forces the single-threaded loop regardless of the
+    /// configured thread count — used by `link_batch`, which already
+    /// parallelises across queries on the same pool (nesting a pool
+    /// dispatch inside a pool job could deadlock). Thread and chunk
+    /// boundaries never change score bits.
+    pub(crate) fn score_candidates(
         &self,
         candidates: &[ConceptId],
         query: &[String],
         deadline: Option<Instant>,
+        serial: bool,
     ) -> (Vec<Option<f32>>, usize) {
         // The decoded word ids are candidate-independent; only the
         // counting masks differ (shared-word removal is per candidate).
@@ -890,7 +1032,7 @@ impl<'a> Linker<'a> {
 
         if self.faults.is_none() && deadline.is_none() {
             if let Some(cache) = cache {
-                return self.score_batched(cache, candidates, &ids, &masks);
+                return self.score_batched(cache, candidates, &ids, &masks, serial);
             }
         }
 
@@ -928,7 +1070,11 @@ impl<'a> Linker<'a> {
 
         let jobs: Vec<(ConceptId, &Vec<bool>)> =
             candidates.iter().copied().zip(masks.iter()).collect();
-        let threads = self.worker_threads(jobs.len());
+        let threads = if serial {
+            1
+        } else {
+            self.worker_threads(jobs.len())
+        };
         let mut scores: Vec<Option<f32>> = vec![None; jobs.len()];
         if threads <= 1 || jobs.len() <= 1 {
             for (&(c, mask), out) in jobs.iter().zip(scores.iter_mut()) {
@@ -971,6 +1117,7 @@ impl<'a> Linker<'a> {
         candidates: &[ConceptId],
         ids: &[u32],
         masks: &[Vec<bool>],
+        serial: bool,
     ) -> (Vec<Option<f32>>, usize) {
         let k = candidates.len();
         let panicked = AtomicUsize::new(0);
@@ -1006,7 +1153,11 @@ impl<'a> Linker<'a> {
         // splitting pays, even with the persistent pool absorbing the
         // spawn cost.
         const MIN_BATCH_CHUNK: usize = 8;
-        let threads = self.worker_threads(k).min((k / MIN_BATCH_CHUNK).max(1));
+        let threads = if serial {
+            1
+        } else {
+            self.worker_threads(k).min((k / MIN_BATCH_CHUNK).max(1))
+        };
         let mut scores: Vec<Option<f32>> = vec![None; k];
         if threads <= 1 || k <= 1 {
             run_chunk(candidates, masks, &mut scores);
@@ -1043,7 +1194,7 @@ impl<'a> Linker<'a> {
     /// [`LinkerConfig::threads`], capped by the host's available
     /// parallelism (oversubscribing a small machine buys no concurrency,
     /// only per-query spawn latency) and by the job count.
-    fn worker_threads(&self, jobs: usize) -> usize {
+    pub(crate) fn worker_threads(&self, jobs: usize) -> usize {
         let hw = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1);
@@ -1274,6 +1425,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // the shim must keep agreeing with the trace
     fn timing_parts_are_recorded() {
         let (o, model) = trained_world();
         let linker = Linker::new(&model, &o, LinkerConfig::default());
@@ -1281,6 +1433,23 @@ mod tests {
         let t = res.timing;
         assert!(t.total() >= t.ed);
         assert!(t.total() > Duration::ZERO);
+        // The deprecated quadruple is a pure derivation of the trace.
+        assert_eq!(t.or, res.trace.stage_wall(StageKind::Rewrite));
+        assert_eq!(t.cr, res.trace.stage_wall(StageKind::Retrieve));
+        assert_eq!(t.ed, res.trace.stage_wall(StageKind::Score));
+        assert_eq!(t.rt, res.trace.stage_wall(StageKind::Rank));
+        assert_eq!(t.total(), res.trace.total());
+        // Exactly the four chain stages ran, in order.
+        let kinds: Vec<StageKind> = res.trace.stages.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                StageKind::Rewrite,
+                StageKind::Retrieve,
+                StageKind::Score,
+                StageKind::Rank
+            ]
+        );
     }
 
     #[test]
@@ -1452,5 +1621,142 @@ mod tests {
         // …but with removal only "today" is counted.
         assert_eq!(mask_a, vec![false, false, false, true]);
         assert_eq!(mask_b, vec![true; 4]);
+    }
+
+    /// ISSUE 5 acceptance: the staged `link` must equal the frozen
+    /// pre-refactor [`Linker::link_oracle`] bit-for-bit on arbitrary
+    /// queries — with and without an active [`FaultPlan`].
+    mod oracle_equivalence {
+        use super::*;
+        use crate::faults::FaultKind;
+        use proptest::prelude::*;
+        use std::sync::OnceLock;
+
+        fn shared_world() -> &'static (Ontology, ComAid) {
+            static WORLD: OnceLock<(Ontology, ComAid)> = OnceLock::new();
+            WORLD.get_or_init(trained_world)
+        }
+
+        /// In-vocabulary, alias-only, numeric, typo, and pure-OOV words,
+        /// so drawn queries exercise the rewrite, retrieval-miss, and
+        /// empty-candidate paths.
+        const WORDS: &[&str] = &[
+            "chronic",
+            "kidney",
+            "disease",
+            "stage",
+            "5",
+            "unspecified",
+            "abdominal",
+            "pain",
+            "acute",
+            "abdomen",
+            "ckd",
+            "renal",
+            "syndrome",
+            "abdomne",
+            "stge",
+            "zzzgibberish",
+            "9",
+        ];
+
+        /// Word-index draws (the vendored proptest has no `prop_map`;
+        /// tests materialise tokens with [`tokens_from`]).
+        fn query_strategy() -> impl Strategy<Value = Vec<usize>> {
+            proptest::collection::vec(0..WORDS.len(), 0..6)
+        }
+
+        fn tokens_from(idx: &[usize]) -> Vec<String> {
+            idx.iter().map(|&i| WORDS[i].to_string()).collect()
+        }
+
+        /// Fault probabilities worth drawing: never, sometimes, always.
+        fn prob() -> impl Strategy<Value = f64> {
+            prop_oneof![Just(0.0), Just(0.4), Just(1.0)]
+        }
+
+        /// One plan covering every pipeline fault site. Decisions are
+        /// keyed on `(seed, visit ordinal)`, so two *separate* plans
+        /// built from the same arguments replay identically as long as
+        /// the visit order is deterministic — which `threads: 1` below
+        /// guarantees.
+        fn plan(seed: u64, p_or: f64, p_cr: f64, p_ed: f64, p_cache: f64) -> Arc<FaultPlan> {
+            Arc::new(
+                FaultPlan::new(seed)
+                    .with_rule("or.rewrite", FaultKind::Panic, p_or)
+                    .with_rule("cr.topk", FaultKind::Panic, p_cr)
+                    .with_rule("ed.score", FaultKind::Panic, p_ed)
+                    .with_rule("ed.cache", FaultKind::Io, p_cache),
+            )
+        }
+
+        fn assert_bit_identical(staged: &LinkResult, oracle: &LinkResult, q: &[String]) {
+            assert_eq!(
+                staged.rewritten, oracle.rewritten,
+                "rewritten diverged for {q:?}"
+            );
+            assert_eq!(
+                staged.candidates, oracle.candidates,
+                "candidates diverged for {q:?}"
+            );
+            assert_eq!(
+                staged.ranked.len(),
+                oracle.ranked.len(),
+                "ranking length diverged for {q:?}"
+            );
+            for (&(ca, sa), &(cb, sb)) in staged.ranked.iter().zip(&oracle.ranked) {
+                assert_eq!(ca, cb, "ranked id diverged for {q:?}");
+                assert_eq!(sa.to_bits(), sb.to_bits(), "score bits diverged for {q:?}");
+            }
+            assert_eq!(
+                staged.degradation, oracle.degradation,
+                "degradation diverged for {q:?}"
+            );
+        }
+
+        fn serial_config() -> LinkerConfig {
+            LinkerConfig {
+                threads: 1,
+                ..LinkerConfig::default()
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+
+            #[test]
+            fn staged_link_equals_oracle_without_faults(q_idx in query_strategy()) {
+                let q = tokens_from(&q_idx);
+                let (o, model) = shared_world();
+                let linker = Linker::new(model, o, serial_config());
+                assert_bit_identical(&linker.link(&q), &linker.link_oracle(&q), &q);
+            }
+
+            #[test]
+            fn staged_link_equals_oracle_under_faults(
+                q_idx in query_strategy(),
+                seed in 0u64..1024,
+                p_or in prob(),
+                p_cr in prob(),
+                p_ed in prob(),
+                p_cache in prob(),
+            ) {
+                let q = tokens_from(&q_idx);
+                let (o, model) = shared_world();
+                let plan_staged = plan(seed, p_or, p_cr, p_ed, p_cache);
+                let plan_oracle = plan(seed, p_or, p_cr, p_ed, p_cache);
+                let staged = Linker::new(model, o, serial_config())
+                    .with_faults(Arc::clone(&plan_staged));
+                let oracle = Linker::new(model, o, serial_config())
+                    .with_faults(Arc::clone(&plan_oracle));
+                let a = staged.link(&q);
+                let b = oracle.link_oracle(&q);
+                assert_bit_identical(&a, &b, &q);
+                // The two paths hit the exact same fault sites in the
+                // same order: equal visit and fire counts.
+                prop_assert_eq!(plan_staged.visits(), plan_oracle.visits());
+                prop_assert_eq!(plan_staged.fired(), plan_oracle.fired());
+            }
+        }
     }
 }

@@ -1,0 +1,76 @@
+//! Batched linking: many queries through the stage chain on the
+//! linker's persistent [`ncl_tensor::pool::WorkerPool`].
+//!
+//! `link` parallelises *within* a query (ED candidates split across
+//! workers); `link_batch` instead parallelises *across* queries — each
+//! worker drives whole requests through the chain with a serial ED
+//! loop ([`super::score::ComAidScore::serial`]). For batches ≥ the
+//! worker count this amortises per-query stage setup and keeps every
+//! worker busy even when `k / MIN_BATCH_CHUNK` would leave the
+//! within-query split idle. Scores are bit-identical to looped `link`
+//! calls: thread/chunk boundaries never change score bits (see the
+//! serving-cache equivalence tests), and each request's context is
+//! fully independent.
+
+use super::drive;
+use super::score::ComAidScore;
+use crate::error::NclError;
+use crate::linker::{LinkResult, Linker};
+
+/// Links each query; see [`Linker::link_batch`].
+pub(crate) fn link_batch(linker: &Linker<'_>, queries: &[&[String]]) -> Vec<LinkResult> {
+    let n = queries.len();
+    let threads = linker.worker_threads(n);
+    if threads <= 1 || n <= 1 {
+        return queries.iter().map(|q| linker.link(q)).collect();
+    }
+    let scorer = ComAidScore {
+        linker,
+        serial: true,
+    };
+    let mut out: Vec<Option<LinkResult>> = Vec::new();
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = queries
+        .chunks(chunk)
+        .zip(out.chunks_mut(chunk))
+        .map(|(query_chunk, slot_chunk)| {
+            let scorer = &scorer;
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                for (q, slot) in query_chunk.iter().zip(slot_chunk.iter_mut()) {
+                    *slot = Some(drive(linker, q, scorer));
+                }
+            });
+            task
+        })
+        .collect();
+    linker.pool.run(tasks);
+    out.into_iter()
+        .map(|r| r.expect("every batch slot is filled by its chunk job"))
+        .collect()
+}
+
+/// Validating batch entry point; see [`Linker::try_link_batch`].
+pub(crate) fn try_link_batch(
+    linker: &Linker<'_>,
+    queries: &[Vec<String>],
+) -> Vec<Result<LinkResult, NclError>> {
+    let verdicts: Vec<Option<NclError>> = queries
+        .iter()
+        .map(|q| linker.validate_query(q).err())
+        .collect();
+    let valid: Vec<&[String]> = queries
+        .iter()
+        .zip(&verdicts)
+        .filter(|(_, e)| e.is_none())
+        .map(|(q, _)| q.as_slice())
+        .collect();
+    let mut linked = link_batch(linker, &valid).into_iter();
+    verdicts
+        .into_iter()
+        .map(|e| match e {
+            Some(e) => Err(e),
+            None => Ok(linked.next().expect("one result per valid query")),
+        })
+        .collect()
+}

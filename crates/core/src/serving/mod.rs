@@ -1,0 +1,89 @@
+#![deny(missing_docs)]
+
+//! The staged serving engine: `Rewrite → Retrieve → Score → Rank`.
+//!
+//! The paper's online linking (§5) is explicitly two-phase — Phase I
+//! keyword retrieval feeding Phase II COM-AID ranking — and this module
+//! gives the implementation the same seams: each phase is a [`Stage`]
+//! that reads and writes one [`RequestCtx`], the context carries the
+//! query, budgets, fault handle, degradation ladder state, and the
+//! unified [`LinkTrace`], and [`crate::linker::Linker::link`] is a thin
+//! driver over the four-stage chain.
+//!
+//! Design rules (DESIGN.md §12):
+//!
+//! * **Stages own behaviour, the context owns state.** A stage may read
+//!   anything on the context and the linker, but all per-request
+//!   mutation goes through the context — the linker stays shared and
+//!   immutable (its interior mutability is limited to lazily-built
+//!   indexes and the rewrite memo, both behaviour-transparent).
+//! * **The chain is bit-identical to the pre-refactor monolith.** Stage
+//!   boundaries sit exactly where the monolith's phase boundaries sat;
+//!   moving code across a boundary is only legal when it cannot change
+//!   ranked ids, score bits, tie-breaks, or degradation decisions.
+//!   `Linker::link_oracle` keeps the monolith body in-tree and the
+//!   `staged_serving` tests assert equivalence (golden snapshot +
+//!   proptests, with and without fault plans).
+//! * **Scorers are pluggable.** Phase II is abstracted as
+//!   [`ScoreStage`]; COM-AID ([`ComAidScore`]) is the default, and the
+//!   `lr`/`doc2vec` baselines plug in via
+//!   `ncl_baselines::AnnotatorScore`, inheriting retrieval, budgets,
+//!   and the degradation ladder unchanged.
+//! * **Tracing is observability-only.** Nothing branches on
+//!   [`LinkTrace`]; recording it cannot perturb serving output.
+//!
+//! Fault plans and batching: [`crate::linker::Linker::link_batch`]
+//! drives whole requests concurrently, so the visit *ordinals* of an
+//! attached [`crate::faults::FaultPlan`] interleave across queries —
+//! deterministic fault replay is only meaningful for serial query
+//! streams (single-query `link`, or batches on a single worker).
+
+mod batch;
+mod ctx;
+mod rank;
+mod retrieve;
+mod rewrite;
+mod score;
+mod trace;
+
+pub use ctx::RequestCtx;
+pub use score::{ComAidScore, ScoreOutcome, ScoreRequest, ScoreStage};
+pub use trace::{CacheUse, LinkTrace, RewriteDecision, StageKind, StageTiming, TraceEvent};
+
+pub(crate) use batch::{link_batch, try_link_batch};
+pub(crate) use rank::classify_degradation;
+
+use crate::linker::{LinkResult, Linker};
+use std::time::Instant;
+
+/// One stage of the serving chain. Stages are stateless between
+/// requests: `run` reads the linker's shared structures and mutates
+/// only the per-request [`RequestCtx`].
+pub trait Stage {
+    /// Which chain position this stage fills (keys its trace entries).
+    fn kind(&self) -> StageKind;
+    /// Executes the stage against one request context.
+    fn run(&self, ctx: &mut RequestCtx<'_>);
+}
+
+/// Drives one request through the four-stage chain with the given
+/// Phase-II scorer, timing each stage into the trace.
+pub(crate) fn drive(linker: &Linker<'_>, tokens: &[String], scorer: &dyn ScoreStage) -> LinkResult {
+    let start = Instant::now();
+    let mut ctx = RequestCtx::new(tokens, linker.config().budget, linker.faults.clone(), start);
+    let rewrite = rewrite::Rewrite { linker };
+    let retrieve = retrieve::Retrieve { linker };
+    let score = score::Score { scorer };
+    let rank = rank::Rank { linker };
+    let stages: [&dyn Stage; 4] = [&rewrite, &retrieve, &score, &rank];
+    for stage in stages {
+        let t = Instant::now();
+        ctx.stage_started = t;
+        stage.run(&mut ctx);
+        ctx.trace.stages.push(trace::StageTiming {
+            kind: stage.kind(),
+            wall: t.elapsed(),
+        });
+    }
+    ctx.into_result()
+}

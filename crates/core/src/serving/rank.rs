@@ -1,0 +1,124 @@
+//! Stage 4 — **Rank** (the paper's RT phase): MAP prior blending
+//! (Eq. 11) when a prior is installed, score-descending sort with
+//! id-ascending tie-breaks, unscored tail in Phase-I order, and the
+//! final degradation classification.
+
+use super::ctx::RequestCtx;
+use super::trace::{StageKind, TraceEvent};
+use super::Stage;
+use crate::linker::{Degradation, DegradeReason, LinkBudget, Linker};
+use ncl_ontology::ConceptId;
+use std::time::{Duration, Instant};
+
+/// The Rank stage; borrows the linker's (shared) prior table.
+pub struct Rank<'s, 'a> {
+    pub(crate) linker: &'s Linker<'a>,
+}
+
+impl Stage for Rank<'_, '_> {
+    fn kind(&self) -> StageKind {
+        StageKind::Rank
+    }
+
+    fn run(&self, ctx: &mut RequestCtx<'_>) {
+        // Under a blown deadline with an `rt` budget set, MAP falls
+        // back to MLE (the prior lookup is the only elidable work).
+        let skip_prior =
+            ctx.budget.rt.is_some() && ctx.call_deadline.is_some_and(|d| Instant::now() >= d);
+        if skip_prior {
+            ctx.trace.events.push(TraceEvent::PriorSkipped);
+        }
+        let mut ranked: Vec<(ConceptId, f32)> = ctx
+            .candidates
+            .iter()
+            .copied()
+            .zip(ctx.scores.iter())
+            .filter_map(|(c, lp)| lp.map(|lp| (c, lp)))
+            .map(|(c, lp)| {
+                let prior = if skip_prior {
+                    0.0
+                } else {
+                    self.linker.concept_log_prior(c)
+                };
+                (c, lp + prior)
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        // Unscored tail: Phase-I TF-IDF order, explicitly unscored.
+        ranked.extend(
+            ctx.candidates
+                .iter()
+                .copied()
+                .zip(ctx.scores.iter())
+                .filter(|(_, lp)| lp.is_none())
+                .map(|(c, _)| (c, f32::NEG_INFINITY)),
+        );
+        ctx.ranked = ranked;
+
+        let scored = ctx.scores.iter().filter(|s| s.is_some()).count();
+        ctx.degradation = classify_degradation(
+            ctx.budget,
+            scored,
+            ctx.candidates.len(),
+            ctx.lost_jobs,
+            ctx.cr_panicked,
+            ctx.unscored_is_nonmatch,
+        );
+        if ctx.degradation.is_degraded() {
+            ctx.trace.events.push(TraceEvent::Degraded {
+                degradation: ctx.degradation,
+            });
+        }
+    }
+}
+
+/// Summarises how far short of a full answer this call fell — the
+/// degradation ladder shared by every scorer behind the stage chain.
+pub(crate) fn classify_degradation(
+    budget: LinkBudget,
+    scored: usize,
+    total: usize,
+    panicked: usize,
+    cr_panicked: bool,
+    unscored_is_nonmatch: bool,
+) -> Degradation {
+    if cr_panicked {
+        return Degradation::TfIdfOnly {
+            reason: DegradeReason::WorkerPanic { lost_jobs: 1 },
+        };
+    }
+    if total == 0 || scored == total {
+        return Degradation::None;
+    }
+    // A scorer that deliberately ranks only a subset (e.g. a baseline
+    // annotator) has not degraded — unless jobs were actually lost.
+    if panicked == 0 && unscored_is_nonmatch {
+        return Degradation::None;
+    }
+    let reason = if panicked > 0 {
+        DegradeReason::WorkerPanic {
+            lost_jobs: panicked,
+        }
+    } else {
+        DegradeReason::Timeout {
+            budget: budget
+                .ed
+                .or(budget.total)
+                .or(budget.cr)
+                .unwrap_or(Duration::ZERO),
+        }
+    };
+    if scored == 0 {
+        Degradation::TfIdfOnly { reason }
+    } else {
+        Degradation::PartialEd {
+            scored,
+            total,
+            reason,
+        }
+    }
+}

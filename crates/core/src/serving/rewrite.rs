@@ -1,0 +1,40 @@
+//! Stage 1 — **Rewrite** (the paper's OR phase): out-of-vocabulary
+//! query words are replaced by their semantically nearest in-Ω words
+//! (Eq. 13), with an edit-distance fallback (§5's "dm 1 with
+//! neuropaty" example).
+
+use super::ctx::RequestCtx;
+use super::trace::StageKind;
+use super::Stage;
+use crate::linker::{min_deadline, Linker};
+use std::borrow::Cow;
+
+/// The Rewrite stage; borrows the linker's nearest-word and
+/// edit-distance indexes (built lazily on first use).
+pub struct Rewrite<'s, 'a> {
+    pub(crate) linker: &'s Linker<'a>,
+}
+
+impl Stage for Rewrite<'_, '_> {
+    fn kind(&self) -> StageKind {
+        StageKind::Rewrite
+    }
+
+    fn run(&self, ctx: &mut RequestCtx<'_>) {
+        let or_deadline = min_deadline(
+            ctx.call_deadline,
+            ctx.budget.or.map(|d| ctx.stage_started + d),
+        );
+        if self.linker.config().rewrite {
+            // The borrow of `ctx.tokens` must be re-derived (not taken
+            // through `&mut ctx`) so the resulting Cow carries the
+            // query lifetime, not the borrow of the context.
+            let tokens = ctx.tokens;
+            ctx.rewritten = self
+                .linker
+                .rewrite_query_within(tokens, or_deadline, &mut ctx.trace);
+        } else {
+            ctx.rewritten = Cow::Borrowed(ctx.tokens);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The unified per-request trace collected by the stage chain.
+//!
+//! Every [`super::Stage`] appends to the [`LinkTrace`] carried in the
+//! [`super::RequestCtx`]: wall-clock per stage, Phase-I work counters,
+//! cache usage, each rewrite decision, and any degradation events. The
+//! trace is observability only — nothing downstream branches on it, so
+//! recording it cannot perturb the bit-identical serving path.
+
+use crate::linker::Degradation;
+#[allow(deprecated)]
+use crate::linker::LinkTiming;
+use ncl_text::tfidf::RetrievalStats;
+use std::time::Duration;
+
+/// The four serving stages, in chain order. `Rewrite`/`Retrieve` are
+/// the paper's Phase I (OR + CR of Appendix B.1), `Score`/`Rank` its
+/// Phase II (ED + RT).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Out-of-vocabulary query rewriting (Eq. 13) — the OR phase.
+    Rewrite,
+    /// TF-IDF candidate retrieval — the CR phase.
+    Retrieve,
+    /// Neural (or baseline) candidate scoring — the ED phase.
+    Score,
+    /// Prior blending, sorting, and tail placement — the RT phase.
+    Rank,
+}
+
+/// Wall-clock of one executed stage.
+#[derive(Debug, Clone, Copy)]
+pub struct StageTiming {
+    /// Which stage ran.
+    pub kind: StageKind,
+    /// How long its `run` took.
+    pub wall: Duration,
+}
+
+/// How the Score stage used the frozen concept-encoding cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheUse {
+    /// No cache applies: none was precomputed, or the scorer (e.g. a
+    /// baseline) does not consult one.
+    #[default]
+    Unconfigured,
+    /// Candidates were served from the frozen cache (batched or
+    /// per-candidate path; identical bits either way).
+    Served,
+    /// A cache exists but was stale for the current model version, so
+    /// scoring fell back to the uncached path.
+    Stale,
+}
+
+/// A notable event recorded while serving one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A deadline expired mid-stage; remaining per-item work in that
+    /// stage was skipped.
+    DeadlineExpired {
+        /// The stage whose deadline ran out.
+        stage: StageKind,
+    },
+    /// Candidate retrieval panicked (isolated; yields an empty
+    /// candidate set).
+    RetrievePanicked,
+    /// The Score stage was skipped at its boundary.
+    ScoringSkipped {
+        /// The CR budget was already exceeded when scoring would start.
+        cr_over: bool,
+        /// The whole-call deadline had already passed.
+        call_deadline_passed: bool,
+    },
+    /// The Rank stage skipped the MAP prior lookup (Eq. 11 fell back
+    /// to MLE) because the call deadline had passed and an `rt` budget
+    /// was set.
+    PriorSkipped,
+    /// The request finished degraded (mirrors
+    /// [`crate::linker::LinkResult::degradation`]).
+    Degraded {
+        /// The final degradation classification.
+        degradation: Degradation,
+    },
+}
+
+/// One query-rewriting decision (Eq. 13 with edit-distance fallback).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RewriteDecision {
+    /// The out-of-vocabulary token that was considered.
+    pub token: String,
+    /// Its replacement, or `None` when no acceptable target was found
+    /// (the token passes through unchanged).
+    pub replacement: Option<String>,
+    /// Whether the outcome came from the per-linker rewrite memo.
+    pub memo_hit: bool,
+}
+
+/// The unified trace of one linking request.
+///
+/// Replaces the coarse [`LinkTiming`] quadruple: per-stage wall-clock
+/// lives in [`LinkTrace::stages`], and the deprecated `LinkTiming` on
+/// [`crate::linker::LinkResult`] is now derived from it (see
+/// [`LinkTiming::from`]).
+#[derive(Debug, Clone, Default)]
+pub struct LinkTrace {
+    /// Wall-clock per executed stage, in execution order.
+    pub stages: Vec<StageTiming>,
+    /// Phase-I work counters (postings examined/scored/pruned, heap
+    /// evictions, rewrite-memo hit rates).
+    pub retrieval: RetrievalStats,
+    /// Every rewrite decision taken by the Rewrite stage, in token
+    /// order (in-vocabulary tokens are not recorded).
+    pub rewrites: Vec<RewriteDecision>,
+    /// How the Score stage used the frozen concept cache.
+    pub cache: CacheUse,
+    /// Deadline, panic, skip, and degradation events, in order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl LinkTrace {
+    /// Total wall-clock across `kind` stage executions (zero when the
+    /// stage did not run).
+    pub fn stage_wall(&self, kind: StageKind) -> Duration {
+        self.stages
+            .iter()
+            .filter(|s| s.kind == kind)
+            .map(|s| s.wall)
+            .sum()
+    }
+
+    /// Total wall-clock across all recorded stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+}
+
+#[allow(deprecated)]
+impl From<&LinkTrace> for LinkTiming {
+    /// The deprecated coarse view: OR/CR/ED/RT map onto
+    /// Rewrite/Retrieve/Score/Rank.
+    fn from(trace: &LinkTrace) -> Self {
+        LinkTiming {
+            or: trace.stage_wall(StageKind::Rewrite),
+            cr: trace.stage_wall(StageKind::Retrieve),
+            ed: trace.stage_wall(StageKind::Score),
+            rt: trace.stage_wall(StageKind::Rank),
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Appendix B.2 fixes the paper's pre-training hyper-parameters: noise
 //! samples 10, window 10, 10 iterations, learning rate 0.05; those are the
-//! defaults here. The objective follows word2vec (Mikolov et al. [31]):
+//! defaults here. The objective follows word2vec (Mikolov et al. \[31\]):
 //! the averaged context representation predicts the centre word against
 //! sampled noise words drawn from the unigram distribution raised to 3/4.
 

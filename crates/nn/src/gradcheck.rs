@@ -1,7 +1,7 @@
 //! Finite-difference gradient checking.
 //!
 //! A hand-written back-propagation pass (the paper's §4.2 describes the
-//! error being "progressively back-propagate[d] … to the concept encoder")
+//! error being "progressively back-propagate\[d\] … to the concept encoder")
 //! is only trustworthy if every analytic gradient matches the central
 //! finite difference `(L(θ+h) − L(θ−h)) / 2h`. This module is used by the
 //! test suites of `ncl-nn` and `ncl-core` to enforce exactly that for

@@ -73,7 +73,7 @@ pub fn load_ontology_tsv<R: BufRead>(reader: R) -> Result<Ontology, LoadError> {
             .split_once('\t')
             .ok_or(LoadError::Malformed(i + 1))?;
         let code = code.trim().to_string();
-        let desc = ncl_text::tokenizer::normalize(desc);
+        let desc = ncl_text::tokenize::normalize(desc);
         if code.is_empty() || desc.is_empty() {
             return Err(LoadError::Malformed(i + 1));
         }
@@ -140,7 +140,7 @@ pub fn load_aliases_tsv<R: BufRead>(
         let (code, alias) = trimmed
             .split_once('\t')
             .ok_or(LoadError::Malformed(i + 1))?;
-        let alias = ncl_text::tokenizer::normalize(alias);
+        let alias = ncl_text::tokenize::normalize(alias);
         match ontology.by_code(code.trim()) {
             Some(id) if !alias.is_empty() => {
                 if ontology.concept_mut(id).add_alias(alias) {

@@ -14,7 +14,8 @@
 //! bigram / prefix / suffix / shared-number / acronym features (§6.1).
 //! This crate provides all of those primitives:
 //!
-//! * [`tokenizer`] — normalisation and word splitting,
+//! * [`tokenize`](mod@tokenize) — normalisation and word splitting
+//!   (shared by the index side and the query side),
 //! * [`vocab`] — word ↔ id interning with special tokens,
 //! * [`edit_distance`] — Levenshtein and Damerau–Levenshtein distances,
 //! * [`edit_index`] — length/prefix-bucketed nearest-by-edit lookup,
@@ -27,8 +28,10 @@ pub mod edit_distance;
 pub mod edit_index;
 pub mod ngram;
 pub mod tfidf;
+pub mod tokenize;
+#[deprecated(note = "renamed to `tokenize`")]
 pub mod tokenizer;
 pub mod vocab;
 
-pub use tokenizer::tokenize;
+pub use tokenize::tokenize;
 pub use vocab::{Vocab, WordId};

@@ -545,7 +545,7 @@ fn seek(docs: &[u32], mut pos: usize, end: usize, target: u32) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::tokenizer::tokenize;
+    use crate::tokenize::tokenize;
 
     fn index() -> TfIdfIndex {
         let docs: Vec<Vec<String>> = [

@@ -1,0 +1,157 @@
+//! Normalisation and tokenisation — the **single** text-splitting path
+//! shared by Phase-I indexing ([`crate::tfidf`]) and query-side
+//! rewriting (the linker's Eq. 13 path). Keeping both sides on one
+//! module is load-bearing: if the index and the query tokenised
+//! differently, rewritten query words could miss postings they were
+//! rewritten *into*.
+//!
+//! Footnote 9 of the paper: "we have converted all the words into their
+//! lowercases, removed the special characters (e.g., ',' and ';'), and
+//! eliminated the duplicate text snippets." Clinical snippets additionally
+//! contain constructs like `fe def anemia 2' to menorrhagia` and
+//! `hypertension ef 75%`, so the tokenizer keeps alphanumeric runs
+//! (including pure numbers like the `5` in `ckd 5`, which the LR baseline's
+//! "sharing number" feature relies on) and drops everything else.
+
+/// Splits a snippet into lower-cased alphanumeric tokens.
+///
+/// A token is a maximal run of ASCII alphanumeric characters; all
+/// punctuation and other separators are treated as boundaries and removed.
+///
+/// ```
+/// use ncl_text::tokenize;
+/// assert_eq!(tokenize("Chronic kidney disease, stage 5"),
+///            vec!["chronic", "kidney", "disease", "stage", "5"]);
+/// assert_eq!(tokenize("fe def anemia 2' to menorrhagia"),
+///            vec!["fe", "def", "anemia", "2", "to", "menorrhagia"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    for ch in text.chars() {
+        if ch.is_ascii_alphanumeric() {
+            current.push(ch.to_ascii_lowercase());
+        } else if !current.is_empty() {
+            tokens.push(std::mem::take(&mut current));
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Normalises a snippet to its canonical single-spaced token form.
+///
+/// Two snippets that tokenise identically normalise identically, which is
+/// how duplicate snippets are "eliminated" (footnote 9).
+pub fn normalize(text: &str) -> String {
+    tokenize(text).join(" ")
+}
+
+/// Returns true if the token is purely numeric (`"5"`, `"75"`).
+///
+/// Used by the LR⁺ "sharing numbers" feature (§6.1) and the query
+/// generator when deciding which words may be abbreviated.
+pub fn is_number(token: &str) -> bool {
+    !token.is_empty() && token.chars().all(|c| c.is_ascii_digit())
+}
+
+/// De-duplicates a list of snippets by normalised form, preserving first
+/// occurrence order.
+pub fn dedup_snippets<S: AsRef<str>>(snippets: &[S]) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for s in snippets {
+        let norm = normalize(s.as_ref());
+        if norm.is_empty() {
+            continue;
+        }
+        if seen.insert(norm.clone()) {
+            out.push(norm);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lowercases_and_strips_punctuation() {
+        assert_eq!(
+            tokenize("Iron Deficiency Anemia, Secondary (to) Blood-Loss;"),
+            vec![
+                "iron",
+                "deficiency",
+                "anemia",
+                "secondary",
+                "to",
+                "blood",
+                "loss"
+            ]
+        );
+    }
+
+    #[test]
+    fn keeps_numbers() {
+        assert_eq!(tokenize("ckd 5"), vec!["ckd", "5"]);
+        assert_eq!(
+            tokenize("hypertension ef 75%"),
+            vec!["hypertension", "ef", "75"]
+        );
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize(" ,;:!?- ").is_empty());
+    }
+
+    #[test]
+    fn normalize_canonicalises_spacing() {
+        assert_eq!(normalize("  Acute   Abdomen !!"), "acute abdomen");
+    }
+
+    #[test]
+    fn is_number_cases() {
+        assert!(is_number("5"));
+        assert!(is_number("2024"));
+        assert!(!is_number("n18"));
+        assert!(!is_number(""));
+        assert!(!is_number("5a"));
+    }
+
+    #[test]
+    fn dedup_preserves_order_and_drops_dupes() {
+        let snippets = ["Acute abdomen", "acute ABDOMEN!", "scurvy", "Scurvy"];
+        assert_eq!(dedup_snippets(&snippets), vec!["acute abdomen", "scurvy"]);
+    }
+
+    #[test]
+    fn dedup_drops_empty() {
+        let snippets = ["--", "pain"];
+        assert_eq!(dedup_snippets(&snippets), vec!["pain"]);
+    }
+
+    proptest! {
+        /// Tokenising the normalised form reproduces the same tokens.
+        #[test]
+        fn normalize_is_idempotent(s in "[ -~]{0,64}") {
+            let once = normalize(&s);
+            let twice = normalize(&once);
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn tokens_are_lowercase_alnum(s in "[ -~]{0,64}") {
+            for tok in tokenize(&s) {
+                prop_assert!(!tok.is_empty());
+                prop_assert!(tok.chars().all(|c| c.is_ascii_alphanumeric()
+                    && !c.is_ascii_uppercase()));
+            }
+        }
+    }
+}
