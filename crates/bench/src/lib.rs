@@ -18,12 +18,14 @@
 //! | `fig13_robustness` | Figure 13(a)(b): concept-% and unlabeled-% sweeps |
 //! | `fig14_fault_tolerance` | Figure 14 (extension): degradation ladder under injected faults |
 //! | `fig15_serving_throughput` | Figure 15 (extension): queries/sec with/without the frozen concept cache |
+//! | `fig18_open_loop` | Figure 18 (extension): open-loop serving — admission control, load shedding, bounded p99 |
 //! | `run_all` | every binary in sequence |
 //!
 //! `fig15_serving_throughput` additionally drops a flat `BENCH_fig15.json`
 //! at the working directory root; `bench_gate` compares such a record
 //! against `ci/bench_baseline_fig15.json` and fails CI on a >20%
-//! throughput regression.
+//! throughput regression. `fig18_open_loop` does the same with
+//! `BENCH_fig18.json` vs `ci/bench_baseline_fig18.json`.
 //!
 //! Each binary prints paper-style tables and writes a JSON record under
 //! `results/` for `EXPERIMENTS.md`. Because the substrate is a synthetic

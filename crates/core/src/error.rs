@@ -50,6 +50,16 @@ pub enum NclError {
         /// Why the query was rejected.
         reason: String,
     },
+    /// The serving front end refused admission: the request queue was at
+    /// its hard ceiling (or an injected `frontend.queue` fault forced
+    /// the overload path). The request was **not** enqueued; callers
+    /// should back off for at least `retry_after` before resubmitting.
+    Overloaded {
+        /// Queue depth observed when admission was refused.
+        queue_depth: usize,
+        /// How long the caller should wait before retrying.
+        retry_after: Duration,
+    },
 }
 
 impl std::fmt::Display for NclError {
@@ -66,6 +76,13 @@ impl std::fmt::Display for NclError {
                 write!(f, "scoring worker panicked; {lost_jobs} job(s) lost")
             }
             Self::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            Self::Overloaded {
+                queue_depth,
+                retry_after,
+            } => write!(
+                f,
+                "serving queue overloaded (depth {queue_depth}); retry after {retry_after:?}"
+            ),
         }
     }
 }
@@ -104,7 +121,19 @@ impl NclError {
     /// conditions), as opposed to a deterministic failure that will
     /// recur until an operator intervenes.
     pub fn is_transient(&self) -> bool {
-        matches!(self, Self::Timeout { .. } | Self::WorkerPanic { .. })
+        matches!(
+            self,
+            Self::Timeout { .. } | Self::WorkerPanic { .. } | Self::Overloaded { .. }
+        )
+    }
+
+    /// The back-off hint carried by [`NclError::Overloaded`] rejections
+    /// (`None` for every other error class).
+    pub fn retry_after(&self) -> Option<Duration> {
+        match self {
+            Self::Overloaded { retry_after, .. } => Some(*retry_after),
+            _ => None,
+        }
     }
 }
 
@@ -131,6 +160,22 @@ mod tests {
         assert!(matches!(e, NclError::OntologyBuild(_)));
         assert!(!e.is_transient());
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn overloaded_carries_a_retry_hint() {
+        let e = NclError::Overloaded {
+            queue_depth: 64,
+            retry_after: Duration::from_millis(25),
+        };
+        assert!(e.is_transient(), "overload is retryable by definition");
+        assert_eq!(e.retry_after(), Some(Duration::from_millis(25)));
+        let msg = e.to_string();
+        assert!(msg.contains("64") && msg.contains("overloaded"), "{msg}");
+        assert_eq!(
+            NclError::InvalidQuery { reason: "x".into() }.retry_after(),
+            None
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@
 //! `"ed.cache"` (an I/O-style site consulted per candidate when serving
 //! from the frozen concept cache — an injected error models a cache
 //! miss, degrading that candidate to the uncached scoring path with an
-//! identical score).
+//! identical score). The serving front end adds `"frontend.queue"`
+//! (an I/O-style site consulted once per submission — an injected
+//! error forces the admission-control overload path, rejecting the
+//! request with `NclError::Overloaded` regardless of actual queue
+//! depth).
 //!
 //! Attaching a plan also disables the linker's rewrite memo: memoising
 //! out-of-vocabulary rewrites would change how many times `"or.rewrite"`

@@ -45,6 +45,7 @@ pub use linker::{
 pub use ncl_text::tfidf::RetrievalStats;
 pub use pipeline::{NclConfig, NclPipeline};
 pub use serving::{
-    CacheUse, ComAidScore, LinkTrace, RequestCtx, RewriteDecision, ScoreOutcome, ScoreRequest,
-    ScoreStage, Stage, StageKind, StageTiming, TraceEvent,
+    AdmissionRung, CacheUse, ComAidScore, Completion, Frontend, FrontendConfig, FrontendStats,
+    HistSummary, LatencyHistogram, LinkTrace, RequestCtx, RewriteDecision, ScoreOutcome,
+    ScoreRequest, ScoreStage, Stage, StageKind, StageTiming, TraceEvent,
 };

@@ -33,7 +33,7 @@ use crate::comaid::{ComAid, ConceptCache, OntologyIndex};
 use crate::error::NclError;
 use crate::faults::FaultPlan;
 use crate::serving::{
-    self, ComAidScore, LinkTrace, RewriteDecision, ScoreStage, StageKind, TraceEvent,
+    self, ComAidScore, LinkTrace, RewriteDecision, ScoreStage, StageKind, StageTiming, TraceEvent,
 };
 use ncl_embedding::NearestWords;
 use ncl_ontology::{ConceptId, Ontology};
@@ -806,6 +806,17 @@ impl<'a> Linker<'a> {
         serving::drive(self, tokens, scorer)
     }
 
+    /// Links a query under a caller-supplied [`LinkBudget`], replacing
+    /// the configured budget for this call only. This is how the
+    /// serving front end ([`crate::serving::Frontend`]) wires
+    /// per-request deadlines and shed-rung budget caps into the staged
+    /// chain without mutating the shared linker; it is equally usable
+    /// directly by callers that price requests individually
+    /// (interactive vs batch traffic).
+    pub fn link_budgeted(&self, tokens: &[String], budget: LinkBudget) -> LinkResult {
+        serving::drive_with(self, tokens, &ComAidScore::new(self), budget, Vec::new())
+    }
+
     /// Links a batch of queries, parallelising **across** queries on
     /// the persistent worker pool (single-query [`Linker::link`]
     /// parallelises within the ED phase instead). Results are
@@ -916,18 +927,40 @@ impl<'a> Linker<'a> {
         let total = candidates.len();
         let degradation = self.classify_degradation(scored, total, panicked, cr_panicked);
 
+        // Stage wall-clocks go into the trace exactly as the staged
+        // engine records them; the deprecated quadruple is *derived*
+        // from the trace (its only remaining construction site).
+        let trace = LinkTrace {
+            stages: vec![
+                StageTiming {
+                    kind: StageKind::Rewrite,
+                    wall: or,
+                },
+                StageTiming {
+                    kind: StageKind::Retrieve,
+                    wall: cr,
+                },
+                StageTiming {
+                    kind: StageKind::Score,
+                    wall: ed,
+                },
+                StageTiming {
+                    kind: StageKind::Rank,
+                    wall: rt,
+                },
+            ],
+            retrieval,
+            ..LinkTrace::default()
+        };
         #[allow(deprecated)]
         LinkResult {
             ranked,
             rewritten: rewritten.into_owned(),
             candidates,
-            timing: LinkTiming { or, cr, ed, rt },
+            timing: LinkTiming::from(&trace),
             retrieval,
             degradation,
-            trace: LinkTrace {
-                retrieval,
-                ..LinkTrace::default()
-            },
+            trace,
         }
     }
 

@@ -1,0 +1,311 @@
+//! Fixed-bucket log-scale latency histograms for the serving front end.
+//!
+//! Tail latency is the serving metric that matters ("millions of
+//! users" means the p99, not the mean), and sustaining an open-loop
+//! load test means recording **per request** must be O(1) with no
+//! allocation. [`LatencyHistogram`] is a fixed array of
+//! power-of-two-microsecond buckets: `record` is an increment, `merge`
+//! is element-wise addition (each worker loop keeps a private
+//! histogram and merges it once at loop exit — no contended lock on
+//! the serving path), and quantiles are read from the cumulative
+//! counts. The trade is resolution: a quantile comes back as its
+//! bucket's upper bound (clamped into the observed `[min, max]`
+//! range), i.e. with ≤ 2× relative error — ample for watermark tuning
+//! and regression gates, where order-of-magnitude tail blow-ups are
+//! the signal.
+
+use std::time::Duration;
+
+/// Number of buckets: bucket 0 is `[0, 1µs)`, bucket `i ≥ 1` is
+/// `[1µs·2^(i−1), 1µs·2^i)`, and the last bucket additionally absorbs
+/// everything above its lower bound (~3.8 days — nothing a serving
+/// request survives to).
+const BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂-scale histogram of durations (see module docs).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The bucket index a duration of `ns` nanoseconds falls into.
+fn bucket_index(ns: u64) -> usize {
+    let us = ns / 1_000;
+    if us == 0 {
+        return 0;
+    }
+    // 1µs → 1, [2µs,4µs) → 2, …: position of the highest set bit.
+    ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// The exclusive upper bound of bucket `i`, in nanoseconds.
+fn bucket_upper_ns(i: usize) -> u64 {
+    1_000u64 << i.min(BUCKETS - 1)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one sample. O(1), allocation-free.
+    pub fn record(&mut self, sample: Duration) {
+        let ns = u64::try_from(sample.as_nanos()).unwrap_or(u64::MAX);
+        self.counts[bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (`None` when empty).
+    pub fn min(&self) -> Option<Duration> {
+        (!self.is_empty()).then(|| Duration::from_nanos(self.min_ns))
+    }
+
+    /// Largest recorded sample (`None` when empty).
+    pub fn max(&self) -> Option<Duration> {
+        (!self.is_empty()).then(|| Duration::from_nanos(self.max_ns))
+    }
+
+    /// Mean of the recorded samples, exact over the nanosecond sums
+    /// (`None` when empty).
+    pub fn mean(&self) -> Option<Duration> {
+        (!self.is_empty()).then(|| {
+            let ns = self.sum_ns / u128::from(self.count);
+            Duration::from_nanos(u64::try_from(ns).unwrap_or(u64::MAX))
+        })
+    }
+
+    /// The `q`-quantile (`q` clamped into `[0, 1]`) by the
+    /// nearest-rank rule: the value reported is the upper bound of the
+    /// bucket holding the rank-⌈q·n⌉ sample, clamped into
+    /// `[min, max]` — so a single-sample histogram answers every
+    /// quantile exactly, and no quantile can leave the observed range.
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let estimate = bucket_upper_ns(i).clamp(self.min_ns, self.max_ns);
+                return Some(Duration::from_nanos(estimate));
+            }
+        }
+        // Unreachable: `seen` reaches `count ≥ rank` over all buckets.
+        Some(Duration::from_nanos(self.max_ns))
+    }
+
+    /// Element-wise accumulation of `other` into `self`. Merging
+    /// per-worker histograms is **exactly** equivalent to having
+    /// recorded every sample into one pooled histogram: counts, sums,
+    /// min/max, and therefore every quantile estimate agree bit for
+    /// bit (asserted in the tests).
+    pub fn merge(&mut self, other: &Self) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// The raw per-bucket counts (fixed length; bucket bounds as in
+    /// the module docs). Exposed for tests and debugging dumps.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The p50/p95/p99 roll-up used by `FrontendStats`.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            mean: self.mean().unwrap_or(Duration::ZERO),
+            p50: self.quantile(0.50).unwrap_or(Duration::ZERO),
+            p95: self.quantile(0.95).unwrap_or(Duration::ZERO),
+            p99: self.quantile(0.99).unwrap_or(Duration::ZERO),
+            max: self.max().unwrap_or(Duration::ZERO),
+        }
+    }
+}
+
+/// A point-in-time quantile roll-up of one [`LatencyHistogram`]
+/// (durations are zero when the histogram was empty).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Median (bucket upper bound, clamped — see
+    /// [`LatencyHistogram::quantile`]).
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Largest sample.
+    pub max: Duration,
+}
+
+impl std::fmt::Display for HistSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3}ms p50={:.3}ms p95={:.3}ms p99={:.3}ms max={:.3}ms",
+            self.count,
+            self.mean.as_secs_f64() * 1e3,
+            self.p50.as_secs_f64() * 1e3,
+            self.p95.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.max.as_secs_f64() * 1e3,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99, Duration::ZERO);
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile_exactly() {
+        let mut h = LatencyHistogram::new();
+        h.record(us(137));
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(us(137)), "q={q}");
+        }
+        assert_eq!(h.min(), Some(us(137)));
+        assert_eq!(h.max(), Some(us(137)));
+        assert_eq!(h.mean(), Some(us(137)));
+    }
+
+    #[test]
+    fn bucket_boundary_values_land_in_the_upper_bucket() {
+        // Exactly 1µs: first bucket with a nonzero lower bound.
+        assert_eq!(bucket_index(1_000), 1);
+        // One below the boundary stays in the lower bucket.
+        assert_eq!(bucket_index(999), 0);
+        assert_eq!(bucket_index(1_999), 1);
+        // Powers of two advance buckets at exactly the boundary.
+        assert_eq!(bucket_index(2_000), 2);
+        assert_eq!(bucket_index(4_000), 3);
+        assert_eq!(bucket_index(4_000_000), 12); // 4ms ∈ [2.048ms, 4.096ms)
+                                                 // The overflow bucket absorbs the absurd.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        // Bucket bounds are consistent: each value sits under its
+        // bucket's upper bound and at/above the previous one's.
+        for ns in [1_000u64, 1_999, 2_000, 65_000, 1_000_000] {
+            let i = bucket_index(ns);
+            assert!(ns < bucket_upper_ns(i), "ns={ns} i={i}");
+            if i > 0 {
+                assert!(ns >= bucket_upper_ns(i - 1), "ns={ns} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_stay_within_observed_range_and_bucket_error() {
+        let mut h = LatencyHistogram::new();
+        // 3 fast samples, 1 slow: p50 must report from the fast bucket.
+        for _ in 0..3 {
+            h.record(us(100));
+        }
+        h.record(us(10_000));
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 >= us(100) && p50 <= us(128 * 2), "p50={p50:?}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert_eq!(p99, us(10_000), "clamped to the observed max");
+        assert_eq!(h.quantile(1.0), Some(us(10_000)));
+    }
+
+    #[test]
+    fn merge_of_per_worker_histograms_equals_pooled() {
+        // Deterministic pseudo-random samples, sharded across three
+        // "workers" exactly as the front end shards by serving worker.
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state % 2_000_000 // up to 2ms, spanning many buckets
+        };
+        let mut pooled = LatencyHistogram::new();
+        let mut workers = vec![LatencyHistogram::new(); 3];
+        for i in 0..1_000 {
+            let sample = Duration::from_nanos(next());
+            pooled.record(sample);
+            workers[i % 3].record(sample);
+        }
+        let mut merged = LatencyHistogram::new();
+        for w in &workers {
+            merged.merge(w);
+        }
+        assert_eq!(merged.count(), pooled.count());
+        assert_eq!(merged.bucket_counts(), pooled.bucket_counts());
+        assert_eq!(merged.min(), pooled.min());
+        assert_eq!(merged.max(), pooled.max());
+        assert_eq!(merged.mean(), pooled.mean());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            assert_eq!(merged.quantile(q), pooled.quantile(q), "q={q}");
+        }
+        assert_eq!(merged.summary(), pooled.summary());
+    }
+
+    #[test]
+    fn zero_duration_lands_in_bucket_zero() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.bucket_counts()[0], 1);
+        assert_eq!(h.quantile(0.5), Some(Duration::ZERO));
+    }
+}

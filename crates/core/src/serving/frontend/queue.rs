@@ -1,0 +1,208 @@
+//! The hand-rolled bounded MPMC queue behind the serving front end.
+//!
+//! Any number of submitters `try_push` (non-blocking — a full or closed
+//! queue is a *rejection*, which is the whole point of admission
+//! control) and any number of worker loops `pop` (blocking — workers
+//! park on a condvar until a request or a close arrives). `close`
+//! wakes every parked worker; once the queue is both closed and
+//! drained, `pop` returns `None` and the worker loops terminate. No
+//! allocation happens per operation beyond the `VecDeque`'s amortised
+//! growth up to the fixed capacity.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a `try_push` was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum PushError {
+    /// The queue held `capacity` items — the hard admission ceiling.
+    Full {
+        /// The depth observed at rejection time (== capacity).
+        depth: usize,
+    },
+    /// The queue is closed (no serve loop is draining it).
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer/multi-consumer queue (see module docs).
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signalled on push and on close; only poppers wait.
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1),
+    /// created open.
+    pub(crate) fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The hard ceiling.
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (a snapshot — concurrent pushes/pops move it).
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Enqueues `item` unless the queue is full or closed. Never
+    /// blocks; on success returns the depth *after* insertion. The
+    /// rejected item is dropped with the error — admission control has
+    /// no use for it.
+    pub(crate) fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full {
+                depth: inner.items.len(),
+            });
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is open but
+    /// empty. Returns `None` once the queue is closed **and** drained —
+    /// the worker-loop termination signal.
+    pub(crate) fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: pending items remain poppable, new pushes are
+    /// refused, and every parked popper wakes (to drain or terminate).
+    pub(crate) fn close(&self) {
+        self.inner.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Reopens a closed queue (the front end reuses one queue across
+    /// consecutive serve windows).
+    pub(crate) fn open(&self) {
+        self.inner.lock().expect("queue poisoned").closed = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        for i in 0..4 {
+            assert_eq!(q.try_push(i), Ok(i + 1));
+        }
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.try_push(99), Err(PushError::Full { depth: 4 }));
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn closed_queue_refuses_pushes_and_drains() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "closed + drained terminates poppers");
+        q.open();
+        assert_eq!(q.try_push(4), Ok(1));
+    }
+
+    #[test]
+    fn capacity_clamps_to_one() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(7).unwrap();
+        assert!(matches!(q.try_push(8), Err(PushError::Full { depth: 1 })));
+    }
+
+    #[test]
+    fn mpmc_every_item_popped_exactly_once() {
+        let q = BoundedQueue::new(1024);
+        let popped = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        let (q, popped, sum) = (&q, &popped, &sum);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while let Some(v) = q.pop() {
+                        popped.fetch_add(1, Ordering::Relaxed);
+                        sum.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            let producers: Vec<_> = (0..2)
+                .map(|t| {
+                    s.spawn(move || {
+                        for i in 0..100 {
+                            q.try_push(t * 100 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            // Producers finish, then close releases the consumers.
+            for p in producers {
+                p.join().unwrap();
+            }
+            while q.len() > 0 {
+                std::thread::yield_now();
+            }
+            q.close();
+        });
+        assert_eq!(popped.load(Ordering::Relaxed), 200);
+        assert_eq!(sum.load(Ordering::Relaxed), (0..200).sum::<usize>());
+    }
+
+    #[test]
+    fn pop_blocks_until_push_or_close() {
+        let q = BoundedQueue::new(2);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| q.pop());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.try_push(42).unwrap();
+            assert_eq!(h.join().unwrap(), Some(42));
+            let h = s.spawn(|| q.pop());
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            q.close();
+            assert_eq!(h.join().unwrap(), None);
+        });
+    }
+}

@@ -37,9 +37,17 @@
 //! attached [`crate::faults::FaultPlan`] interleave across queries —
 //! deterministic fault replay is only meaningful for serial query
 //! streams (single-query `link`, or batches on a single worker).
+//!
+//! On top of the chain sits the open-loop serving front end
+//! ([`frontend`], DESIGN.md §13): a bounded request queue with
+//! watermark-driven admission control that pre-degrades or rejects
+//! requests under load, per-request deadlines wired into the
+//! [`crate::linker::LinkBudget`], and log-scale latency histograms
+//! rolling up p50/p95/p99 per stage and end-to-end.
 
 mod batch;
 mod ctx;
+pub mod frontend;
 mod rank;
 mod retrieve;
 mod rewrite;
@@ -47,13 +55,17 @@ mod score;
 mod trace;
 
 pub use ctx::RequestCtx;
+pub use frontend::{
+    AdmissionRung, Completion, Frontend, FrontendConfig, FrontendStats, HistSummary,
+    LatencyHistogram,
+};
 pub use score::{ComAidScore, ScoreOutcome, ScoreRequest, ScoreStage};
 pub use trace::{CacheUse, LinkTrace, RewriteDecision, StageKind, StageTiming, TraceEvent};
 
 pub(crate) use batch::{link_batch, try_link_batch};
 pub(crate) use rank::classify_degradation;
 
-use crate::linker::{LinkResult, Linker};
+use crate::linker::{LinkBudget, LinkResult, Linker};
 use std::time::Instant;
 
 /// One stage of the serving chain. Stages are stateless between
@@ -69,8 +81,26 @@ pub trait Stage {
 /// Drives one request through the four-stage chain with the given
 /// Phase-II scorer, timing each stage into the trace.
 pub(crate) fn drive(linker: &Linker<'_>, tokens: &[String], scorer: &dyn ScoreStage) -> LinkResult {
+    drive_with(linker, tokens, scorer, linker.config().budget, Vec::new())
+}
+
+/// [`drive`] with a caller-supplied [`LinkBudget`] override and trace
+/// preamble. The override is how the front end wires per-request
+/// deadlines (the remaining admission budget) and shed-rung budget caps
+/// into the chain without mutating the shared linker; the preamble
+/// carries admission-time [`TraceEvent`]s (shedding decisions, queue
+/// deadline expiry) so they appear in the unified trace *before* any
+/// stage event, preserving event order.
+pub(crate) fn drive_with(
+    linker: &Linker<'_>,
+    tokens: &[String],
+    scorer: &dyn ScoreStage,
+    budget: LinkBudget,
+    preamble: Vec<TraceEvent>,
+) -> LinkResult {
     let start = Instant::now();
-    let mut ctx = RequestCtx::new(tokens, linker.config().budget, linker.faults.clone(), start);
+    let mut ctx = RequestCtx::new(tokens, budget, linker.faults.clone(), start);
+    ctx.trace.events = preamble;
     let rewrite = rewrite::Rewrite { linker };
     let retrieve = retrieve::Retrieve { linker };
     let score = score::Score { scorer };

@@ -80,6 +80,24 @@ pub enum TraceEvent {
         /// The final degradation classification.
         degradation: Degradation,
     },
+    /// The serving front end pre-degraded this request at admission:
+    /// the observed queue depth had crossed a shedding watermark, so
+    /// the request entered the pipeline on a lower rung of the PR-1
+    /// degradation ladder before any stage ran. Always the trace's
+    /// first event (the front end records it as a preamble).
+    Shed {
+        /// Queue depth observed at admission time.
+        depth: usize,
+        /// The rung the request was admitted at.
+        rung: super::frontend::AdmissionRung,
+    },
+    /// The per-request deadline expired while the request was still
+    /// waiting in the front-end queue; it was served with a zero
+    /// remaining total budget (Phase-I answer only).
+    QueuedPastDeadline {
+        /// How long the request waited before a worker picked it up.
+        queued: Duration,
+    },
 }
 
 /// One query-rewriting decision (Eq. 13 with edit-distance fallback).

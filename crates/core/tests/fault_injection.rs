@@ -344,6 +344,150 @@ fn injected_cache_misses_fall_back_with_identical_scores() {
     );
 }
 
+/// The `frontend.queue` site: an injected I/O fault at admission
+/// forces the overload path, so every submission is rejected with the
+/// typed, transient [`NclError::Overloaded`] carrying a retry hint —
+/// regardless of actual queue depth (the inline front end's queue
+/// never holds anything).
+#[test]
+fn frontend_queue_fault_forces_typed_overload_rejection() {
+    use ncl_core::serving::{Frontend, FrontendConfig};
+    let (o, model) = trained_world();
+    let plan = Arc::new(FaultPlan::new(3).with_rule("frontend.queue", FaultKind::Io, 1.0));
+    let linker = Linker::new(&model, &o, LinkerConfig::default()).with_faults(Arc::clone(&plan));
+    let fe = Frontend::new(
+        &linker,
+        FrontendConfig {
+            workers: 0,
+            retry_after: Duration::from_millis(7),
+            ..FrontendConfig::default()
+        },
+    );
+    for q in QUERIES {
+        let err = fe
+            .submit(ncl_text::tokenize(q))
+            .expect_err("every admission must be refused under the fault");
+        match err {
+            NclError::Overloaded {
+                queue_depth,
+                retry_after,
+            } => {
+                assert_eq!(queue_depth, 0, "inline mode never queues");
+                assert_eq!(retry_after, Duration::from_millis(7));
+            }
+            e => panic!("expected Overloaded, got {e:?}"),
+        }
+        assert!(err.is_transient());
+        assert_eq!(err.retry_after(), Some(Duration::from_millis(7)));
+    }
+    let stats = fe.stats();
+    assert_eq!(stats.submitted, QUERIES.len() as u64);
+    assert_eq!(stats.rejected, QUERIES.len() as u64);
+    assert_eq!(stats.completed, 0);
+    assert!(plan.fired() > 0, "the frontend.queue site must fire");
+}
+
+/// `try_link_batch` with the deadline expiring mid-batch: every
+/// position must come back either as a typed error (validation) or as
+/// a well-formed answer carrying an accurate `Degradation` marker —
+/// no position may silently look like a full answer.
+#[test]
+fn try_link_batch_deadline_mid_batch_marks_every_result() {
+    let (o, model) = trained_world();
+    let cfg = LinkerConfig {
+        threads: 1, // serial: the injected delays hit every query's clock
+        budget: LinkBudget::with_total(Duration::from_millis(4)),
+        ..LinkerConfig::default()
+    };
+    let linker = Linker::new(&model, &o, cfg).with_faults(Arc::new(FaultPlan::delays(
+        2,
+        "ed.score",
+        1.0,
+        Duration::from_millis(6),
+    )));
+    // Valid queries interleaved with an invalid (empty) one.
+    let mut queries: Vec<Vec<String>> = QUERIES.iter().map(|q| ncl_text::tokenize(q)).collect();
+    queries.insert(2, Vec::new());
+    let results = linker.try_link_batch(&queries);
+    assert_eq!(results.len(), queries.len(), "positionally aligned");
+    for (i, (q, r)) in queries.iter().zip(&results).enumerate() {
+        match r {
+            Err(e) => {
+                assert!(q.is_empty(), "only the empty query errors (pos {i})");
+                assert!(matches!(e, NclError::InvalidQuery { .. }));
+            }
+            Ok(res) => {
+                check_well_formed(res);
+                // 6ms of injected delay per scored candidate against a
+                // 4ms total budget: any multi-candidate answer must be
+                // cut off and say so.
+                if res.candidates.len() > 1 {
+                    assert!(
+                        res.is_degraded(),
+                        "pos {i}: mid-batch deadline must be marked, got {:?}",
+                        res.degradation
+                    );
+                    assert!(matches!(
+                        res.degradation,
+                        Degradation::PartialEd {
+                            reason: DegradeReason::Timeout { .. },
+                            ..
+                        } | Degradation::TfIdfOnly {
+                            reason: DegradeReason::Timeout { .. },
+                        }
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        results
+            .iter()
+            .any(|r| r.as_ref().is_ok_and(|res| res.is_degraded())),
+        "the sweep must actually produce degraded answers"
+    );
+}
+
+/// A request whose per-request deadline expired while it sat in the
+/// front-end queue is still served — as a Phase-I-only answer with
+/// the `QueuedPastDeadline` event in its trace — never dropped.
+#[test]
+fn deadline_expired_in_queue_serves_phase_one_only() {
+    use ncl_core::serving::{Frontend, FrontendConfig, TraceEvent};
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    let fe = Frontend::new(
+        &linker,
+        FrontendConfig {
+            workers: 0,
+            // A zero deadline is always past by the time a worker (here
+            // the caller itself) picks the request up.
+            deadline: Some(Duration::ZERO),
+            ..FrontendConfig::default()
+        },
+    );
+    fe.submit(ncl_text::tokenize("ckd stage 5")).unwrap();
+    let completions = fe.take_completions();
+    assert_eq!(completions.len(), 1);
+    let res = &completions[0].result;
+    check_well_formed(res);
+    assert!(!res.candidates.is_empty(), "Phase I still ran");
+    assert!(matches!(
+        res.degradation,
+        Degradation::TfIdfOnly {
+            reason: DegradeReason::Timeout { .. }
+        }
+    ));
+    assert!(
+        res.trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::QueuedPastDeadline { .. })),
+        "the queue-expiry must be visible in the trace"
+    );
+    assert_eq!(fe.stats().queued_past_deadline, 1);
+}
+
 /// Determinism of the harness itself: the same seed yields the same
 /// degradation pattern across runs.
 #[test]

@@ -1,0 +1,282 @@
+//! Integration tests for the open-loop serving front end (ISSUE 6):
+//! admission accounting under sustained bursts, shed-rung trace
+//! events, stats coherence, and the inline (workers = 0) mode's
+//! equivalence to direct linking.
+
+use ncl_core::comaid::{ComAid, ComAidConfig, OntologyIndex, TrainPair, Variant};
+use ncl_core::linker::{Linker, LinkerConfig};
+use ncl_core::serving::{AdmissionRung, Frontend, FrontendConfig, TraceEvent};
+use ncl_core::{FaultKind, FaultPlan};
+use ncl_ontology::Ontology;
+use ncl_text::{tokenize, Vocab};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The same small trained world the fault-injection suite uses: two
+/// ICD-style families with aliases, several candidates per query.
+fn trained_world() -> (Ontology, ComAid) {
+    let mut b = ncl_ontology::OntologyBuilder::new();
+    let n18 = b.add_root_concept("N18", "chronic kidney disease");
+    let n185 = b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+    let n189 = b.add_child(n18, "N18.9", "chronic kidney disease unspecified");
+    let r10 = b.add_root_concept("R10", "abdominal pain");
+    let r100 = b.add_child(r10, "R10.0", "acute abdomen");
+    let r109 = b.add_child(r10, "R10.9", "unspecified abdominal pain");
+    b.add_alias(n185, "ckd stage 5");
+    b.add_alias(n185, "renal disease stage 5");
+    b.add_alias(n189, "ckd unspecified");
+    b.add_alias(r100, "acute abdominal syndrome");
+    b.add_alias(r109, "abdomen pain");
+    let o = b.build().unwrap();
+
+    let mut vocab = Vocab::new();
+    let mut pairs = Vec::new();
+    for (_, c) in o.iter() {
+        for t in tokenize(&c.canonical) {
+            vocab.add(&t);
+        }
+        for alias in &c.aliases {
+            for t in tokenize(alias) {
+                vocab.add(&t);
+            }
+        }
+    }
+    for (id, c) in o.iter() {
+        for alias in &c.aliases {
+            pairs.push(TrainPair {
+                concept: id,
+                target: tokenize(alias)
+                    .iter()
+                    .map(|t| vocab.get_or_unk(t))
+                    .collect(),
+            });
+        }
+        pairs.push(TrainPair {
+            concept: id,
+            target: tokenize(&c.canonical)
+                .iter()
+                .map(|t| vocab.get_or_unk(t))
+                .collect(),
+        });
+    }
+    let config = ComAidConfig {
+        dim: 10,
+        beta: 2,
+        variant: Variant::Full,
+        epochs: 15,
+        lr: 0.3,
+        lr_decay: 0.97,
+        batch_size: 4,
+        seed: 5,
+        ..ComAidConfig::default()
+    };
+    let mut model = ComAid::new(vocab, config, None);
+    let index = OntologyIndex::build(&o, model.vocab(), 2);
+    model.fit(&index, &pairs);
+    (o, model)
+}
+
+const QUERIES: &[&str] = &[
+    "ckd stage 5",
+    "abdominal pain",
+    "renal disease stage 5",
+    "unspecified disease",
+    "acute abdominal syndrome",
+];
+
+/// Inline mode (workers = 0, no deadline, depth always 0) must be a
+/// plain synchronous linker: every completion bit-identical to
+/// `Linker::link`, all on the Full rung, nothing shed or rejected.
+#[test]
+fn inline_frontend_is_bit_identical_to_direct_link() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    let fe = Frontend::new(
+        &linker,
+        FrontendConfig {
+            workers: 0,
+            deadline: None,
+            ..FrontendConfig::default()
+        },
+    );
+    for q in QUERIES {
+        fe.submit(tokenize(q)).unwrap();
+    }
+    let completions = fe.take_completions();
+    assert_eq!(completions.len(), QUERIES.len());
+    for (q, c) in QUERIES.iter().zip(&completions) {
+        assert_eq!(c.rung, AdmissionRung::Full);
+        let direct = linker.link_text(q);
+        assert_eq!(c.result.rewritten, direct.rewritten, "q={q}");
+        assert_eq!(c.result.candidates, direct.candidates, "q={q}");
+        assert_eq!(c.result.ranked_ids(), direct.ranked_ids(), "q={q}");
+        for (&(_, sa), &(_, sb)) in c.result.ranked.iter().zip(&direct.ranked) {
+            assert_eq!(sa.to_bits(), sb.to_bits(), "scores must be bit-identical");
+        }
+        assert_eq!(c.result.degradation, direct.degradation, "q={q}");
+        assert!(
+            !c.result
+                .trace
+                .events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Shed { .. })),
+            "nothing sheds at depth 0"
+        );
+    }
+    let stats = fe.stats();
+    assert_eq!(stats.submitted, QUERIES.len() as u64);
+    assert_eq!(stats.completed, QUERIES.len() as u64);
+    assert_eq!(stats.admitted_full, QUERIES.len() as u64);
+    assert_eq!(stats.rejected, 0);
+    assert_eq!(stats.admitted_partial + stats.admitted_shed, 0);
+    assert_eq!(stats.e2e.count, QUERIES.len() as u64);
+}
+
+/// A sustained burst far past the queue's hard ceiling: submissions
+/// must split exactly into completions and typed rejections (nothing
+/// lost, nothing double-counted), every completion must be
+/// well-formed, and every request admitted on a degraded rung must
+/// carry the `Shed` event as the *first* entry of its trace.
+#[test]
+fn sustained_burst_sheds_rejects_and_accounts_for_everything() {
+    let (o, model) = trained_world();
+    // Slow serving down deterministically so the submit loop outruns
+    // the drain: every scored candidate pays a 2ms injected delay.
+    let plan = Arc::new(FaultPlan::new(11).with_rule(
+        "ed.score",
+        FaultKind::Delay(Duration::from_millis(2)),
+        1.0,
+    ));
+    let linker = Linker::new(&model, &o, LinkerConfig::default()).with_faults(plan);
+    let fe = Frontend::new(
+        &linker,
+        FrontendConfig {
+            queue_capacity: 4,
+            degrade_watermark: 1,
+            shed_watermark: 2,
+            deadline: None,
+            workers: 2,
+            ..FrontendConfig::default()
+        },
+    );
+    const N: usize = 40;
+    let mut rejected_ids = 0u64;
+    fe.serve(|| {
+        for i in 0..N {
+            match fe.submit(tokenize(QUERIES[i % QUERIES.len()])) {
+                Ok(_) => {}
+                Err(e) => {
+                    assert!(e.is_transient(), "overload must be transient: {e}");
+                    assert!(e.retry_after().is_some(), "rejection carries a hint");
+                    rejected_ids += 1;
+                }
+            }
+        }
+    });
+    let stats = fe.stats();
+    let completions = fe.take_completions();
+    assert_eq!(stats.submitted, N as u64);
+    assert_eq!(stats.rejected, rejected_ids, "counter matches caller view");
+    assert_eq!(
+        stats.completed + stats.rejected,
+        N as u64,
+        "every submission completes or is rejected — none lost"
+    );
+    assert_eq!(completions.len() as u64, stats.completed);
+    assert_eq!(
+        stats.admitted_full + stats.admitted_partial + stats.admitted_shed,
+        stats.completed,
+        "admission rung counters cover exactly the admitted requests"
+    );
+    assert!(
+        stats.rejected > 0,
+        "a 40-deep burst into a capacity-4 queue must reject"
+    );
+    assert!(
+        stats.admitted_partial + stats.admitted_shed > 0,
+        "watermarks at 1/2 must pre-degrade under this burst"
+    );
+    assert!(stats.shed_fraction() > 0.0);
+    for c in &completions {
+        // Structural sanity: the ranking is a permutation of the
+        // retrieved candidates.
+        let mut ranked = c.result.ranked_ids();
+        let mut cands = c.result.candidates.clone();
+        ranked.sort();
+        cands.sort();
+        assert_eq!(ranked, cands);
+        match c.rung {
+            AdmissionRung::Full => {
+                assert!(!c
+                    .result
+                    .trace
+                    .events
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::Shed { .. })));
+            }
+            rung => match c.result.trace.events.first() {
+                Some(&TraceEvent::Shed {
+                    rung: traced_rung, ..
+                }) => {
+                    assert_eq!(traced_rung, rung, "trace rung matches the admission");
+                }
+                other => panic!("shed admission must lead with Shed, got {other:?}"),
+            },
+        }
+        if c.rung == AdmissionRung::TfIdfOnly {
+            assert!(
+                c.result.is_degraded(),
+                "a shed-rung completion must be marked degraded"
+            );
+        }
+    }
+    // Histogram coherence: workers merged their private sets at loop
+    // exit, so every completion is in every latency roll-up.
+    assert_eq!(stats.e2e.count, stats.completed);
+    assert_eq!(stats.queue_wait.count, stats.completed);
+    for s in [&stats.rewrite, &stats.retrieve, &stats.score, &stats.rank] {
+        assert_eq!(s.count, stats.completed, "all four stages always run");
+    }
+    assert!(stats.e2e.p50 <= stats.e2e.p95 && stats.e2e.p95 <= stats.e2e.p99);
+    assert!(stats.e2e.p99 <= stats.e2e.max);
+}
+
+/// The queue reopens across serve windows: a second `serve` call on
+/// the same front end keeps admitting and completing.
+#[test]
+fn serve_windows_can_be_repeated() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    let fe = Frontend::new(
+        &linker,
+        FrontendConfig {
+            workers: 1,
+            deadline: None,
+            ..FrontendConfig::default()
+        },
+    );
+    for window in 1..=2u64 {
+        fe.serve(|| {
+            for q in QUERIES {
+                fe.submit(tokenize(q)).unwrap();
+            }
+        });
+        let stats = fe.stats();
+        assert_eq!(stats.completed, window * QUERIES.len() as u64);
+        assert_eq!(stats.rejected, 0);
+    }
+    assert_eq!(fe.take_completions().len(), 2 * QUERIES.len());
+}
+
+/// Outside a serve window the queue is closed, so (with workers
+/// configured) submissions are refused as overload rather than
+/// silently parked where nothing will ever drain them.
+#[test]
+fn submit_outside_a_serve_window_is_rejected() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    let fe = Frontend::new(&linker, FrontendConfig::default());
+    let err = fe.submit(tokenize("ckd stage 5")).unwrap_err();
+    assert!(matches!(err, ncl_core::NclError::Overloaded { .. }));
+    assert_eq!(fe.stats().rejected, 1);
+}
