@@ -16,6 +16,7 @@ fn main() {
         "fig13_robustness",
         "fig14_fault_tolerance",
         "fig15_serving_throughput",
+        "fig16_kernels",
         "fig18_open_loop",
     ];
     let exe_dir = std::env::current_exe()

@@ -23,11 +23,34 @@
 //!   [`ConceptCache::is_valid_for`] and falls back to the uncached path.
 
 use super::{ComAid, OntologyIndex};
+use ncl_nn::lstm::LstmPlan;
 use ncl_nn::softmax_loss;
 use ncl_ontology::ConceptId;
-use ncl_tensor::ops::{log_softmax_at_slice, log_sum_exp_slice};
+use ncl_tensor::ops::{log_softmax_at_slice, log_softmax_at_slice_relaxed, log_sum_exp_slice};
 use ncl_tensor::{Matrix, Vector};
 use ncl_text::Vocab;
+
+/// SIMD-friendly weight layouts frozen alongside the per-concept states:
+/// the decoder's fused gate plan plus the transposed composite and output
+/// weights, so every online decoder step streams contiguous columns
+/// ([`LstmPlan::step_infer`], `Dense::apply_with_t`/`apply_batch_with_t`)
+/// instead of re-walking row-major matrices. Derived data at the same
+/// parameter generation as the rest of the cache — the version counter
+/// covers it.
+#[derive(Debug, Clone)]
+struct ServePlan {
+    decoder: LstmPlan,
+    composite_wt: Matrix,
+    output_wt: Matrix,
+}
+
+impl ServePlan {
+    fn memory_floats(&self) -> usize {
+        self.decoder.memory_floats()
+            + self.composite_wt.rows() * self.composite_wt.cols()
+            + self.output_wt.rows() * self.output_wt.cols()
+    }
+}
 
 /// Precomputed per-concept encoder state, frozen at a specific parameter
 /// generation. Index-aligned with the [`OntologyIndex`] it was built
@@ -64,6 +87,12 @@ pub struct ConceptCache {
     /// ([`ncl_tensor::ops::log_sum_exp_slice`]), so the step-0 log-prob
     /// `logits[w] − lse` is bit-identical to `log_softmax(logits)[w]`.
     step0_lse: Vec<f32>,
+    /// Transposed/fused weight layouts for the online decoder steps.
+    plan: ServePlan,
+    /// Whether cached scoring may use the epsilon-relaxed fast-math
+    /// kernels (`LinkerConfig::fast_math`). Off by default: exact,
+    /// bit-identical scoring.
+    fast_math: bool,
 }
 
 impl ConceptCache {
@@ -88,11 +117,27 @@ impl ConceptCache {
         self.enc_hs.is_empty()
     }
 
+    /// Enables or disables the epsilon-relaxed fast-math serving kernels
+    /// for scores computed through this cache (relaxed attention dots and
+    /// polynomial log-sum-exp). Off by default; when off, cached scores
+    /// are bit-identical to the uncached path. [`crate::Linker::new`]
+    /// sets this from `LinkerConfig::fast_math`.
+    pub fn set_fast_math(&mut self, enabled: bool) {
+        self.fast_math = enabled;
+    }
+
+    /// Whether fast-math scoring is enabled (see
+    /// [`ConceptCache::set_fast_math`]).
+    pub fn fast_math(&self) -> bool {
+        self.fast_math
+    }
+
     /// Total cache footprint in `f32`s:
     /// `Σ_c (n_c + 3 + β_c) · d  +  |C| · (|V| + 1)` — the per-token
     /// encoder states, the final cell, the slot-expanded ancestor
     /// memory, the frozen post-BOS decoder state (2·d), and the frozen
-    /// step-0 logits with their log-sum-exp denominator.
+    /// step-0 logits with their log-sum-exp denominator — plus the
+    /// transposed/fused weight plan the decoder steps stream from.
     pub fn memory_floats(&self) -> usize {
         let vectors = self.enc_hs.iter().map(Vec::len).sum::<usize>()
             + self.enc_final_c.len()
@@ -102,6 +147,7 @@ impl ConceptCache {
         vectors * self.dim
             + self.step0_logits.iter().map(Vector::len).sum::<usize>()
             + self.step0_lse.len()
+            + self.plan.memory_floats()
     }
 }
 
@@ -114,12 +160,21 @@ impl ComAid {
         let d = self.config().dim;
         let zero = Vector::zeros(d);
         let n = index.len();
+        // Fused/transposed layouts: the encoder plan only lives for the
+        // freeze pass (nothing decodes through the encoder online), the
+        // decoder/composite/output plan is kept for every online step.
+        let enc_plan = self.encoder.plan();
+        let plan = ServePlan {
+            decoder: self.decoder.plan(),
+            composite_wt: self.composite.weight_t(),
+            output_wt: self.output.weight_t(),
+        };
         let mut enc_hs = Vec::with_capacity(n);
         let mut enc_final_c = Vec::with_capacity(n);
         for i in 0..n {
             let id = ConceptId(i as u32);
             let xs = self.embedding.lookup_seq(index.tokens(id));
-            let (hs, final_c) = self.encoder.forward_states(&xs, &zero, &zero);
+            let (hs, final_c) = enc_plan.forward_states(&xs, &zero, &zero);
             enc_hs.push(hs);
             enc_final_c.push(final_c);
         }
@@ -159,9 +214,13 @@ impl ComAid {
         let mut step0_lse = Vec::with_capacity(n);
         for i in 0..n {
             let h0 = enc_hs[i].last().cloned().unwrap_or_else(|| zero.clone());
-            let (h1, c1) = self.decoder.step_infer(&x_bos, &h0, &enc_final_c[i]);
-            let comp_in = self.composite_input_cached(&h1, &enc_hs[i], &struct_memory[i], &zero);
-            let logits = self.output.apply(&self.composite.apply(&comp_in));
+            let (h1, c1) = plan.decoder.step_infer(&x_bos, &h0, &enc_final_c[i]);
+            // Frozen tables are always exact (relaxed = false): fast-math
+            // only perturbs per-query reads, never the cache contents.
+            let comp_in =
+                self.composite_input_cached(&h1, &enc_hs[i], &struct_memory[i], &zero, false);
+            let s_tilde = self.composite.apply_with_t(&comp_in, &plan.composite_wt);
+            let logits = self.output.apply_with_t(&s_tilde, &plan.output_wt);
             step0_lse.push(log_sum_exp_slice(logits.as_slice()));
             step0_logits.push(logits);
             dec_h1.push(h1);
@@ -177,6 +236,8 @@ impl ComAid {
             dec_c1,
             step0_logits,
             step0_lse,
+            plan,
+            fast_math: false,
         }
     }
 
@@ -214,8 +275,9 @@ impl ComAid {
             let word = target.first().copied().unwrap_or(Vocab::EOS) as usize;
             lp += cache.step0_logits[ci][word] - cache.step0_lse[ci];
         }
+        let relaxed = cache.fast_math;
         for (t, dec_x) in dec_xs.iter().enumerate().skip(1) {
-            let (nh, nc) = self.decoder.step_infer(dec_x, &h, &c);
+            let (nh, nc) = cache.plan.decoder.step_infer(dec_x, &h, &c);
             h = nh;
             c = nc;
             // The EOS step (t == target.len()) is always counted.
@@ -228,10 +290,16 @@ impl ComAid {
                 continue;
             }
             let word = target.get(t).copied().unwrap_or(Vocab::EOS) as usize;
-            let comp_in = self.composite_input_cached(&h, enc_hs, struct_mem, &zero);
-            let s_tilde = self.composite.apply(&comp_in);
-            let logits = self.output.apply(&s_tilde);
-            lp += softmax_loss::log_prob(&logits, word);
+            let comp_in = self.composite_input_cached(&h, enc_hs, struct_mem, &zero, relaxed);
+            let s_tilde = self
+                .composite
+                .apply_with_t(&comp_in, &cache.plan.composite_wt);
+            let logits = self.output.apply_with_t(&s_tilde, &cache.plan.output_wt);
+            lp += if relaxed {
+                softmax_loss::log_prob_relaxed(&logits, word)
+            } else {
+                softmax_loss::log_prob(&logits, word)
+            };
         }
         lp
     }
@@ -289,10 +357,11 @@ impl ComAid {
             }
         }
 
+        let relaxed = cache.fast_math;
         let mut counted: Vec<usize> = Vec::with_capacity(k);
         for (t, dec_x) in dec_xs.iter().enumerate().skip(1) {
             for i in 0..k {
-                let (nh, nc) = self.decoder.step_infer(dec_x, &hs[i], &cs[i]);
+                let (nh, nc) = cache.plan.decoder.step_infer(dec_x, &hs[i], &cs[i]);
                 hs[i] = nh;
                 cs[i] = nc;
             }
@@ -316,13 +385,22 @@ impl ComAid {
                     &cache.enc_hs[ci],
                     &cache.struct_memory[ci],
                     &zero,
+                    relaxed,
                 );
                 comp.set_row(r, &comp_in);
             }
-            let s_tilde = self.composite.apply_batch(&comp);
-            let logits = self.output.apply_batch(&s_tilde);
+            let s_tilde = self
+                .composite
+                .apply_batch_with_t(&comp, &cache.plan.composite_wt);
+            let logits = self
+                .output
+                .apply_batch_with_t(&s_tilde, &cache.plan.output_wt);
             for (r, &i) in counted.iter().enumerate() {
-                lps[i] += log_softmax_at_slice(logits.row(r), word);
+                lps[i] += if relaxed {
+                    log_softmax_at_slice_relaxed(logits.row(r), word)
+                } else {
+                    log_softmax_at_slice(logits.row(r), word)
+                };
             }
         }
         lps
@@ -340,30 +418,39 @@ impl ComAid {
     /// structural ctx]` from cached memories, with exactly the
     /// zero-padding rules of the uncached forward pass: a variant that
     /// *uses* a context but has an empty memory gets a zero block.
+    /// `relaxed` selects the fast-math attention dots
+    /// ([`ncl_nn::DotAttention::forward_relaxed`]); exact serving and
+    /// freezing pass `false`.
     fn composite_input_cached(
         &self,
         s_t: &Vector,
         enc_hs: &[Vector],
         struct_mem: &[Vector],
         zero: &Vector,
+        relaxed: bool,
     ) -> Vector {
         let variant = self.config().variant;
+        let ctx = |memory: &[Vector]| {
+            if relaxed {
+                self.attention.forward_relaxed(memory, s_t)
+            } else {
+                self.attention.forward(memory, s_t).0
+            }
+        };
         let mut comp_in = Vec::with_capacity(self.composite.in_dim());
         comp_in.extend_from_slice(s_t.as_slice());
         if variant.uses_text() {
             if enc_hs.is_empty() {
                 comp_in.extend_from_slice(zero.as_slice());
             } else {
-                let (tc, _) = self.attention.forward(enc_hs, s_t);
-                comp_in.extend_from_slice(tc.as_slice());
+                comp_in.extend_from_slice(ctx(enc_hs).as_slice());
             }
         }
         if variant.uses_struct() {
             if struct_mem.is_empty() {
                 comp_in.extend_from_slice(zero.as_slice());
             } else {
-                let (sc, _) = self.attention.forward(struct_mem, s_t);
-                comp_in.extend_from_slice(sc.as_slice());
+                comp_in.extend_from_slice(ctx(struct_mem).as_slice());
             }
         }
         Vector::from_vec(comp_in)
@@ -515,6 +602,46 @@ mod tests {
         // Identical parameters: the cache serves for both.
         assert!(cache.is_valid_for(&clone));
         assert_eq!(m.version(), clone.version());
+    }
+
+    #[test]
+    fn fast_math_scores_close_but_flag_off_is_exact() {
+        let (o, v) = tiny_world();
+        let idx = OntologyIndex::build(&o, &v, 2);
+        let m = model_for(Variant::Full, v);
+        let mut cache = m.freeze(&idx);
+        assert!(!cache.fast_math());
+        let target = m.encode_text("chronic kidney disease stage 5");
+        let mask = vec![true; target.len()];
+        let concepts: Vec<ConceptId> = o.all_concepts().collect();
+        let exact: Vec<f32> = concepts
+            .iter()
+            .map(|&c| m.log_prob_ids_masked_cached(&idx, &cache, c, &target, &mask))
+            .collect();
+
+        cache.set_fast_math(true);
+        assert!(cache.fast_math());
+        let masks = vec![mask.clone(); concepts.len()];
+        let relaxed_batch = m.log_prob_batch_cached(&idx, &cache, &concepts, &target, &masks);
+        for (i, &c) in concepts.iter().enumerate() {
+            let relaxed = m.log_prob_ids_masked_cached(&idx, &cache, c, &target, &mask);
+            // Relaxed kernels perturb the score by rounding noise only.
+            assert!(
+                (relaxed - exact[i]).abs() < 1e-3 * exact[i].abs().max(1.0),
+                "{:?}: exact {} relaxed {relaxed}",
+                o.concept(c).code,
+                exact[i]
+            );
+            // Batched and single relaxed paths agree bitwise with each
+            // other at a fixed dispatch level (same kernels, same order).
+            assert_eq!(relaxed.to_bits(), relaxed_batch[i].to_bits());
+        }
+
+        cache.set_fast_math(false);
+        for (i, &c) in concepts.iter().enumerate() {
+            let back = m.log_prob_ids_masked_cached(&idx, &cache, c, &target, &mask);
+            assert_eq!(back.to_bits(), exact[i].to_bits());
+        }
     }
 
     #[test]

@@ -88,6 +88,17 @@ pub struct LinkerConfig {
     /// [`NclError::InvalidQuery`]. The non-validating [`Linker::link`]
     /// accepts any length.
     pub max_query_tokens: usize,
+    /// Serve Phase-II scores with the epsilon-relaxed SIMD kernels
+    /// (polynomial `exp`, fixed-lane partial sums;
+    /// [`ConceptCache::set_fast_math`](crate::comaid::ConceptCache::set_fast_math)).
+    /// Off by default: the exact kernels are bit-identical to the scalar
+    /// reference at every dispatch level, which the golden-snapshot and
+    /// cache bit-identity suites rely on. Turning this on perturbs
+    /// scores by ≈1e-5 relative error (deterministic across dispatch
+    /// levels) in exchange for faster softmax/attention. Only effective
+    /// with `precompute: true` — the uncached path always scores
+    /// exactly.
+    pub fast_math: bool,
     /// Deadline budgets; all unset by default (no deadline).
     pub budget: LinkBudget,
 }
@@ -104,6 +115,7 @@ impl Default for LinkerConfig {
             precompute: true,
             index_aliases: true,
             max_query_tokens: 4096,
+            fast_math: false,
             budget: LinkBudget::default(),
         }
     }
@@ -441,7 +453,11 @@ impl<'a> Linker<'a> {
         }
         let tfidf = TfIdfIndex::build(&docs);
 
-        let cache = config.precompute.then(|| model.freeze(&index));
+        let cache = config.precompute.then(|| {
+            let mut c = model.freeze(&index);
+            c.set_fast_math(config.fast_math);
+            c
+        });
 
         let canonical_sets: Vec<HashSet<String>> = canonical_toks
             .into_iter()

@@ -48,6 +48,33 @@ impl DotAttention {
         (ctx, AttentionCache { weights })
     }
 
+    /// Epsilon-relaxed [`DotAttention::forward`] for the fast-math
+    /// serving path (`LinkerConfig::fast_math`): the relatedness scores
+    /// use [`ncl_tensor::simd::dot_relaxed`] (fixed 8-lane partial sums)
+    /// instead of the sequential dot. The softmax and the context
+    /// combination are unchanged — the scores are where the time goes,
+    /// and keeping the rest exact keeps the approximation error a plain
+    /// score perturbation. Deterministic across dispatch levels, but not
+    /// bit-equal to [`DotAttention::forward`]. The context weights are
+    /// not returned because no backward pass ever follows a relaxed
+    /// forward.
+    ///
+    /// # Panics
+    /// Panics if the memory is empty or dimensions disagree.
+    pub fn forward_relaxed(&self, memory: &[Vector], s: &Vector) -> Vector {
+        assert!(!memory.is_empty(), "attention: empty memory");
+        let scores: Vector = memory
+            .iter()
+            .map(|m| ncl_tensor::simd::dot_relaxed(m.as_slice(), s.as_slice()))
+            .collect();
+        let weights = softmax(&scores);
+        let mut ctx = Vector::zeros(s.len());
+        for (m, &w) in memory.iter().zip(weights.iter()) {
+            ctx.axpy(w, m);
+        }
+        ctx
+    }
+
     /// Backward pass: given the upstream gradient on the context, returns
     /// `(d_memory, d_state)`.
     ///
@@ -169,6 +196,21 @@ mod tests {
                     dmem[r][k]
                 );
             }
+        }
+    }
+
+    #[test]
+    fn relaxed_forward_close_to_exact() {
+        let (memory, s, _) = setup(12, 150, 11);
+        let (exact, _) = DotAttention.forward(&memory, &s);
+        let relaxed = DotAttention.forward_relaxed(&memory, &s);
+        for k in 0..150 {
+            assert!(
+                (exact[k] - relaxed[k]).abs() < 1e-4,
+                "ctx[{k}]: exact {} relaxed {}",
+                exact[k],
+                relaxed[k]
+            );
         }
     }
 

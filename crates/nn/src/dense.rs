@@ -117,6 +117,77 @@ impl Dense {
         out
     }
 
+    /// Returns the transposed weight matrix (`in × out`), the layout
+    /// [`Dense::apply_with_t`]/[`Dense::apply_batch_with_t`] stream
+    /// contiguously. Serving callers build this once per freeze and reuse
+    /// it every decoder step; it is derived data, so it goes stale if the
+    /// layer trains afterwards (the serving cache's version counter
+    /// guards that).
+    pub fn weight_t(&self) -> ncl_tensor::Matrix {
+        self.w.v.transpose()
+    }
+
+    /// [`Dense::apply`] against a caller-held transposed weight matrix
+    /// (from [`Dense::weight_t`]): the products stream down contiguous
+    /// columns via [`ncl_tensor::simd::colmajor_gemv_acc`], vectorising
+    /// across output units. Bit-identical to `apply(x)` — each output is
+    /// the same fresh-accumulator ascending dot added to the bias in the
+    /// same order, and a zero-input layer skips the accumulate entirely
+    /// just like `gemv_acc` over a zero-column matrix.
+    ///
+    /// # Panics
+    /// Panics if `x` or `w_t` has the wrong shape.
+    pub fn apply_with_t(&self, x: &Vector, w_t: &ncl_tensor::Matrix) -> Vector {
+        assert_eq!(x.len(), self.in_dim(), "apply_with_t: input dimension");
+        assert!(
+            w_t.rows() == self.in_dim() && w_t.cols() == self.out_dim(),
+            "apply_with_t: transposed weight shape"
+        );
+        let mut y = self.b.v.clone();
+        if self.in_dim() > 0 {
+            let mut acc = vec![0.0f32; self.out_dim()];
+            ncl_tensor::simd::colmajor_gemv_acc(&mut acc, x.as_slice(), w_t.as_slice());
+            ncl_tensor::simd::add_assign(y.as_mut_slice(), &acc);
+        }
+        if self.act == Activation::Tanh {
+            ncl_tensor::ops::tanh_inplace(&mut y);
+        }
+        y
+    }
+
+    /// [`Dense::apply_batch`] against a caller-held transposed weight
+    /// matrix: the product runs through
+    /// [`Matrix::gemm_nt_with_t`](ncl_tensor::Matrix::gemm_nt_with_t),
+    /// skipping the per-tile transpose `gemm_nt` performs internally.
+    /// Bit-identical to `apply_batch(xs)`.
+    ///
+    /// # Panics
+    /// Panics if `xs` or `w_t` has the wrong shape.
+    pub fn apply_batch_with_t(
+        &self,
+        xs: &ncl_tensor::Matrix,
+        w_t: &ncl_tensor::Matrix,
+    ) -> ncl_tensor::Matrix {
+        assert_eq!(xs.cols(), self.in_dim(), "apply_batch: input dimension");
+        assert!(
+            w_t.rows() == self.in_dim() && w_t.cols() == self.out_dim(),
+            "apply_batch_with_t: transposed weight shape"
+        );
+        let mut out = xs.gemm_nt_with_t(w_t);
+        for i in 0..out.rows() {
+            for (o, bv) in out.row_mut(i).iter_mut().zip(self.b.v.iter()) {
+                // acc + b is bit-equal to gemv_acc's b + acc.
+                *o += bv;
+            }
+        }
+        if self.act == Activation::Tanh {
+            for v in out.as_mut_slice() {
+                *v = v.tanh();
+            }
+        }
+        out
+    }
+
     /// Backward pass: accumulates parameter gradients and returns `dL/dx`.
     pub fn backward(&mut self, cache: &DenseCache, dy: &Vector) -> Vector {
         assert_eq!(dy.len(), self.out_dim(), "dense backward: dy dimension");
@@ -361,6 +432,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn with_t_paths_bit_identical() {
+        for act in [Activation::Linear, Activation::Tanh] {
+            let mut rng = StdRng::seed_from_u64(24);
+            // 70 output rows spans SIMD widths and gemm_nt tiles.
+            let d = Dense::new(9, 70, act, &mut rng);
+            let wt = d.weight_t();
+            let xs: Vec<Vector> = (0..4)
+                .map(|_| init::uniform_vector(9, -1.0, 1.0, &mut rng))
+                .collect();
+            let mut batch = ncl_tensor::Matrix::zeros(4, 9);
+            for (i, x) in xs.iter().enumerate() {
+                batch.set_row(i, x);
+            }
+            let batch_ref = d.apply_batch(&batch);
+            let batch_t = d.apply_batch_with_t(&batch, &wt);
+            for (a, b) in batch_t.as_slice().iter().zip(batch_ref.as_slice()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for x in &xs {
+                let single_ref = d.apply(x);
+                let single_t = d.apply_with_t(x, &wt);
+                for (a, b) in single_t.iter().zip(single_ref.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "transposed weight shape")]
+    fn apply_with_t_wrong_shape_panics() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let d = Dense::new(3, 2, Activation::Linear, &mut rng);
+        let _ = d.apply_with_t(&Vector::zeros(3), &ncl_tensor::Matrix::zeros(2, 3));
     }
 
     #[test]

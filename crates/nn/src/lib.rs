@@ -43,6 +43,6 @@ pub mod softmax_loss;
 pub use attention::DotAttention;
 pub use dense::Dense;
 pub use embedding::Embedding;
-pub use lstm::Lstm;
+pub use lstm::{Lstm, LstmPlan};
 pub use optimizer::Sgd;
 pub use param::{MatParam, Parameter, VecParam};

@@ -18,10 +18,11 @@
 
 use crate::param::{HasParams, MatParam, ParamSet, Parameter, VecParam};
 use ncl_tensor::ops::{
-    sigmoid_grad_from_output, sigmoid_inplace, tanh_grad_from_output, tanh_inplace, tanh_vec,
+    sigmoid, sigmoid_grad_from_output, sigmoid_inplace, tanh_grad_from_output, tanh_inplace,
+    tanh_vec,
 };
 use ncl_tensor::wire::{Reader, Wire, WireError};
-use ncl_tensor::{init, Vector};
+use ncl_tensor::{init, simd, Matrix, Vector};
 use rand::Rng;
 
 /// One LSTM layer (a chain of identical cells).
@@ -503,6 +504,180 @@ pub fn zero_state(hidden: usize) -> (Vector, Vector) {
     (Vector::zeros(hidden), Vector::zeros(hidden))
 }
 
+/// A serving-time layout of an [`Lstm`]'s weights for fused, SIMD-friendly
+/// cell steps: the eight gate matrices are re-packed into two
+/// **column-major** (transposed) blocks and the four biases into one
+/// concatenated vector, so a step is two streaming
+/// [`simd::colmajor_gemv_acc`] sweeps plus one fused activation pass over
+/// all four gate pre-activations — instead of eight row-major `gemv`s and
+/// four separate activation loops.
+///
+/// Gate order inside the concatenated `4d` axis is `i, f, o, g` (column
+/// `g·d + r` holds gate `g`, unit `r`).
+///
+/// # Bit-identity
+///
+/// [`LstmPlan::step_infer`] is bit-identical to [`Lstm::step_infer`] on
+/// the source layer:
+///
+/// * each packed column accumulates `Σ_k x[k]·W[r][k]` with a fresh
+///   accumulator in ascending `k` — exactly [`Matrix::gemv_acc`]'s
+///   reduction per gate row (the [`simd`] contract);
+/// * the partial sums land in zeroed buffers (an ascending `fadd` chain
+///   seeded at `+0` can never produce `-0`, so `0 + acc` is bitwise
+///   `acc`) and are added to the bias clone in the scalar order
+///   `(b + Wx) + Uh`;
+/// * when `in_dim == 0` the input block is skipped entirely, matching
+///   `gemv_acc` over a zero-column matrix which adds nothing (adding the
+///   zeroed partial instead would rewrite a `-0` bias to `+0`);
+/// * the activations and cell/hidden updates apply the same scalar
+///   functions per element in the same order (`1·x` and `0 + x` are
+///   bitwise identities).
+///
+/// The plan is derived data: it holds copies, not references, so it goes
+/// stale if the layer trains afterwards. The serving cache guards this
+/// with its existing version counter.
+#[derive(Debug, Clone)]
+pub struct LstmPlan {
+    in_dim: usize,
+    hidden: usize,
+    /// `in_dim × 4d`: `wt[(k, g·d + r)] = W⁽ᵍ⁾[r][k]`.
+    wt: Matrix,
+    /// `hidden × 4d`: `ut[(k, g·d + r)] = U⁽ᵍ⁾[r][k]`.
+    ut: Matrix,
+    /// Concatenated biases `[b⁽ⁱ⁾; b⁽ᶠ⁾; b⁽ᵒ⁾; b⁽ᶜ̃⁾]`.
+    bcat: Vector,
+}
+
+impl Lstm {
+    /// Packs this layer's weights into an [`LstmPlan`] for fused serving
+    /// steps. O(`4d·(in_dim + d)`) copies; build once per freeze, not per
+    /// step.
+    pub fn plan(&self) -> LstmPlan {
+        let d = self.hidden;
+        let mut wt = Matrix::zeros(self.in_dim, 4 * d);
+        let mut ut = Matrix::zeros(d, 4 * d);
+        let mut bcat = Vector::zeros(4 * d);
+        let ws = [&self.wi, &self.wf, &self.wo, &self.wg];
+        let us = [&self.ui, &self.uf, &self.uo, &self.ug];
+        let bs = [&self.bi, &self.bf, &self.bo, &self.bg];
+        for (g, w) in ws.iter().enumerate() {
+            for r in 0..d {
+                for (k, &v) in w.v.row(r).iter().enumerate() {
+                    wt[(k, g * d + r)] = v;
+                }
+            }
+        }
+        for (g, u) in us.iter().enumerate() {
+            for r in 0..d {
+                for (k, &v) in u.v.row(r).iter().enumerate() {
+                    ut[(k, g * d + r)] = v;
+                }
+            }
+        }
+        for (g, b) in bs.iter().enumerate() {
+            bcat.as_mut_slice()[g * d..(g + 1) * d].copy_from_slice(b.v.as_slice());
+        }
+        LstmPlan {
+            in_dim: self.in_dim,
+            hidden: d,
+            wt,
+            ut,
+            bcat,
+        }
+    }
+}
+
+impl LstmPlan {
+    /// Hidden dimension `d`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Number of `f32`s this plan holds — for serving-cache memory
+    /// accounting.
+    pub fn memory_floats(&self) -> usize {
+        self.wt.rows() * self.wt.cols() + self.ut.rows() * self.ut.cols() + self.bcat.len()
+    }
+
+    /// One fused inference cell step, bit-identical to
+    /// [`Lstm::step_infer`] on the source layer (see the type-level
+    /// docs for the argument).
+    ///
+    /// # Panics
+    /// Panics if any input has the wrong dimension.
+    pub fn step_infer(&self, x: &Vector, h_prev: &Vector, c_prev: &Vector) -> (Vector, Vector) {
+        assert_eq!(x.len(), self.in_dim, "plan step: input dimension");
+        assert_eq!(h_prev.len(), self.hidden, "plan step: h dimension");
+        assert_eq!(c_prev.len(), self.hidden, "plan step: c dimension");
+        let d = self.hidden;
+        let mut z = self.bcat.clone();
+        // The guards mirror gemv_acc over a zero-column matrix, which
+        // adds nothing — adding the zeroed partial would flip a `-0`
+        // bias entry to `+0`.
+        if self.in_dim > 0 && d > 0 {
+            let mut zw = vec![0.0f32; 4 * d];
+            simd::colmajor_gemv_acc(&mut zw, x.as_slice(), self.wt.as_slice());
+            simd::add_assign(z.as_mut_slice(), &zw);
+        }
+        if d > 0 {
+            let mut zu = vec![0.0f32; 4 * d];
+            simd::colmajor_gemv_acc(&mut zu, h_prev.as_slice(), self.ut.as_slice());
+            simd::add_assign(z.as_mut_slice(), &zu);
+        }
+        // Fused activation sweep: sigmoid over the i/f/o blocks, tanh
+        // over the cell candidate.
+        let zs = z.as_mut_slice();
+        for v in &mut zs[..3 * d] {
+            *v = sigmoid(*v);
+        }
+        for v in &mut zs[3 * d..] {
+            *v = v.tanh();
+        }
+        let (iv, rest) = zs.split_at(d);
+        let (fv, rest) = rest.split_at(d);
+        let (ov, gv) = rest.split_at(d);
+        let mut c = Vector::zeros(d);
+        let mut h = Vector::zeros(d);
+        let cs = c.as_mut_slice();
+        let hs = h.as_mut_slice();
+        let cp = c_prev.as_slice();
+        for k in 0..d {
+            // Same two roundings as `f.hadamard(c_prev)` followed by
+            // `add_hadamard(1.0, &i, &g)` (`1.0·i·g` is bitwise `i·g`).
+            cs[k] = fv[k] * cp[k];
+            cs[k] += iv[k] * gv[k];
+            hs[k] = ov[k] * cs[k].tanh();
+        }
+        (h, c)
+    }
+
+    /// Inference-only sequence forward, bit-identical to
+    /// [`Lstm::forward_states`].
+    ///
+    /// # Panics
+    /// Panics if any input has the wrong dimension.
+    pub fn forward_states(&self, xs: &[Vector], h0: &Vector, c0: &Vector) -> (Vec<Vector>, Vector) {
+        assert_eq!(h0.len(), self.hidden, "plan forward_states: h0 dimension");
+        assert_eq!(c0.len(), self.hidden, "plan forward_states: c0 dimension");
+        let mut hs = Vec::with_capacity(xs.len());
+        let mut h = h0.clone();
+        let mut c = c0.clone();
+        for x in xs {
+            let (nh, nc) = self.step_infer(x, &h, &c);
+            hs.push(nh.clone());
+            h = nh;
+            c = nc;
+        }
+        (hs, c)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -704,5 +879,85 @@ mod tests {
         let (h0, c0) = zero_state(3);
         let tape = lstm.forward_seq(&xs, &h0, &c0);
         let _ = lstm.backward_seq(&tape, &[Vector::zeros(3)]);
+    }
+
+    #[test]
+    fn plan_step_bit_identical_to_step_infer() {
+        // Dimensions straddle the SIMD widths: 4d ∈ {4, 36, 68, 132}
+        // covers sub-lane, one-ymm, and multi-tile gate blocks.
+        for (in_dim, hidden) in [(3usize, 1usize), (5, 9), (20, 17), (150, 33)] {
+            let mut rng = StdRng::seed_from_u64(42 + in_dim as u64);
+            let lstm = Lstm::new(in_dim, hidden, &mut rng);
+            let plan = lstm.plan();
+            let x = init::uniform_vector(in_dim, -1.0, 1.0, &mut rng);
+            let h0 = init::uniform_vector(hidden, -1.0, 1.0, &mut rng);
+            let c0 = init::uniform_vector(hidden, -1.0, 1.0, &mut rng);
+            let (h_ref, c_ref) = lstm.step_infer(&x, &h0, &c0);
+            let (h_new, c_new) = plan.step_infer(&x, &h0, &c0);
+            for k in 0..hidden {
+                assert_eq!(
+                    h_new[k].to_bits(),
+                    h_ref[k].to_bits(),
+                    "h[{k}] {in_dim}x{hidden}"
+                );
+                assert_eq!(
+                    c_new[k].to_bits(),
+                    c_ref[k].to_bits(),
+                    "c[{k}] {in_dim}x{hidden}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_forward_states_bit_identical() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let lstm = Lstm::new(6, 11, &mut rng);
+        let plan = lstm.plan();
+        assert_eq!(plan.in_dim(), 6);
+        assert_eq!(plan.hidden(), 11);
+        assert_eq!(plan.memory_floats(), 6 * 44 + 11 * 44 + 44);
+        let xs = inputs(&mut rng, 5, 6);
+        let (h0, c0) = zero_state(11);
+        let (hs_ref, c_ref) = lstm.forward_states(&xs, &h0, &c0);
+        let (hs_new, c_new) = plan.forward_states(&xs, &h0, &c0);
+        assert_eq!(hs_new.len(), hs_ref.len());
+        for (a, b) in hs_new.iter().zip(&hs_ref) {
+            for k in 0..11 {
+                assert_eq!(a[k].to_bits(), b[k].to_bits());
+            }
+        }
+        for k in 0..11 {
+            assert_eq!(c_new[k].to_bits(), c_ref[k].to_bits());
+        }
+    }
+
+    #[test]
+    fn plan_step_bit_identical_at_every_simd_level() {
+        use ncl_tensor::simd;
+        let mut rng = StdRng::seed_from_u64(91);
+        let lstm = Lstm::new(24, 40, &mut rng);
+        let plan = lstm.plan();
+        let x = init::uniform_vector(24, -1.0, 1.0, &mut rng);
+        let (h0, c0) = zero_state(40);
+        let (h_ref, c_ref) =
+            simd::with_level(simd::Level::Scalar, || lstm.step_infer(&x, &h0, &c0));
+        for level in simd::supported_levels() {
+            let (h, c) = simd::with_level(level, || plan.step_infer(&x, &h0, &c0));
+            for k in 0..40 {
+                assert_eq!(
+                    h[k].to_bits(),
+                    h_ref[k].to_bits(),
+                    "{} h[{k}]",
+                    level.name()
+                );
+                assert_eq!(
+                    c[k].to_bits(),
+                    c_ref[k].to_bits(),
+                    "{} c[{k}]",
+                    level.name()
+                );
+            }
+        }
     }
 }

@@ -14,6 +14,9 @@
 //!   forward/backward passes need,
 //! * [`ops`] — numerically careful activations (`sigmoid`, `tanh`,
 //!   `softmax`, `log_softmax`) and their derivatives,
+//! * [`simd`] — runtime-dispatched AVX2/SSE2/scalar kernels behind the
+//!   hot `Matrix`/`Vector` paths, bit-identical to the scalar reference
+//!   (vectorised across outputs, never across a reduction),
 //! * [`init`] — Xavier/uniform parameter initialisation,
 //! * [`pca`] — principal component analysis by power iteration, used to
 //!   regenerate the representation-shift snapshots of Figure 10,
@@ -28,6 +31,7 @@ pub mod matrix;
 pub mod ops;
 pub mod pca;
 pub mod pool;
+pub mod simd;
 pub mod stats;
 pub mod vector;
 pub mod wire;

@@ -1,16 +1,18 @@
 //! Row-major dense `f32` matrix with the BLAS-2/3 kernels required by LSTM
 //! and attention forward/backward passes.
 
+use crate::simd;
 use crate::vector::Vector;
 use std::fmt;
 
 /// A row-major dense `f32` matrix.
 ///
 /// Every weight matrix in COM-AID (`W^(i)`, `U^(f)`, `W_d`, `W_s`, ...) is a
-/// `Matrix`. The kernels are written as simple row-wise loops over slices so
-/// the compiler auto-vectorises them; for the model sizes used in the paper
-/// (`d ≤ 200`) this is within a small factor of a tuned BLAS and keeps the
-/// crate dependency-free.
+/// `Matrix`. The hot kernels (`gemm_nt`, `axpy`, the saxpy row updates)
+/// dispatch through [`crate::simd`] to explicit AVX2/SSE2 lanes with a
+/// scalar fallback, bit-identical across levels; for the model sizes used
+/// in the paper (`d ≤ 200`) this is within a small factor of a tuned BLAS
+/// and keeps the crate dependency-free.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
     rows: usize,
@@ -141,13 +143,14 @@ impl Matrix {
         let ys = y.as_mut_slice();
         for r in 0..self.rows {
             let xr = x[r];
+            // The zero-skip is bitwise-observable (it suppresses an
+            // `y += 0 * a` rounding step on infinities/NaN and -0.0
+            // signs), so it stays; the row update itself is a saxpy.
             if xr == 0.0 {
                 continue;
             }
             let row = &self.data[r * self.cols..(r + 1) * self.cols];
-            for (yo, a) in ys.iter_mut().zip(row) {
-                *yo += xr * a;
-            }
+            simd::saxpy(ys, xr, row);
         }
     }
 
@@ -163,9 +166,7 @@ impl Matrix {
                 continue;
             }
             let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
-            for (ro, b) in row.iter_mut().zip(vs) {
-                *ro += c * b;
-            }
+            simd::saxpy(row, c, vs);
         }
     }
 
@@ -181,9 +182,7 @@ impl Matrix {
                 }
                 let brow = &other.data[k * other.cols..(k + 1) * other.cols];
                 let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (c, b) in crow.iter_mut().zip(brow) {
-                    *c += a * b;
-                }
+                simd::saxpy(crow, a, brow);
             }
         }
         out
@@ -198,37 +197,72 @@ impl Matrix {
     /// weights `W_s` (|V| × d), one call produces the logits of every
     /// candidate while streaming the large `W_s` through the cache
     /// exactly once. Rows of `B` are processed in tiles of
-    /// [`Matrix::GEMM_NT_TILE`] so a tile stays cache-resident across all
-    /// rows of `A`.
+    /// [`Matrix::GEMM_NT_TILE`]: each tile is transposed into a small
+    /// column-major scratch so [`simd::colmajor_gemv_acc`] can vectorise
+    /// across the tile's outputs while the tile stays cache-resident
+    /// across all rows of `A`.
     ///
     /// Each output entry is an independent ascending-index dot product —
     /// the same accumulation order as [`Matrix::gemv`]/[`Matrix::gemv_acc`]
-    /// — so `gemm_nt` results are bit-identical to row-by-row `gemv`.
+    /// — so `gemm_nt` results are bit-identical to row-by-row `gemv` at
+    /// every SIMD dispatch level (see the [`simd`] module contract).
     pub fn gemm_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "gemm_nt: inner dimension mismatch");
+        let d = self.cols;
         let mut out = Matrix::zeros(self.rows, other.rows);
+        let mut scratch = vec![0.0f32; d * Self::GEMM_NT_TILE.min(other.rows)];
         for jb in (0..other.rows).step_by(Self::GEMM_NT_TILE) {
             let jend = (jb + Self::GEMM_NT_TILE).min(other.rows);
-            for i in 0..self.rows {
-                let arow = &self.data[i * self.cols..(i + 1) * self.cols];
-                let crow = &mut out.data[i * other.rows..(i + 1) * other.rows];
-                for (out, j) in crow[jb..jend].iter_mut().zip(jb..jend) {
-                    let brow = &other.data[j * other.cols..(j + 1) * other.cols];
-                    let mut acc = 0.0f32;
-                    for (a, b) in arow.iter().zip(brow) {
-                        acc += a * b;
-                    }
-                    *out = acc;
+            let w = jend - jb;
+            for t in 0..w {
+                let brow = &other.data[(jb + t) * d..(jb + t + 1) * d];
+                for (k, &b) in brow.iter().enumerate() {
+                    scratch[k * w + t] = b;
                 }
+            }
+            let tile = &scratch[..d * w];
+            for i in 0..self.rows {
+                let arow = &self.data[i * d..(i + 1) * d];
+                let crow = &mut out.data[i * other.rows + jb..i * other.rows + jend];
+                simd::colmajor_gemv_acc(crow, arow, tile);
             }
         }
         out
     }
 
+    /// [`Matrix::gemm_nt`] against a right operand that the caller has
+    /// already transposed: computes `C = A Bᵀ` from `other_t = Bᵀ`
+    /// (shape `cols × n`), so `C[i][j] = A.row(i) · B.row(j)` with `B`'s
+    /// columns streaming contiguously — no per-tile transpose scratch.
+    ///
+    /// The serving cache keeps the composite/output weight transposes
+    /// resident and calls this on every decoder step. Output bits are
+    /// identical to `self.gemm_nt(&B)` (and therefore to row-by-row
+    /// [`Matrix::gemv`]): the accumulation per output entry is the same
+    /// fresh-accumulator ascending-index reduction.
+    ///
+    /// # Panics
+    /// Panics if `other_t.rows() != self.cols()`.
+    pub fn gemm_nt_with_t(&self, other_t: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other_t.rows,
+            "gemm_nt_with_t: inner dimension mismatch"
+        );
+        let n = other_t.cols;
+        let mut out = Matrix::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+            let crow = &mut out.data[i * n..(i + 1) * n];
+            simd::colmajor_gemv_acc(crow, arow, &other_t.data);
+        }
+        out
+    }
+
     /// Tile height (rows of the right operand) for [`Matrix::gemm_nt`]:
-    /// 16 rows of `d ≤ 200` floats fit comfortably in L1 alongside one
-    /// left-operand row.
-    pub const GEMM_NT_TILE: usize = 16;
+    /// 32 rows of `d ≤ 200` floats fit comfortably in L1 alongside one
+    /// left-operand row, and give the AVX2 kernel four full-width
+    /// accumulators per pass.
+    pub const GEMM_NT_TILE: usize = 32;
 
     /// Returns the transpose as a new matrix.
     pub fn transpose(&self) -> Matrix {
@@ -245,16 +279,12 @@ impl Matrix {
     pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.rows, other.rows, "axpy: row mismatch");
         assert_eq!(self.cols, other.cols, "axpy: col mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        simd::saxpy(&mut self.data, alpha, &other.data);
     }
 
     /// In-place `self *= alpha`.
     pub fn scale(&mut self, alpha: f32) {
-        for a in &mut self.data {
-            *a *= alpha;
-        }
+        simd::scale(&mut self.data, alpha);
     }
 
     /// Frobenius norm (root of the sum of squared entries).
@@ -387,16 +417,59 @@ mod tests {
     #[test]
     fn gemm_nt_rows_bit_match_gemv() {
         // The serving cache depends on gemm_nt being *bit-identical* to
-        // per-row gemv, tile boundaries included (33 rows spans three
-        // tiles of 16).
+        // per-row gemv, tile boundaries included (70 rows spans three
+        // tiles of 32, the last one ragged).
         let d = 7;
         let a = Matrix::from_vec(3, d, (0..3 * d).map(|i| (i as f32).sin()).collect());
-        let b = Matrix::from_vec(33, d, (0..33 * d).map(|i| (i as f32 * 0.7).cos()).collect());
+        let b = Matrix::from_vec(70, d, (0..70 * d).map(|i| (i as f32 * 0.7).cos()).collect());
         let c = a.gemm_nt(&b);
         for i in 0..3 {
             let y = b.gemv(&a.row_vector(i));
-            for j in 0..33 {
+            for j in 0..70 {
                 assert_eq!(c[(i, j)].to_bits(), y[j].to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_with_t_bit_matches_gemm_nt() {
+        let d = 11;
+        let n = 70;
+        let a = Matrix::from_vec(4, d, (0..4 * d).map(|i| (i as f32 * 0.3).sin()).collect());
+        let b = Matrix::from_vec(n, d, (0..n * d).map(|i| (i as f32 * 0.9).cos()).collect());
+        let bt = b.transpose();
+        let c = a.gemm_nt(&b);
+        let ct = a.gemm_nt_with_t(&bt);
+        assert_eq!(ct.rows(), 4);
+        assert_eq!(ct.cols(), n);
+        for (x, y) in c.as_slice().iter().zip(ct.as_slice()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn gemm_nt_with_t_wrong_dim_panics() {
+        let _ = sample().gemm_nt_with_t(&Matrix::zeros(2, 4));
+    }
+
+    #[test]
+    fn simd_levels_agree_on_gemm_nt() {
+        // In-process SIMD == scalar agreement for the serving kernel at
+        // every level this machine supports.
+        use crate::simd;
+        let d = 13;
+        let a = Matrix::from_vec(5, d, (0..5 * d).map(|i| (i as f32 * 0.41).sin()).collect());
+        let b = Matrix::from_vec(
+            37,
+            d,
+            (0..37 * d).map(|i| (i as f32 * 0.17).cos()).collect(),
+        );
+        let reference = simd::with_level(simd::Level::Scalar, || a.gemm_nt(&b));
+        for level in simd::supported_levels() {
+            let got = simd::with_level(level, || a.gemm_nt(&b));
+            for (x, y) in got.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "level {}", level.name());
             }
         }
     }

@@ -1,0 +1,1035 @@
+//! Runtime-dispatched SIMD kernels (AVX2 / SSE2 / scalar).
+//!
+//! # The bit-identity contract
+//!
+//! Every *exact* kernel in this module produces output **bit-identical**
+//! to its scalar reference at every dispatch level. The trick is to
+//! vectorise **across independent outputs**, never across a reduction:
+//!
+//! * Element-wise kernels ([`saxpy`], [`add_assign`], [`scale`]) perform
+//!   exactly one `mul`/`add` per element — the same operation the scalar
+//!   loop performs, just eight lanes at a time.
+//! * [`colmajor_gemv_acc`] computes `y[j] += Σ_k x[k]·wt[k][j]` with one
+//!   fresh accumulator per output `j`, consuming `k` in ascending order
+//!   with a separate multiply and add per term (never an FMA, which
+//!   would skip the intermediate rounding). Each SIMD lane therefore
+//!   executes the *same sequence of roundings* as the scalar dot
+//!   product, so the lanes are bit-identical to scalar by construction.
+//! * [`max`] exploits that the maximum of finite floats is independent
+//!   of association order.
+//!
+//! This is what lets the serving cache's "same score to the last bit"
+//! guarantee, the golden serving snapshot, and the bit-identical
+//! parallel-training losses survive vectorisation unchanged.
+//!
+//! # Relaxed kernels
+//!
+//! The `*_relaxed` kernels ([`dot_relaxed`], [`sum_exp_relaxed`]) trade
+//! the scalar reduction order for speed: partial sums are kept in a
+//! **fixed virtual 8-lane layout** (element `i` belongs to lane
+//! `i mod 8`) and combined in a fixed binary tree, and the exponential
+//! is the polynomial [`exp_approx`] instead of libm. They are *not*
+//! bit-equal to the exact kernels — but they are deterministic, and the
+//! scalar fallback emulates the same 8 lanes, tree, and polynomial, so
+//! a relaxed kernel returns the same bits at every dispatch level too.
+//! Relaxed kernels only run behind `LinkerConfig::fast_math` (off by
+//! default).
+//!
+//! # Dispatch
+//!
+//! The level is detected once per process ([`active`]): AVX2 when the
+//! CPU reports it, otherwise SSE2 (baseline on `x86_64`), otherwise
+//! scalar. Setting the environment variable `NCL_FORCE_SCALAR` (to
+//! anything but `0`/`false`/empty) forces the scalar path — the CI
+//! scalar-fallback leg runs the whole suite this way. Benches and tests
+//! use [`with_level`] to pin a specific level on the current thread.
+//!
+//! # Adding a kernel
+//!
+//! 1. Write the scalar reference with an explicit, documented rounding
+//!    order (fresh accumulators, ascending index, mul-then-add).
+//! 2. Mirror it per lane in `sse2`/`avx2` `#[target_feature]` functions
+//!    — same operations, same order, no FMA for exact kernels.
+//! 3. Dispatch on [`active`] in the public wrapper.
+//! 4. Add the kernel to the bit-identity proptests
+//!    (`crates/tensor/tests/simd_identity.rs`) across awkward sizes and
+//!    unaligned offsets, and to the `fig16_kernels` microbench.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// CPU capability tier a kernel call dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Portable scalar reference (any architecture, and the
+    /// `NCL_FORCE_SCALAR` override).
+    Scalar,
+    /// 128-bit SSE2 lanes — baseline on `x86_64`.
+    Sse2,
+    /// 256-bit AVX2 lanes.
+    Avx2,
+}
+
+impl Level {
+    /// Human-readable name (`"scalar"`, `"sse2"`, `"avx2"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Scalar => "scalar",
+            Level::Sse2 => "sse2",
+            Level::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Whether `NCL_FORCE_SCALAR`'s value requests the scalar override.
+/// Empty, `0`, and `false` (any case) do not; anything else does.
+pub fn force_scalar_requested(value: Option<&str>) -> bool {
+    match value {
+        Some(s) => !s.is_empty() && s != "0" && !s.eq_ignore_ascii_case("false"),
+        None => false,
+    }
+}
+
+fn detect() -> Level {
+    if force_scalar_requested(std::env::var("NCL_FORCE_SCALAR").ok().as_deref()) {
+        return Level::Scalar;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Level::Avx2
+        } else {
+            // SSE2 is part of the x86_64 baseline.
+            Level::Sse2
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    Level::Scalar
+}
+
+static GLOBAL: OnceLock<Level> = OnceLock::new();
+
+thread_local! {
+    static OVERRIDE: Cell<Option<Level>> = const { Cell::new(None) };
+}
+
+/// The dispatch level kernel calls on this thread currently use: the
+/// innermost [`with_level`] override if one is active, otherwise the
+/// process-wide detected level (cached after the first call).
+pub fn active() -> Level {
+    OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(|| *GLOBAL.get_or_init(detect))
+}
+
+/// Whether `level` can run on this machine. [`Level::Scalar`] always
+/// can; the SIMD tiers require the corresponding CPU features.
+pub fn supported(level: Level) -> bool {
+    match level {
+        Level::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        Level::Sse2 => true,
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// All levels [`supported`] on this machine, scalar first — the
+/// iteration order of the bit-identity test suites.
+pub fn supported_levels() -> Vec<Level> {
+    [Level::Scalar, Level::Sse2, Level::Avx2]
+        .into_iter()
+        .filter(|&l| supported(l))
+        .collect()
+}
+
+/// Runs `f` with every kernel call on this thread pinned to `level`
+/// (restored afterwards, panic included). Benches use this to measure
+/// scalar vs SIMD in one process; the identity tests use it to compare
+/// levels bit-for-bit.
+///
+/// # Panics
+/// Panics if `level` is not [`supported`] on this machine.
+pub fn with_level<R>(level: Level, f: impl FnOnce() -> R) -> R {
+    assert!(
+        supported(level),
+        "simd::with_level: {} not supported on this machine",
+        level.name()
+    );
+    struct Restore(Option<Level>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(Some(level))));
+    f()
+}
+
+// ---------------------------------------------------------------------------
+// Exact kernels.
+// ---------------------------------------------------------------------------
+
+/// In-place `y[i] += alpha * x[i]` (BLAS `saxpy`), bit-identical to the
+/// scalar loop at every level: one `mul` and one `add` per element.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn saxpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "saxpy: dimension mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 was verified by `active()`'s detection.
+        Level::Avx2 => unsafe { avx2::saxpy(y, alpha, x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Level::Sse2 => unsafe { sse2::saxpy(y, alpha, x) },
+        _ => scalar::saxpy(y, alpha, x),
+    }
+}
+
+/// In-place `y[i] += x[i]`, bit-identical to the scalar loop.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn add_assign(y: &mut [f32], x: &[f32]) {
+    assert_eq!(y.len(), x.len(), "add_assign: dimension mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 was verified by `active()`'s detection.
+        Level::Avx2 => unsafe { avx2::add_assign(y, x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Level::Sse2 => unsafe { sse2::add_assign(y, x) },
+        _ => scalar::add_assign(y, x),
+    }
+}
+
+/// In-place `y[i] *= alpha`, bit-identical to the scalar loop.
+pub fn scale(y: &mut [f32], alpha: f32) {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 was verified by `active()`'s detection.
+        Level::Avx2 => unsafe { avx2::scale(y, alpha) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Level::Sse2 => unsafe { sse2::scale(y, alpha) },
+        _ => scalar::scale(y, alpha),
+    }
+}
+
+/// Maximum element, `f32::NEG_INFINITY` for an empty slice.
+///
+/// For inputs **without NaN** this is bit-identical to
+/// `x.iter().fold(f32::NEG_INFINITY, f32::max)` at every level (the max
+/// of finite floats does not depend on association order; a `-0.0` /
+/// `+0.0` tie may resolve to either sign, which no consumer of a
+/// maximum can observe through arithmetic that treats them as equal).
+/// With NaN present the levels may disagree about the returned value,
+/// but every caller in this crate (`log_sum_exp_slice`) then produces
+/// NaN regardless.
+pub fn max(x: &[f32]) -> f32 {
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 was verified by `active()`'s detection.
+        Level::Avx2 => unsafe { avx2::max(x) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Level::Sse2 => unsafe { sse2::max(x) },
+        _ => scalar::max(x),
+    }
+}
+
+/// Column-major transposed-weight product-accumulate:
+/// `y[j] += Σ_k x[k] · wt[k·n + j]` with `n = y.len()` — i.e. `y += Wᵀx`
+/// for a row-major `wt` holding `W`ᵀ (one row per input `k`, one column
+/// per output `j`).
+///
+/// Each output keeps a fresh accumulator and consumes `k` in ascending
+/// order with a separate `mul` and `add` per term, so the result is
+/// bit-identical at every level to the scalar row-dot
+/// `acc += w[j][k] * x[k]` of [`Matrix::gemv_acc`](crate::Matrix::gemv_acc)
+/// followed by `y[j] += acc`. This is the kernel behind the SIMD
+/// `gemm_nt` tiles, the fused LSTM gates, and the transposed-weight
+/// dense layers: outputs are contiguous in memory, so lanes vectorise
+/// across them while every lane reproduces the scalar reduction.
+///
+/// # Panics
+/// Panics if `wt.len() != x.len() * y.len()`.
+pub fn colmajor_gemv_acc(y: &mut [f32], x: &[f32], wt: &[f32]) {
+    assert_eq!(
+        wt.len(),
+        x.len() * y.len(),
+        "colmajor_gemv_acc: weight shape mismatch"
+    );
+    if y.is_empty() || x.is_empty() {
+        return;
+    }
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 was verified by `active()`'s detection.
+        Level::Avx2 => unsafe { avx2::colmajor_gemv_acc(y, x, wt) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Level::Sse2 => unsafe { sse2::colmajor_gemv_acc(y, x, wt) },
+        _ => scalar::colmajor_gemv_acc(y, x, wt),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Relaxed (fast-math) kernels — deterministic across levels, but NOT
+// bit-equal to the exact kernels. Gated behind `LinkerConfig::fast_math`.
+// ---------------------------------------------------------------------------
+
+/// Combines eight lane partial sums in a fixed binary tree — the single
+/// reduction order every relaxed kernel uses at every level.
+#[inline]
+fn tree8(l: &[f32; 8]) -> f32 {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
+/// Relaxed dot product: partial sums in the fixed virtual 8-lane layout
+/// (element `i` → lane `i mod 8`), combined by the fixed `tree8` lane
+/// tree. Same bits at every level; differs from the sequential
+/// [`Vector::dot`](crate::Vector::dot) by ordinary rounding noise
+/// (≈1 ulp per lane length).
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn dot_relaxed(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot_relaxed: dimension mismatch");
+    let mut lanes = [0.0f32; 8];
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 was verified by `active()`'s detection.
+        Level::Avx2 => unsafe { avx2::dot_lanes(&mut lanes, a, b) },
+        _ => scalar::dot_lanes(&mut lanes, a, b),
+    }
+    tree8(&lanes)
+}
+
+/// Relaxed `Σ_i exp(x[i] − m)` — the shifted exponential sum of a
+/// log-sum-exp — using the [`exp_approx`] polynomial and the fixed
+/// 8-lane layout of [`dot_relaxed`]. Same bits at every level.
+///
+/// The caller is expected to pass `m = max(x)` so every shifted
+/// argument is `≤ 0`; arguments are clamped to the polynomial's domain
+/// either way.
+pub fn sum_exp_relaxed(x: &[f32], m: f32) -> f32 {
+    let mut lanes = [0.0f32; 8];
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 was verified by `active()`'s detection.
+        Level::Avx2 => unsafe { avx2::sum_exp_lanes(&mut lanes, x, m) },
+        _ => scalar::sum_exp_lanes(&mut lanes, x, m),
+    }
+    tree8(&lanes)
+}
+
+/// Domain clamp of [`exp_approx`]: below, `2^n` stays a normal float.
+const EXP_LO: f32 = -87.0;
+/// Upper domain clamp of [`exp_approx`] (`exp(88) < f32::MAX`).
+const EXP_HI: f32 = 88.0;
+// Cephes `expf` constants, written with the full decimal expansions of
+// the intended f32 bit patterns (clippy sees "excessive precision" /
+// "approximate LOG2_E", but rounding the literals would change the
+// polynomial and therefore the cross-level bit contract).
+#[allow(clippy::excessive_precision, clippy::approx_constant)]
+const LOG2E: f32 = 1.442_695_04;
+#[allow(clippy::excessive_precision)]
+const LN2_HI: f32 = 0.693_359_375;
+const LN2_LO: f32 = -2.121_944_4e-4;
+#[allow(clippy::excessive_precision)]
+const EXP_P0: f32 = 1.987_569_15e-4;
+#[allow(clippy::excessive_precision)]
+const EXP_P1: f32 = 1.398_199_95e-3;
+#[allow(clippy::excessive_precision)]
+const EXP_P2: f32 = 8.333_451_9e-3;
+const EXP_P3: f32 = 4.166_579_6e-2;
+#[allow(clippy::excessive_precision)]
+const EXP_P4: f32 = 1.666_666_55e-1;
+#[allow(clippy::excessive_precision)]
+const EXP_P5: f32 = 5.000_000_1e-1;
+
+/// Polynomial `exp` (cephes-style: range reduction by `log2 e`, a
+/// degree-5 minimax polynomial on the reduced argument, exponent
+/// reassembly via the IEEE bit layout). Relative error ≈ 1e-7 over the
+/// clamped domain `[-87, 88]`. Every operation is an ordinary `f32`
+/// mul/add in a fixed order, mirrored exactly by the AVX2 lane version,
+/// so relaxed kernels built on it return the same bits at every level.
+pub fn exp_approx(x: f32) -> f32 {
+    let x = x.clamp(EXP_LO, EXP_HI);
+    let n = (x * LOG2E).round_ties_even();
+    let r = x - n * LN2_HI;
+    let r = r - n * LN2_LO;
+    let r2 = r * r;
+    let mut p = EXP_P0;
+    p = p * r + EXP_P1;
+    p = p * r + EXP_P2;
+    p = p * r + EXP_P3;
+    p = p * r + EXP_P4;
+    p = p * r + EXP_P5;
+    let y = (p * r2 + r) + 1.0;
+    // n is integral and in [-126, 127] after the clamp, so 2^n is a
+    // normal float assembled directly in the exponent field.
+    let two_n = f32::from_bits((((n as i32) + 127) << 23) as u32);
+    y * two_n
+}
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations.
+// ---------------------------------------------------------------------------
+
+mod scalar {
+    use super::exp_approx;
+    #[cfg(test)]
+    use super::tree8;
+
+    pub fn saxpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+        for (s, v) in y.iter_mut().zip(x) {
+            *s += alpha * v;
+        }
+    }
+
+    pub fn add_assign(y: &mut [f32], x: &[f32]) {
+        for (s, v) in y.iter_mut().zip(x) {
+            *s += v;
+        }
+    }
+
+    pub fn scale(y: &mut [f32], alpha: f32) {
+        for s in y {
+            *s *= alpha;
+        }
+    }
+
+    pub fn max(x: &[f32]) -> f32 {
+        x.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    pub fn colmajor_gemv_acc(y: &mut [f32], x: &[f32], wt: &[f32]) {
+        let n = y.len();
+        for (j, yo) in y.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for (k, &xv) in x.iter().enumerate() {
+                acc += xv * wt[k * n + j];
+            }
+            *yo += acc;
+        }
+    }
+
+    /// Emulates the 8-lane layout of the AVX2 relaxed dot: full chunks
+    /// feed lane `i mod 8`, the tail keeps the same assignment, so the
+    /// [`tree8`] combine sees identical lane values.
+    pub fn dot_lanes(lanes: &mut [f32; 8], a: &[f32], b: &[f32]) {
+        let chunks = a.len() / 8;
+        for c in 0..chunks {
+            for (l, lane) in lanes.iter_mut().enumerate() {
+                let i = c * 8 + l;
+                *lane += a[i] * b[i];
+            }
+        }
+        for i in chunks * 8..a.len() {
+            lanes[i % 8] += a[i] * b[i];
+        }
+    }
+
+    pub fn sum_exp_lanes(lanes: &mut [f32; 8], x: &[f32], m: f32) {
+        let chunks = x.len() / 8;
+        for c in 0..chunks {
+            for (l, lane) in lanes.iter_mut().enumerate() {
+                *lane += exp_approx(x[c * 8 + l] - m);
+            }
+        }
+        for i in chunks * 8..x.len() {
+            lanes[i % 8] += exp_approx(x[i] - m);
+        }
+    }
+
+    /// Standalone scalar relaxed dot for the unit tests.
+    #[cfg(test)]
+    pub fn dot_relaxed(a: &[f32], b: &[f32]) -> f32 {
+        let mut lanes = [0.0f32; 8];
+        dot_lanes(&mut lanes, a, b);
+        tree8(&lanes)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SSE2 (128-bit) implementations — baseline on x86_64.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Requires SSE2 (always present on `x86_64`).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn saxpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+        let n = y.len();
+        let a = _mm_set1_ps(alpha);
+        let yp = y.as_mut_ptr();
+        let xp = x.as_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            let yv = _mm_loadu_ps(yp.add(i));
+            let xv = _mm_loadu_ps(xp.add(i));
+            _mm_storeu_ps(yp.add(i), _mm_add_ps(yv, _mm_mul_ps(a, xv)));
+            i += 4;
+        }
+        while i < n {
+            y[i] += alpha * x[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE2 (always present on `x86_64`).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn add_assign(y: &mut [f32], x: &[f32]) {
+        let n = y.len();
+        let yp = y.as_mut_ptr();
+        let xp = x.as_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            let yv = _mm_loadu_ps(yp.add(i));
+            let xv = _mm_loadu_ps(xp.add(i));
+            _mm_storeu_ps(yp.add(i), _mm_add_ps(yv, xv));
+            i += 4;
+        }
+        while i < n {
+            y[i] += x[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE2 (always present on `x86_64`).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn scale(y: &mut [f32], alpha: f32) {
+        let n = y.len();
+        let a = _mm_set1_ps(alpha);
+        let yp = y.as_mut_ptr();
+        let mut i = 0;
+        while i + 4 <= n {
+            let yv = _mm_loadu_ps(yp.add(i));
+            _mm_storeu_ps(yp.add(i), _mm_mul_ps(yv, a));
+            i += 4;
+        }
+        while i < n {
+            y[i] *= alpha;
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE2 (always present on `x86_64`).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn max(x: &[f32]) -> f32 {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let mut m = f32::NEG_INFINITY;
+        let mut i = 0;
+        if n >= 4 {
+            let mut acc = _mm_set1_ps(f32::NEG_INFINITY);
+            while i + 4 <= n {
+                acc = _mm_max_ps(acc, _mm_loadu_ps(xp.add(i)));
+                i += 4;
+            }
+            let mut lanes = [0.0f32; 4];
+            _mm_storeu_ps(lanes.as_mut_ptr(), acc);
+            for l in lanes {
+                m = m.max(l);
+            }
+        }
+        while i < n {
+            m = m.max(x[i]);
+            i += 1;
+        }
+        m
+    }
+
+    /// # Safety
+    /// Requires SSE2 (always present on `x86_64`).
+    ///
+    /// Register-blocked over outputs: 16-wide tiles (4 xmm
+    /// accumulators), then 4-wide, then a scalar tail. Per lane, the
+    /// reduction is the scalar order exactly (fresh accumulator,
+    /// ascending `k`, mul then add — no FMA).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn colmajor_gemv_acc(y: &mut [f32], x: &[f32], wt: &[f32]) {
+        let n = y.len();
+        let m = x.len();
+        let wp = wt.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut a0 = _mm_setzero_ps();
+            let mut a1 = _mm_setzero_ps();
+            let mut a2 = _mm_setzero_ps();
+            let mut a3 = _mm_setzero_ps();
+            for (k, &xv) in x.iter().enumerate() {
+                let xb = _mm_set1_ps(xv);
+                let row = wp.add(k * n + j);
+                a0 = _mm_add_ps(a0, _mm_mul_ps(xb, _mm_loadu_ps(row)));
+                a1 = _mm_add_ps(a1, _mm_mul_ps(xb, _mm_loadu_ps(row.add(4))));
+                a2 = _mm_add_ps(a2, _mm_mul_ps(xb, _mm_loadu_ps(row.add(8))));
+                a3 = _mm_add_ps(a3, _mm_mul_ps(xb, _mm_loadu_ps(row.add(12))));
+            }
+            let out = yp.add(j);
+            _mm_storeu_ps(out, _mm_add_ps(_mm_loadu_ps(out), a0));
+            _mm_storeu_ps(out.add(4), _mm_add_ps(_mm_loadu_ps(out.add(4)), a1));
+            _mm_storeu_ps(out.add(8), _mm_add_ps(_mm_loadu_ps(out.add(8)), a2));
+            _mm_storeu_ps(out.add(12), _mm_add_ps(_mm_loadu_ps(out.add(12)), a3));
+            j += 16;
+        }
+        while j + 4 <= n {
+            let mut a0 = _mm_setzero_ps();
+            for (k, &xv) in x.iter().enumerate() {
+                let xb = _mm_set1_ps(xv);
+                a0 = _mm_add_ps(a0, _mm_mul_ps(xb, _mm_loadu_ps(wp.add(k * n + j))));
+            }
+            let out = yp.add(j);
+            _mm_storeu_ps(out, _mm_add_ps(_mm_loadu_ps(out), a0));
+            j += 4;
+        }
+        while j < n {
+            let mut acc = 0.0f32;
+            for (k, &xv) in x.iter().enumerate() {
+                acc += xv * wt[k * n + j];
+            }
+            y[j] += acc;
+            j += 1;
+        }
+        let _ = m;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2 (256-bit) implementations.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::{
+        EXP_HI, EXP_LO, EXP_P0, EXP_P1, EXP_P2, EXP_P3, EXP_P4, EXP_P5, LN2_HI, LN2_LO, LOG2E,
+    };
+    use std::arch::x86_64::*;
+
+    /// # Safety
+    /// Requires AVX2 (callers check [`super::supported`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn saxpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+        let n = y.len();
+        let a = _mm256_set1_ps(alpha);
+        let yp = y.as_mut_ptr();
+        let xp = x.as_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let yv = _mm256_loadu_ps(yp.add(i));
+            let xv = _mm256_loadu_ps(xp.add(i));
+            _mm256_storeu_ps(yp.add(i), _mm256_add_ps(yv, _mm256_mul_ps(a, xv)));
+            i += 8;
+        }
+        while i < n {
+            y[i] += alpha * x[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2 (callers check [`super::supported`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn add_assign(y: &mut [f32], x: &[f32]) {
+        let n = y.len();
+        let yp = y.as_mut_ptr();
+        let xp = x.as_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let yv = _mm256_loadu_ps(yp.add(i));
+            let xv = _mm256_loadu_ps(xp.add(i));
+            _mm256_storeu_ps(yp.add(i), _mm256_add_ps(yv, xv));
+            i += 8;
+        }
+        while i < n {
+            y[i] += x[i];
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2 (callers check [`super::supported`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn scale(y: &mut [f32], alpha: f32) {
+        let n = y.len();
+        let a = _mm256_set1_ps(alpha);
+        let yp = y.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let yv = _mm256_loadu_ps(yp.add(i));
+            _mm256_storeu_ps(yp.add(i), _mm256_mul_ps(yv, a));
+            i += 8;
+        }
+        while i < n {
+            y[i] *= alpha;
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2 (callers check [`super::supported`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn max(x: &[f32]) -> f32 {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let mut m = f32::NEG_INFINITY;
+        let mut i = 0;
+        if n >= 8 {
+            let mut acc = _mm256_set1_ps(f32::NEG_INFINITY);
+            while i + 8 <= n {
+                acc = _mm256_max_ps(acc, _mm256_loadu_ps(xp.add(i)));
+                i += 8;
+            }
+            let mut lanes = [0.0f32; 8];
+            _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+            for l in lanes {
+                m = m.max(l);
+            }
+        }
+        while i < n {
+            m = m.max(x[i]);
+            i += 1;
+        }
+        m
+    }
+
+    /// # Safety
+    /// Requires AVX2 (callers check [`super::supported`]).
+    ///
+    /// Register-blocked over outputs: 32-wide tiles (4 ymm
+    /// accumulators), then 8-wide, then a scalar tail. Per lane, the
+    /// reduction is the scalar order exactly (fresh accumulator,
+    /// ascending `k`, mul then add — no FMA).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn colmajor_gemv_acc(y: &mut [f32], x: &[f32], wt: &[f32]) {
+        let n = y.len();
+        let wp = wt.as_ptr();
+        let yp = y.as_mut_ptr();
+        let mut j = 0;
+        while j + 32 <= n {
+            let mut a0 = _mm256_setzero_ps();
+            let mut a1 = _mm256_setzero_ps();
+            let mut a2 = _mm256_setzero_ps();
+            let mut a3 = _mm256_setzero_ps();
+            for (k, &xv) in x.iter().enumerate() {
+                let xb = _mm256_set1_ps(xv);
+                let row = wp.add(k * n + j);
+                a0 = _mm256_add_ps(a0, _mm256_mul_ps(xb, _mm256_loadu_ps(row)));
+                a1 = _mm256_add_ps(a1, _mm256_mul_ps(xb, _mm256_loadu_ps(row.add(8))));
+                a2 = _mm256_add_ps(a2, _mm256_mul_ps(xb, _mm256_loadu_ps(row.add(16))));
+                a3 = _mm256_add_ps(a3, _mm256_mul_ps(xb, _mm256_loadu_ps(row.add(24))));
+            }
+            let out = yp.add(j);
+            _mm256_storeu_ps(out, _mm256_add_ps(_mm256_loadu_ps(out), a0));
+            _mm256_storeu_ps(out.add(8), _mm256_add_ps(_mm256_loadu_ps(out.add(8)), a1));
+            _mm256_storeu_ps(out.add(16), _mm256_add_ps(_mm256_loadu_ps(out.add(16)), a2));
+            _mm256_storeu_ps(out.add(24), _mm256_add_ps(_mm256_loadu_ps(out.add(24)), a3));
+            j += 32;
+        }
+        while j + 8 <= n {
+            let mut a0 = _mm256_setzero_ps();
+            for (k, &xv) in x.iter().enumerate() {
+                let xb = _mm256_set1_ps(xv);
+                a0 = _mm256_add_ps(a0, _mm256_mul_ps(xb, _mm256_loadu_ps(wp.add(k * n + j))));
+            }
+            let out = yp.add(j);
+            _mm256_storeu_ps(out, _mm256_add_ps(_mm256_loadu_ps(out), a0));
+            j += 8;
+        }
+        while j < n {
+            let mut acc = 0.0f32;
+            for (k, &xv) in x.iter().enumerate() {
+                acc += xv * wt[k * n + j];
+            }
+            y[j] += acc;
+            j += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2 (callers check [`super::supported`]).
+    ///
+    /// Full 8-chunks vectorised, tail folded into the same lanes — the
+    /// exact layout `scalar::dot_lanes` emulates.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_lanes(lanes: &mut [f32; 8], a: &[f32], b: &[f32]) {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            let av = _mm256_loadu_ps(ap.add(i));
+            let bv = _mm256_loadu_ps(bp.add(i));
+            acc = _mm256_add_ps(acc, _mm256_mul_ps(av, bv));
+            i += 8;
+        }
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        while i < n {
+            lanes[i % 8] += a[i] * b[i];
+            i += 1;
+        }
+    }
+
+    /// Lane-parallel [`super::exp_approx`]: the identical operation
+    /// sequence, eight lanes at a time.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn exp8(x: __m256) -> __m256 {
+        let x = _mm256_min_ps(
+            _mm256_max_ps(x, _mm256_set1_ps(EXP_LO)),
+            _mm256_set1_ps(EXP_HI),
+        );
+        let n = _mm256_round_ps::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(
+            _mm256_mul_ps(x, _mm256_set1_ps(LOG2E)),
+        );
+        let r = _mm256_sub_ps(x, _mm256_mul_ps(n, _mm256_set1_ps(LN2_HI)));
+        let r = _mm256_sub_ps(r, _mm256_mul_ps(n, _mm256_set1_ps(LN2_LO)));
+        let r2 = _mm256_mul_ps(r, r);
+        let mut p = _mm256_set1_ps(EXP_P0);
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(EXP_P1));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(EXP_P2));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(EXP_P3));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(EXP_P4));
+        p = _mm256_add_ps(_mm256_mul_ps(p, r), _mm256_set1_ps(EXP_P5));
+        let y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(p, r2), r), _mm256_set1_ps(1.0));
+        let ni = _mm256_cvtps_epi32(n);
+        let two_n = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            ni,
+            _mm256_set1_epi32(127),
+        )));
+        _mm256_mul_ps(y, two_n)
+    }
+
+    /// # Safety
+    /// Requires AVX2 (callers check [`super::supported`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn sum_exp_lanes(lanes: &mut [f32; 8], x: &[f32], m: f32) {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let mv = _mm256_set1_ps(m);
+        let mut acc = _mm256_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_sub_ps(_mm256_loadu_ps(xp.add(i)), mv);
+            acc = _mm256_add_ps(acc, exp8(v));
+            i += 8;
+        }
+        _mm256_storeu_ps(lanes.as_mut_ptr(), acc);
+        while i < n {
+            lanes[i % 8] += super::exp_approx(x[i] - m);
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(n: usize, seed: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| ((i as f32) * 0.73 + seed).sin() * 2.0)
+            .collect()
+    }
+
+    #[test]
+    fn force_scalar_parsing() {
+        assert!(!force_scalar_requested(None));
+        assert!(!force_scalar_requested(Some("")));
+        assert!(!force_scalar_requested(Some("0")));
+        assert!(!force_scalar_requested(Some("false")));
+        assert!(!force_scalar_requested(Some("FALSE")));
+        assert!(force_scalar_requested(Some("1")));
+        assert!(force_scalar_requested(Some("yes")));
+    }
+
+    #[test]
+    fn scalar_always_supported_and_listed_first() {
+        assert!(supported(Level::Scalar));
+        assert_eq!(supported_levels()[0], Level::Scalar);
+    }
+
+    #[test]
+    fn with_level_restores_after_panic() {
+        let before = active();
+        let result = std::panic::catch_unwind(|| {
+            with_level(Level::Scalar, || {
+                assert_eq!(active(), Level::Scalar);
+                panic!("boom");
+            })
+        });
+        assert!(result.is_err());
+        assert_eq!(active(), before);
+    }
+
+    #[test]
+    fn saxpy_levels_bit_identical() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 16, 31, 33, 100] {
+            let x = data(n, 0.1);
+            let y0 = data(n, 2.5);
+            let mut reference = y0.clone();
+            with_level(Level::Scalar, || saxpy(&mut reference, 0.37, &x));
+            for &level in &supported_levels() {
+                let mut y = y0.clone();
+                with_level(level, || saxpy(&mut y, 0.37, &x));
+                for (a, b) in y.iter().zip(&reference) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{} n={n}", level.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_and_scale_levels_bit_identical() {
+        for n in [0usize, 1, 4, 7, 8, 9, 33] {
+            let x = data(n, 1.0);
+            let y0 = data(n, -0.5);
+            let mut add_ref = y0.clone();
+            let mut scale_ref = y0.clone();
+            with_level(Level::Scalar, || {
+                add_assign(&mut add_ref, &x);
+                scale(&mut scale_ref, -1.25);
+            });
+            for &level in &supported_levels() {
+                let mut ya = y0.clone();
+                let mut ys = y0.clone();
+                with_level(level, || {
+                    add_assign(&mut ya, &x);
+                    scale(&mut ys, -1.25);
+                });
+                assert!(ya
+                    .iter()
+                    .zip(&add_ref)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+                assert!(ys
+                    .iter()
+                    .zip(&scale_ref)
+                    .all(|(a, b)| a.to_bits() == b.to_bits()));
+            }
+        }
+    }
+
+    #[test]
+    fn max_matches_fold_on_finite() {
+        for n in [0usize, 1, 5, 8, 9, 40] {
+            let x = data(n, 3.0);
+            let expect = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            for &level in &supported_levels() {
+                let got = with_level(level, || max(&x));
+                assert_eq!(got.to_bits(), expect.to_bits(), "{} n={n}", level.name());
+            }
+        }
+    }
+
+    #[test]
+    fn colmajor_levels_bit_identical() {
+        for (m, n) in [
+            (0usize, 5usize),
+            (3, 0),
+            (1, 1),
+            (5, 7),
+            (4, 16),
+            (7, 32),
+            (6, 37),
+            (9, 70),
+        ] {
+            let x = data(m, 0.2);
+            let wt = data(m * n, 1.7);
+            let mut reference = data(n, -1.0);
+            with_level(Level::Scalar, || colmajor_gemv_acc(&mut reference, &x, &wt));
+            for &level in &supported_levels() {
+                let mut y = data(n, -1.0);
+                with_level(level, || colmajor_gemv_acc(&mut y, &x, &wt));
+                for (a, b) in y.iter().zip(&reference) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{} {m}x{n}", level.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn colmajor_matches_per_output_dot() {
+        // The contract: y[j] += the scalar ascending-index dot.
+        let m = 5;
+        let n = 9;
+        let x = data(m, 0.4);
+        let wt = data(m * n, 2.2);
+        let mut y = vec![0.0f32; n];
+        colmajor_gemv_acc(&mut y, &x, &wt);
+        for (j, &yj) in y.iter().enumerate() {
+            let mut acc = 0.0f32;
+            for (k, &xv) in x.iter().enumerate() {
+                acc += xv * wt[k * n + j];
+            }
+            assert_eq!(yj.to_bits(), acc.to_bits(), "j={j}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight shape mismatch")]
+    fn colmajor_shape_mismatch_panics() {
+        let mut y = [0.0f32; 2];
+        colmajor_gemv_acc(&mut y, &[1.0], &[1.0; 3]);
+    }
+
+    #[test]
+    fn exp_approx_accurate_on_lse_domain() {
+        for i in 0..2000 {
+            let x = -87.0 + (i as f32) * 0.04; // [-87, -7]
+            let exact = x.exp();
+            let got = exp_approx(x);
+            let rel = ((got - exact) / exact.max(f32::MIN_POSITIVE)).abs();
+            assert!(
+                rel < 3e-6,
+                "x={x}: got {got:e}, exact {exact:e}, rel {rel:e}"
+            );
+        }
+        assert_eq!(exp_approx(0.0), 1.0);
+        assert!(exp_approx(-1000.0) > 0.0); // clamped, not flushed to zero
+    }
+
+    #[test]
+    fn relaxed_kernels_deterministic_across_levels() {
+        for n in [0usize, 1, 7, 8, 9, 64, 150, 257] {
+            let a = data(n, 0.3);
+            let b = data(n, 1.1);
+            let dot_ref = with_level(Level::Scalar, || dot_relaxed(&a, &b));
+            let m = scalar::max(&a);
+            let se_ref = with_level(Level::Scalar, || sum_exp_relaxed(&a, m));
+            for &level in &supported_levels() {
+                let dot = with_level(level, || dot_relaxed(&a, &b));
+                let se = with_level(level, || sum_exp_relaxed(&a, m));
+                assert_eq!(dot.to_bits(), dot_ref.to_bits(), "{} n={n}", level.name());
+                assert_eq!(se.to_bits(), se_ref.to_bits(), "{} n={n}", level.name());
+            }
+        }
+    }
+
+    #[test]
+    fn relaxed_dot_close_to_exact() {
+        let n = 200;
+        let a = data(n, 0.9);
+        let b = data(n, -0.4);
+        let exact: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let relaxed = dot_relaxed(&a, &b);
+        assert!((relaxed - exact).abs() <= 1e-3 * exact.abs().max(1.0));
+        assert_eq!(
+            scalar::dot_relaxed(&a, &b).to_bits(),
+            with_level(Level::Scalar, || dot_relaxed(&a, &b)).to_bits()
+        );
+    }
+}

@@ -85,27 +85,28 @@ impl Vector {
         self.data.iter().zip(&other.data).map(|(a, b)| a * b).sum()
     }
 
-    /// In-place `self += alpha * x` (the BLAS `axpy` kernel).
+    /// In-place `self += alpha * x` (the BLAS `axpy` kernel), dispatched
+    /// through [`crate::simd`] — bit-identical to the scalar loop at
+    /// every level.
     #[inline]
     pub fn axpy(&mut self, alpha: f32, x: &Self) {
         assert_eq!(self.len(), x.len(), "axpy: dimension mismatch");
-        for (s, v) in self.data.iter_mut().zip(&x.data) {
-            *s += alpha * v;
-        }
+        crate::simd::saxpy(&mut self.data, alpha, &x.data);
     }
 
     /// In-place `self += x`.
+    ///
+    /// `1.0 * v` is bitwise `v` under IEEE 754, so this is exactly the
+    /// `axpy(1.0, ..)` it has always been.
     #[inline]
     pub fn add_assign(&mut self, x: &Self) {
         self.axpy(1.0, x);
     }
 
-    /// In-place `self *= alpha`.
+    /// In-place `self *= alpha`, dispatched through [`crate::simd`].
     #[inline]
     pub fn scale(&mut self, alpha: f32) {
-        for s in &mut self.data {
-            *s *= alpha;
-        }
+        crate::simd::scale(&mut self.data, alpha);
     }
 
     /// Returns `self + other` as a new vector.

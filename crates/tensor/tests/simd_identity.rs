@@ -1,0 +1,336 @@
+//! SIMD ⇔ scalar identity suite for [`ncl_tensor::simd`].
+//!
+//! The dispatch contract (DESIGN.md §14) is that every *exact* kernel is
+//! **bit-identical** to the scalar reference at every supported dispatch
+//! level, because vectorization runs across independent outputs and each
+//! output keeps the scalar reduction order. These tests pin that contract
+//! from outside the crate, across:
+//!
+//! * awkward lengths — 0, 1, lane−1/lane/lane+1 for both the 4-wide SSE2
+//!   and 8-wide AVX2 lanes, tile boundaries (31/32/33), and large
+//!   non-multiples (100, 257);
+//! * unaligned inputs — slices offset by one `f32` from their allocation
+//!   start, so 32-byte-aligned loads would fault if the kernels ever
+//!   switched from `loadu` to aligned loads;
+//! * the *relaxed* kernels, which are not bit-equal to the sequential
+//!   scalar fold but must be bit-identical **across levels** (the scalar
+//!   fallback emulates the fixed 8-lane layout).
+//!
+//! The `proptests` module name is load-bearing: CI's property-test leg
+//! runs `cargo test --workspace proptests` and filters by that substring.
+
+use ncl_tensor::simd::{self, Level};
+
+/// Lengths that straddle every lane/tile boundary in the kernels:
+/// SSE2 is 4-wide (16-element tiles), AVX2 8-wide (32-element tiles).
+const SIZES: &[usize] = &[0, 1, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100, 257];
+
+/// Deterministic "awkward" test data: varied signs and magnitudes,
+/// including exact zeros (which some callers' skip-paths care about).
+fn data(n: usize, salt: u32) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let k = i as u32 ^ (salt.wrapping_mul(0x9e37_79b9));
+            match k % 7 {
+                0 => 0.0,
+                1 => -1.5e-3 * (k % 101) as f32,
+                2 => 1.0 + (k % 13) as f32 * 0.125,
+                3 => -((k % 29) as f32) * 3.25,
+                4 => ((k % 997) as f32 - 498.0) * 1e-2,
+                5 => f32::from_bits(0x3f80_0000 | (k % 4096)),
+                _ => ((k % 17) as f32).sin(),
+            }
+        })
+        .collect()
+}
+
+/// Runs `f` at `level` and returns its result (skipping unsupported
+/// levels is the caller's job via [`simd::supported_levels`]).
+fn at<R>(level: Level, f: impl FnOnce() -> R) -> R {
+    simd::with_level(level, f)
+}
+
+fn assert_bits_eq(label: &str, level: Level, got: &[f32], want: &[f32]) {
+    assert_eq!(got.len(), want.len(), "{label} @ {level:?}: length");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{label} @ {level:?} [{i}]: got {g}, want {w}"
+        );
+    }
+}
+
+#[test]
+fn saxpy_bitwise_identical_across_levels_and_offsets() {
+    for &n in SIZES {
+        // One-past-start offsets defeat any accidental alignment
+        // assumption: `buf[1..]` is 4-byte aligned but never 16/32-byte
+        // aligned when `buf` is.
+        let xbuf = data(n + 1, 1);
+        let ybuf = data(n + 1, 2);
+        for offset in [0usize, 1] {
+            let x = &xbuf[offset..offset + n];
+            let y0 = &ybuf[offset..offset + n];
+            let reference = at(Level::Scalar, || {
+                let mut y = y0.to_vec();
+                simd::saxpy(&mut y, -0.75, x);
+                y
+            });
+            for level in simd::supported_levels() {
+                let got = at(level, || {
+                    let mut y = y0.to_vec();
+                    simd::saxpy(&mut y, -0.75, x);
+                    y
+                });
+                assert_bits_eq(
+                    &format!("saxpy n={n} off={offset}"),
+                    level,
+                    &got,
+                    &reference,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn add_assign_and_scale_bitwise_identical_across_levels() {
+    for &n in SIZES {
+        let x = data(n, 3);
+        let y0 = data(n, 4);
+        let want_add = at(Level::Scalar, || {
+            let mut y = y0.clone();
+            simd::add_assign(&mut y, &x);
+            y
+        });
+        let want_scale = at(Level::Scalar, || {
+            let mut y = y0.clone();
+            simd::scale(&mut y, 1.0 / 3.0);
+            y
+        });
+        for level in simd::supported_levels() {
+            let got_add = at(level, || {
+                let mut y = y0.clone();
+                simd::add_assign(&mut y, &x);
+                y
+            });
+            let got_scale = at(level, || {
+                let mut y = y0.clone();
+                simd::scale(&mut y, 1.0 / 3.0);
+                y
+            });
+            assert_bits_eq(&format!("add_assign n={n}"), level, &got_add, &want_add);
+            assert_bits_eq(&format!("scale n={n}"), level, &got_scale, &want_scale);
+        }
+    }
+}
+
+#[test]
+fn max_bitwise_identical_across_levels_and_offsets() {
+    for &n in SIZES {
+        if n == 0 {
+            continue; // max of an empty slice is a caller-side error
+        }
+        let buf = data(n + 1, 5);
+        for offset in [0usize, 1] {
+            let x = &buf[offset..offset + n];
+            let want = at(Level::Scalar, || simd::max(x));
+            for level in simd::supported_levels() {
+                let got = at(level, || simd::max(x));
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "max n={n} off={offset} @ {level:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn colmajor_gemv_bitwise_identical_across_levels_and_offsets() {
+    // (in_dim, out_dim) pairs crossing the 8-wide and 32-wide j-tiles
+    // and both degenerate axes.
+    let shapes = [
+        (0usize, 5usize),
+        (3, 0),
+        (1, 1),
+        (5, 7),
+        (4, 8),
+        (9, 31),
+        (6, 32),
+        (7, 33),
+        (13, 100),
+        (3, 257),
+    ];
+    for &(in_dim, out_dim) in &shapes {
+        let xbuf = data(in_dim + 1, 6);
+        let wbuf = data(in_dim * out_dim + 1, 7);
+        let y0 = data(out_dim, 8);
+        for offset in [0usize, 1] {
+            let x = &xbuf[offset..offset + in_dim];
+            let wt = &wbuf[offset..offset + in_dim * out_dim];
+            let want = at(Level::Scalar, || {
+                let mut y = y0.clone();
+                simd::colmajor_gemv_acc(&mut y, x, wt);
+                y
+            });
+            for level in simd::supported_levels() {
+                let got = at(level, || {
+                    let mut y = y0.clone();
+                    simd::colmajor_gemv_acc(&mut y, x, wt);
+                    y
+                });
+                assert_bits_eq(
+                    &format!("colmajor_gemv {in_dim}x{out_dim} off={offset}"),
+                    level,
+                    &got,
+                    &want,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn relaxed_kernels_deterministic_across_levels() {
+    for &n in SIZES {
+        let abuf = data(n + 1, 9);
+        let bbuf = data(n + 1, 10);
+        for offset in [0usize, 1] {
+            let a = &abuf[offset..offset + n];
+            let b = &bbuf[offset..offset + n];
+            let m = if n == 0 {
+                0.0
+            } else {
+                at(Level::Scalar, || simd::max(a))
+            };
+            let want_dot = at(Level::Scalar, || simd::dot_relaxed(a, b));
+            let want_sum = at(Level::Scalar, || simd::sum_exp_relaxed(a, m));
+            for level in simd::supported_levels() {
+                let got_dot = at(level, || simd::dot_relaxed(a, b));
+                let got_sum = at(level, || simd::sum_exp_relaxed(a, m));
+                assert_eq!(
+                    got_dot.to_bits(),
+                    want_dot.to_bits(),
+                    "dot_relaxed n={n} off={offset} @ {level:?}"
+                );
+                assert_eq!(
+                    got_sum.to_bits(),
+                    want_sum.to_bits(),
+                    "sum_exp_relaxed n={n} off={offset} @ {level:?}"
+                );
+            }
+        }
+    }
+}
+
+/// In-process SIMD==scalar agreement at the *active* level — the same
+/// assertion the scalar-fallback CI leg relies on: under
+/// `NCL_FORCE_SCALAR=1` the active level is `Scalar` and this still holds
+/// (trivially), while on AVX2 runners it exercises the wide path.
+#[test]
+fn active_level_agrees_with_scalar_reference() {
+    let x = data(257, 11);
+    let mut y_active = data(257, 12);
+    let mut y_scalar = y_active.clone();
+    simd::saxpy(&mut y_active, 2.5, &x);
+    at(Level::Scalar, || simd::saxpy(&mut y_scalar, 2.5, &x));
+    assert_bits_eq(
+        "active-vs-scalar saxpy",
+        simd::active(),
+        &y_active,
+        &y_scalar,
+    );
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Random lengths, offsets and payloads: saxpy stays bitwise
+        /// identical to the scalar reference at every supported level.
+        #[test]
+        fn saxpy_random_bitwise(n in 0usize..300, off in 0usize..2,
+                                alpha in -4.0f32..4.0, salt in 0u32..1000) {
+            let xbuf = data(n + 1, salt);
+            let ybuf = data(n + 1, salt.wrapping_add(1));
+            let x = &xbuf[off..off + n];
+            let y0 = &ybuf[off..off + n];
+            let want = at(Level::Scalar, || {
+                let mut y = y0.to_vec();
+                simd::saxpy(&mut y, alpha, x);
+                y
+            });
+            for level in simd::supported_levels() {
+                let got = at(level, || {
+                    let mut y = y0.to_vec();
+                    simd::saxpy(&mut y, alpha, x);
+                    y
+                });
+                for (g, w) in got.iter().zip(want.iter()) {
+                    prop_assert_eq!(g.to_bits(), w.to_bits());
+                }
+            }
+        }
+
+        /// Random shapes: the column-major GEMV accumulator stays bitwise
+        /// identical to the scalar reference at every supported level.
+        #[test]
+        fn colmajor_gemv_random_bitwise(in_dim in 0usize..40, out_dim in 0usize..80,
+                                        salt in 0u32..1000) {
+            let x = data(in_dim, salt);
+            let wt = data(in_dim * out_dim, salt.wrapping_add(2));
+            let y0 = data(out_dim, salt.wrapping_add(3));
+            let want = at(Level::Scalar, || {
+                let mut y = y0.clone();
+                simd::colmajor_gemv_acc(&mut y, &x, &wt);
+                y
+            });
+            for level in simd::supported_levels() {
+                let got = at(level, || {
+                    let mut y = y0.clone();
+                    simd::colmajor_gemv_acc(&mut y, &x, &wt);
+                    y
+                });
+                for (g, w) in got.iter().zip(want.iter()) {
+                    prop_assert_eq!(g.to_bits(), w.to_bits());
+                }
+            }
+        }
+
+        /// Random inputs: `max` stays bitwise identical across levels.
+        #[test]
+        fn max_random_bitwise(n in 1usize..300, salt in 0u32..1000) {
+            let x = data(n, salt);
+            let want = at(Level::Scalar, || simd::max(&x));
+            for level in simd::supported_levels() {
+                let got = at(level, || simd::max(&x));
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+
+        /// Random inputs: the relaxed dot is deterministic across levels
+        /// and within rounding distance of the sequential scalar dot.
+        #[test]
+        fn dot_relaxed_random_deterministic(n in 0usize..300, salt in 0u32..1000) {
+            let a = data(n, salt);
+            let b = data(n, salt.wrapping_add(4));
+            let want = at(Level::Scalar, || simd::dot_relaxed(&a, &b));
+            for level in simd::supported_levels() {
+                let got = at(level, || simd::dot_relaxed(&a, &b));
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+            let exact: f32 = a.iter().zip(b.iter()).map(|(p, q)| p * q).sum();
+            let scale = a
+                .iter()
+                .zip(b.iter())
+                .map(|(p, q)| (p * q).abs())
+                .sum::<f32>()
+                .max(1.0);
+            prop_assert!((want - exact).abs() <= 1e-4 * scale);
+        }
+    }
+}
