@@ -17,6 +17,7 @@ fn main() {
         "fig14_fault_tolerance",
         "fig15_serving_throughput",
         "fig16_kernels",
+        "fig17_scale_serving",
         "fig18_open_loop",
     ];
     let exe_dir = std::env::current_exe()

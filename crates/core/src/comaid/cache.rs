@@ -27,8 +27,121 @@ use ncl_nn::lstm::LstmPlan;
 use ncl_nn::softmax_loss;
 use ncl_ontology::ConceptId;
 use ncl_tensor::ops::{log_softmax_at_slice, log_softmax_at_slice_relaxed, log_sum_exp_slice};
-use ncl_tensor::{Matrix, Vector};
+use ncl_tensor::{simd, Matrix, Vector};
 use ncl_text::Vocab;
+use std::borrow::Cow;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Storage tier of a [`ConceptCache`] (`LinkerConfig::cache_tier`).
+///
+/// `Exact` is the default and preserves the cache's founding guarantee:
+/// cached scores are **bit-identical** to the uncached forward pass.
+/// `Compact` trades that guarantee for memory — per-concept rows are
+/// stored as bf16-style `u16` mantissa trims ([`simd::narrow_bf16`]),
+/// duplicated ancestor blocks collapse to one shared row, and the
+/// per-concept step-0 logits table (`|V|` floats per concept, the
+/// dominant term at ontology scale) is dropped and recomputed per query.
+/// Compact scores are epsilon-bounded, not bit-equal — flagged exactly
+/// like `fast_math`: opt-in, deterministic at every dispatch level, and
+/// reported by [`ConceptCache::tier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheTier {
+    /// Full-precision rows, per-concept ancestor clones, frozen step-0
+    /// logits: bit-identical cached scoring.
+    #[default]
+    Exact,
+    /// bf16 rows + shared ancestor pool + recomputed step 0:
+    /// epsilon-bounded scoring at a fraction of the resident bytes.
+    Compact,
+}
+
+impl CacheTier {
+    /// Short label for tables and logs (`"exact"` / `"compact"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Exact => "exact",
+            Self::Compact => "compact",
+        }
+    }
+}
+
+/// Resident-size breakdown of a [`ConceptCache`]
+/// ([`ConceptCache::memory_report`]), in bytes per component. For a
+/// lazily frozen cache the numbers cover the shards frozen so far —
+/// `frozen_concepts` says how much of the ontology that is.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheMemoryReport {
+    /// Storage tier the cache was frozen with.
+    pub tier: CacheTier,
+    /// Ontology nodes the cache covers when fully frozen (including the
+    /// root slot).
+    pub concepts: usize,
+    /// Nodes in shards that are actually frozen (equals `concepts` after
+    /// an eager freeze).
+    pub frozen_concepts: usize,
+    /// Lazy-freeze shards (one per ontology chapter plus the root slot).
+    pub shards: usize,
+    /// Shards frozen so far.
+    pub frozen_shards: usize,
+    /// Encoder hidden-state rows `h_1..h_n^c` (f32 in `Exact`, bf16 in
+    /// `Compact`).
+    pub enc_state_bytes: usize,
+    /// Structural attention memory: per-concept ancestor clones in
+    /// `Exact`; the shared dedup'd row pool plus per-slot `u32` row
+    /// references in `Compact`.
+    pub ancestor_bytes: usize,
+    /// Frozen post-BOS decoder states (`dec_h1`/`dec_c1`, f32 in both
+    /// tiers).
+    pub decoder_state_bytes: usize,
+    /// Frozen step-0 logits and their log-sum-exp (`Exact` only —
+    /// `Compact` recomputes step 0 per query).
+    pub step0_bytes: usize,
+    /// Transposed/fused weight plans (decoder serve plan, and the
+    /// encoder plan once a lazy freeze has materialised it).
+    pub plan_bytes: usize,
+    /// Total ancestor slots across frozen nodes (β per non-root node).
+    pub ancestor_slots: usize,
+    /// Ancestor *rows actually stored* for those slots: equals
+    /// `ancestor_slots` in `Exact` (cloned per slot), the dedup'd pool
+    /// size in `Compact`.
+    pub ancestor_rows_stored: usize,
+    /// Distinct ancestor concepts behind those slots — the floor
+    /// row-sharing can reach.
+    pub ancestor_rows_unique: usize,
+}
+
+impl CacheMemoryReport {
+    /// Total resident bytes, weight plans included.
+    pub fn total_bytes(&self) -> usize {
+        self.enc_state_bytes
+            + self.ancestor_bytes
+            + self.decoder_state_bytes
+            + self.step0_bytes
+            + self.plan_bytes
+    }
+
+    /// Per-concept resident bytes over the *frozen* nodes, excluding the
+    /// weight plans (which are model-sized, not ontology-sized): the
+    /// number that scales with `|C|` and the fig17 comparison metric.
+    pub fn bytes_per_concept(&self) -> f64 {
+        if self.frozen_concepts == 0 {
+            return 0.0;
+        }
+        (self.enc_state_bytes + self.ancestor_bytes + self.decoder_state_bytes + self.step0_bytes)
+            as f64
+            / self.frozen_concepts as f64
+    }
+
+    /// `ancestor_slots / ancestor_rows_stored`: how many duplicated
+    /// ancestor blocks each stored row serves (1.0 = no sharing).
+    pub fn ancestor_dedup_ratio(&self) -> f64 {
+        if self.ancestor_rows_stored == 0 {
+            return 1.0;
+        }
+        self.ancestor_slots as f64 / self.ancestor_rows_stored as f64
+    }
+}
 
 /// SIMD-friendly weight layouts frozen alongside the per-concept states:
 /// the decoder's fused gate plan plus the transposed composite and output
@@ -52,43 +165,114 @@ impl ServePlan {
     }
 }
 
+/// Tier-specific per-node rows of one frozen shard, indexed by the
+/// node's *local* position within the shard.
+#[derive(Debug, Clone)]
+enum ShardRows {
+    /// Full-precision rows and the frozen step-0 table — the layout
+    /// behind the bit-identity guarantee.
+    Exact {
+        /// `enc_hs[l]` = encoder hidden states `h_1..h_n^c` (the textual
+        /// attention memory; empty for token-less nodes).
+        enc_hs: Vec<Vec<Vector>>,
+        /// `struct_memory[l]` = the β slot-expanded ancestor
+        /// representations (empty when the variant has no structural
+        /// attention).
+        struct_memory: Vec<Vec<Vector>>,
+        /// Full output logits of the frozen BOS step (Eq. 9 at `t = 0`):
+        /// query-invariant, so the first scored word of every query
+        /// costs one table lookup instead of an attention + composite +
+        /// output pass.
+        step0_logits: Vec<Vector>,
+        /// Log-sum-exp denominators of `step0_logits`
+        /// ([`ncl_tensor::ops::log_sum_exp_slice`]), so the step-0
+        /// log-prob `logits[w] − lse` is bit-identical to
+        /// `log_softmax(logits)[w]`.
+        step0_lse: Vec<f32>,
+    },
+    /// bf16 rows, a shared ancestor pool, and no step-0 table.
+    Compact {
+        /// `enc_hs_q[l]` = the `n_c · d` encoder states as bf16 words
+        /// ([`simd::narrow_bf16`]), dequantized into scratch per score.
+        enc_hs_q: Vec<Vec<u16>>,
+        /// The shard's dedup'd ancestor rows (`rows · d` bf16 words):
+        /// siblings share one row per distinct ancestor instead of each
+        /// cloning it.
+        anc_rows: Vec<u16>,
+        /// `anc_refs[l]` = β row indices into `anc_rows`, slot-expanded
+        /// exactly like the `Exact` tier's clones.
+        anc_refs: Vec<Vec<u32>>,
+    },
+}
+
+/// One frozen shard: every per-node artifact for the nodes of one
+/// ontology chapter (plus shard 0, the synthetic root's own slot).
+#[derive(Debug, Clone)]
+struct ShardData {
+    /// `dec_h1[l]`/`dec_c1[l]` = the decoder state after consuming the
+    /// `⟨BOS⟩` embedding. The first decoder step sees only the concept
+    /// (its input is the fixed BOS vector, its initial state the encoder
+    /// final state), so it is query-invariant and frozen here — in both
+    /// tiers, at f32 (two vectors per node are not where the bytes go).
+    dec_h1: Vec<Vector>,
+    dec_c1: Vec<Vector>,
+    /// Total ancestor slots across the shard's nodes (β per non-root
+    /// node) — the memory-report numerator.
+    anc_slots: usize,
+    /// Distinct ancestor concepts behind those slots — what row-sharing
+    /// collapses them to.
+    anc_unique: usize,
+    rows: ShardRows,
+}
+
+/// One concept's cached rows, fetched for scoring: borrowed straight
+/// from the shard in the `Exact` tier, dequantized into owned scratch in
+/// `Compact`. `step0` is the frozen logits table when the tier keeps one.
+struct ConceptEntry<'c> {
+    enc_hs: Cow<'c, [Vector]>,
+    struct_mem: Cow<'c, [Vector]>,
+    dec_h1: &'c Vector,
+    dec_c1: &'c Vector,
+    step0: Option<(&'c Vector, f32)>,
+}
+
 /// Precomputed per-concept encoder state, frozen at a specific parameter
-/// generation. Index-aligned with the [`OntologyIndex`] it was built
+/// generation and partitioned into per-chapter **shards** (the lazy
+/// freeze unit). Index-aligned with the [`OntologyIndex`] it was built
 /// from (entry `cid.index()` belongs to concept `cid`).
 ///
-/// Plain data: `Send + Sync`, so scoring threads share one cache.
+/// [`ComAid::freeze`] materialises every shard eagerly;
+/// [`ComAid::freeze_lazy`] returns a skeleton whose shards freeze on
+/// first touch (each shard's `OnceLock` runs the freeze once, other
+/// scoring threads block until it is ready), so
+/// cold-start-to-first-link pays one chapter, not the whole ontology.
+///
+/// `Send + Sync`: scoring threads share one cache; interior mutability
+/// is confined to the per-shard `OnceLock`s.
 #[derive(Debug, Clone)]
 pub struct ConceptCache {
     /// The [`ComAid::version`] this cache was frozen from.
     version: u64,
     dim: usize,
-    /// `enc_hs[i]` = encoder hidden states `h_1..h_n^c` of concept `i`
-    /// (the textual attention memory; empty for token-less concepts).
-    enc_hs: Vec<Vec<Vector>>,
-    /// `enc_final_c[i]` = the encoder's final cell state (seeds the
-    /// decoder alongside `h_n^c`).
-    enc_final_c: Vec<Vector>,
-    /// `struct_memory[i]` = the β slot-expanded ancestor representations
-    /// (the structural attention memory; empty when the variant has no
-    /// structural attention).
-    struct_memory: Vec<Vec<Vector>>,
-    /// `dec_h1[i]`/`dec_c1[i]` = the decoder state after consuming the
-    /// `⟨BOS⟩` embedding. The first decoder step sees only the concept
-    /// (its input is the fixed BOS vector, its initial state the encoder
-    /// final state), so it is query-invariant and frozen here.
-    dec_h1: Vec<Vector>,
-    dec_c1: Vec<Vector>,
-    /// `step0_logits[i]` = the full output logits of that first decoder
-    /// step (Eq. 9 at `t = 0`): also query-invariant, so the first
-    /// scored word of every query costs one table lookup instead of an
-    /// attention + composite + output pass.
-    step0_logits: Vec<Vector>,
-    /// `step0_lse[i]` = the log-sum-exp denominator of `step0_logits[i]`
-    /// ([`ncl_tensor::ops::log_sum_exp_slice`]), so the step-0 log-prob
-    /// `logits[w] − lse` is bit-identical to `log_softmax(logits)[w]`.
-    step0_lse: Vec<f32>,
+    tier: CacheTier,
+    /// `node_shard[i]`/`node_local[i]` = which shard holds node `i`, and
+    /// where within it. A node's chapter is the last entry of its
+    /// structural context (the duplicated first-level ancestor of
+    /// Definition 4.1); the root slot is shard 0 on its own.
+    node_shard: Vec<u32>,
+    node_local: Vec<u32>,
+    /// `shard_nodes[s]` = member node indices of shard `s`, in local
+    /// order (the freeze iteration order).
+    shard_nodes: Vec<Vec<u32>>,
+    /// Frozen shard payloads; unset entries are chapters not yet touched
+    /// by a lazy freeze.
+    shards: Vec<OnceLock<ShardData>>,
     /// Transposed/fused weight layouts for the online decoder steps.
     plan: ServePlan,
+    /// The encoder's fused plan, materialised once by the first lazy
+    /// shard freeze (an eager freeze uses a transient plan instead and
+    /// never sets this).
+    enc_plan: OnceLock<LstmPlan>,
     /// Whether cached scoring may use the epsilon-relaxed fast-math
     /// kernels (`LinkerConfig::fast_math`). Off by default: exact,
     /// bit-identical scoring.
@@ -109,12 +293,29 @@ impl ConceptCache {
 
     /// Number of ontology nodes covered (including the root slot).
     pub fn len(&self) -> usize {
-        self.enc_hs.len()
+        self.node_shard.len()
     }
 
     /// Whether the cache covers no concepts.
     pub fn is_empty(&self) -> bool {
-        self.enc_hs.is_empty()
+        self.node_shard.is_empty()
+    }
+
+    /// The storage tier this cache was frozen with.
+    pub fn tier(&self) -> CacheTier {
+        self.tier
+    }
+
+    /// Number of lazy-freeze shards (one per ontology chapter, plus the
+    /// root slot's own shard).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// How many shards are frozen so far (equals
+    /// [`ConceptCache::shard_count`] after an eager freeze).
+    pub fn frozen_shard_count(&self) -> usize {
+        self.shards.iter().filter(|s| s.get().is_some()).count()
     }
 
     /// Enables or disables the epsilon-relaxed fast-math serving kernels
@@ -132,22 +333,118 @@ impl ConceptCache {
         self.fast_math
     }
 
-    /// Total cache footprint in `f32`s:
-    /// `Σ_c (n_c + 3 + β_c) · d  +  |C| · (|V| + 1)` — the per-token
-    /// encoder states, the final cell, the slot-expanded ancestor
-    /// memory, the frozen post-BOS decoder state (2·d), and the frozen
-    /// step-0 logits with their log-sum-exp denominator — plus the
-    /// transposed/fused weight plan the decoder steps stream from.
+    /// Resident-size breakdown over the shards frozen so far:
+    /// per-component bytes, shard/concept coverage, and the
+    /// ancestor-memory dedup ratio.
+    pub fn memory_report(&self) -> CacheMemoryReport {
+        let d = self.dim;
+        let mut r = CacheMemoryReport {
+            tier: self.tier,
+            concepts: self.node_shard.len(),
+            frozen_concepts: 0,
+            shards: self.shards.len(),
+            frozen_shards: 0,
+            enc_state_bytes: 0,
+            ancestor_bytes: 0,
+            decoder_state_bytes: 0,
+            step0_bytes: 0,
+            plan_bytes: self.plan.memory_floats() * 4,
+            ancestor_slots: 0,
+            ancestor_rows_stored: 0,
+            ancestor_rows_unique: 0,
+        };
+        if let Some(p) = self.enc_plan.get() {
+            r.plan_bytes += p.memory_floats() * 4;
+        }
+        for (s, lock) in self.shards.iter().enumerate() {
+            let Some(shard) = lock.get() else { continue };
+            r.frozen_shards += 1;
+            r.frozen_concepts += self.shard_nodes[s].len();
+            r.decoder_state_bytes += (shard.dec_h1.len() + shard.dec_c1.len()) * d * 4;
+            r.ancestor_slots += shard.anc_slots;
+            r.ancestor_rows_unique += shard.anc_unique;
+            match &shard.rows {
+                ShardRows::Exact {
+                    enc_hs,
+                    struct_memory,
+                    step0_logits,
+                    step0_lse,
+                } => {
+                    r.enc_state_bytes += enc_hs.iter().map(Vec::len).sum::<usize>() * d * 4;
+                    r.ancestor_bytes += struct_memory.iter().map(Vec::len).sum::<usize>() * d * 4;
+                    r.ancestor_rows_stored += shard.anc_slots;
+                    r.step0_bytes += step0_logits.iter().map(Vector::len).sum::<usize>() * 4
+                        + step0_lse.len() * 4;
+                }
+                ShardRows::Compact {
+                    enc_hs_q,
+                    anc_rows,
+                    anc_refs,
+                } => {
+                    r.enc_state_bytes += enc_hs_q.iter().map(Vec::len).sum::<usize>() * 2;
+                    r.ancestor_bytes +=
+                        anc_rows.len() * 2 + anc_refs.iter().map(Vec::len).sum::<usize>() * 4;
+                    r.ancestor_rows_stored += anc_rows.len() / d.max(1);
+                }
+            }
+        }
+        r
+    }
+
+    /// Total cache footprint in `f32`-equivalents
+    /// ([`CacheMemoryReport::total_bytes`] ÷ 4): the per-token encoder
+    /// states, the ancestor memory, the frozen post-BOS decoder states,
+    /// the frozen step-0 tables (`Exact` tier), and the transposed/fused
+    /// weight plans the online steps stream from.
     pub fn memory_floats(&self) -> usize {
-        let vectors = self.enc_hs.iter().map(Vec::len).sum::<usize>()
-            + self.enc_final_c.len()
-            + self.struct_memory.iter().map(Vec::len).sum::<usize>()
-            + self.dec_h1.len()
-            + self.dec_c1.len();
-        vectors * self.dim
-            + self.step0_logits.iter().map(Vector::len).sum::<usize>()
-            + self.step0_lse.len()
-            + self.plan.memory_floats()
+        self.memory_report().total_bytes() / 4
+    }
+
+    /// Fetches `ci`'s cached rows, freezing its shard first if this is a
+    /// lazy cache and the chapter has not been touched yet. Callers must
+    /// have checked [`ConceptCache::is_valid_for`] — the lazy freeze
+    /// reads `model`'s live parameters.
+    fn entry<'c>(&'c self, model: &ComAid, index: &OntologyIndex, ci: usize) -> ConceptEntry<'c> {
+        let si = self.node_shard[ci] as usize;
+        let li = self.node_local[ci] as usize;
+        let shard = self.shards[si].get_or_init(|| model.freeze_shard(index, self, si));
+        let (enc_hs, struct_mem, step0) = match &shard.rows {
+            ShardRows::Exact {
+                enc_hs,
+                struct_memory,
+                step0_logits,
+                step0_lse,
+            } => (
+                Cow::Borrowed(enc_hs[li].as_slice()),
+                Cow::Borrowed(struct_memory[li].as_slice()),
+                Some((&step0_logits[li], step0_lse[li])),
+            ),
+            ShardRows::Compact {
+                enc_hs_q,
+                anc_rows,
+                anc_refs,
+            } => {
+                let d = self.dim;
+                let widen_row = |row: &[u16]| {
+                    let mut v = Vector::zeros(d);
+                    simd::widen_bf16(v.as_mut_slice(), row);
+                    v
+                };
+                let hs: Vec<Vector> = enc_hs_q[li].chunks_exact(d).map(widen_row).collect();
+                let mem: Vec<Vector> = anc_refs[li]
+                    .iter()
+                    .map(|&row| widen_row(&anc_rows[row as usize * d..(row as usize + 1) * d]))
+                    .collect();
+                (Cow::Owned(hs), Cow::Owned(mem), None)
+            }
+        };
+        ConceptEntry {
+            enc_hs,
+            struct_mem,
+            dec_h1: &shard.dec_h1[li],
+            dec_c1: &shard.dec_c1[li],
+            step0,
+        }
     }
 }
 
@@ -155,89 +452,230 @@ impl ComAid {
     /// Precomputes the serving cache for every concept of `index` under
     /// the current parameters (one encoder pass per ontology node; the
     /// structural memory reuses those same passes, because an ancestor's
-    /// encoding *is* that ancestor's concept encoding).
+    /// encoding *is* that ancestor's concept encoding). Eager and
+    /// `Exact`: cached scores are bit-identical to the uncached pass.
     pub fn freeze(&self, index: &OntologyIndex) -> ConceptCache {
-        let d = self.config().dim;
-        let zero = Vector::zeros(d);
+        self.freeze_tiered(index, CacheTier::Exact)
+    }
+
+    /// [`ComAid::freeze`] with an explicit storage tier: every shard is
+    /// materialised before returning.
+    pub fn freeze_tiered(&self, index: &OntologyIndex, tier: CacheTier) -> ConceptCache {
+        let cache = self.freeze_lazy(index, tier);
+        for si in 0..cache.shards.len() {
+            cache.shards[si].get_or_init(|| self.freeze_shard(index, &cache, si));
+        }
+        cache
+    }
+
+    /// Builds the cache **skeleton only**: the chapter shard map and the
+    /// decoder serve plan, no per-concept state. Each shard freezes on
+    /// first touch by a cached scoring call, so cold-start-to-first-link
+    /// pays one chapter's encoder passes instead of the whole ontology's.
+    /// Shard contents are deterministic — a lazily frozen shard is
+    /// identical to its eagerly frozen counterpart.
+    pub fn freeze_lazy(&self, index: &OntologyIndex, tier: CacheTier) -> ConceptCache {
         let n = index.len();
-        // Fused/transposed layouts: the encoder plan only lives for the
-        // freeze pass (nothing decodes through the encoder online), the
-        // decoder/composite/output plan is kept for every online step.
-        let enc_plan = self.encoder.plan();
+        // Chapter resolution. A node's context holds its β *nearest*
+        // ancestors, so the farthest entry is the chapter only for
+        // shallow nodes; follow `last()` transitively (parents always
+        // have smaller indices than children, so one ascending pass with
+        // a memo terminates). Shard 0 is the root slot's own shard.
+        let mut node_shard = vec![0u32; n];
+        let mut node_local = vec![0u32; n];
+        let mut shard_nodes: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut shard_of_chapter: HashMap<u32, u32> = HashMap::new();
+        for i in 0..n {
+            let id = ConceptId(i as u32);
+            let si = match index.context(id).last() {
+                None => 0u32,
+                Some(anc) if anc.index() == i => {
+                    // First-level concept: its own chapter.
+                    *shard_of_chapter.entry(i as u32).or_insert_with(|| {
+                        shard_nodes.push(Vec::new());
+                        (shard_nodes.len() - 1) as u32
+                    })
+                }
+                // Proper ancestor: created before `i`, already resolved.
+                Some(anc) => node_shard[anc.index()],
+            };
+            node_shard[i] = si;
+            node_local[i] = shard_nodes[si as usize].len() as u32;
+            shard_nodes[si as usize].push(i as u32);
+        }
+        // The decoder/composite/output plan is kept for every online
+        // step; the encoder plan is only needed by shard freezes and is
+        // materialised lazily alongside the first one.
         let plan = ServePlan {
             decoder: self.decoder.plan(),
             composite_wt: self.composite.weight_t(),
             output_wt: self.output.weight_t(),
         };
-        let mut enc_hs = Vec::with_capacity(n);
-        let mut enc_final_c = Vec::with_capacity(n);
-        for i in 0..n {
-            let id = ConceptId(i as u32);
-            let xs = self.embedding.lookup_seq(index.tokens(id));
+        let shards = (0..shard_nodes.len()).map(|_| OnceLock::new()).collect();
+        ConceptCache {
+            version: self.version(),
+            dim: self.config().dim,
+            tier,
+            node_shard,
+            node_local,
+            shard_nodes,
+            shards,
+            plan,
+            enc_plan: OnceLock::new(),
+            fast_math: false,
+        }
+    }
+
+    /// Freezes one chapter shard: encoder passes for its member nodes,
+    /// the slot-expanded (or row-shared) ancestor memory, the frozen
+    /// post-BOS decoder states, and — in the `Exact` tier — the step-0
+    /// logits tables. Chapter subtrees are self-contained (every context
+    /// entry of a member is itself a member), so the shard never reads
+    /// outside its own encoder passes.
+    fn freeze_shard(&self, index: &OntologyIndex, cache: &ConceptCache, si: usize) -> ShardData {
+        let d = self.config().dim;
+        let zero = Vector::zeros(d);
+        let nodes = &cache.shard_nodes[si];
+        let enc_plan = cache.enc_plan.get_or_init(|| self.encoder.plan());
+        let mut enc_hs: Vec<Vec<Vector>> = Vec::with_capacity(nodes.len());
+        let mut enc_final_c: Vec<Vector> = Vec::with_capacity(nodes.len());
+        for &ni in nodes {
+            let xs = self.embedding.lookup_seq(index.tokens(ConceptId(ni)));
             let (hs, final_c) = enc_plan.forward_states(&xs, &zero, &zero);
             enc_hs.push(hs);
             enc_final_c.push(final_c);
         }
-        let mut struct_memory: Vec<Vec<Vector>> = Vec::with_capacity(n);
-        if self.config().variant.uses_struct() {
-            for i in 0..n {
-                let id = ConceptId(i as u32);
-                let mem = index
-                    .context(id)
-                    .iter()
-                    .map(|anc| {
-                        // Final encoder state of the ancestor; the zero
-                        // fallback mirrors LstmTape::final_h() on an
-                        // empty sequence (the synthetic root).
-                        enc_hs[anc.index()]
-                            .last()
-                            .cloned()
-                            .unwrap_or_else(|| zero.clone())
-                    })
-                    .collect();
-                struct_memory.push(mem);
-            }
-        } else {
-            struct_memory.resize(n, Vec::new());
-        }
+        // Final encoder state of an in-shard ancestor; the zero fallback
+        // mirrors LstmTape::final_h() on an empty sequence.
+        let local_of = |anc: ConceptId| -> usize {
+            debug_assert_eq!(
+                cache.node_shard[anc.index()] as usize,
+                si,
+                "context entry outside its chapter shard"
+            );
+            cache.node_local[anc.index()] as usize
+        };
+        let anc_final =
+            |l: usize| -> Vector { enc_hs[l].last().cloned().unwrap_or_else(|| zero.clone()) };
+        let uses_struct = self.config().variant.uses_struct();
+        let mut anc_slots = 0usize;
+        let mut anc_unique_set: std::collections::HashSet<u32> = std::collections::HashSet::new();
         // The first decoder step is query-invariant: its input is the
         // BOS embedding and its state the encoder final state, both
-        // frozen above. Run it once per concept, head included.
+        // frozen above. Run it once per node — from the *exact* states
+        // in both tiers (quantization narrows stored rows, never the
+        // inputs of frozen computation).
         let x_bos = self
             .embedding
             .lookup_seq(&[Vocab::BOS])
             .pop()
             .expect("BOS embedding");
-        let mut dec_h1 = Vec::with_capacity(n);
-        let mut dec_c1 = Vec::with_capacity(n);
-        let mut step0_logits = Vec::with_capacity(n);
-        let mut step0_lse = Vec::with_capacity(n);
-        for i in 0..n {
-            let h0 = enc_hs[i].last().cloned().unwrap_or_else(|| zero.clone());
-            let (h1, c1) = plan.decoder.step_infer(&x_bos, &h0, &enc_final_c[i]);
-            // Frozen tables are always exact (relaxed = false): fast-math
-            // only perturbs per-query reads, never the cache contents.
-            let comp_in =
-                self.composite_input_cached(&h1, &enc_hs[i], &struct_memory[i], &zero, false);
-            let s_tilde = self.composite.apply_with_t(&comp_in, &plan.composite_wt);
-            let logits = self.output.apply_with_t(&s_tilde, &plan.output_wt);
-            step0_lse.push(log_sum_exp_slice(logits.as_slice()));
-            step0_logits.push(logits);
+        let mut dec_h1 = Vec::with_capacity(nodes.len());
+        let mut dec_c1 = Vec::with_capacity(nodes.len());
+        for (l, _) in nodes.iter().enumerate() {
+            let h0 = anc_final(l);
+            let (h1, c1) = cache.plan.decoder.step_infer(&x_bos, &h0, &enc_final_c[l]);
             dec_h1.push(h1);
             dec_c1.push(c1);
         }
-        ConceptCache {
-            version: self.version(),
-            dim: d,
-            enc_hs,
-            enc_final_c,
-            struct_memory,
+        let rows = match cache.tier {
+            CacheTier::Exact => {
+                let mut struct_memory: Vec<Vec<Vector>> = Vec::with_capacity(nodes.len());
+                for &ni in nodes.iter() {
+                    let mem: Vec<Vector> = if uses_struct {
+                        index
+                            .context(ConceptId(ni))
+                            .iter()
+                            .map(|&anc| {
+                                anc_slots += 1;
+                                anc_unique_set.insert(anc.index() as u32);
+                                anc_final(local_of(anc))
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    struct_memory.push(mem);
+                }
+                // Frozen tables are always exact (relaxed = false):
+                // fast-math only perturbs per-query reads, never the
+                // cache contents.
+                let mut step0_logits = Vec::with_capacity(nodes.len());
+                let mut step0_lse = Vec::with_capacity(nodes.len());
+                for l in 0..nodes.len() {
+                    let comp_in = self.composite_input_cached(
+                        &dec_h1[l],
+                        &enc_hs[l],
+                        &struct_memory[l],
+                        &zero,
+                        false,
+                    );
+                    let s_tilde = self
+                        .composite
+                        .apply_with_t(&comp_in, &cache.plan.composite_wt);
+                    let logits = self.output.apply_with_t(&s_tilde, &cache.plan.output_wt);
+                    step0_lse.push(log_sum_exp_slice(logits.as_slice()));
+                    step0_logits.push(logits);
+                }
+                ShardRows::Exact {
+                    enc_hs,
+                    struct_memory,
+                    step0_logits,
+                    step0_lse,
+                }
+            }
+            CacheTier::Compact => {
+                // bf16 rows; the ancestor memory collapses to one shared
+                // row per distinct ancestor, referenced per slot.
+                let mut anc_rows: Vec<u16> = Vec::new();
+                let mut anc_refs: Vec<Vec<u32>> = Vec::with_capacity(nodes.len());
+                let mut row_of: HashMap<u32, u32> = HashMap::new();
+                for &ni in nodes.iter() {
+                    let refs: Vec<u32> = if uses_struct {
+                        index
+                            .context(ConceptId(ni))
+                            .iter()
+                            .map(|&anc| {
+                                anc_slots += 1;
+                                anc_unique_set.insert(anc.index() as u32);
+                                *row_of.entry(anc.index() as u32).or_insert_with(|| {
+                                    let row = (anc_rows.len() / d) as u32;
+                                    let v = anc_final(local_of(anc));
+                                    let start = anc_rows.len();
+                                    anc_rows.resize(start + d, 0);
+                                    simd::narrow_bf16(&mut anc_rows[start..], v.as_slice());
+                                    row
+                                })
+                            })
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    anc_refs.push(refs);
+                }
+                let enc_hs_q: Vec<Vec<u16>> = enc_hs
+                    .iter()
+                    .map(|hs| {
+                        let mut q = vec![0u16; hs.len() * d];
+                        for (row, h) in q.chunks_exact_mut(d).zip(hs) {
+                            simd::narrow_bf16(row, h.as_slice());
+                        }
+                        q
+                    })
+                    .collect();
+                ShardRows::Compact {
+                    enc_hs_q,
+                    anc_rows,
+                    anc_refs,
+                }
+            }
+        };
+        ShardData {
             dec_h1,
             dec_c1,
-            step0_logits,
-            step0_lse,
-            plan,
-            fast_math: false,
+            anc_slots,
+            anc_unique: anc_unique_set.len(),
+            rows,
         }
     }
 
@@ -262,20 +700,37 @@ impl ComAid {
         assert_eq!(count.len(), target.len(), "mask length mismatch");
         let dec_xs = self.decoder_inputs(target);
         let zero = Vector::zeros(self.config().dim);
-        let ci = concept.index();
-        let enc_hs = &cache.enc_hs[ci];
-        let struct_mem = &cache.struct_memory[ci];
+        let entry = cache.entry(self, index, concept.index());
+        let enc_hs: &[Vector] = &entry.enc_hs;
+        let struct_mem: &[Vector] = &entry.struct_mem;
+        let relaxed = cache.fast_math;
         // Step 0 (the BOS step) is frozen in the cache: resume from the
-        // precomputed state, and read the first word's log-prob off the
-        // precomputed logits when the step is counted.
-        let mut h = cache.dec_h1[ci].clone();
-        let mut c = cache.dec_c1[ci].clone();
+        // precomputed state. When the step is counted, the `Exact` tier
+        // reads the first word's log-prob off the frozen logits; the
+        // `Compact` tier recomputes the step-0 head from the dequantized
+        // rows (the table is what it dropped).
+        let mut h = entry.dec_h1.clone();
+        let mut c = entry.dec_c1.clone();
         let mut lp = 0.0f32;
         if count.first().copied().unwrap_or(true) {
             let word = target.first().copied().unwrap_or(Vocab::EOS) as usize;
-            lp += cache.step0_logits[ci][word] - cache.step0_lse[ci];
+            lp += match entry.step0 {
+                Some((logits, lse)) => logits[word] - lse,
+                None => {
+                    let comp_in =
+                        self.composite_input_cached(&h, enc_hs, struct_mem, &zero, relaxed);
+                    let s_tilde = self
+                        .composite
+                        .apply_with_t(&comp_in, &cache.plan.composite_wt);
+                    let logits = self.output.apply_with_t(&s_tilde, &cache.plan.output_wt);
+                    if relaxed {
+                        softmax_loss::log_prob_relaxed(&logits, word)
+                    } else {
+                        softmax_loss::log_prob(&logits, word)
+                    }
+                }
+            };
         }
-        let relaxed = cache.fast_math;
         for (t, dec_x) in dec_xs.iter().enumerate().skip(1) {
             let (nh, nc) = cache.plan.decoder.step_infer(dec_x, &h, &c);
             h = nh;
@@ -341,24 +796,64 @@ impl ComAid {
         }
         let zero = Vector::zeros(self.config().dim);
         let dec_xs = self.decoder_inputs(target);
+        let relaxed = cache.fast_math;
 
-        // Every candidate resumes from its frozen post-BOS decoder state;
-        // counted first words come straight off the frozen step-0 logits.
+        // Fetch every candidate's rows once (freezing untouched shards,
+        // dequantizing Compact rows into per-batch scratch).
+        let entries: Vec<ConceptEntry<'_>> = concepts
+            .iter()
+            .map(|&c| cache.entry(self, index, c.index()))
+            .collect();
+
+        // Every candidate resumes from its frozen post-BOS decoder state.
         let mut hs: Vec<Vector> = Vec::with_capacity(k);
         let mut cs: Vec<Vector> = Vec::with_capacity(k);
         let mut lps = vec![0.0f32; k];
         let word0 = target.first().copied().unwrap_or(Vocab::EOS) as usize;
-        for (i, (&concept, m)) in concepts.iter().zip(counts).enumerate() {
-            let ci = concept.index();
-            hs.push(cache.dec_h1[ci].clone());
-            cs.push(cache.dec_c1[ci].clone());
+        let mut counted: Vec<usize> = Vec::with_capacity(k);
+        for (i, (e, m)) in entries.iter().zip(counts).enumerate() {
+            hs.push(e.dec_h1.clone());
+            cs.push(e.dec_c1.clone());
             if m.first().copied().unwrap_or(true) {
-                lps[i] += cache.step0_logits[ci][word0] - cache.step0_lse[ci];
+                // Exact tier: counted first words come straight off the
+                // frozen step-0 logits. Compact candidates are deferred
+                // to the batched recompute below.
+                match e.step0 {
+                    Some((logits, lse)) => lps[i] += logits[word0] - lse,
+                    None => counted.push(i),
+                }
+            }
+        }
+        // Compact step 0: one batched head pass over the counted
+        // candidates — the same kernel pairing as the t ≥ 1 steps, so
+        // batched results stay bit-identical to the single-query path.
+        if !counted.is_empty() {
+            let mut comp = Matrix::zeros(counted.len(), self.composite.in_dim());
+            for (r, &i) in counted.iter().enumerate() {
+                let comp_in = self.composite_input_cached(
+                    &hs[i],
+                    &entries[i].enc_hs,
+                    &entries[i].struct_mem,
+                    &zero,
+                    relaxed,
+                );
+                comp.set_row(r, &comp_in);
+            }
+            let s_tilde = self
+                .composite
+                .apply_batch_with_t(&comp, &cache.plan.composite_wt);
+            let logits = self
+                .output
+                .apply_batch_with_t(&s_tilde, &cache.plan.output_wt);
+            for (r, &i) in counted.iter().enumerate() {
+                lps[i] += if relaxed {
+                    log_softmax_at_slice_relaxed(logits.row(r), word0)
+                } else {
+                    log_softmax_at_slice(logits.row(r), word0)
+                };
             }
         }
 
-        let relaxed = cache.fast_math;
-        let mut counted: Vec<usize> = Vec::with_capacity(k);
         for (t, dec_x) in dec_xs.iter().enumerate().skip(1) {
             for i in 0..k {
                 let (nh, nc) = cache.plan.decoder.step_infer(dec_x, &hs[i], &cs[i]);
@@ -379,11 +874,10 @@ impl ComAid {
             let word = target.get(t).copied().unwrap_or(Vocab::EOS) as usize;
             let mut comp = Matrix::zeros(counted.len(), self.composite.in_dim());
             for (r, &i) in counted.iter().enumerate() {
-                let ci = concepts[i].index();
                 let comp_in = self.composite_input_cached(
                     &hs[i],
-                    &cache.enc_hs[ci],
-                    &cache.struct_memory[ci],
+                    &entries[i].enc_hs,
+                    &entries[i].struct_mem,
                     &zero,
                     relaxed,
                 );

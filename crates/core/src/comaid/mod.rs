@@ -23,11 +23,11 @@ mod persist;
 mod trace;
 mod train;
 
-pub use cache::ConceptCache;
+pub use cache::{CacheMemoryReport, CacheTier, ConceptCache};
 pub use decode::Decoded;
 pub use index::OntologyIndex;
 pub use model::ComAid;
-pub use persist::PersistError;
+pub use persist::{MappedCheckpoint, PersistError, FORMAT_VERSION, FORMAT_VERSION_V2, V2_SECTIONS};
 pub use trace::{AttentionTrace, StepTrace};
 pub use train::{TrainPair, TrainReport};
 

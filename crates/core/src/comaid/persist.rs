@@ -31,16 +31,36 @@
 //! distrusting it.
 
 use super::ComAid;
-use ncl_tensor::wire::{fnv1a64, Reader, Wire, WireError};
-use std::io::{Read, Write};
+use ncl_tensor::wire::{fnv1a64, Reader, SectionIndex, Wire, WireError};
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// File magic: identifies an NCL model checkpoint.
 pub const MAGIC: &[u8; 8] = b"NCLMODEL";
-/// Current checkpoint format version.
+/// Monolithic checkpoint format: one checksummed payload.
 pub const FORMAT_VERSION: u32 = 1;
-/// Header size: magic + version + payload length + checksum.
+/// Offset-table checkpoint format: a checksummed [`SectionIndex`]
+/// followed by independently checksummed per-component sections, so a
+/// reader can open a checkpoint and verify/fetch only what it touches
+/// ([`MappedCheckpoint`]). Written by [`ComAid::save_v2`]; both versions
+/// load through [`ComAid::load`].
+pub const FORMAT_VERSION_V2: u32 = 2;
+/// Header size: magic + version + payload length + checksum. (In v2 the
+/// length/checksum pair covers the encoded section index; the section
+/// region follows it.)
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
+
+/// Section names of a v2 checkpoint, in the order the model's [`Wire`]
+/// encoding concatenates them.
+pub const V2_SECTIONS: [&str; 7] = [
+    "config",
+    "vocab",
+    "embedding",
+    "encoder",
+    "decoder",
+    "composite",
+    "output",
+];
 
 /// Errors from saving/loading a model.
 #[derive(Debug)]
@@ -166,6 +186,181 @@ fn unframe(bytes: &[u8]) -> Result<&[u8], PersistError> {
     Ok(payload)
 }
 
+/// Verifies a v2 container held in memory: magic, version, the index
+/// length/checksum, the decoded [`SectionIndex`], and that the section
+/// region it describes fits the buffer. Returns the index and the
+/// section region; per-section checksums are verified on access
+/// ([`SectionIndex::slice`]).
+fn unframe_v2(bytes: &[u8]) -> Result<(SectionIndex, &[u8]), PersistError> {
+    if bytes.len() < HEADER_LEN || &bytes[..8] != MAGIC {
+        return Err(PersistError::NotACheckpoint);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != FORMAT_VERSION_V2 {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION_V2,
+        });
+    }
+    let declared = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let stored = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    let rest = &bytes[HEADER_LEN..];
+    let index_len = usize::try_from(declared)
+        .ok()
+        .filter(|&n| n <= rest.len())
+        .ok_or(PersistError::Truncated {
+            expected: declared,
+            actual: rest.len() as u64,
+        })?;
+    let index_bytes = &rest[..index_len];
+    let computed = fnv1a64(index_bytes);
+    if computed != stored {
+        return Err(PersistError::ChecksumMismatch { stored, computed });
+    }
+    let mut r = Reader::new(index_bytes);
+    let index = SectionIndex::decode(&mut r)?;
+    if r.remaining() != 0 {
+        return Err(PersistError::Codec(WireError::Invalid(format!(
+            "{} trailing bytes after section index",
+            r.remaining()
+        ))));
+    }
+    let region = &rest[index_len..];
+    let needed = index.region_len()?;
+    if (region.len() as u64) < needed {
+        return Err(PersistError::Truncated {
+            expected: needed,
+            actual: region.len() as u64,
+        });
+    }
+    Ok((index, region))
+}
+
+/// A v2 checkpoint opened by its offset table only. [`open`] reads and
+/// verifies the header and the [`SectionIndex`] — **not** the section
+/// payloads — so opening a multi-hundred-megabyte checkpoint costs a few
+/// kilobytes of I/O. Sections are fetched and checksum-verified
+/// individually on demand; [`load_model`] fetches all of them.
+///
+/// This is the on-disk half of cold-start-lean serving: open the
+/// checkpoint by index, decode the model, and let
+/// [`ComAid::freeze_lazy`](super::ComAid::freeze_lazy) defer the
+/// per-chapter freeze work the same way the mapped file defers payload
+/// reads.
+///
+/// [`open`]: MappedCheckpoint::open
+/// [`load_model`]: MappedCheckpoint::load_model
+#[derive(Debug)]
+pub struct MappedCheckpoint {
+    file: std::fs::File,
+    index: SectionIndex,
+    sections_start: u64,
+}
+
+impl MappedCheckpoint {
+    /// Opens a v2 checkpoint, reading only the header and section index.
+    /// A v1 checkpoint reports [`PersistError::UnsupportedVersion`] (it
+    /// has no index to map; use [`ComAid::load_from_path`]).
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, PersistError> {
+        let mut file = std::fs::File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut header = [0u8; HEADER_LEN];
+        if file_len < HEADER_LEN as u64 {
+            return Err(PersistError::NotACheckpoint);
+        }
+        file.read_exact(&mut header)?;
+        if &header[..8] != MAGIC {
+            return Err(PersistError::NotACheckpoint);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version != FORMAT_VERSION_V2 {
+            return Err(PersistError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION_V2,
+            });
+        }
+        let declared = u64::from_le_bytes(header[12..20].try_into().unwrap());
+        let stored = u64::from_le_bytes(header[20..28].try_into().unwrap());
+        // Bound the index allocation by the actual file size before
+        // trusting the declared length.
+        let body = file_len - HEADER_LEN as u64;
+        let index_len = usize::try_from(declared)
+            .ok()
+            .filter(|&n| (n as u64) <= body)
+            .ok_or(PersistError::Truncated {
+                expected: declared,
+                actual: body,
+            })?;
+        let mut index_bytes = vec![0u8; index_len];
+        file.read_exact(&mut index_bytes)?;
+        let computed = fnv1a64(&index_bytes);
+        if computed != stored {
+            return Err(PersistError::ChecksumMismatch { stored, computed });
+        }
+        let mut r = Reader::new(&index_bytes);
+        let index = SectionIndex::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(PersistError::Codec(WireError::Invalid(format!(
+                "{} trailing bytes after section index",
+                r.remaining()
+            ))));
+        }
+        let sections_start = HEADER_LEN as u64 + declared;
+        let needed = index.region_len()?;
+        if file_len - sections_start < needed {
+            return Err(PersistError::Truncated {
+                expected: needed,
+                actual: file_len - sections_start,
+            });
+        }
+        Ok(Self {
+            file,
+            index,
+            sections_start,
+        })
+    }
+
+    /// The checkpoint's offset table.
+    pub fn index(&self) -> &SectionIndex {
+        &self.index
+    }
+
+    /// Reads and checksum-verifies one section's payload.
+    pub fn read_section(&mut self, name: &str) -> Result<Vec<u8>, PersistError> {
+        let entry = self
+            .index
+            .find(name)
+            .ok_or_else(|| {
+                PersistError::Codec(WireError::Invalid(format!("missing section '{name}'")))
+            })?
+            .clone();
+        self.file
+            .seek(SeekFrom::Start(self.sections_start + entry.offset))?;
+        // `open` verified the region fits the file, so this cannot
+        // over-allocate past the checkpoint size.
+        let mut buf = vec![0u8; entry.len as usize];
+        self.file.read_exact(&mut buf)?;
+        let computed = fnv1a64(&buf);
+        if computed != entry.checksum {
+            return Err(PersistError::ChecksumMismatch {
+                stored: entry.checksum,
+                computed,
+            });
+        }
+        Ok(buf)
+    }
+
+    /// Fetches every section and decodes the model, with the same
+    /// cross-component validation as a monolithic load.
+    pub fn load_model(&mut self) -> Result<ComAid, PersistError> {
+        let mut payload = Vec::new();
+        for name in V2_SECTIONS {
+            payload.extend_from_slice(&self.read_section(name)?);
+        }
+        ComAid::decode_payload(&payload)
+    }
+}
+
 impl ComAid {
     /// Serialises the full model (configuration, vocabulary and all
     /// parameters) into the verified checkpoint container.
@@ -177,12 +372,78 @@ impl ComAid {
         Ok(())
     }
 
+    /// Encodes each model component as its own byte section, in
+    /// [`V2_SECTIONS`] order. Concatenating the payloads reproduces the
+    /// monolithic [`Wire`] encoding exactly, which is what lets v2
+    /// loading reuse the full cross-component validation of
+    /// `ComAid::decode`.
+    fn v2_sections(&self) -> Vec<(&'static str, Vec<u8>)> {
+        let mut out = Vec::with_capacity(V2_SECTIONS.len());
+        let mut buf = Vec::new();
+        self.config().encode(&mut buf);
+        out.push(("config", std::mem::take(&mut buf)));
+        Wire::encode(self.vocab(), &mut buf);
+        out.push(("vocab", std::mem::take(&mut buf)));
+        self.embedding.encode(&mut buf);
+        out.push(("embedding", std::mem::take(&mut buf)));
+        self.encoder.encode(&mut buf);
+        out.push(("encoder", std::mem::take(&mut buf)));
+        self.decoder.encode(&mut buf);
+        out.push(("decoder", std::mem::take(&mut buf)));
+        self.composite.encode(&mut buf);
+        out.push(("composite", std::mem::take(&mut buf)));
+        self.output.encode(&mut buf);
+        out.push(("output", buf));
+        out
+    }
+
+    /// Serialises the model in the v2 offset-table container: a
+    /// checksummed [`SectionIndex`] up front, per-component sections
+    /// behind it. [`MappedCheckpoint::open`] reads only the index;
+    /// [`ComAid::load`] reads either format.
+    pub fn save_v2<W: Write>(&self, mut writer: W) -> Result<(), PersistError> {
+        let sections = self.v2_sections();
+        let mut index = SectionIndex::new();
+        for (name, bytes) in &sections {
+            index.append(name, bytes);
+        }
+        let mut index_bytes = Vec::new();
+        index.encode(&mut index_bytes);
+        let mut out = Vec::with_capacity(
+            HEADER_LEN + index_bytes.len() + sections.iter().map(|(_, b)| b.len()).sum::<usize>(),
+        );
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION_V2.to_le_bytes());
+        out.extend_from_slice(&(index_bytes.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&index_bytes).to_le_bytes());
+        out.extend_from_slice(&index_bytes);
+        for (_, bytes) in &sections {
+            out.extend_from_slice(bytes);
+        }
+        writer.write_all(&out)?;
+        writer.flush()?;
+        Ok(())
+    }
+
+    /// [`ComAid::save_v2`] with the same atomic same-directory
+    /// temp-file-and-rename protocol as [`ComAid::save_to_path`].
+    pub fn save_v2_to_path<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
+        self.atomic_write(path.as_ref(), |m, f| m.save_v2(f))
+    }
+
     /// Saves atomically to a file path: the bytes are written to a
     /// temporary file in the same directory, fsynced, and renamed over
     /// `path`. Readers either see the old checkpoint or the complete new
     /// one — never a partial write.
     pub fn save_to_path<P: AsRef<Path>>(&self, path: P) -> Result<(), PersistError> {
-        let path = path.as_ref();
+        self.atomic_write(path.as_ref(), |m, f| m.save(f))
+    }
+
+    fn atomic_write(
+        &self,
+        path: &Path,
+        write: impl Fn(&Self, &mut std::fs::File) -> Result<(), PersistError>,
+    ) -> Result<(), PersistError> {
         let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
         let file_name = path
             .file_name()
@@ -202,7 +463,7 @@ impl ComAid {
 
         let write_result = (|| -> Result<(), PersistError> {
             let mut file = std::fs::File::create(&tmp)?;
-            self.save(&mut file)?;
+            write(self, &mut file)?;
             file.sync_all()?;
             Ok(())
         })();
@@ -224,9 +485,25 @@ impl ComAid {
         Self::load_bytes(&bytes)
     }
 
-    /// Loads a model from in-memory checkpoint bytes.
+    /// Loads a model from in-memory checkpoint bytes. The container
+    /// version is auto-detected: v1 (monolithic payload) and v2
+    /// (offset-table sections) both load; anything else is a typed
+    /// [`PersistError::UnsupportedVersion`].
     pub fn load_bytes(bytes: &[u8]) -> Result<Self, PersistError> {
+        if bytes.len() >= 12 && &bytes[..8] == MAGIC {
+            let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+            if version == FORMAT_VERSION_V2 {
+                return Self::load_bytes_v2(bytes);
+            }
+        }
         let payload = unframe(bytes)?;
+        Self::decode_payload(payload)
+    }
+
+    /// Decodes a verified payload (the monolithic v1 payload, or the v2
+    /// sections concatenated in [`V2_SECTIONS`] order — bytewise the
+    /// same thing).
+    fn decode_payload(payload: &[u8]) -> Result<Self, PersistError> {
         let mut r = Reader::new(payload);
         let model = <ComAid as Wire>::decode(&mut r)?;
         if r.remaining() != 0 {
@@ -236,6 +513,18 @@ impl ComAid {
             ))));
         }
         Ok(model)
+    }
+
+    /// Loads a v2 (offset-table) checkpoint held fully in memory:
+    /// verifies the index checksum, then each section against its own
+    /// checksum, and decodes the concatenation.
+    fn load_bytes_v2(bytes: &[u8]) -> Result<Self, PersistError> {
+        let (index, region) = unframe_v2(bytes)?;
+        let mut payload = Vec::new();
+        for name in V2_SECTIONS {
+            payload.extend_from_slice(index.slice(name, region)?);
+        }
+        Self::decode_payload(&payload)
     }
 
     /// Loads from a file path.
@@ -395,6 +684,162 @@ mod tests {
         let framed = frame(&payload);
         let err = ComAid::load_bytes(&framed).unwrap_err();
         assert!(matches!(err, PersistError::Codec(_)), "{err:?}");
+    }
+
+    #[test]
+    fn v2_round_trip_preserves_scores_and_auto_detects() {
+        let (o, model) = trained_model();
+        let mut buf = Vec::new();
+        model.save_v2(&mut buf).unwrap();
+        assert_eq!(&buf[8..12], &FORMAT_VERSION_V2.to_le_bytes());
+        // `load` auto-detects the offset-table container.
+        let loaded = ComAid::load(buf.as_slice()).unwrap();
+        let idx = OntologyIndex::build(&o, model.vocab(), 2);
+        let c = o.by_code("N18.5").unwrap();
+        let q = model.encode_text("ckd stage 5");
+        let a = model.log_prob_ids(&idx, c, &q);
+        let b = loaded.log_prob_ids(&idx, c, &q);
+        assert!((a - b).abs() < 1e-6, "scores diverged: {a} vs {b}");
+    }
+
+    #[test]
+    fn v2_truncation_detected_at_every_sampled_length() {
+        let (_, model) = trained_model();
+        let mut buf = Vec::new();
+        model.save_v2(&mut buf).unwrap();
+        for cut in [
+            0,
+            4,
+            HEADER_LEN - 1,
+            HEADER_LEN,
+            HEADER_LEN + 3,
+            buf.len() / 2,
+            buf.len() - 1,
+        ] {
+            let err = ComAid::load_bytes(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    PersistError::NotACheckpoint
+                        | PersistError::Truncated { .. }
+                        | PersistError::ChecksumMismatch { .. }
+                        | PersistError::Codec(_)
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v2_index_corruption_is_a_checksum_mismatch() {
+        let (_, model) = trained_model();
+        let mut buf = Vec::new();
+        model.save_v2(&mut buf).unwrap();
+        // First byte of the encoded index.
+        let mut bad = buf.clone();
+        bad[HEADER_LEN] ^= 0x08;
+        let err = ComAid::load_bytes(&bad).unwrap_err();
+        assert!(
+            matches!(err, PersistError::ChecksumMismatch { .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn v2_section_corruption_is_caught_by_its_own_checksum() {
+        let (_, model) = trained_model();
+        let mut buf = Vec::new();
+        model.save_v2(&mut buf).unwrap();
+        // Last byte of the file sits inside the final section.
+        let pos = buf.len() - 1;
+        buf[pos] ^= 0x20;
+        let err = ComAid::load_bytes(&buf).unwrap_err();
+        assert!(
+            matches!(&err, PersistError::Codec(WireError::Invalid(m)) if m.contains("checksum")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn mapped_open_reads_only_the_index() {
+        let (_, model) = trained_model();
+        let dir = std::env::temp_dir().join("ncl_mapped_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.nclm2");
+        model.save_v2_to_path(&path).unwrap();
+
+        // Locate the "embedding" section on disk and corrupt one byte.
+        let mapped = MappedCheckpoint::open(&path).unwrap();
+        assert_eq!(mapped.index().entries.len(), V2_SECTIONS.len());
+        let emb = mapped.index().find("embedding").unwrap().clone();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let index_len = bytes.len() - HEADER_LEN - {
+            let mapped_region = mapped.index().region_len().unwrap();
+            mapped_region as usize
+        };
+        let pos = HEADER_LEN + index_len + emb.offset as usize + (emb.len as usize) / 2;
+        bytes[pos] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Opening succeeds — the payload is never read at open time.
+        let mut mapped = MappedCheckpoint::open(&path).unwrap();
+        // Untouched sections verify and decode fine...
+        assert!(mapped.read_section("config").is_ok());
+        assert!(mapped.read_section("vocab").is_ok());
+        // ...the corrupted one is caught by its own checksum.
+        let err = mapped.read_section("embedding").unwrap_err();
+        assert!(
+            matches!(err, PersistError::ChecksumMismatch { .. }),
+            "{err:?}"
+        );
+        let err = mapped.load_model().unwrap_err();
+        assert!(
+            matches!(err, PersistError::ChecksumMismatch { .. }),
+            "{err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_model_matches_direct_load() {
+        let (o, model) = trained_model();
+        let dir = std::env::temp_dir().join("ncl_mapped_load_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.nclm2");
+        model.save_v2_to_path(&path).unwrap();
+        let loaded = MappedCheckpoint::open(&path).unwrap().load_model().unwrap();
+        let idx = OntologyIndex::build(&o, model.vocab(), 2);
+        let c = o.by_code("N18.5").unwrap();
+        let q = model.encode_text("ckd stage 5");
+        assert!((model.log_prob_ids(&idx, c, &q) - loaded.log_prob_ids(&idx, c, &q)).abs() < 1e-6);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_open_rejects_v1_and_garbage() {
+        let (_, model) = trained_model();
+        let dir = std::env::temp_dir().join("ncl_mapped_reject_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let v1 = dir.join("model.nclm");
+        model.save_to_path(&v1).unwrap();
+        let err = MappedCheckpoint::open(&v1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                PersistError::UnsupportedVersion {
+                    found: FORMAT_VERSION,
+                    supported: FORMAT_VERSION_V2
+                }
+            ),
+            "{err:?}"
+        );
+        let junk = dir.join("junk.bin");
+        std::fs::write(&junk, b"definitely not a checkpoint").unwrap();
+        assert!(matches!(
+            MappedCheckpoint::open(&junk).unwrap_err(),
+            PersistError::NotACheckpoint
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

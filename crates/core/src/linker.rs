@@ -29,7 +29,7 @@
 //! configured and no faults injected, the fast path computes exactly
 //! what it always did.
 
-use crate::comaid::{ComAid, ConceptCache, OntologyIndex};
+use crate::comaid::{CacheTier, ComAid, ConceptCache, OntologyIndex};
 use crate::error::NclError;
 use crate::faults::FaultPlan;
 use crate::serving::{
@@ -99,6 +99,23 @@ pub struct LinkerConfig {
     /// with `precompute: true` — the uncached path always scores
     /// exactly.
     pub fast_math: bool,
+    /// Storage tier for the precomputed cache ([`CacheTier`]). `Exact`
+    /// (the default) keeps every frozen row in f32 and scores
+    /// bit-identically to the uncached path; `Compact` stores encoder
+    /// states and ancestor memories as shared bf16 rows and drops the
+    /// step-0 logits table, cutting resident bytes per concept by more
+    /// than half at paper scale in exchange for epsilon-bounded (and
+    /// [`ConceptCache::tier`](crate::comaid::ConceptCache::tier)-flagged)
+    /// score perturbation. Only effective with `precompute: true`.
+    pub cache_tier: CacheTier,
+    /// Freeze the precomputed cache **lazily per ontology chapter**
+    /// ([`ComAid::freeze_lazy`]): `Linker::new` builds only the shard
+    /// skeleton, and each chapter's rows are frozen by the first query
+    /// that scores a candidate in it. Scores are bit-identical to the
+    /// eager freeze (within the chosen `cache_tier`); the trade is
+    /// cold-start-to-first-link time against first-touch latency per
+    /// chapter. Only effective with `precompute: true`.
+    pub lazy_freeze: bool,
     /// Deadline budgets; all unset by default (no deadline).
     pub budget: LinkBudget,
 }
@@ -116,6 +133,8 @@ impl Default for LinkerConfig {
             index_aliases: true,
             max_query_tokens: 4096,
             fast_math: false,
+            cache_tier: CacheTier::Exact,
+            lazy_freeze: false,
             budget: LinkBudget::default(),
         }
     }
@@ -454,7 +473,11 @@ impl<'a> Linker<'a> {
         let tfidf = TfIdfIndex::build(&docs);
 
         let cache = config.precompute.then(|| {
-            let mut c = model.freeze(&index);
+            let mut c = if config.lazy_freeze {
+                model.freeze_lazy(&index, config.cache_tier)
+            } else {
+                model.freeze_tiered(&index, config.cache_tier)
+            };
             c.set_fast_math(config.fast_math);
             c
         });
@@ -630,6 +653,33 @@ impl<'a> Linker<'a> {
     fn prefetch_rewrites<'q>(
         &self,
         tokens: &'q [String],
+        stats: &mut RetrievalStats,
+    ) -> HashSet<&'q str> {
+        self.prefetch_rewrite_words(tokens.iter(), stats)
+    }
+
+    /// Batch-level rewrite prefetch: one blocked matrix pass over the
+    /// distinct uncached OOV tokens of *every* query in the batch, so
+    /// each request's rewrite stage pays only memo lookups instead of
+    /// its own [`NearestWords::nearest_batch`] dispatch. A no-op when
+    /// rewriting is off or a fault plan is attached (fault ordinals
+    /// must stay per-request deterministic, so the memo is bypassed
+    /// entirely there). Outcomes are identical to per-request
+    /// prefetching — this only moves *when* the memo is primed.
+    pub(crate) fn prefetch_rewrites_batch(&self, queries: &[&[String]]) {
+        if self.faults.is_some() || !self.config.rewrite {
+            return;
+        }
+        // The batch pass has no single request to attribute work to;
+        // per-request traces see memo hits, exactly as they do when an
+        // earlier request in the batch primed the memo.
+        let mut stats = RetrievalStats::default();
+        let _ = self.prefetch_rewrite_words(queries.iter().flat_map(|q| q.iter()), &mut stats);
+    }
+
+    fn prefetch_rewrite_words<'q>(
+        &self,
+        tokens: impl Iterator<Item = &'q String>,
         stats: &mut RetrievalStats,
     ) -> HashSet<&'q str> {
         let vocab = self.model.vocab();
@@ -1557,6 +1607,80 @@ mod tests {
             }
             assert_eq!(a.degradation, Degradation::None);
             assert_eq!(b.degradation, Degradation::None);
+        }
+    }
+
+    #[test]
+    fn lazy_and_compact_linkers_serve_the_same_answers() {
+        let (o, model) = trained_world();
+        let exact = Linker::new(&model, &o, LinkerConfig::default());
+        let lazy = Linker::new(
+            &model,
+            &o,
+            LinkerConfig {
+                lazy_freeze: true,
+                ..LinkerConfig::default()
+            },
+        );
+        let compact = Linker::new(
+            &model,
+            &o,
+            LinkerConfig {
+                cache_tier: CacheTier::Compact,
+                ..LinkerConfig::default()
+            },
+        );
+        assert_eq!(exact.cache().unwrap().tier(), CacheTier::Exact);
+        assert_eq!(compact.cache().unwrap().tier(), CacheTier::Compact);
+        assert_eq!(lazy.cache().unwrap().frozen_shard_count(), 0);
+        for q in ["ckd stage 5", "abdominal pain", "acute abdomen"] {
+            let a = exact.link_text(q);
+            // Lazy freezing only moves *when* chapters freeze: bitwise
+            // identical scores.
+            let b = lazy.link_text(q);
+            assert_eq!(a.ranked_ids(), b.ranked_ids(), "query {q}");
+            for (&(_, sa), &(_, sb)) in a.ranked.iter().zip(&b.ranked) {
+                assert_eq!(sa.to_bits(), sb.to_bits(), "query {q}");
+            }
+            // The Compact tier is epsilon-bounded per concept.
+            let c = compact.link_text(q);
+            assert_eq!(a.top1(), c.top1(), "query {q}");
+            let by_id: HashMap<ConceptId, f32> = c.ranked.iter().copied().collect();
+            for &(id, sa) in &a.ranked {
+                let sc = by_id[&id];
+                assert!(
+                    (sa - sc).abs() < 5e-2 * sa.abs().max(1.0),
+                    "query {q}: exact {sa} compact {sc}"
+                );
+            }
+        }
+        assert!(lazy.cache().unwrap().frozen_shard_count() > 0);
+    }
+
+    #[test]
+    fn batch_prefetch_primes_the_memo_in_one_pass() {
+        let (o, model) = trained_world();
+        // Without alias indexing, alias-only words ("ckd", "renal") are
+        // in Ω' but absent from the Phase-I index, so they take the
+        // embedding-space rewrite path the prefetch batches.
+        let linker = Linker::new(
+            &model,
+            &o,
+            LinkerConfig {
+                index_aliases: false,
+                ..LinkerConfig::default()
+            },
+        );
+        let q1 = tokenize("ckd stage 5");
+        let q2 = tokenize("renal disease");
+        let refs: Vec<&[String]> = vec![&q1, &q2];
+        linker.prefetch_rewrites_batch(&refs);
+        // One blocked pass resolved both queries' OOV tokens: each
+        // per-request rewrite is now pure memo hits, no misses.
+        for q in [&q1, &q2] {
+            let (_, _, s) = linker.retrieve_with_stats(q);
+            assert_eq!(s.rewrite_cache_misses, 0, "query {q:?}");
+            assert_eq!(s.rewrite_cache_hits, 1, "query {q:?}");
         }
     }
 

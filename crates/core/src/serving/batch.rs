@@ -20,6 +20,13 @@ use crate::linker::{LinkResult, Linker};
 /// Links each query; see [`Linker::link_batch`].
 pub(crate) fn link_batch(linker: &Linker<'_>, queries: &[&[String]]) -> Vec<LinkResult> {
     let n = queries.len();
+    // Prime the shared rewrite memo for the whole batch in one blocked
+    // matrix pass before any request runs: per-request rewrite stages
+    // then pay only hash lookups instead of one nearest-neighbour
+    // dispatch per query's worth of new OOV tokens.
+    if n > 1 {
+        linker.prefetch_rewrites_batch(queries);
+    }
     let threads = linker.worker_threads(n);
     if threads <= 1 || n <= 1 {
         return queries.iter().map(|q| linker.link(q)).collect();

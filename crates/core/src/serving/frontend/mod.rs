@@ -52,6 +52,7 @@ mod queue;
 
 pub use hist::{HistSummary, LatencyHistogram};
 
+use crate::comaid::CacheMemoryReport;
 use crate::error::NclError;
 use crate::linker::{LinkResult, Linker};
 
@@ -265,6 +266,13 @@ pub struct FrontendStats {
     pub score: HistSummary,
     /// Rank-stage (RT) wall-clock.
     pub rank: HistSummary,
+    /// Resident-memory report of the linker's frozen concept cache
+    /// ([`ConceptCache::memory_report`](crate::comaid::ConceptCache::memory_report));
+    /// `None` when the linker serves uncached
+    /// ([`crate::linker::LinkerConfig::precompute`] off). Under a lazy
+    /// freeze the snapshot covers the shards frozen so far, so
+    /// successive snapshots show the cache warming chapter by chapter.
+    pub cache: Option<CacheMemoryReport>,
 }
 
 impl FrontendStats {
@@ -455,6 +463,7 @@ impl<'f, 'a> Frontend<'f, 'a> {
             retrieve: h.stages[1].summary(),
             score: h.stages[2].summary(),
             rank: h.stages[3].summary(),
+            cache: self.linker.cache().map(|c| c.memory_report()),
         }
     }
 

@@ -132,6 +132,38 @@ fn inline_frontend_is_bit_identical_to_direct_link() {
     assert_eq!(stats.e2e.count, QUERIES.len() as u64);
 }
 
+/// `FrontendStats::cache` surfaces the linker's frozen-cache memory
+/// report (ISSUE 8): present and fully frozen for a precomputed
+/// linker, absent for an uncached one.
+#[test]
+fn stats_surface_the_cache_memory_report() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    let fe = Frontend::new(
+        &linker,
+        FrontendConfig {
+            workers: 0,
+            deadline: None,
+            ..FrontendConfig::default()
+        },
+    );
+    let report = fe.stats().cache.expect("precomputed linker has a cache");
+    assert_eq!(report.frozen_concepts, report.concepts);
+    assert!(report.total_bytes() > 0);
+    assert!(report.bytes_per_concept() > 0.0);
+
+    let uncached = Linker::new(
+        &model,
+        &o,
+        LinkerConfig {
+            precompute: false,
+            ..LinkerConfig::default()
+        },
+    );
+    let fe = Frontend::new(&uncached, FrontendConfig::default());
+    assert!(fe.stats().cache.is_none());
+}
+
 /// A sustained burst far past the queue's hard ceiling: submissions
 /// must split exactly into completions and typed rejections (nothing
 /// lost, nothing double-counted), every completion must be

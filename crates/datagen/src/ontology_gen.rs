@@ -10,7 +10,7 @@
 
 use crate::lexicon::{synonyms_of, CAUSES, FAMILIES, NUTRIENTS, SITES};
 use ncl_ontology::codes::IcdRevision;
-use ncl_ontology::{Ontology, OntologyBuilder};
+use ncl_ontology::{ConceptId, Ontology, OntologyBuilder};
 use ncl_text::tokenize;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -105,15 +105,11 @@ fn synonym_variant(base: &str) -> String {
     tokens.join(" ")
 }
 
-/// Generates an ICD-style ontology.
-///
-/// Categories cycle deterministically (after a seeded shuffle) through
-/// `family × site` combinations plus the nutrient-anemia block, so two
-/// calls with the same config produce identical ontologies.
-pub fn generate(config: OntologyGenConfig) -> Ontology {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-
-    // Enumerate all category bases.
+/// Builds the shuffled category-spec pool shared by both generators:
+/// `family × site` combinations plus the nutrient-anemia block,
+/// shuffled once with the seeded RNG (the only RNG draws either
+/// generator makes).
+fn spec_pool(rng: &mut StdRng) -> Vec<CategorySpec> {
     let mut specs: Vec<CategorySpec> = Vec::new();
     for nutrient in NUTRIENTS {
         specs.push(CategorySpec {
@@ -143,36 +139,122 @@ pub fn generate(config: OntologyGenConfig) -> Ontology {
             specs.push(CategorySpec { base, scheme });
         }
     }
-    specs.shuffle(&mut rng);
-    // The base pool covers `NUTRIENTS + FAMILIES × SITES` (≈ 490
-    // categories). Scale sweeps (the fig11 retrieval benchmark) need
-    // 10k–100k-concept ontologies, so when more categories are requested
-    // the shuffled pool is cycled with a deterministic `type N`
-    // elaboration per round — mirroring ICD's own numbered subtypes
-    // ("diabetes mellitus type 2"). No further RNG draws happen, so
-    // configurations within the base pool remain byte-identical to what
-    // this function has always produced.
-    let base_len = specs.len();
-    if config.categories > base_len && base_len > 0 {
-        let mut round = 1usize;
-        'extend: loop {
-            for i in 0..base_len {
-                if specs.len() >= config.categories {
-                    break 'extend;
+    specs.shuffle(rng);
+    specs
+}
+
+/// The base and scheme for global category index `ci`. The base pool
+/// covers `NUTRIENTS + FAMILIES × SITES` (≈ 490 categories); scale
+/// sweeps (fig11, fig17) need 10k–100k-concept ontologies, so past the
+/// pool the specs are cycled with a deterministic `type N` elaboration
+/// per round — mirroring ICD's own numbered subtypes ("diabetes
+/// mellitus type 2"). No RNG draws happen here, so configurations
+/// within the base pool remain byte-identical to what [`generate`] has
+/// always produced.
+fn spec_for(specs: &[CategorySpec], ci: usize) -> (String, QualifierScheme) {
+    let spec = &specs[ci % specs.len()];
+    let round = ci / specs.len();
+    let base = if round == 0 {
+        spec.base.clone()
+    } else {
+        format!("{} type {round}", spec.base)
+    };
+    (base, spec.scheme)
+}
+
+/// Writes one category subtree (category → subcategories → optional
+/// depth split → optional encounter leaves) under `parent` (the
+/// ontology root when `None`). `ci` is the global category index — it
+/// deterministically drives the description elaborations, so the same
+/// `(ci, base, scheme)` always produces the same subtree.
+fn build_category(
+    builder: &mut OntologyBuilder,
+    parent: Option<ConceptId>,
+    cat_code: &str,
+    ci: usize,
+    base: &str,
+    scheme: QualifierScheme,
+    encounter_leaves: bool,
+) {
+    // A third of the categories get a compound elaboration, mirroring
+    // long ICD-10-CM descriptions; this lengthens encoder sequences
+    // so the textual attention has something to select from.
+    let cat_desc = if ci.is_multiple_of(3) {
+        format!("{} {}", base, CAUSES[ci % CAUSES.len()])
+    } else {
+        base.to_string()
+    };
+    let cat = match parent {
+        None => builder.add_root_concept(cat_code, cat_desc),
+        Some(p) => builder.add_child(p, cat_code, cat_desc),
+    };
+    // ~40% of categories go three levels deep (subcategory → leaf),
+    // matching ICD chains like S52.5 → S52.52 → S52.521; the rest
+    // stay two levels. §6.2 relies on the mixture: "the ontology
+    // depths of ICD-9-CM and ICD-10-CM are typically less than 3
+    // levels", and β = 2 only helps when some depth-3 leaves exist.
+    let deep = ci % 5 < 2;
+    for (li, qual) in scheme.qualifiers().iter().enumerate() {
+        let sub_code = format!("{cat_code}.{li}");
+        // Real ICD leaves do not repeat the category wording
+        // verbatim — E61.1 "iron deficiency" sits under a very
+        // different parent description. Let some leaves use a
+        // synonym-variant base so their vocabulary diverges from the
+        // category's: the structural context (Definition 4.1) then
+        // carries complementary words, which is what the paper's
+        // structure-based attention exploits.
+        let qbase = if (ci + li) % 3 == 1 {
+            synonym_variant(base)
+        } else {
+            base.to_string()
+        };
+        let desc = if qual == "unspecified" {
+            format!("{qbase} unspecified")
+        } else if scheme.prefixes() {
+            format!("{qual} {qbase}")
+        } else {
+            format!("{qbase} {qual}")
+        };
+        let sub = builder.add_child(cat, sub_code.clone(), desc.clone());
+        if deep && qual != "unspecified" {
+            // Split the subcategory into depth-3 leaves whose
+            // qualifiers come from a second scheme.
+            let sub_quals: &[&str] = if scheme == QualifierScheme::Complication {
+                &["mild", "severe"]
+            } else {
+                &["with complication", "without complication"]
+            };
+            for (lj, sq) in sub_quals.iter().enumerate() {
+                let leaf_code = format!("{sub_code}{}", lj + 1);
+                let leaf = builder.add_child(sub, leaf_code.clone(), format!("{desc} {sq}"));
+                if encounter_leaves {
+                    for (ch, enc) in ENCOUNTERS {
+                        builder.add_child(
+                            leaf,
+                            format!("{leaf_code}{ch}"),
+                            format!("{desc} {sq} {enc}"),
+                        );
+                    }
                 }
-                let CategorySpec { base, scheme } = &specs[i];
-                specs.push(CategorySpec {
-                    base: format!("{base} type {round}"),
-                    scheme: *scheme,
-                });
             }
-            round += 1;
+        } else if encounter_leaves {
+            for (ch, enc) in ENCOUNTERS {
+                builder.add_child(sub, format!("{sub_code}{ch}"), format!("{desc} {enc}"));
+            }
         }
     }
-    specs.truncate(config.categories);
+}
 
+/// Generates an ICD-style ontology.
+///
+/// Categories cycle deterministically (after a seeded shuffle) through
+/// `family × site` combinations plus the nutrient-anemia block, so two
+/// calls with the same config produce identical ontologies.
+pub fn generate(config: OntologyGenConfig) -> Ontology {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let specs = spec_pool(&mut rng);
     let mut builder = OntologyBuilder::new();
-    for (ci, spec) in specs.iter().enumerate() {
+    for ci in 0..config.categories {
         let chapter = ci / 36;
         let number = ci % 100;
         let cat_code = match config.revision {
@@ -185,61 +267,215 @@ pub fn generate(config: OntologyGenConfig) -> Ontology {
             IcdRevision::Icd9 if ci < 1000 => format!("{ci:03}"),
             IcdRevision::Icd9 => format!("{ci:06}"),
         };
-        // A third of the categories get a compound elaboration, mirroring
-        // long ICD-10-CM descriptions; this lengthens encoder sequences
-        // so the textual attention has something to select from.
-        let cat_desc = if ci % 3 == 0 {
-            format!("{} {}", spec.base, CAUSES[ci % CAUSES.len()])
-        } else {
-            spec.base.clone()
-        };
-        let cat = builder.add_root_concept(cat_code.clone(), cat_desc);
-        // ~40% of categories go three levels deep (subcategory → leaf),
-        // matching ICD chains like S52.5 → S52.52 → S52.521; the rest
-        // stay two levels. §6.2 relies on the mixture: "the ontology
-        // depths of ICD-9-CM and ICD-10-CM are typically less than 3
-        // levels", and β = 2 only helps when some depth-3 leaves exist.
-        let deep = ci % 5 < 2;
-        for (li, qual) in spec.scheme.qualifiers().iter().enumerate() {
-            let sub_code = format!("{cat_code}.{li}");
-            // Real ICD leaves do not repeat the category wording
-            // verbatim — E61.1 "iron deficiency" sits under a very
-            // different parent description. Let some leaves use a
-            // synonym-variant base so their vocabulary diverges from the
-            // category's: the structural context (Definition 4.1) then
-            // carries complementary words, which is what the paper's
-            // structure-based attention exploits.
-            let base = if (ci + li) % 3 == 1 {
-                synonym_variant(&spec.base)
-            } else {
-                spec.base.clone()
-            };
-            let desc = if qual == "unspecified" {
-                format!("{base} unspecified")
-            } else if spec.scheme.prefixes() {
-                format!("{qual} {base}")
-            } else {
-                format!("{base} {qual}")
-            };
-            let sub = builder.add_child(cat, sub_code.clone(), desc.clone());
-            if deep && qual != "unspecified" {
-                // Split the subcategory into depth-3 leaves whose
-                // qualifiers come from a second scheme.
-                let sub_quals: &[&str] = if spec.scheme == QualifierScheme::Complication {
-                    &["mild", "severe"]
-                } else {
-                    &["with complication", "without complication"]
-                };
-                for (lj, sq) in sub_quals.iter().enumerate() {
-                    let leaf_code = format!("{sub_code}{}", lj + 1);
-                    builder.add_child(sub, leaf_code, format!("{desc} {sq}"));
-                }
-            }
-        }
+        let (base, scheme) = spec_for(&specs, ci);
+        build_category(&mut builder, None, &cat_code, ci, &base, scheme, false);
     }
     builder
         .build()
         .expect("generated ontology must always validate")
+}
+
+/// ICD-10-CM 7th-character encounter extensions, applied to childless
+/// fine-grained codes when [`Icd10CmGenConfig::encounter_leaves`] is
+/// set (`S52.521A` "… initial encounter").
+const ENCOUNTERS: &[(char, &str)] = &[
+    ('A', "initial encounter"),
+    ('D', "subsequent encounter"),
+    ('S', "sequela"),
+];
+
+/// The 21 chapters of ICD-10-CM as `(range, title, decade spans)`.
+/// Each span `(letter, first_decade, last_decade)` is the slice of the
+/// `letter × decade` category grid the chapter owns; the spans are
+/// mutually disjoint (the real H00-H59/H60-H95 and C00-D49/D50-D89
+/// splits fall on decade boundaries), so generated category codes can
+/// never collide across chapters. Span widths are taken from the real
+/// code ranges, which is what skews chapter sizes — external causes
+/// (V00-Y99) owns 40 decades, blood disorders (D50-D89) only 4.
+type ChapterSpec = (&'static str, &'static str, &'static [(char, u8, u8)]);
+const ICD10CM_CHAPTERS: &[ChapterSpec] = &[
+    ("A00-B99", "certain infectious and parasitic diseases", &[('A', 0, 9), ('B', 0, 9)]),
+    ("C00-D49", "neoplasms", &[('C', 0, 9), ('D', 0, 4)]),
+    (
+        "D50-D89",
+        "diseases of the blood and blood forming organs and certain disorders involving the immune mechanism",
+        &[('D', 5, 8)],
+    ),
+    ("E00-E89", "endocrine nutritional and metabolic diseases", &[('E', 0, 8)]),
+    ("F01-F99", "mental behavioral and neurodevelopmental disorders", &[('F', 0, 9)]),
+    ("G00-G99", "diseases of the nervous system", &[('G', 0, 9)]),
+    ("H00-H59", "diseases of the eye and adnexa", &[('H', 0, 5)]),
+    ("H60-H95", "diseases of the ear and mastoid process", &[('H', 6, 9)]),
+    ("I00-I99", "diseases of the circulatory system", &[('I', 0, 9)]),
+    ("J00-J99", "diseases of the respiratory system", &[('J', 0, 9)]),
+    ("K00-K95", "diseases of the digestive system", &[('K', 0, 9)]),
+    ("L00-L99", "diseases of the skin and subcutaneous tissue", &[('L', 0, 9)]),
+    ("M00-M99", "diseases of the musculoskeletal system and connective tissue", &[('M', 0, 9)]),
+    ("N00-N99", "diseases of the genitourinary system", &[('N', 0, 9)]),
+    ("O00-O9A", "pregnancy childbirth and the puerperium", &[('O', 0, 9)]),
+    ("P00-P96", "certain conditions originating in the perinatal period", &[('P', 0, 9)]),
+    (
+        "Q00-Q99",
+        "congenital malformations deformations and chromosomal abnormalities",
+        &[('Q', 0, 9)],
+    ),
+    (
+        "R00-R99",
+        "symptoms signs and abnormal clinical and laboratory findings not elsewhere classified",
+        &[('R', 0, 9)],
+    ),
+    (
+        "S00-T88",
+        "injury poisoning and certain other consequences of external causes",
+        &[('S', 0, 9), ('T', 0, 8)],
+    ),
+    (
+        "V00-Y99",
+        "external causes of morbidity",
+        &[('V', 0, 9), ('W', 0, 9), ('X', 0, 9), ('Y', 0, 9)],
+    ),
+    (
+        "Z00-Z99",
+        "factors influencing health status and contact with health services",
+        &[('Z', 0, 9)],
+    ),
+];
+
+/// Category codes per decade cell: ten numeric third characters plus
+/// the 26-letter alphanumeric extension ICD-10-CM itself uses past the
+/// numeric grid (`C7A`, `M1A`, `O9A`, `Z3A`, …).
+const DECADE_CAPACITY: usize = 36;
+
+fn chapter_capacity(spans: &[(char, u8, u8)]) -> usize {
+    spans
+        .iter()
+        .map(|&(_, lo, hi)| (hi - lo + 1) as usize * DECADE_CAPACITY)
+        .sum()
+}
+
+/// Total category capacity of the ICD-10-CM code grid — the most
+/// categories [`generate_icd10cm`] can emit before running out of
+/// collision-free chapter-prefixed codes.
+pub fn icd10cm_category_capacity() -> usize {
+    ICD10CM_CHAPTERS
+        .iter()
+        .map(|(_, _, spans)| chapter_capacity(spans))
+        .sum()
+}
+
+/// The category codes a chapter owns, in range order: numeric third
+/// characters first within each decade (`A00`…`A09`), then the
+/// alphanumeric extension (`A0A`…`A0Z`), then the next decade.
+fn chapter_codes(spans: &'static [(char, u8, u8)]) -> impl Iterator<Item = String> {
+    spans.iter().flat_map(|&(letter, lo, hi)| {
+        (lo..=hi).flat_map(move |decade| {
+            ('0'..='9')
+                .chain('A'..='Z')
+                .map(move |c| format!("{letter}{decade}{c}"))
+        })
+    })
+}
+
+/// Configuration for [`generate_icd10cm`].
+#[derive(Debug, Clone, Copy)]
+pub struct Icd10CmGenConfig {
+    /// Number of categories, distributed across the 21 chapters
+    /// proportionally to each chapter's share of the code grid and
+    /// clamped to [`icd10cm_category_capacity`].
+    pub categories: usize,
+    /// RNG seed (spec-pool shuffle only, as in [`generate`]).
+    pub seed: u64,
+    /// Give every childless fine-grained code three encounter children
+    /// (`A` initial / `D` subsequent / `S` sequela seventh
+    /// characters); roughly triples the concept yield, which is
+    /// how the profile reaches ICD-10-CM's 93,830 codes within the
+    /// category grid.
+    pub encounter_leaves: bool,
+}
+
+/// Generates an ICD-10-CM-shaped ontology: 21 skewed chapters as
+/// first-level concepts (so per-chapter cache shards mirror the real
+/// ontology's layout), chapter-prefixed alphanumeric category codes
+/// that are collision-free by construction at any size the grid
+/// admits, and the same qualifier-scheme subtrees as [`generate`].
+/// Deterministic: a pure function of the config.
+pub fn generate_icd10cm(config: Icd10CmGenConfig) -> Ontology {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let specs = spec_pool(&mut rng);
+    let capacity = icd10cm_category_capacity();
+    let categories = config.categories.min(capacity);
+    let mut builder = OntologyBuilder::new();
+    let mut ci = 0usize;
+    let mut cap_prefix = 0usize;
+    for (range, title, spans) in ICD10CM_CHAPTERS {
+        // Telescoping proportional split: chapter `i` gets
+        // `floor(C·prefix_i/T) − floor(C·prefix_{i−1}/T)` categories,
+        // which sums to exactly `categories` and never exceeds the
+        // chapter's own capacity.
+        cap_prefix += chapter_capacity(spans);
+        let want = categories * cap_prefix / capacity - ci;
+        if want == 0 {
+            continue;
+        }
+        let chapter = builder.add_root_concept(*range, *title);
+        for code in chapter_codes(spans).take(want) {
+            let (base, scheme) = spec_for(&specs, ci);
+            build_category(
+                &mut builder,
+                Some(chapter),
+                &code,
+                ci,
+                &base,
+                scheme,
+                config.encounter_leaves,
+            );
+            ci += 1;
+        }
+    }
+    builder
+        .build()
+        .expect("generated ICD-10-CM ontology must always validate")
+}
+
+/// Generates an ICD-10-CM-shaped ontology with **at least**
+/// `min_concepts` concepts (a pure function of its inputs, like
+/// [`generate_at_least`]). The category count grows geometrically
+/// until the floor is met; at grid capacity the generator turns on
+/// encounter leaves, which covers paper scale (93,830 concepts) with
+/// room to spare.
+///
+/// # Panics
+/// Panics if `min_concepts` exceeds what the full grid with encounter
+/// leaves can produce (≈ 160k concepts).
+pub fn generate_icd10cm_at_least(min_concepts: usize, seed: u64) -> Ontology {
+    let capacity = icd10cm_category_capacity();
+    // Concept yield per category is ≈6 without encounter leaves and
+    // ≈18 with, so start below the estimate and grow geometrically —
+    // the result lands near the floor instead of far past it. When the
+    // grid runs out, encounter leaves turn on and the estimate resets.
+    let mut encounter_leaves = false;
+    let mut categories = (min_concepts / 6).clamp(ICD10CM_CHAPTERS.len(), capacity);
+    loop {
+        let o = generate_icd10cm(Icd10CmGenConfig {
+            categories,
+            seed,
+            encounter_leaves,
+        });
+        if o.num_concepts() >= min_concepts {
+            return o;
+        }
+        if categories < capacity {
+            categories = (categories * 3 / 2 + 1).min(capacity);
+        } else if !encounter_leaves {
+            encounter_leaves = true;
+            categories = (min_concepts / 18).clamp(ICD10CM_CHAPTERS.len(), capacity);
+        } else {
+            panic!(
+                "ICD-10-CM grid capacity exhausted at {} concepts, below the requested {min_concepts}",
+                o.num_concepts()
+            );
+        }
+    }
 }
 
 /// Generates an ontology with **at least** `min_concepts` concepts.
@@ -468,6 +704,78 @@ mod tests {
         // Deterministic: same inputs, same ontology.
         let o2 = generate_at_least(IcdRevision::Icd10, 10_000, 9);
         assert_eq!(o.num_concepts(), o2.num_concepts());
+    }
+
+    #[test]
+    fn icd10cm_chapters_are_first_level_with_prefixed_codes() {
+        let o = generate_icd10cm(Icd10CmGenConfig {
+            categories: 500,
+            seed: 17,
+            encounter_leaves: false,
+        });
+        let chapters = o.children(Ontology::ROOT).to_vec();
+        assert_eq!(chapters.len(), ICD10CM_CHAPTERS.len(), "all 21 chapters");
+        let mut sizes = Vec::new();
+        for (ch, (range, _, spans)) in chapters.iter().zip(ICD10CM_CHAPTERS) {
+            assert_eq!(&o.concept(*ch).code, range);
+            let letters: Vec<char> = spans.iter().map(|&(l, _, _)| l).collect();
+            for cat in o.children(*ch) {
+                let code = &o.concept(*cat).code;
+                // Chapter-prefixed alphanumeric `LNX` category codes.
+                let mut cs = code.chars();
+                let first = cs.next().unwrap();
+                assert!(letters.contains(&first), "code {code} outside {range}");
+                assert!(cs.next().unwrap().is_ascii_digit(), "code {code}");
+                assert!(cs.next().unwrap().is_ascii_alphanumeric(), "code {code}");
+            }
+            sizes.push(o.children(*ch).len());
+        }
+        // The real code ranges skew chapter sizes: external causes
+        // (V00-Y99, 40 decades) dwarfs blood disorders (D50-D89, 4).
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        assert!(max >= &(min * 4), "sizes not skewed: {sizes:?}");
+    }
+
+    #[test]
+    fn icd10cm_reaches_paper_scale_collision_free() {
+        // 93,830 is the ICD-10-CM code count the paper serves (§6.1).
+        // `build()` rejects duplicate codes, so merely constructing the
+        // ontology proves the grid is collision-free at paper scale.
+        let o = generate_icd10cm_at_least(93_830, 13);
+        assert!(o.num_concepts() >= 93_830, "got {}", o.num_concepts());
+        let o2 = generate_icd10cm_at_least(93_830, 13);
+        assert_eq!(o.num_concepts(), o2.num_concepts(), "deterministic");
+        // Encounter leaves kicked in to reach paper scale: depth grows
+        // by one (chapter) + one (encounter) over the classic profile.
+        assert!(o.max_depth() <= 5);
+        let enc = o
+            .iter()
+            .filter(|(_, c)| c.code.ends_with(['A', 'D', 'S']) && c.code.contains('.'))
+            .count();
+        assert!(enc > 0, "no encounter leaves at paper scale");
+    }
+
+    #[test]
+    fn icd10cm_is_a_pure_function_of_its_config() {
+        let cfg = Icd10CmGenConfig {
+            categories: 120,
+            seed: 23,
+            encounter_leaves: true,
+        };
+        let a = generate_icd10cm(cfg);
+        let b = generate_icd10cm(cfg);
+        assert_eq!(a.num_concepts(), b.num_concepts());
+        for (ia, ib) in a.iter().zip(b.iter()) {
+            assert_eq!(ia.1.code, ib.1.code);
+            assert_eq!(ia.1.canonical, ib.1.canonical);
+        }
+        // Encounter leaves triple the childless fine-grained codes.
+        let without = generate_icd10cm(Icd10CmGenConfig {
+            encounter_leaves: false,
+            ..cfg
+        });
+        assert!(a.num_concepts() > without.num_concepts() * 2);
     }
 
     #[test]

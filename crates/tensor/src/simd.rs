@@ -279,6 +279,76 @@ pub fn colmajor_gemv_acc(y: &mut [f32], x: &[f32], wt: &[f32]) {
 }
 
 // ---------------------------------------------------------------------------
+// Quantization kernels (bf16 widen/narrow).
+//
+// The compact serving-cache tier stores per-concept rows as `u16`
+// mantissa-trimmed floats: the upper 16 bits of the f32 pattern (sign,
+// the full 8-bit exponent, the top 7 mantissa bits — the bfloat16
+// layout). Both directions are pure integer bit manipulation, so every
+// dispatch level produces identical bits *by construction*: there is no
+// floating-point rounding to reorder.
+// ---------------------------------------------------------------------------
+
+/// Narrows one f32 to its bf16 bit pattern with round-to-nearest-even
+/// on the 16 dropped mantissa bits (the rounding increment carries into
+/// the exponent when the mantissa overflows, which is the correct
+/// next-power-of-two result; infinities pass through, NaNs stay NaN).
+#[inline]
+pub fn narrow_bf16_one(x: f32) -> u16 {
+    let bits = x.to_bits();
+    // Round-to-nearest-even in integer arithmetic: add 0x7FFF plus the
+    // current LSB of the kept half, then truncate. Wrapping matches the
+    // two's-complement SIMD adds on exotic NaN patterns.
+    let rounded = bits.wrapping_add(0x7FFF + ((bits >> 16) & 1));
+    (rounded >> 16) as u16
+}
+
+/// Widens one bf16 bit pattern back to f32 — exact (the low 16 mantissa
+/// bits are zero-filled).
+#[inline]
+pub fn widen_bf16_one(q: u16) -> f32 {
+    f32::from_bits((q as u32) << 16)
+}
+
+/// Narrows `src` into `dst` as bf16 bit patterns
+/// ([`narrow_bf16_one`] element-wise). Bit-identical at every dispatch
+/// level: the conversion is integer-only.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn narrow_bf16(dst: &mut [u16], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "narrow_bf16: dimension mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 was verified by `active()`'s detection.
+        Level::Avx2 => unsafe { avx2::narrow_bf16(dst, src) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Level::Sse2 => unsafe { sse2::narrow_bf16(dst, src) },
+        _ => scalar::narrow_bf16(dst, src),
+    }
+}
+
+/// Widens bf16 bit patterns in `src` into `dst`
+/// ([`widen_bf16_one`] element-wise) — the compact cache tier's
+/// dequantization. Exact and bit-identical at every dispatch level.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn widen_bf16(dst: &mut [f32], src: &[u16]) {
+    assert_eq!(dst.len(), src.len(), "widen_bf16: dimension mismatch");
+    match active() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: AVX2 was verified by `active()`'s detection.
+        Level::Avx2 => unsafe { avx2::widen_bf16(dst, src) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Level::Sse2 => unsafe { sse2::widen_bf16(dst, src) },
+        _ => scalar::widen_bf16(dst, src),
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Relaxed (fast-math) kernels — deterministic across levels, but NOT
 // bit-equal to the exact kernels. Gated behind `LinkerConfig::fast_math`.
 // ---------------------------------------------------------------------------
@@ -455,6 +525,18 @@ mod scalar {
         dot_lanes(&mut lanes, a, b);
         tree8(&lanes)
     }
+
+    pub fn narrow_bf16(dst: &mut [u16], src: &[f32]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = super::narrow_bf16_one(s);
+        }
+    }
+
+    pub fn widen_bf16(dst: &mut [f32], src: &[u16]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = super::widen_bf16_one(s);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -605,6 +687,66 @@ mod sse2 {
             j += 1;
         }
         let _ = m;
+    }
+
+    /// # Safety
+    /// Requires SSE2 (always present on `x86_64`).
+    ///
+    /// Four f32s per iteration: the round-to-nearest-even increment in
+    /// 32-bit integer lanes, then the high halves of the four dwords are
+    /// gathered into the low 64 bits by 16-bit shuffles (SSE2 has no
+    /// unsigned dword→word pack) and stored as four u16s.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn narrow_bf16(dst: &mut [u16], src: &[f32]) {
+        let n = dst.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let bias = _mm_set1_epi32(0x7FFF);
+        let one = _mm_set1_epi32(1);
+        let mut i = 0;
+        while i + 4 <= n {
+            let v = _mm_castps_si128(_mm_loadu_ps(sp.add(i)));
+            let lsb = _mm_and_si128(_mm_srli_epi32::<16>(v), one);
+            let r = _mm_add_epi32(v, _mm_add_epi32(bias, lsb));
+            // Keep the high 16 bits of each dword: h-lanes [1,3,5,7].
+            let hi = _mm_srli_epi32::<16>(r);
+            // [h0 h2 _ _ | h4 h6 _ _] → dwords 0 and 2 hold the packed
+            // words; shuffle them adjacent and store the low 64 bits.
+            let lo = _mm_shufflelo_epi16::<0b00_00_10_00>(hi);
+            let both = _mm_shufflehi_epi16::<0b00_00_10_00>(lo);
+            let packed = _mm_shuffle_epi32::<0b00_00_10_00>(both);
+            _mm_storel_epi64(dp.add(i) as *mut _, packed);
+            i += 4;
+        }
+        while i < n {
+            dst[i] = super::narrow_bf16_one(src[i]);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires SSE2 (always present on `x86_64`).
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn widen_bf16(dst: &mut [f32], src: &[u16]) {
+        let n = dst.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let zero = _mm_setzero_si128();
+        let mut i = 0;
+        while i + 8 <= n {
+            let q = _mm_loadu_si128(sp.add(i) as *const _);
+            // Interleaving zeros *below* each word yields `q << 16` per
+            // dword — exactly the widened bit pattern.
+            let lo = _mm_unpacklo_epi16(zero, q);
+            let hi = _mm_unpackhi_epi16(zero, q);
+            _mm_storeu_ps(dp.add(i), _mm_castsi128_ps(lo));
+            _mm_storeu_ps(dp.add(i + 4), _mm_castsi128_ps(hi));
+            i += 8;
+        }
+        while i < n {
+            dst[i] = super::widen_bf16_one(src[i]);
+            i += 1;
+        }
     }
 }
 
@@ -816,6 +958,58 @@ mod avx2 {
 
     /// # Safety
     /// Requires AVX2 (callers check [`super::supported`]).
+    ///
+    /// Eight f32s per iteration: integer round-to-nearest-even, shift,
+    /// then an unsigned dword→word pack. `packus` works per 128-bit
+    /// lane, so a qword permute restores element order before the store.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn narrow_bf16(dst: &mut [u16], src: &[f32]) {
+        let n = dst.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let bias = _mm256_set1_epi32(0x7FFF);
+        let one = _mm256_set1_epi32(1);
+        let mut i = 0;
+        while i + 8 <= n {
+            let v = _mm256_castps_si256(_mm256_loadu_ps(sp.add(i)));
+            let lsb = _mm256_and_si256(_mm256_srli_epi32::<16>(v), one);
+            let r = _mm256_add_epi32(v, _mm256_add_epi32(bias, lsb));
+            // Each dword now holds the target word in [0, 0xFFFF]:
+            // packus never saturates here.
+            let hi = _mm256_srli_epi32::<16>(r);
+            let packed = _mm256_packus_epi32(hi, hi);
+            let ordered = _mm256_permute4x64_epi64::<0b00_00_10_00>(packed);
+            _mm_storeu_si128(dp.add(i) as *mut _, _mm256_castsi256_si128(ordered));
+            i += 8;
+        }
+        while i < n {
+            dst[i] = super::narrow_bf16_one(src[i]);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2 (callers check [`super::supported`]).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn widen_bf16(dst: &mut [f32], src: &[u16]) {
+        let n = dst.len();
+        let sp = src.as_ptr();
+        let dp = dst.as_mut_ptr();
+        let mut i = 0;
+        while i + 8 <= n {
+            let q = _mm_loadu_si128(sp.add(i) as *const _);
+            let wide = _mm256_slli_epi32::<16>(_mm256_cvtepu16_epi32(q));
+            _mm256_storeu_ps(dp.add(i), _mm256_castsi256_ps(wide));
+            i += 8;
+        }
+        while i < n {
+            dst[i] = super::widen_bf16_one(src[i]);
+            i += 1;
+        }
+    }
+
+    /// # Safety
+    /// Requires AVX2 (callers check [`super::supported`]).
     #[target_feature(enable = "avx2")]
     pub unsafe fn sum_exp_lanes(lanes: &mut [f32; 8], x: &[f32], m: f32) {
         let n = x.len();
@@ -1015,6 +1209,78 @@ mod tests {
                 let se = with_level(level, || sum_exp_relaxed(&a, m));
                 assert_eq!(dot.to_bits(), dot_ref.to_bits(), "{} n={n}", level.name());
                 assert_eq!(se.to_bits(), se_ref.to_bits(), "{} n={n}", level.name());
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_round_trip_error_bounded_and_exact_on_bf16_values() {
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 16, 31, 33, 100] {
+            let x = data(n, 0.6);
+            let mut q = vec![0u16; n];
+            let mut back = vec![0.0f32; n];
+            narrow_bf16(&mut q, &x);
+            widen_bf16(&mut back, &q);
+            for (&orig, &rt) in x.iter().zip(&back) {
+                // Round-to-nearest on 8 explicit mantissa bits: relative
+                // error at most 2^-8.
+                assert!(
+                    (rt - orig).abs() <= orig.abs() * (1.0 / 256.0) + f32::MIN_POSITIVE,
+                    "orig {orig} round-tripped to {rt}"
+                );
+            }
+            // Values already representable in bf16 survive unchanged.
+            let mut q2 = vec![0u16; n];
+            narrow_bf16(&mut q2, &back);
+            assert_eq!(q, q2);
+        }
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest_even() {
+        // 1.0 + 2^-9 sits exactly between bf16(1.0) and the next bf16
+        // value; ties go to the even mantissa (1.0).
+        let tie = f32::from_bits(0x3F80_8000);
+        assert_eq!(narrow_bf16_one(tie), 0x3F80);
+        // One ulp above the tie rounds up.
+        let above = f32::from_bits(0x3F80_8001);
+        assert_eq!(narrow_bf16_one(above), 0x3F81);
+        // The next tie (odd kept mantissa) rounds up to even.
+        let tie_odd = f32::from_bits(0x3F81_8000);
+        assert_eq!(narrow_bf16_one(tie_odd), 0x3F82);
+        // Specials pass through.
+        assert_eq!(
+            widen_bf16_one(narrow_bf16_one(f32::INFINITY)),
+            f32::INFINITY
+        );
+        assert!(widen_bf16_one(narrow_bf16_one(f32::NAN)).is_nan());
+        assert_eq!(narrow_bf16_one(0.0), 0);
+        assert_eq!(narrow_bf16_one(-0.0), 0x8000);
+    }
+
+    #[test]
+    fn bf16_levels_bit_identical() {
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 15, 16, 17, 33, 100] {
+            let x = data(n, 1.4);
+            let mut q_ref = vec![0u16; n];
+            with_level(Level::Scalar, || narrow_bf16(&mut q_ref, &x));
+            let mut w_ref = vec![0.0f32; n];
+            with_level(Level::Scalar, || widen_bf16(&mut w_ref, &q_ref));
+            for &level in &supported_levels() {
+                let mut q = vec![0u16; n];
+                let mut w = vec![0.0f32; n];
+                with_level(level, || {
+                    narrow_bf16(&mut q, &x);
+                    widen_bf16(&mut w, &q_ref);
+                });
+                assert_eq!(q, q_ref, "narrow {} n={n}", level.name());
+                assert!(
+                    w.iter()
+                        .zip(&w_ref)
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "widen {} n={n}",
+                    level.name()
+                );
             }
         }
     }

@@ -239,6 +239,136 @@ impl Wire for Matrix {
     }
 }
 
+/// One entry of an `NCLMODEL` v2 offset table ([`SectionIndex`]): a
+/// named byte range within the container's section region, plus its own
+/// integrity checksum so a reader can verify exactly the sections it
+/// touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionEntry {
+    /// Section name (unique within an index).
+    pub name: String,
+    /// Byte offset of the section payload, relative to the start of the
+    /// section region (the first byte after the encoded index).
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// [`fnv1a64`] of the payload bytes.
+    pub checksum: u64,
+}
+
+impl Wire for SectionEntry {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.offset.encode(out);
+        self.len.encode(out);
+        self.checksum.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            name: String::decode(r)?,
+            offset: u64::decode(r)?,
+            len: u64::decode(r)?,
+            checksum: u64::decode(r)?,
+        })
+    }
+}
+
+/// The offset table of an `NCLMODEL` v2 container: per-section byte
+/// offsets, lengths, and checksums. A serving process reads *only* this
+/// index at open time and fetches section payloads on demand — the
+/// substrate for lazy per-shard freezing (`comaid::persist` in
+/// `ncl-core` wraps it in the versioned, checksummed container).
+///
+/// Offsets handed out by [`SectionIndex::append`] are contiguous and
+/// ascending; decode accepts any bounds-checked layout so readers stay
+/// hostile-input safe.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SectionIndex {
+    /// The table entries, in the order the sections were appended.
+    pub entries: Vec<SectionEntry>,
+}
+
+impl SectionIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `payload` as the next contiguous section and returns the
+    /// offset it must be written at (relative to the section region).
+    pub fn append(&mut self, name: &str, payload: &[u8]) -> u64 {
+        let offset = self.entries.last().map(|e| e.offset + e.len).unwrap_or(0);
+        self.entries.push(SectionEntry {
+            name: name.to_string(),
+            offset,
+            len: payload.len() as u64,
+            checksum: fnv1a64(payload),
+        });
+        offset
+    }
+
+    /// Looks up a section by name.
+    pub fn find(&self, name: &str) -> Option<&SectionEntry> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+
+    /// Total bytes of the section region the index describes (the
+    /// furthest byte any entry reaches). Errors on offset + len
+    /// overflow, so hostile length fields cannot wrap around.
+    pub fn region_len(&self) -> Result<u64, WireError> {
+        let mut end = 0u64;
+        for e in &self.entries {
+            let e_end = e.offset.checked_add(e.len).ok_or_else(|| {
+                WireError::Invalid(format!(
+                    "section '{}' offset {} + len {} overflows",
+                    e.name, e.offset, e.len
+                ))
+            })?;
+            end = end.max(e_end);
+        }
+        Ok(end)
+    }
+
+    /// Verifies and returns section `name`'s payload out of an in-memory
+    /// section region (bounds-checked slice + checksum).
+    pub fn slice<'a>(&self, name: &str, region: &'a [u8]) -> Result<&'a [u8], WireError> {
+        let e = self
+            .find(name)
+            .ok_or_else(|| WireError::Invalid(format!("missing section '{name}'")))?;
+        let start = usize::try_from(e.offset)
+            .map_err(|_| WireError::Invalid(format!("section '{name}' offset overflow")))?;
+        let len = usize::try_from(e.len)
+            .map_err(|_| WireError::Invalid(format!("section '{name}' length overflow")))?;
+        let end = start.checked_add(len).filter(|&end| end <= region.len());
+        let Some(end) = end else {
+            return Err(WireError::Eof {
+                needed: start.saturating_add(len),
+                remaining: region.len(),
+            });
+        };
+        let bytes = &region[start..end];
+        let computed = fnv1a64(bytes);
+        if computed != e.checksum {
+            return Err(WireError::Invalid(format!(
+                "section '{name}' checksum mismatch (stored {:#018x}, computed {computed:#018x})",
+                e.checksum
+            )));
+        }
+        Ok(bytes)
+    }
+}
+
+impl Wire for SectionIndex {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.entries.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            entries: Vec::<SectionEntry>::decode(r)?,
+        })
+    }
+}
+
 /// FNV-1a 64-bit hash — the checkpoint container's integrity checksum.
 /// Not cryptographic; it guards against truncation and bit rot, not
 /// adversaries.
@@ -314,6 +444,101 @@ mod tests {
             Option::<u8>::decode(&mut r),
             Err(WireError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn section_index_round_trips_and_slices() {
+        let a = vec![1u8, 2, 3, 4, 5];
+        let b = vec![9u8; 300];
+        let mut idx = SectionIndex::new();
+        assert_eq!(idx.append("alpha", &a), 0);
+        assert_eq!(idx.append("beta", &b), 5);
+        round_trip(idx.clone());
+
+        let mut region = a.clone();
+        region.extend_from_slice(&b);
+        assert_eq!(idx.region_len().unwrap(), region.len() as u64);
+        assert_eq!(idx.slice("alpha", &region).unwrap(), &a[..]);
+        assert_eq!(idx.slice("beta", &region).unwrap(), &b[..]);
+        assert!(matches!(
+            idx.slice("gamma", &region),
+            Err(WireError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_section_region_is_eof_not_panic() {
+        let payload = vec![0xABu8; 64];
+        let mut idx = SectionIndex::new();
+        idx.append("w", &payload);
+        // Cut the region anywhere mid-section: bounds-checked Eof.
+        for cut in 0..payload.len() {
+            let err = idx.slice("w", &payload[..cut]).unwrap_err();
+            assert!(matches!(err, WireError::Eof { .. }), "cut {cut}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_section_length_fields_are_rejected() {
+        // Forged length beyond the region: Eof, never an allocation.
+        let idx = SectionIndex {
+            entries: vec![SectionEntry {
+                name: "big".into(),
+                offset: 0,
+                len: u64::MAX - 7,
+                checksum: 0,
+            }],
+        };
+        assert!(idx.slice("big", &[0u8; 16]).is_err());
+        // offset + len overflowing u64 is Invalid at region_len time.
+        let idx = SectionIndex {
+            entries: vec![SectionEntry {
+                name: "wrap".into(),
+                offset: u64::MAX - 3,
+                len: 8,
+                checksum: 0,
+            }],
+        };
+        assert!(matches!(idx.region_len(), Err(WireError::Invalid(_))));
+    }
+
+    #[test]
+    fn section_checksum_mismatch_is_detected() {
+        let payload = vec![0x5Au8; 128];
+        let mut idx = SectionIndex::new();
+        idx.append("p", &payload);
+        let mut bad = payload.clone();
+        bad[77] ^= 0x01;
+        let err = idx.slice("p", &bad).unwrap_err();
+        assert!(
+            matches!(&err, WireError::Invalid(m) if m.contains("checksum")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn multi_megabyte_tensor_round_trips() {
+        // A ~4.6 MB matrix: exercises the length-validation paths at a
+        // size where a wrong prefix would visibly over-allocate.
+        let rows = 768;
+        let cols = 1500;
+        let data: Vec<f32> = (0..rows * cols).map(|i| (i as f32).sin()).collect();
+        let m = Matrix::from_vec(rows, cols, data);
+        let mut buf = Vec::new();
+        m.encode(&mut buf);
+        assert!(buf.len() > 4 << 20, "encoded {} bytes", buf.len());
+        let mut r = Reader::new(&buf);
+        let back = Matrix::decode(&mut r).unwrap();
+        assert_eq!(back.rows(), rows);
+        assert_eq!(back.cols(), cols);
+        assert_eq!(back.as_slice(), m.as_slice());
+        assert_eq!(r.remaining(), 0);
+
+        // Truncating mid-payload errors at every sampled cut.
+        for cut in [16, buf.len() / 3, buf.len() - 1] {
+            let mut r = Reader::new(&buf[..cut]);
+            assert!(Matrix::decode(&mut r).is_err(), "cut at {cut}");
+        }
     }
 
     #[test]

@@ -194,6 +194,47 @@ fn colmajor_gemv_bitwise_identical_across_levels_and_offsets() {
 }
 
 #[test]
+fn bf16_widen_narrow_bitwise_identical_across_levels_and_offsets() {
+    for &n in SIZES {
+        let buf = data(n + 1, 13);
+        for offset in [0usize, 1] {
+            let x = &buf[offset..offset + n];
+            let q_ref = at(Level::Scalar, || {
+                let mut q = vec![0u16; n];
+                simd::narrow_bf16(&mut q, x);
+                q
+            });
+            let w_ref = at(Level::Scalar, || {
+                let mut w = vec![0.0f32; n];
+                simd::widen_bf16(&mut w, &q_ref);
+                w
+            });
+            for level in simd::supported_levels() {
+                let got_q = at(level, || {
+                    let mut q = vec![0u16; n];
+                    simd::narrow_bf16(&mut q, x);
+                    q
+                });
+                assert_eq!(got_q, q_ref, "narrow_bf16 n={n} off={offset} @ {level:?}");
+                // A one-u16 offset into the quantized buffer defeats any
+                // 16-byte-alignment assumption on the integer loads too.
+                let got_w = at(level, || {
+                    let mut w = vec![0.0f32; n];
+                    simd::widen_bf16(&mut w, &q_ref);
+                    w
+                });
+                assert_bits_eq(
+                    &format!("widen_bf16 n={n} off={offset}"),
+                    level,
+                    &got_w,
+                    &w_ref,
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn relaxed_kernels_deterministic_across_levels() {
     for &n in SIZES {
         let abuf = data(n + 1, 9);
@@ -309,6 +350,33 @@ mod proptests {
             for level in simd::supported_levels() {
                 let got = at(level, || simd::max(&x));
                 prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+
+        /// Random payloads: bf16 narrow/widen stay bitwise identical to
+        /// the scalar reference at every level, and the round trip stays
+        /// within the 2^-8 relative bound of 8-bit-mantissa rounding.
+        #[test]
+        fn bf16_random_bitwise(n in 0usize..300, off in 0usize..2, salt in 0u32..1000) {
+            let buf = data(n + 1, salt);
+            let x = &buf[off..off + n];
+            let q_ref = at(Level::Scalar, || {
+                let mut q = vec![0u16; n];
+                simd::narrow_bf16(&mut q, x);
+                q
+            });
+            for level in simd::supported_levels() {
+                let (q, w) = at(level, || {
+                    let mut q = vec![0u16; n];
+                    simd::narrow_bf16(&mut q, x);
+                    let mut w = vec![0.0f32; n];
+                    simd::widen_bf16(&mut w, &q_ref);
+                    (q, w)
+                });
+                prop_assert_eq!(&q, &q_ref);
+                for (&orig, &rt) in x.iter().zip(&w) {
+                    prop_assert!((rt - orig).abs() <= orig.abs() / 256.0 + f32::MIN_POSITIVE);
+                }
             }
         }
 
