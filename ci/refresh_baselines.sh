@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerates the checked-in perf baselines
-# (ci/bench_baseline_fig{11,12,15,16,17,18}.json) from a fresh local run.
+# (ci/bench_baseline_fig{11,12,15,16,17,18,19}.json) from a fresh local
+# run.
 #
 # Run this ONLY after an intentional performance change, on a quiet
 # machine comparable to the CI runners, and commit the result together
@@ -26,6 +27,7 @@ cargo run --release -p ncl-bench --bin fig11_online_time -- --quick
 cargo run --release -p ncl-bench --bin fig18_open_loop -- --quick
 cargo run --release -p ncl-bench --bin fig16_kernels -- --quick
 cargo run --release -p ncl-bench --bin fig17_scale_serving -- --quick
+cargo run --release -p ncl-bench --bin fig19_ann_retrieval -- --quick
 
 cargo run --release -p ncl-bench --bin bench_gate -- \
   BENCH_fig15.json ci/bench_baseline_fig15.json \
@@ -34,6 +36,7 @@ cargo run --release -p ncl-bench --bin bench_gate -- \
   BENCH_fig18.json ci/bench_baseline_fig18.json \
   BENCH_fig16.json ci/bench_baseline_fig16.json \
   BENCH_fig17.json ci/bench_baseline_fig17.json \
+  BENCH_fig19.json ci/bench_baseline_fig19.json \
   --rebase --headroom "$HEADROOM"
 
 # Sanity: a gate run against the fresh baselines must pass by a wide
@@ -45,6 +48,7 @@ cargo run --release -p ncl-bench --bin bench_gate -- \
   BENCH_fig18.json ci/bench_baseline_fig18.json \
   BENCH_fig16.json ci/bench_baseline_fig16.json \
   BENCH_fig17.json ci/bench_baseline_fig17.json \
+  BENCH_fig19.json ci/bench_baseline_fig19.json \
   --tolerance 0.20
 
 echo "refresh_baselines: done — review and commit ci/bench_baseline_fig*.json"

@@ -48,12 +48,16 @@ struct SweepRow {
     pretrain_s: f64,
     refine_s: f64,
     refine_pairs_per_sec: f64,
+    sync_s: f64,
+    merge_s: f64,
 }
 ncl_bench::impl_to_json!(SweepRow {
     threads,
     pretrain_s,
     refine_s,
-    refine_pairs_per_sec
+    refine_pairs_per_sec,
+    sync_s,
+    merge_s
 });
 
 fn main() {
@@ -164,7 +168,8 @@ fn main() {
         let refine_s = pipeline.refine_time.as_secs_f64();
         println!(
             "threads={threads}: pretrain {pretrain_s:.3}s, refine {refine_s:.3}s \
-             ({:.0} pairs/s over {} epochs; first epochs {:?} s)",
+             ({:.0} pairs/s over {} epochs; first epochs {:?} s; \
+             replica sync {:.3}s + grad merge {:.3}s = {:.1}% of refine)",
             report.pairs_per_sec(),
             report.epoch_seconds.len(),
             report
@@ -173,28 +178,49 @@ fn main() {
                 .take(3)
                 .map(|s| (s * 1e3).round() / 1e3)
                 .collect::<Vec<_>>(),
+            report.sync_seconds,
+            report.merge_seconds,
+            (report.sync_seconds + report.merge_seconds) / refine_s.max(1e-9) * 100.0,
         );
         sweep_rows.push(vec![
             threads.to_string(),
             format!("{pretrain_s:.3}"),
             format!("{refine_s:.3}"),
             format!("{:.0}", report.pairs_per_sec()),
+            format!("{:.3}", report.sync_seconds),
+            format!("{:.3}", report.merge_seconds),
         ]);
         sweep.push(SweepRow {
             threads,
             pretrain_s,
             refine_s,
             refine_pairs_per_sec: report.pairs_per_sec(),
+            sync_s: report.sync_seconds,
+            merge_s: report.merge_seconds,
         });
         losses_by_threads.push((threads, report.epoch_losses.clone()));
     }
     println!(
         "{}",
         table::render(
-            &["threads", "pretrain (s)", "refine (s)", "refine pairs/s"],
+            &[
+                "threads",
+                "pretrain (s)",
+                "refine (s)",
+                "refine pairs/s",
+                "sync (s)",
+                "merge (s)"
+            ],
             &sweep_rows
         )
     );
+    // The sync + merge columns quantify the structural serial cost of
+    // value-synchronous sharding: every wide batch copies |Θ| parameter
+    // values into each replica and left-folds the shard gradients back,
+    // independent of the thread count. At this workload scale that
+    // fixed cost is why thread scaling plateaus (DESIGN.md §10, "the
+    // wide-batch scaling bound"); the columns make the bound visible
+    // rather than inferred.
 
     // Refinement losses must be bit-identical across every thread count
     // (the gradient shards merge in a fixed order); CBOW is only
@@ -243,7 +269,17 @@ fn main() {
         "  \"refine_speedup_t2\": {refine_speedup_t2:.3},\n  \"refine_speedup_t4\": {refine_speedup_t4:.3},\n"
     ));
     gate.push_str(&format!(
-        "  \"pretrain_speedup_t2\": {pretrain_speedup_t2:.3},\n  \"pretrain_speedup_t4\": {pretrain_speedup_t4:.3}\n}}\n"
+        "  \"pretrain_speedup_t2\": {pretrain_speedup_t2:.3},\n  \"pretrain_speedup_t4\": {pretrain_speedup_t4:.3},\n"
+    ));
+    // Informational (not in the baseline key set): the serial
+    // sync+merge share of refinement at 4 threads, recorded so a future
+    // overlap optimisation has a before/after number to point at.
+    let t4 = sweep.iter().find(|r| r.threads == 4);
+    let sync_merge_frac_t4 = t4
+        .map(|r| (r.sync_s + r.merge_s) / r.refine_s.max(1e-9))
+        .unwrap_or(f64::NAN);
+    gate.push_str(&format!(
+        "  \"sync_merge_frac_t4\": {sync_merge_frac_t4:.4}\n}}\n"
     ));
     match std::fs::write("BENCH_fig12.json", &gate) {
         Ok(()) => println!("[results] wrote BENCH_fig12.json"),

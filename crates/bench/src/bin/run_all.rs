@@ -19,6 +19,7 @@ fn main() {
         "fig16_kernels",
         "fig17_scale_serving",
         "fig18_open_loop",
+        "fig19_ann_retrieval",
     ];
     let exe_dir = std::env::current_exe()
         .ok()

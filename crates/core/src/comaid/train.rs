@@ -50,6 +50,16 @@ pub struct TrainReport {
     pub epoch_seconds: Vec<f64>,
     /// Training pairs processed per epoch.
     pub pairs_per_epoch: usize,
+    /// Total seconds spent copying parameter values into the shard
+    /// replicas before each wide batch (`sync_values_from`). This is the
+    /// structural serial cost of value-synchronous sharded SGD: it is
+    /// O((shards − 1) · |Θ|) per wide batch regardless of thread count
+    /// (DESIGN.md §10, "the wide-batch scaling bound").
+    pub sync_seconds: f64,
+    /// Total seconds spent in the fixed-order left-fold gradient merge
+    /// after each wide batch (`merge_grads_from`) — the other serial leg
+    /// of the wide-batch path.
+    pub merge_seconds: f64,
 }
 
 impl TrainReport {
@@ -126,6 +136,8 @@ impl ComAid {
         let mut epoch_losses = Vec::with_capacity(epochs);
         let mut epoch_seconds = Vec::with_capacity(epochs);
         let mut steps = 0usize;
+        let mut sync_seconds = 0.0f64;
+        let mut merge_seconds = 0.0f64;
 
         // Data-parallel machinery. The shard partition depends only on
         // batch length; single-shard batches take the direct in-place
@@ -189,9 +201,11 @@ impl ComAid {
                     );
                 } else {
                     let ns = shards.len();
+                    let t_sync = Instant::now();
                     for r in replicas[..ns - 1].iter_mut() {
                         r.sync_values_from(self);
                     }
+                    sync_seconds += t_sync.elapsed().as_secs_f64();
                     for slot in shard_losses[..ns].iter_mut() {
                         *slot = 0.0;
                     }
@@ -223,9 +237,11 @@ impl ComAid {
                     // Merge in fixed shard order (left fold), then fold
                     // the losses the same way: both are independent of
                     // the executor count, so `epoch_losses` are too.
+                    let t_merge = Instant::now();
                     for r in replicas[..ns - 1].iter_mut() {
                         self.merge_grads_from(r);
                     }
+                    merge_seconds += t_merge.elapsed().as_secs_f64();
                     for &l in &shard_losses[..ns] {
                         epoch_loss += l;
                     }
@@ -242,6 +258,8 @@ impl ComAid {
             steps,
             epoch_seconds,
             pairs_per_epoch: pairs.len(),
+            sync_seconds,
+            merge_seconds,
         }
     }
 

@@ -24,7 +24,11 @@
 //! (an I/O-style site consulted once per submission — an injected
 //! error forces the admission-control overload path, rejecting the
 //! request with `NclError::Overloaded` regardless of actual queue
-//! depth).
+//! depth). The embedding-ANN retrieval backend adds `"ann.search"`
+//! (an I/O-style site consulted once per `Ann`/`Hybrid` retrieval — an
+//! injected error disables the vector search for that request, which
+//! degrades to the TF-IDF path and records a
+//! [`crate::serving::TraceEvent::AnnFallback`]).
 //!
 //! Attaching a plan also disables the linker's rewrite memo: memoising
 //! out-of-vocabulary rewrites would change how many times `"or.rewrite"`

@@ -41,11 +41,13 @@ pub use faults::{FaultKind, FaultPlan};
 pub use feedback::{FeedbackConfig, FeedbackController};
 pub use linker::{
     Degradation, DegradeReason, LinkBudget, LinkResult, Linker, LinkerConfig, PriorTable,
+    RetrievalBackend,
 };
 pub use ncl_text::tfidf::RetrievalStats;
 pub use pipeline::{NclConfig, NclPipeline};
 pub use serving::{
-    AdmissionRung, CacheUse, ComAidScore, Completion, Frontend, FrontendConfig, FrontendStats,
-    HistSummary, LatencyHistogram, LinkTrace, RequestCtx, RewriteDecision, ScoreOutcome,
-    ScoreRequest, ScoreStage, Stage, StageKind, StageTiming, TraceEvent,
+    AdmissionRung, AnnFallbackReason, AnnSearchStats, CacheUse, ComAidScore, Completion, Frontend,
+    FrontendConfig, FrontendStats, HistSummary, LatencyHistogram, LinkTrace, RequestCtx,
+    RewriteDecision, ScoreOutcome, ScoreRequest, ScoreStage, Stage, StageKind, StageTiming,
+    TraceEvent,
 };

@@ -35,7 +35,7 @@ use crate::faults::FaultPlan;
 use crate::serving::{
     self, ComAidScore, LinkTrace, RewriteDecision, ScoreStage, StageKind, StageTiming, TraceEvent,
 };
-use ncl_embedding::NearestWords;
+use ncl_embedding::{AnnIndex, ConceptVectors, HnswConfig, NearestWords};
 use ncl_ontology::{ConceptId, Ontology};
 use ncl_tensor::pool::WorkerPool;
 use ncl_tensor::Vector;
@@ -116,8 +116,40 @@ pub struct LinkerConfig {
     /// cold-start-to-first-link time against first-touch latency per
     /// chapter. Only effective with `precompute: true`.
     pub lazy_freeze: bool,
+    /// Which Phase-I retrieval backend serves candidates
+    /// ([`RetrievalBackend`]); `TfIdf` (the default) is the paper's
+    /// keyword path, byte-identical to every prior release. Overridable
+    /// per request via [`Linker::link_with_backend`].
+    pub retrieval: RetrievalBackend,
     /// Deadline budgets; all unset by default (no deadline).
     pub budget: LinkBudget,
+}
+
+/// Which Phase-I candidate-retrieval backend the Retrieve stage runs.
+///
+/// The embedding-ANN backends search a concept-level vector space
+/// (mean-pooled CBOW name vectors behind a deterministic HNSW,
+/// [`ncl_embedding::AnnIndex`]) using the **original, un-rewritten**
+/// query tokens: the pre-training corpus contains the corrupted surface
+/// forms ("htn", "ca", typos), so vocabulary-mismatch queries match
+/// concepts directly by embedding proximity, without waiting on the
+/// OOV-rewrite machinery. When the ANN search cannot run (all-OOV
+/// query, injected fault at the `ann.search` site, panic), the stage
+/// falls back to the TF-IDF path and records
+/// [`crate::serving::TraceEvent::AnnFallback`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetrievalBackend {
+    /// TF-IDF keyword retrieval over the MaxScore-pruned inverted index
+    /// — the default, unchanged from every prior release.
+    #[default]
+    TfIdf,
+    /// Embedding-ANN retrieval only: top-k concepts by cosine in the
+    /// concept-vector space.
+    Ann,
+    /// Union of both backends' candidates (TF-IDF order first, then
+    /// deduplicated ANN extras), reranked by the unchanged Score/Rank
+    /// stages.
+    Hybrid,
 }
 
 impl Default for LinkerConfig {
@@ -135,6 +167,7 @@ impl Default for LinkerConfig {
             fast_math: false,
             cache_tier: CacheTier::Exact,
             lazy_freeze: false,
+            retrieval: RetrievalBackend::TfIdf,
             budget: LinkBudget::default(),
         }
     }
@@ -356,6 +389,12 @@ pub struct Linker<'a> {
     /// Length/prefix-bucketed edit-distance index over Ω', also built on
     /// first use — the textual fallback of rewriting.
     edit_index: OnceLock<EditIndex>,
+    /// Concept-level embedding-ANN index (deterministic HNSW over
+    /// mean-pooled CBOW name vectors, one row per Phase-I document in
+    /// `doc_map` order), built on first use: only the `Ann`/`Hybrid`
+    /// retrieval backends consult it, and building it walks the whole
+    /// ontology once.
+    ann: OnceLock<AnnIndex>,
     /// Per-linker rewrite memo: OOV token → rewrite outcome (including
     /// negative outcomes), so repeated OOV tokens cost one lookup per
     /// linker lifetime. Bypassed entirely when a [`FaultPlan`] is
@@ -501,6 +540,7 @@ impl<'a> Linker<'a> {
             doc_map,
             nearest: OnceLock::new(),
             edit_index: OnceLock::new(),
+            ann: OnceLock::new(),
             rewrite_memo: Mutex::new(HashMap::new()),
             prior: None,
             faults: None,
@@ -596,6 +636,56 @@ impl<'a> Linker<'a> {
                 .collect();
             NearestWords::new(self.model.embedding().table(), Some(allowed))
         })
+    }
+
+    /// The concept-level embedding-ANN index, built on first use: one
+    /// mean-pooled CBOW vector per Phase-I document (the same token set
+    /// the TF-IDF documents index — canonical name tokens plus, under
+    /// [`LinkerConfig::index_aliases`], every KB alias — mapped through
+    /// Ω′), in `doc_map` order, behind a deterministic HNSW
+    /// ([`ncl_embedding::AnnIndex`]). Pooling the aliases matters for
+    /// the OOV-heavy mixes: abbreviations like "ckd" live in the alias
+    /// text, so they pull the concept vector toward the corrupted
+    /// surface forms that queries actually use. Search beam defaults to
+    /// `max(4k, 64)` so the expansion comfortably covers the `k`
+    /// candidates the Retrieve stage asks for.
+    pub(crate) fn ann_index(&self) -> &AnnIndex {
+        self.ann.get_or_init(|| {
+            let vocab = self.model.vocab();
+            let docs: Vec<Vec<u32>> = self
+                .doc_map
+                .iter()
+                .map(|&id| {
+                    let c = self.ontology.concept(id);
+                    let mut toks = tokenize(&c.canonical);
+                    if self.config.index_aliases {
+                        for alias in &c.aliases {
+                            toks.extend(tokenize(alias));
+                        }
+                    }
+                    toks.iter().filter_map(|t| vocab.get(t)).collect()
+                })
+                .collect();
+            let vectors = ConceptVectors::mean_pooled(self.model.embedding().table(), &docs);
+            let hnsw = HnswConfig {
+                ef_search: (4 * self.config.k).max(64),
+                ..HnswConfig::default()
+            };
+            AnnIndex::build(&vectors, hnsw)
+        })
+    }
+
+    /// The normalized mean-pooled embedding of `tokens` — the ANN query
+    /// vector. Tokens outside Ω′ contribute nothing; `None` when no
+    /// token embeds (the all-OOV case) or the pooled vector has no
+    /// direction. Deliberately fed the **original** query tokens, not
+    /// the rewritten ones: corrupted surface forms occur in the
+    /// pre-training corpus, so they carry their own embeddings and the
+    /// vector search needs no rewriting.
+    pub(crate) fn ann_query_vector(&self, tokens: &[String]) -> Option<Vec<f32>> {
+        let vocab = self.model.vocab();
+        let ids: Vec<u32> = tokens.iter().filter_map(|t| vocab.get(t)).collect();
+        ConceptVectors::query_vector(self.model.embedding().table(), &ids)
     }
 
     /// The bucketed edit-distance index over Ω', built on first use.
@@ -881,6 +971,23 @@ impl<'a> Linker<'a> {
     /// (interactive vs batch traffic).
     pub fn link_budgeted(&self, tokens: &[String], budget: LinkBudget) -> LinkResult {
         serving::drive_with(self, tokens, &ComAidScore::new(self), budget, Vec::new())
+    }
+
+    /// Links a query under a caller-chosen [`RetrievalBackend`],
+    /// overriding [`LinkerConfig::retrieval`] for this call only —
+    /// the per-request knob for comparing the TF-IDF, ANN, and Hybrid
+    /// Phase-I paths over one shared linker. Everything downstream of
+    /// candidate retrieval (scoring, budgets, fault isolation, the
+    /// degradation ladder, tracing) applies unchanged.
+    pub fn link_with_backend(&self, tokens: &[String], backend: RetrievalBackend) -> LinkResult {
+        serving::drive_with_backend(
+            self,
+            tokens,
+            &ComAidScore::new(self),
+            self.config.budget,
+            Vec::new(),
+            Some(backend),
+        )
     }
 
     /// Links a batch of queries, parallelising **across** queries on

@@ -4,7 +4,7 @@ use super::trace::LinkTrace;
 use crate::faults::FaultPlan;
 #[allow(deprecated)]
 use crate::linker::LinkTiming;
-use crate::linker::{Degradation, LinkBudget, LinkResult};
+use crate::linker::{Degradation, LinkBudget, LinkResult, RetrievalBackend};
 use ncl_ontology::ConceptId;
 use std::borrow::Cow;
 use std::sync::Arc;
@@ -34,6 +34,9 @@ pub struct RequestCtx<'q> {
     /// The query after the Rewrite stage; borrows the input when
     /// nothing was rewritten.
     pub(crate) rewritten: Cow<'q, [String]>,
+    /// Per-request retrieval-backend override; `None` follows
+    /// [`crate::linker::LinkerConfig::retrieval`].
+    pub(crate) backend: Option<RetrievalBackend>,
     /// Phase-I candidates in retrieval order.
     pub(crate) candidates: Vec<ConceptId>,
     /// Whether candidate retrieval panicked (isolated).
@@ -71,6 +74,7 @@ impl<'q> RequestCtx<'q> {
             faults,
             stage_started: start,
             rewritten: Cow::Borrowed(tokens),
+            backend: None,
             candidates: Vec::new(),
             cr_panicked: false,
             cr_over: false,
@@ -97,6 +101,12 @@ impl<'q> RequestCtx<'q> {
     /// Phase-I candidates in retrieval order (empty before Retrieve).
     pub fn candidates(&self) -> &[ConceptId] {
         &self.candidates
+    }
+
+    /// The per-request retrieval-backend override, if any (`None`
+    /// follows the linker's configured backend).
+    pub fn backend(&self) -> Option<RetrievalBackend> {
+        self.backend
     }
 
     /// The budgets this request runs under.

@@ -60,12 +60,15 @@ pub use frontend::{
     LatencyHistogram,
 };
 pub use score::{ComAidScore, ScoreOutcome, ScoreRequest, ScoreStage};
-pub use trace::{CacheUse, LinkTrace, RewriteDecision, StageKind, StageTiming, TraceEvent};
+pub use trace::{
+    AnnFallbackReason, AnnSearchStats, CacheUse, LinkTrace, RewriteDecision, StageKind,
+    StageTiming, TraceEvent,
+};
 
 pub(crate) use batch::{link_batch, try_link_batch};
 pub(crate) use rank::classify_degradation;
 
-use crate::linker::{LinkBudget, LinkResult, Linker};
+use crate::linker::{LinkBudget, LinkResult, Linker, RetrievalBackend};
 use std::time::Instant;
 
 /// One stage of the serving chain. Stages are stateless between
@@ -98,9 +101,24 @@ pub(crate) fn drive_with(
     budget: LinkBudget,
     preamble: Vec<TraceEvent>,
 ) -> LinkResult {
+    drive_with_backend(linker, tokens, scorer, budget, preamble, None)
+}
+
+/// [`drive_with`] plus a per-request [`RetrievalBackend`] override
+/// (`None` follows [`crate::linker::LinkerConfig::retrieval`]) — the
+/// seam behind [`crate::linker::Linker::link_with_backend`].
+pub(crate) fn drive_with_backend(
+    linker: &Linker<'_>,
+    tokens: &[String],
+    scorer: &dyn ScoreStage,
+    budget: LinkBudget,
+    preamble: Vec<TraceEvent>,
+    backend: Option<RetrievalBackend>,
+) -> LinkResult {
     let start = Instant::now();
     let mut ctx = RequestCtx::new(tokens, budget, linker.faults.clone(), start);
     ctx.trace.events = preamble;
+    ctx.backend = backend;
     let rewrite = rewrite::Rewrite { linker };
     let retrieve = retrieve::Retrieve { linker };
     let score = score::Score { scorer };

@@ -1,0 +1,301 @@
+//! Embedding-ANN retrieval backend suite (ISSUE 9): backend selection
+//! via `LinkerConfig`/per-request override, hybrid union-then-rerank,
+//! hostile inputs (empty query, all-OOV, 10k tokens), and the
+//! `ann.search` fault site degrading to the TF-IDF path with a trace
+//! event — never an abort.
+
+use ncl_core::comaid::{ComAid, ComAidConfig, OntologyIndex, TrainPair, Variant};
+use ncl_core::linker::{Linker, LinkerConfig, RetrievalBackend};
+use ncl_core::serving::{AnnFallbackReason, TraceEvent};
+use ncl_core::{FaultKind, FaultPlan};
+use ncl_ontology::Ontology;
+use ncl_text::{tokenize, Vocab};
+use std::sync::Arc;
+
+/// A small trained world: two ICD-style families with aliases, enough
+/// for Phase I to retrieve several candidates per query.
+fn trained_world() -> (Ontology, ComAid) {
+    let mut b = ncl_ontology::OntologyBuilder::new();
+    let n18 = b.add_root_concept("N18", "chronic kidney disease");
+    let n185 = b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+    let n189 = b.add_child(n18, "N18.9", "chronic kidney disease unspecified");
+    let r10 = b.add_root_concept("R10", "abdominal pain");
+    let r100 = b.add_child(r10, "R10.0", "acute abdomen");
+    let r109 = b.add_child(r10, "R10.9", "unspecified abdominal pain");
+    b.add_alias(n185, "ckd stage 5");
+    b.add_alias(n185, "renal disease stage 5");
+    b.add_alias(n189, "ckd unspecified");
+    b.add_alias(r100, "acute abdominal syndrome");
+    b.add_alias(r109, "abdomen pain");
+    let o = b.build().unwrap();
+
+    let mut vocab = Vocab::new();
+    let mut pairs = Vec::new();
+    for (_, c) in o.iter() {
+        for t in tokenize(&c.canonical) {
+            vocab.add(&t);
+        }
+        for alias in &c.aliases {
+            for t in tokenize(alias) {
+                vocab.add(&t);
+            }
+        }
+    }
+    for (id, c) in o.iter() {
+        for alias in &c.aliases {
+            pairs.push(TrainPair {
+                concept: id,
+                target: tokenize(alias)
+                    .iter()
+                    .map(|t| vocab.get_or_unk(t))
+                    .collect(),
+            });
+        }
+        pairs.push(TrainPair {
+            concept: id,
+            target: tokenize(&c.canonical)
+                .iter()
+                .map(|t| vocab.get_or_unk(t))
+                .collect(),
+        });
+    }
+    let config = ComAidConfig {
+        dim: 10,
+        beta: 2,
+        variant: Variant::Full,
+        epochs: 15,
+        lr: 0.3,
+        lr_decay: 0.97,
+        batch_size: 4,
+        seed: 5,
+        ..ComAidConfig::default()
+    };
+    let mut model = ComAid::new(vocab, config, None);
+    let index = OntologyIndex::build(&o, model.vocab(), 2);
+    model.fit(&index, &pairs);
+    (o, model)
+}
+
+fn toks(q: &str) -> Vec<String> {
+    tokenize(q)
+}
+
+fn has_fallback(events: &[TraceEvent], want: AnnFallbackReason) -> bool {
+    events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::AnnFallback { reason } if *reason == want))
+}
+
+#[test]
+fn default_backend_is_tfidf_and_unchanged() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    let q = toks("chronic kidney disease stage 5");
+    let plain = linker.link(&q);
+    let explicit = linker.link_with_backend(&q, RetrievalBackend::TfIdf);
+    assert_eq!(plain.ranked, explicit.ranked);
+    assert_eq!(plain.candidates, explicit.candidates);
+    assert!(
+        plain.trace.ann.is_none(),
+        "TF-IDF path records no ANN stats"
+    );
+    assert!(explicit.trace.ann.is_none());
+}
+
+#[test]
+fn ann_backend_serves_wellformed_results() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    let q = toks("chronic kidney disease stage 5");
+    let res = linker.link_with_backend(&q, RetrievalBackend::Ann);
+    assert!(!res.ranked.is_empty(), "in-vocabulary query must retrieve");
+    assert_eq!(res.ranked.len(), res.candidates.len());
+    let stats = res.trace.ann.expect("ANN search must record stats");
+    assert!(stats.distance_evals > 0);
+    // This ontology is far below the brute-force threshold.
+    assert!(stats.exact);
+    // The true concept should be retrieved by embedding proximity.
+    let ids = res.ranked_ids();
+    assert!(
+        ids.iter().any(|&c| o.concept(c).code == "N18.5"),
+        "embedding retrieval missed the target concept"
+    );
+}
+
+#[test]
+fn ann_backend_is_deterministic() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    let q = toks("acute abdominal syndrome");
+    let a = linker.link_with_backend(&q, RetrievalBackend::Ann);
+    let b = linker.link_with_backend(&q, RetrievalBackend::Ann);
+    assert_eq!(a.ranked.len(), b.ranked.len());
+    for (x, y) in a.ranked.iter().zip(b.ranked.iter()) {
+        assert_eq!(x.0, y.0);
+        assert_eq!(x.1.to_bits(), y.1.to_bits());
+    }
+}
+
+#[test]
+fn config_level_backend_is_respected() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(
+        &model,
+        &o,
+        LinkerConfig {
+            retrieval: RetrievalBackend::Ann,
+            ..LinkerConfig::default()
+        },
+    );
+    let res = linker.link(&toks("abdominal pain"));
+    assert!(
+        res.trace.ann.is_some(),
+        "configured Ann backend must run the vector search"
+    );
+}
+
+#[test]
+fn hybrid_candidates_superset_of_tfidf_and_deduped() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    for q in [
+        "chronic kidney disease stage 5",
+        "abdominal pain",
+        "ckd unspecified",
+    ] {
+        let q = toks(q);
+        let tfidf = linker.link_with_backend(&q, RetrievalBackend::TfIdf);
+        let hybrid = linker.link_with_backend(&q, RetrievalBackend::Hybrid);
+        // TF-IDF candidates lead the hybrid union, in order.
+        assert!(hybrid.candidates.len() >= tfidf.candidates.len());
+        assert_eq!(
+            &hybrid.candidates[..tfidf.candidates.len()],
+            &tfidf.candidates[..],
+            "hybrid must preserve the TF-IDF prefix"
+        );
+        // And the union is deduplicated.
+        let mut seen = hybrid.candidates.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), hybrid.candidates.len(), "duplicate candidate");
+        assert!(hybrid.trace.ann.is_some());
+    }
+}
+
+#[test]
+fn all_oov_query_falls_back_with_trace_event() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    // Entirely outside Ω′ — no token embeds, so the vector search
+    // cannot run; the request degrades to the TF-IDF path.
+    let q = toks("zzxqj wvvk pqrst");
+    let ann = linker.link_with_backend(&q, RetrievalBackend::Ann);
+    assert!(has_fallback(
+        &ann.trace.events,
+        AnnFallbackReason::EmptyQueryVector
+    ));
+    assert!(ann.trace.ann.is_none());
+    let tfidf = linker.link_with_backend(&q, RetrievalBackend::TfIdf);
+    assert_eq!(ann.candidates, tfidf.candidates, "fallback = TF-IDF path");
+    // Hybrid on the same query: TF-IDF part serves, ANN records the
+    // same fallback without duplicating candidates.
+    let hybrid = linker.link_with_backend(&q, RetrievalBackend::Hybrid);
+    assert_eq!(hybrid.candidates, tfidf.candidates);
+    assert!(has_fallback(
+        &hybrid.trace.events,
+        AnnFallbackReason::EmptyQueryVector
+    ));
+}
+
+#[test]
+fn empty_query_is_harmless_on_every_backend() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    let q: Vec<String> = Vec::new();
+    for backend in [
+        RetrievalBackend::TfIdf,
+        RetrievalBackend::Ann,
+        RetrievalBackend::Hybrid,
+    ] {
+        let res = linker.link_with_backend(&q, backend);
+        assert!(res.ranked.is_empty(), "empty query must rank nothing");
+    }
+}
+
+#[test]
+fn ten_thousand_token_query_degrades_not_aborts() {
+    let (o, model) = trained_world();
+    let linker = Linker::new(&model, &o, LinkerConfig::default());
+    // 10k tokens: half in-vocabulary, half OOV garbage.
+    let mut q = Vec::with_capacity(10_000);
+    for i in 0..10_000usize {
+        if i % 2 == 0 {
+            q.push("pain".to_string());
+        } else {
+            q.push(format!("zz{i}"));
+        }
+    }
+    for backend in [RetrievalBackend::Ann, RetrievalBackend::Hybrid] {
+        let res = linker.link_with_backend(&q, backend);
+        assert_eq!(res.ranked.len(), res.candidates.len());
+        assert!(
+            res.trace.ann.is_some(),
+            "the in-vocabulary half must produce a query vector"
+        );
+    }
+}
+
+#[test]
+fn ann_search_fault_site_falls_back_to_tfidf() {
+    let (o, model) = trained_world();
+    let plan = Arc::new(FaultPlan::new(42).with_rule("ann.search", FaultKind::Io, 1.0));
+    let linker = Linker::new(&model, &o, LinkerConfig::default()).with_faults(plan.clone());
+    let q = toks("chronic kidney disease stage 5");
+    let res = linker.link_with_backend(&q, RetrievalBackend::Ann);
+    assert!(has_fallback(&res.trace.events, AnnFallbackReason::Fault));
+    assert!(res.trace.ann.is_none());
+    assert!(plan.fired() > 0, "the injected fault must actually fire");
+    // The fallback is the full TF-IDF answer, not a degraded rump:
+    // candidates must match a faultless TF-IDF run of the same query.
+    let clean = Linker::new(&model, &o, LinkerConfig::default());
+    let tfidf = clean.link_with_backend(&q, RetrievalBackend::TfIdf);
+    assert_eq!(res.candidates, tfidf.candidates);
+}
+
+#[test]
+fn ann_search_panic_rule_also_degrades() {
+    let (o, model) = trained_world();
+    // Panic rules surface as errors at I/O-style sites — the ANN site
+    // must degrade, not abort the process.
+    let plan = Arc::new(FaultPlan::panics(7, "ann.search", 1.0));
+    let linker = Linker::new(&model, &o, LinkerConfig::default()).with_faults(plan);
+    let res = linker.link_with_backend(&toks("abdominal pain"), RetrievalBackend::Hybrid);
+    assert!(has_fallback(&res.trace.events, AnnFallbackReason::Fault));
+    assert!(
+        !res.candidates.is_empty(),
+        "hybrid under ANN fault still serves the TF-IDF candidates"
+    );
+}
+
+#[test]
+fn fault_on_tfidf_with_hybrid_still_serves_ann_candidates() {
+    let (o, model) = trained_world();
+    // Panic the keyword scan; hybrid's ANN leg should still produce
+    // candidates and the request must degrade, not abort.
+    let plan = Arc::new(FaultPlan::panics(3, "cr.topk", 1.0));
+    let linker = Linker::new(&model, &o, LinkerConfig::default()).with_faults(plan);
+    let res = linker.link_with_backend(
+        &toks("chronic kidney disease stage 5"),
+        RetrievalBackend::Hybrid,
+    );
+    assert!(res
+        .trace
+        .events
+        .iter()
+        .any(|e| matches!(e, TraceEvent::RetrievePanicked)));
+    assert!(
+        !res.candidates.is_empty(),
+        "ANN leg must supply candidates when the keyword scan dies"
+    );
+    assert!(res.trace.ann.is_some());
+}

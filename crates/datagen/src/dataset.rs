@@ -209,6 +209,19 @@ impl Dataset {
         profile: DatasetProfile,
         rng: &mut StdRng,
     ) -> Option<LabeledQuery> {
+        Self::sample_query_weighted(ontology, fine, profile, profile.class_weights(), rng)
+    }
+
+    /// [`Dataset::sample_query`] with an explicit corruption-weight
+    /// table — the seam that lets workloads skew the discrepancy mix
+    /// away from the profile default (e.g. the OOV-heavy groups below).
+    fn sample_query_weighted(
+        ontology: &Ontology,
+        fine: &[ConceptId],
+        profile: DatasetProfile,
+        weights: &[(CorruptionClass, u32)],
+        rng: &mut StdRng,
+    ) -> Option<LabeledQuery> {
         let &truth = fine.choose(rng)?;
         let concept = ontology.concept(truth);
         // Source text: canonical or one of its aliases.
@@ -217,7 +230,6 @@ impl Dataset {
         } else {
             concept.aliases[rng.gen_range(0..concept.aliases.len())].clone()
         };
-        let weights = profile.class_weights();
         let total: u32 = weights.iter().map(|(_, w)| w).sum();
         let mut pick = rng.gen_range(0..total);
         let mut class = CorruptionClass::Exact;
@@ -306,6 +318,51 @@ impl Dataset {
             .map(|g| self.query_group(group_size, purposive, g as u64 + 1))
             .collect()
     }
+
+    /// Corruption weights for the OOV-heavy workload: skewed to the
+    /// classes whose surface forms fall outside the KB vocabulary
+    /// (abbreviations, acronyms, typos), with no `Exact` mass at all.
+    /// These are the queries where keyword retrieval struggles and the
+    /// embedding-ANN backend is expected to help (DESIGN.md §16).
+    const OOV_HEAVY_WEIGHTS: &'static [(CorruptionClass, u32)] = &[
+        (CorruptionClass::Abbreviation, 5),
+        (CorruptionClass::Acronym, 4),
+        (CorruptionClass::Typo, 4),
+        (CorruptionClass::Synonym, 1),
+        (CorruptionClass::Simplification, 1),
+    ];
+
+    /// Generates one OOV-heavy evaluation group: every query is drawn
+    /// with `Dataset::OOV_HEAVY_WEIGHTS` instead of the profile's
+    /// default mix. Seeded disjointly from [`Dataset::query_group`], so
+    /// standard and OOV-heavy groups with the same `group_seed` are
+    /// decorrelated.
+    pub fn oov_heavy_group(&self, group_size: usize, group_seed: u64) -> Vec<LabeledQuery> {
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed ^ 0x00_0F_F0_0D ^ group_seed.wrapping_mul(0x9E3779B9),
+        );
+        let fine = self.ontology.fine_grained();
+        let mut out = Vec::with_capacity(group_size);
+        while out.len() < group_size {
+            if let Some(q) = Self::sample_query_weighted(
+                &self.ontology,
+                &fine,
+                self.profile,
+                Self::OOV_HEAVY_WEIGHTS,
+                &mut rng,
+            ) {
+                out.push(q);
+            }
+        }
+        out
+    }
+
+    /// Generates `n_groups` independent OOV-heavy groups.
+    pub fn oov_heavy_groups(&self, n_groups: usize, group_size: usize) -> Vec<Vec<LabeledQuery>> {
+        (0..n_groups)
+            .map(|g| self.oov_heavy_group(group_size, g as u64 + 1))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -386,6 +443,48 @@ mod tests {
         let code = &d.ontology.concept(first).code;
         assert!(code.chars().all(|c| c.is_ascii_digit()), "code {code}");
         assert_eq!(d.profile.name(), "MIMIC-III");
+    }
+
+    #[test]
+    fn oov_heavy_group_skews_to_oov_classes() {
+        let d = tiny();
+        let group = d.oov_heavy_group(80, 1);
+        assert_eq!(group.len(), 80);
+        // No Exact queries at all, and the OOV trio dominates.
+        assert!(group.iter().all(|q| q.class != CorruptionClass::Exact));
+        let oov = group
+            .iter()
+            .filter(|q| {
+                matches!(
+                    q.class,
+                    CorruptionClass::Abbreviation
+                        | CorruptionClass::Acronym
+                        | CorruptionClass::Typo
+                )
+            })
+            .count();
+        assert!(oov * 2 > group.len(), "only {oov}/80 OOV-class queries");
+        for q in &group {
+            assert!(d.ontology.is_fine_grained(q.truth));
+            assert!(!q.tokens.is_empty());
+        }
+    }
+
+    #[test]
+    fn oov_heavy_groups_deterministic_and_decorrelated_from_standard() {
+        let d = tiny();
+        let a = d.oov_heavy_groups(2, 20);
+        let b = d.oov_heavy_groups(2, 20);
+        for (ga, gb) in a.iter().zip(&b) {
+            for (qa, qb) in ga.iter().zip(gb) {
+                assert_eq!(qa.tokens, qb.tokens);
+                assert_eq!(qa.truth, qb.truth);
+            }
+        }
+        // Same group seed, different stream from the standard sampler.
+        let standard: Vec<String> = d.query_group(20, 0, 1).iter().map(|q| q.text()).collect();
+        let oov: Vec<String> = a[0].iter().map(|q| q.text()).collect();
+        assert_ne!(standard, oov);
     }
 
     #[test]

@@ -1,0 +1,713 @@
+//! Hand-rolled, offline-safe HNSW over concept vectors.
+//!
+//! A Hierarchical Navigable Small World graph (Malkov & Yashunin 2016)
+//! built with no external dependencies, used as the approximate
+//! nearest-neighbour backend for embedding-based Phase I retrieval.
+//! Similarity is cosine: rows arrive L2-normalized from
+//! [`ConceptVectors`], so every comparison is a single dot product,
+//! dispatched through [`simd::dot_relaxed`] — the fixed-8-lane relaxed
+//! kernel that is **bit-identical across SIMD dispatch levels**
+//! (DESIGN.md §14). Determinism is a first-class property:
+//!
+//! * level assignment draws from SplitMix64 seeded with
+//!   `config.seed ^ node_id` — no RNG state threads through the build,
+//!   so insertion order plus seed fully determine the graph;
+//! * every ordering comparison breaks ties by (similarity desc via
+//!   `total_cmp`, id asc) — no `partial_cmp` unwraps, no hash-map
+//!   iteration order anywhere;
+//! * all similarities share one kernel whose bits do not depend on the
+//!   dispatch level, so the same build on an AVX2 host and under
+//!   `NCL_FORCE_SCALAR=1` produces the same graph and the same search
+//!   results, bit for bit.
+//!
+//! Small indexes skip graph construction entirely: below
+//! [`HnswConfig::brute_force_below`] the exact scan is both faster and
+//! trivially exact, so [`AnnIndex::search`] degrades to
+//! [`AnnIndex::exact_search`] (flagged in [`SearchStats::exact`]). The
+//! exact scan doubles as the correctness oracle for recall tests.
+
+use crate::concept::ConceptVectors;
+use ncl_tensor::simd;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Build/search knobs for [`AnnIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct HnswConfig {
+    /// Target out-degree per node on upper layers (layer 0 keeps `2m`).
+    pub m: usize,
+    /// Beam width while inserting (paper's `efConstruction`).
+    pub ef_construction: usize,
+    /// Default beam width while searching (paper's `ef`); raised to `k`
+    /// when a caller asks for more results than the beam.
+    pub ef_search: usize,
+    /// Seed for the deterministic level assignment.
+    pub seed: u64,
+    /// Below this many vectors the index skips graph construction and
+    /// serves exact scans (small ontologies don't amortize the graph).
+    pub brute_force_below: usize,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        Self {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 96,
+            seed: 0x5EED_CAFE_F00D_D15C,
+            brute_force_below: 256,
+        }
+    }
+}
+
+/// Per-search counters, surfaced into `LinkTrace` by the serving layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Graph nodes whose neighbourhoods were expanded.
+    pub nodes_visited: u64,
+    /// Dot products evaluated (equals the collection size for exact scans).
+    pub distance_evals: u64,
+    /// Effective beam width used (0 for exact scans).
+    pub ef_search: u32,
+    /// Whether the answer came from the exact scan rather than the graph.
+    pub exact: bool,
+}
+
+/// Search-frontier entry ordered by (similarity desc, id asc): the
+/// *greatest* `Cand` is the most similar, smallest-id candidate, so a
+/// `BinaryHeap<Cand>` pops best-first and `Reverse<Cand>` worst-first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cand {
+    sim: f32,
+    id: u32,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.sim
+            .total_cmp(&other.sim)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// SplitMix64 finalizer: one multiply-xor cascade per draw, full-period,
+/// and stateless — `mix(seed ^ id)` is the whole "RNG".
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hard cap on assigned levels; with `mL = 1/ln(16)` the odds of
+/// exceeding 15 are ~16^-15 — the cap only bounds worst-case memory.
+const MAX_LEVEL: usize = 15;
+
+/// A deterministic HNSW index over L2-normalized concept vectors.
+///
+/// Bit-identical duplicate vectors are collapsed to one **graph node**
+/// each before construction: a cluster of duplicates otherwise turns
+/// into a near-clique whose neighbour lists hold nothing but other
+/// duplicates (every duplicate is "diverse" with respect to the rest),
+/// and searches that enter the clique cannot leave it. The graph is
+/// built over unique vectors only; searches expand each unique hit back
+/// to its duplicate ids (ascending) when collecting top-k. The exact
+/// scan still ranges over all original ids.
+#[derive(Debug, Clone)]
+pub struct AnnIndex {
+    config: HnswConfig,
+    dims: usize,
+    /// Row-major `n × dims` normalized vectors, original id order.
+    data: Vec<f32>,
+    n: usize,
+    /// Representative original id per graph node (first occurrence).
+    uniq: Vec<u32>,
+    /// All original ids sharing each graph node's vector, ascending.
+    group: Vec<Vec<u32>>,
+    /// `neighbors[node][level]` → adjacent graph nodes (level ≤ node level).
+    neighbors: Vec<Vec<Vec<u32>>>,
+    entry: Option<u32>,
+    max_level: usize,
+    /// True when the index was built below the brute-force threshold and
+    /// holds no graph.
+    brute_force: bool,
+}
+
+impl AnnIndex {
+    /// Builds the index over `vectors` by sequential insertion in id
+    /// order. The build is deterministic: same vectors + same config ⇒
+    /// same graph, at every SIMD dispatch level.
+    pub fn build(vectors: &ConceptVectors, config: HnswConfig) -> Self {
+        assert!(config.m >= 2, "hnsw: m must be at least 2");
+        assert!(
+            config.ef_construction >= config.m,
+            "hnsw: ef_construction must be at least m"
+        );
+        let n = vectors.len();
+        let dims = vectors.dims();
+        let data = vectors.matrix().as_slice().to_vec();
+        let mut index = Self {
+            config,
+            dims,
+            data,
+            n,
+            uniq: Vec::new(),
+            group: Vec::new(),
+            neighbors: Vec::new(),
+            entry: None,
+            max_level: 0,
+            brute_force: n < config.brute_force_below,
+        };
+        if index.brute_force {
+            return index;
+        }
+        // Collapse bit-identical rows; BTreeMap keeps this deterministic.
+        let mut seen: std::collections::BTreeMap<Vec<u32>, usize> =
+            std::collections::BTreeMap::new();
+        for id in 0..n as u32 {
+            let bits: Vec<u32> = index.vec_of(id).iter().map(|v| v.to_bits()).collect();
+            match seen.entry(bits) {
+                std::collections::btree_map::Entry::Occupied(e) => {
+                    index.group[*e.get()].push(id);
+                }
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(index.uniq.len());
+                    index.uniq.push(id);
+                    index.group.push(vec![id]);
+                }
+            }
+        }
+        let u_n = index.uniq.len();
+        index.neighbors = Vec::with_capacity(u_n);
+        let mut scratch = Scratch::new(u_n);
+        for node in 0..u_n as u32 {
+            index.insert(node, &mut scratch);
+        }
+        index
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the index holds no vectors.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Whether searches run the exact scan (no graph was built).
+    pub fn is_brute_force(&self) -> bool {
+        self.brute_force
+    }
+
+    /// The vector stored for an **original** id.
+    fn vec_of(&self, id: u32) -> &[f32] {
+        let i = id as usize * self.dims;
+        &self.data[i..i + self.dims]
+    }
+
+    /// The vector backing a **graph node** (its representative id's row).
+    fn vec(&self, node: u32) -> &[f32] {
+        self.vec_of(self.uniq[node as usize])
+    }
+
+    /// The deterministic level for graph node `id`: `floor(-ln(u) · mL)`
+    /// with `u ∈ (0, 1]` drawn from `mix(seed ^ id)` and `mL = 1/ln(m)`.
+    fn level_for(&self, id: u32) -> usize {
+        let bits = mix(self.config.seed ^ u64::from(id));
+        // 53 high bits → u in [0, 1); shift to (0, 1] so ln never sees 0.
+        let u = ((bits >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+        let ml = 1.0 / (self.config.m as f64).ln();
+        ((-u.ln() * ml) as usize).min(MAX_LEVEL)
+    }
+
+    fn insert(&mut self, id: u32, scratch: &mut Scratch) {
+        let level = self.level_for(id);
+        self.neighbors.push(vec![Vec::new(); level + 1]);
+        let Some(mut ep) = self.entry else {
+            self.entry = Some(id);
+            self.max_level = level;
+            return;
+        };
+        let q = self.vec(id).to_vec();
+        let mut stats = SearchStats::default();
+        // Greedy descent through layers above the node's own top level.
+        for l in (level + 1..=self.max_level).rev() {
+            ep = self.greedy_step(&q, ep, l, &mut stats);
+        }
+        // Beam search + diversity selection on each shared layer.
+        for l in (0..=level.min(self.max_level)).rev() {
+            let w = self.search_layer(
+                &q,
+                &[ep],
+                self.config.ef_construction,
+                l,
+                scratch,
+                &mut stats,
+            );
+            let cap = if l == 0 {
+                2 * self.config.m
+            } else {
+                self.config.m
+            };
+            let selected = self.select_neighbors(&w, self.config.m);
+            if let Some(best) = w.first() {
+                ep = best.id;
+            }
+            for &nb in &selected {
+                self.neighbors[id as usize][l].push(nb);
+                self.neighbors[nb as usize][l].push(id);
+                if self.neighbors[nb as usize][l].len() > cap {
+                    self.prune(nb, l, cap);
+                }
+            }
+        }
+        if level > self.max_level {
+            self.max_level = level;
+            self.entry = Some(id);
+        }
+    }
+
+    /// Re-selects `node`'s layer-`l` neighbour list down to `cap` using
+    /// the same diversity heuristic as insertion.
+    fn prune(&mut self, node: u32, l: usize, cap: usize) {
+        let nv = self.vec(node);
+        let mut cands: Vec<Cand> = self.neighbors[node as usize][l]
+            .iter()
+            .map(|&nb| Cand {
+                sim: simd::dot_relaxed(nv, self.vec(nb)),
+                id: nb,
+            })
+            .collect();
+        cands.sort_by(|a, b| b.cmp(a));
+        cands.dedup_by_key(|c| c.id);
+        let kept = self.select_neighbors(&cands, cap);
+        self.neighbors[node as usize][l] = kept;
+    }
+
+    /// The neighbour-diversity heuristic (Malkov Alg. 4): walk candidates
+    /// best-first and keep `c` only if it is closer to the query point
+    /// than to every already-kept neighbour — spreading edges across
+    /// directions instead of clustering them. Pruned candidates backfill
+    /// remaining slots (`keepPrunedConnections`), which keeps duplicate /
+    /// co-located vectors connected instead of orphaned.
+    fn select_neighbors(&self, cands: &[Cand], m: usize) -> Vec<u32> {
+        let mut kept: Vec<Cand> = Vec::with_capacity(m);
+        let mut pruned: Vec<u32> = Vec::new();
+        for &c in cands {
+            if kept.len() >= m {
+                break;
+            }
+            let cv = self.vec(c.id);
+            let diverse = kept
+                .iter()
+                .all(|r| simd::dot_relaxed(cv, self.vec(r.id)) <= c.sim);
+            if diverse {
+                kept.push(c);
+            } else {
+                pruned.push(c.id);
+            }
+        }
+        let mut out: Vec<u32> = kept.into_iter().map(|c| c.id).collect();
+        for id in pruned {
+            if out.len() >= m {
+                break;
+            }
+            out.push(id);
+        }
+        out
+    }
+
+    /// One-at-a-time greedy walk on layer `l`: hop to the best neighbour
+    /// until no neighbour improves on the current node.
+    fn greedy_step(&self, q: &[f32], mut ep: u32, l: usize, stats: &mut SearchStats) -> u32 {
+        let mut best = Cand {
+            sim: simd::dot_relaxed(q, self.vec(ep)),
+            id: ep,
+        };
+        stats.distance_evals += 1;
+        loop {
+            let mut improved = false;
+            stats.nodes_visited += 1;
+            for &nb in &self.neighbors[ep as usize][l] {
+                let c = Cand {
+                    sim: simd::dot_relaxed(q, self.vec(nb)),
+                    id: nb,
+                };
+                stats.distance_evals += 1;
+                if c > best {
+                    best = c;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return best.id;
+            }
+            ep = best.id;
+        }
+    }
+
+    /// Beam search on one layer (Malkov Alg. 2): expand the closest
+    /// frontier node until it is worse than the worst of the `ef` best
+    /// found so far. Returns the best candidates sorted (sim desc, id
+    /// asc).
+    fn search_layer(
+        &self,
+        q: &[f32],
+        entry_points: &[u32],
+        ef: usize,
+        l: usize,
+        scratch: &mut Scratch,
+        stats: &mut SearchStats,
+    ) -> Vec<Cand> {
+        scratch.reset();
+        let mut frontier: BinaryHeap<Cand> = BinaryHeap::new();
+        // `found` is a min-heap (worst on top) bounded to `ef`.
+        let mut found: BinaryHeap<std::cmp::Reverse<Cand>> = BinaryHeap::new();
+        for &ep in entry_points {
+            if scratch.visit(ep) {
+                continue;
+            }
+            let c = Cand {
+                sim: simd::dot_relaxed(q, self.vec(ep)),
+                id: ep,
+            };
+            stats.distance_evals += 1;
+            frontier.push(c);
+            found.push(std::cmp::Reverse(c));
+        }
+        while let Some(c) = frontier.pop() {
+            let worst = found.peek().map(|r| r.0).unwrap_or(Cand {
+                sim: f32::NEG_INFINITY,
+                id: u32::MAX,
+            });
+            if found.len() >= ef && c < worst {
+                break;
+            }
+            stats.nodes_visited += 1;
+            for &nb in &self.neighbors[c.id as usize][l] {
+                if scratch.visit(nb) {
+                    continue;
+                }
+                let nc = Cand {
+                    sim: simd::dot_relaxed(q, self.vec(nb)),
+                    id: nb,
+                };
+                stats.distance_evals += 1;
+                let worst = found.peek().map(|r| r.0).unwrap_or(Cand {
+                    sim: f32::NEG_INFINITY,
+                    id: u32::MAX,
+                });
+                if found.len() < ef || nc > worst {
+                    frontier.push(nc);
+                    found.push(std::cmp::Reverse(nc));
+                    if found.len() > ef {
+                        found.pop();
+                    }
+                }
+            }
+        }
+        let mut out: Vec<Cand> = found.into_iter().map(|r| r.0).collect();
+        out.sort_by(|a, b| b.cmp(a));
+        out
+    }
+
+    /// Approximate top-`k` by cosine for a normalized query. Small or
+    /// graph-less indexes serve the exact scan instead (see
+    /// [`SearchStats::exact`]). `ef` falls back to
+    /// [`HnswConfig::ef_search`] when `None`, and is never below `k`.
+    pub fn search(&self, q: &[f32], k: usize, ef: Option<usize>) -> (Vec<(u32, f32)>, SearchStats) {
+        assert_eq!(q.len(), self.dims, "hnsw: query dimension mismatch");
+        if self.brute_force {
+            return self.exact_search(q, k);
+        }
+        let Some(entry) = self.entry else {
+            return (Vec::new(), SearchStats::default());
+        };
+        let ef = ef.unwrap_or(self.config.ef_search).max(k).max(1);
+        let mut stats = SearchStats {
+            ef_search: ef as u32,
+            ..SearchStats::default()
+        };
+        let mut scratch = Scratch::new(self.uniq.len());
+        let mut ep = entry;
+        for l in (1..=self.max_level).rev() {
+            ep = self.greedy_step(q, ep, l, &mut stats);
+        }
+        let w = self.search_layer(q, &[ep], ef, 0, &mut scratch, &mut stats);
+        // Expand each unique graph node back to its duplicate ids.
+        let mut hits: Vec<(u32, f32)> = Vec::with_capacity(k);
+        'expand: for c in w {
+            for &id in &self.group[c.id as usize] {
+                if hits.len() >= k {
+                    break 'expand;
+                }
+                hits.push((id, c.sim));
+            }
+        }
+        (hits, stats)
+    }
+
+    /// Exact top-`k` by full scan — the correctness oracle for the graph
+    /// and the serving path for small ontologies.
+    pub fn exact_search(&self, q: &[f32], k: usize) -> (Vec<(u32, f32)>, SearchStats) {
+        assert_eq!(q.len(), self.dims, "hnsw: query dimension mismatch");
+        let mut all: Vec<Cand> = (0..self.n as u32)
+            .map(|id| Cand {
+                sim: simd::dot_relaxed(q, self.vec_of(id)),
+                id,
+            })
+            .collect();
+        all.sort_by(|a, b| b.cmp(a));
+        all.truncate(k);
+        let stats = SearchStats {
+            distance_evals: self.n as u64,
+            exact: true,
+            ..SearchStats::default()
+        };
+        (all.into_iter().map(|c| (c.id, c.sim)).collect(), stats)
+    }
+}
+
+/// Reusable visited-set: epoch-stamped so `reset` is O(1) instead of a
+/// full clear, and iteration order never depends on a hash function.
+#[derive(Debug)]
+struct Scratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl Scratch {
+    fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `id` visited; returns whether it already was.
+    fn visit(&mut self, id: u32) -> bool {
+        let seen = self.stamp[id as usize] == self.epoch;
+        self.stamp[id as usize] = self.epoch;
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ncl_tensor::Matrix;
+
+    /// Deterministic pseudo-random unit-ish vectors.
+    fn random_vectors(n: usize, dims: usize, salt: u64) -> ConceptVectors {
+        let mut data = Vec::with_capacity(n * dims);
+        for i in 0..n * dims {
+            let bits = mix(salt.wrapping_mul(0x1234_5678).wrapping_add(i as u64));
+            data.push(((bits >> 40) as f32 / (1u64 << 24) as f32) - 0.5);
+        }
+        ConceptVectors::from_rows(Matrix::from_vec(n, dims, data))
+    }
+
+    fn recall_at(k: usize, got: &[(u32, f32)], truth: &[(u32, f32)]) -> f64 {
+        let want: std::collections::HashSet<u32> = truth.iter().take(k).map(|h| h.0).collect();
+        if want.is_empty() {
+            return 1.0;
+        }
+        let hit = got.iter().take(k).filter(|h| want.contains(&h.0)).count();
+        hit as f64 / want.len() as f64
+    }
+
+    fn graph_config() -> HnswConfig {
+        HnswConfig {
+            brute_force_below: 0,
+            ..HnswConfig::default()
+        }
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let cv = random_vectors(0, 8, 1);
+        let idx = AnnIndex::build(&cv, HnswConfig::default());
+        let q = vec![1.0; 8];
+        let (hits, stats) = idx.search(&normalize(q), 5, None);
+        assert!(hits.is_empty());
+        assert_eq!(stats.distance_evals, 0);
+    }
+
+    fn normalize(mut v: Vec<f32>) -> Vec<f32> {
+        let n = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+        for x in &mut v {
+            *x /= n;
+        }
+        v
+    }
+
+    #[test]
+    fn small_index_is_brute_force_and_exact() {
+        let cv = random_vectors(100, 16, 2);
+        let idx = AnnIndex::build(&cv, HnswConfig::default());
+        assert!(idx.is_brute_force());
+        let q = normalize(cv.row(7).to_vec());
+        let (hits, stats) = idx.search(&q, 10, None);
+        assert!(stats.exact);
+        assert_eq!(hits[0].0, 7, "self-query must return itself first");
+    }
+
+    #[test]
+    fn graph_recall_on_random_set() {
+        let cv = random_vectors(2_000, 24, 3);
+        let idx = AnnIndex::build(&cv, graph_config());
+        assert!(!idx.is_brute_force());
+        let mut total = 0.0;
+        let queries = 50;
+        for qi in 0..queries {
+            let q = normalize(cv.row(qi * 37 % 2_000).to_vec());
+            let (approx, stats) = idx.search(&q, 10, None);
+            let (exact, _) = idx.exact_search(&q, 10);
+            assert!(!stats.exact);
+            assert!(stats.distance_evals < 2_000, "graph should beat full scan");
+            total += recall_at(10, &approx, &exact);
+        }
+        assert!(
+            total / queries as f64 >= 0.95,
+            "mean recall@10 {} < 0.95",
+            total / queries as f64
+        );
+    }
+
+    #[test]
+    fn build_and_search_deterministic_across_runs() {
+        let cv = random_vectors(600, 12, 4);
+        let a = AnnIndex::build(&cv, graph_config());
+        let b = AnnIndex::build(&cv, graph_config());
+        assert_eq!(a.neighbors, b.neighbors);
+        assert_eq!(a.entry, b.entry);
+        let q = normalize(cv.row(5).to_vec());
+        let (ha, sa) = a.search(&q, 10, None);
+        let (hb, sb) = b.search(&q, 10, None);
+        assert_eq!(ha, hb);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn deterministic_across_simd_levels() {
+        use ncl_tensor::simd::{self, Level};
+        let cv = random_vectors(500, 19, 5); // 19 straddles lane widths
+        let reference = simd::with_level(Level::Scalar, || {
+            let idx = AnnIndex::build(&cv, graph_config());
+            let q = normalize(cv.row(3).to_vec());
+            let (hits, _) = idx.search(&q, 10, None);
+            (idx.neighbors.clone(), hits)
+        });
+        for level in simd::supported_levels() {
+            let got = simd::with_level(level, || {
+                let idx = AnnIndex::build(&cv, graph_config());
+                let q = normalize(cv.row(3).to_vec());
+                let (hits, _) = idx.search(&q, 10, None);
+                (idx.neighbors.clone(), hits)
+            });
+            assert_eq!(got.0, reference.0, "graph differs at {level:?}");
+            for ((gi, gs), (ri, rs)) in got.1.iter().zip(reference.1.iter()) {
+                assert_eq!(gi, ri, "hit ids differ at {level:?}");
+                assert_eq!(gs.to_bits(), rs.to_bits(), "hit sims differ at {level:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_and_zeros_stay_reachable() {
+        // 40 copies of one vector, 40 zeros, plus random fill: the
+        // keepPruned backfill must keep duplicate clusters connected.
+        let dims = 16;
+        let mut data = Vec::new();
+        let proto: Vec<f32> = (0..dims).map(|i| (i as f32 * 0.37).sin()).collect();
+        for _ in 0..40 {
+            data.extend_from_slice(&proto);
+        }
+        data.extend(std::iter::repeat_n(0.0, 40 * dims));
+        let fill = random_vectors(400, dims, 6);
+        data.extend_from_slice(fill.matrix().as_slice());
+        let cv = ConceptVectors::from_rows(Matrix::from_vec(480, dims, data));
+        let idx = AnnIndex::build(&cv, graph_config());
+        let q = normalize(proto.clone());
+        let (hits, _) = idx.search(&q, 10, None);
+        let dup_hits = hits.iter().filter(|h| h.0 < 40).count();
+        assert!(
+            dup_hits >= 9,
+            "only {dup_hits}/10 hits landed in the duplicate cluster"
+        );
+    }
+
+    #[test]
+    fn exact_orders_ties_by_id() {
+        let dims = 4;
+        let mut data = Vec::new();
+        for _ in 0..10 {
+            data.extend_from_slice(&[1.0, 0.0, 0.0, 0.0]);
+        }
+        let cv = ConceptVectors::from_rows(Matrix::from_vec(10, dims, data));
+        let idx = AnnIndex::build(&cv, HnswConfig::default());
+        let (hits, _) = idx.exact_search(&[1.0, 0.0, 0.0, 0.0], 5);
+        let ids: Vec<u32> = hits.iter().map(|h| h.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn level_assignment_matches_formula_and_is_bounded() {
+        let cv = random_vectors(300, 8, 7);
+        let idx = AnnIndex::build(&cv, graph_config());
+        let mut level0 = 0;
+        for id in 0..300u32 {
+            let l = idx.level_for(id);
+            assert!(l <= MAX_LEVEL);
+            assert_eq!(idx.neighbors[id as usize].len(), l + 1);
+            if l == 0 {
+                level0 += 1;
+            }
+        }
+        // With mL = 1/ln(16), ~93.75% of nodes live only on layer 0.
+        assert!(level0 > 250, "level distribution skewed: {level0}/300 at 0");
+    }
+
+    #[test]
+    fn degree_caps_hold() {
+        let cv = random_vectors(800, 10, 8);
+        let cfg = graph_config();
+        let idx = AnnIndex::build(&cv, cfg);
+        for (id, levels) in idx.neighbors.iter().enumerate() {
+            for (l, nbs) in levels.iter().enumerate() {
+                let cap = if l == 0 { 2 * cfg.m } else { cfg.m };
+                assert!(
+                    nbs.len() <= cap,
+                    "node {id} layer {l} degree {} > cap {cap}",
+                    nbs.len()
+                );
+                for &nb in nbs {
+                    assert_ne!(nb as usize, id, "self-loop at node {id}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Concept-level dense vectors for embedding-based retrieval.
+//!
+//! Phase I retrieval in the paper is keyword TF-IDF, which forces every
+//! vocabulary-mismatch query through the OOV-rewrite machinery before it
+//! can match anything. Dense retrieval sidesteps that: each concept gets
+//! one vector derived from the word embeddings of its name tokens
+//! (mean-pooled, the standard bag-of-embeddings composition), queries get
+//! the same treatment, and candidate concepts fall out of a
+//! nearest-neighbour search (see [`crate::ann`]).
+//!
+//! Two builders are provided:
+//!
+//! * [`ConceptVectors::mean_pooled`] — composes each concept from the
+//!   CBOW word vectors of its (tokenized, id-mapped) name. This is the
+//!   default: it needs nothing beyond the pre-trained embedding table.
+//! * [`ConceptVectors::from_rows`] — wraps externally computed rows, e.g.
+//!   frozen encoder final states held in the serving concept cache, so a
+//!   caller can trade the bag-of-words composition for an order-aware one
+//!   without touching the index code.
+//!
+//! Rows are L2-normalized at build time (zero rows stay zero), so cosine
+//! similarity downstream is a plain dot product.
+
+use ncl_tensor::Matrix;
+
+/// One L2-normalized dense vector per concept, row-indexed by the
+/// caller's concept ordinal (the same order the docs were passed in).
+#[derive(Debug, Clone)]
+pub struct ConceptVectors {
+    vectors: Matrix,
+}
+
+impl ConceptVectors {
+    /// Builds one vector per entry of `docs` by mean-pooling the
+    /// embedding rows of each doc's token ids, then L2-normalizing.
+    ///
+    /// Token ids that fall outside the table are skipped (they contribute
+    /// nothing to the mean); a doc with no in-table tokens gets a zero
+    /// vector, which [`crate::ann::AnnIndex`] treats as unreachable by
+    /// any nonzero query except via the exact-scan tail.
+    pub fn mean_pooled(table: &Matrix, docs: &[Vec<u32>]) -> Self {
+        let dims = table.cols();
+        let rows = table.rows();
+        let mut vectors = Matrix::zeros(docs.len(), dims);
+        for (c, doc) in docs.iter().enumerate() {
+            let out = vectors.row_mut(c);
+            let mut n = 0usize;
+            for &tok in doc {
+                let t = tok as usize;
+                if t >= rows {
+                    continue;
+                }
+                for (o, &v) in out.iter_mut().zip(table.row(t)) {
+                    *o += v;
+                }
+                n += 1;
+            }
+            if n > 1 {
+                let inv = 1.0 / n as f32;
+                for o in out.iter_mut() {
+                    *o *= inv;
+                }
+            }
+        }
+        Self::from_rows(vectors)
+    }
+
+    /// Wraps externally computed per-concept rows (e.g. frozen encoder
+    /// final states), L2-normalizing each row in place.
+    pub fn from_rows(mut vectors: Matrix) -> Self {
+        for r in 0..vectors.rows() {
+            let norm = vectors.row_vector(r).norm();
+            if norm > f32::EPSILON {
+                for v in vectors.row_mut(r) {
+                    *v /= norm;
+                }
+            }
+        }
+        Self { vectors }
+    }
+
+    /// Mean-pools and L2-normalizes a query's token ids against the same
+    /// table; `None` when no token is in-table (the all-OOV case) or the
+    /// pooled vector has no direction.
+    pub fn query_vector(table: &Matrix, tokens: &[u32]) -> Option<Vec<f32>> {
+        let dims = table.cols();
+        let rows = table.rows();
+        let mut q = vec![0.0f32; dims];
+        let mut n = 0usize;
+        for &tok in tokens {
+            let t = tok as usize;
+            if t >= rows {
+                continue;
+            }
+            for (o, &v) in q.iter_mut().zip(table.row(t)) {
+                *o += v;
+            }
+            n += 1;
+        }
+        if n == 0 {
+            return None;
+        }
+        let norm = q.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm <= f32::EPSILON {
+            return None;
+        }
+        for v in &mut q {
+            *v /= norm;
+        }
+        Some(q)
+    }
+
+    /// Number of concept rows.
+    pub fn len(&self) -> usize {
+        self.vectors.rows()
+    }
+
+    /// Whether there are no concept rows.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.rows() == 0
+    }
+
+    /// Vector dimensionality.
+    pub fn dims(&self) -> usize {
+        self.vectors.cols()
+    }
+
+    /// The normalized vector for concept ordinal `c`.
+    pub fn row(&self, c: usize) -> &[f32] {
+        self.vectors.row(c)
+    }
+
+    /// The underlying normalized matrix (one row per concept).
+    pub fn matrix(&self) -> &Matrix {
+        &self.vectors
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Matrix {
+        Matrix::from_vec(
+            4,
+            2,
+            vec![
+                1.0, 0.0, // 0
+                0.0, 1.0, // 1
+                -1.0, 0.0, // 2
+                3.0, 4.0, // 3
+            ],
+        )
+    }
+
+    #[test]
+    fn mean_pool_normalizes() {
+        let cv = ConceptVectors::mean_pooled(&table(), &[vec![0, 1], vec![3]]);
+        assert_eq!(cv.len(), 2);
+        let r0 = cv.row(0);
+        let n0: f32 = r0.iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((n0 - 1.0).abs() < 1e-6);
+        // Row 1 is [3,4]/5.
+        assert!((cv.row(1)[0] - 0.6).abs() < 1e-6);
+        assert!((cv.row(1)[1] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_table_tokens_skipped() {
+        let cv = ConceptVectors::mean_pooled(&table(), &[vec![0, 900]]);
+        assert!((cv.row(0)[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancelling_tokens_leave_zero_row() {
+        let cv = ConceptVectors::mean_pooled(&table(), &[vec![0, 2]]);
+        assert_eq!(cv.row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn query_vector_matches_pooling() {
+        let q = ConceptVectors::query_vector(&table(), &[0, 1]).unwrap();
+        let inv = 1.0f32 / 2.0f32.sqrt();
+        assert!((q[0] - inv).abs() < 1e-6 && (q[1] - inv).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_oov_query_is_none() {
+        assert!(ConceptVectors::query_vector(&table(), &[99, 100]).is_none());
+        assert!(ConceptVectors::query_vector(&table(), &[]).is_none());
+        // Cancelling directions: pooled vector has no direction.
+        assert!(ConceptVectors::query_vector(&table(), &[0, 2]).is_none());
+    }
+}

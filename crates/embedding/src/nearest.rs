@@ -5,16 +5,27 @@
 //! vocabulary `Ω'`. Concept-id tokens injected during pre-training must be
 //! excluded, as must the special tokens, hence the filter mask.
 
-use ncl_tensor::{Matrix, Vector};
+use ncl_tensor::{simd, Matrix, Vector};
 
 /// A cosine nearest-neighbour index over embedding rows.
 ///
 /// For the paper's vocabulary sizes a flat scan is exact and fast enough
 /// (the OR segment of Figure 11 is a small fraction of total query time);
 /// rows are pre-normalised so each query costs one dot product per word.
+///
+/// The normalized rows are stored **transposed** (`wt[k * rows + r]` =
+/// component `k` of row `r`) so one [`simd::colmajor_gemv_acc`] call
+/// computes every row's dot product against a query. That kernel keeps a
+/// fresh accumulator per output and walks `k` ascending, i.e. exactly the
+/// sequential `dot += a * b` fold of a per-row scalar loop — so the scores
+/// are bit-identical to the pre-SIMD scan at every dispatch level.
 #[derive(Debug, Clone)]
 pub struct NearestWords {
-    normalized: Matrix,
+    /// Transposed normalized embedding table, `dims × rows` column-major
+    /// by original row id.
+    wt: Vec<f32>,
+    rows: usize,
+    dims: usize,
     allowed: Vec<bool>,
 }
 
@@ -24,31 +35,43 @@ impl NearestWords {
     /// `None` to allow all rows except ids `0..4` (the special tokens).
     pub fn new(embeddings: &Matrix, allowed: Option<Vec<bool>>) -> Self {
         let rows = embeddings.rows();
+        let dims = embeddings.cols();
         let allowed = allowed.unwrap_or_else(|| (0..rows).map(|i| i >= 4).collect());
         assert_eq!(allowed.len(), rows, "nearest: mask length mismatch");
-        let mut normalized = embeddings.clone();
+        let mut wt = vec![0.0f32; rows * dims];
         for r in 0..rows {
-            let norm = normalized.row_vector(r).norm();
-            if norm > f32::EPSILON {
-                for v in normalized.row_mut(r) {
-                    *v /= norm;
-                }
+            let row = embeddings.row(r);
+            let norm = embeddings.row_vector(r).norm();
+            let inv = if norm > f32::EPSILON { 1.0 / norm } else { 1.0 };
+            for (k, &v) in row.iter().enumerate() {
+                wt[k * rows + r] = v * inv;
             }
         }
         Self {
-            normalized,
+            wt,
+            rows,
+            dims,
             allowed,
         }
     }
 
     /// Number of indexed rows.
     pub fn len(&self) -> usize {
-        self.normalized.rows()
+        self.rows
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.normalized.rows() == 0
+        self.rows == 0
+    }
+
+    /// All-rows cosine scores for a normalized query, via one
+    /// column-major GEMV over the transposed table.
+    fn dots(&self, q: &Vector) -> Vec<f32> {
+        assert_eq!(q.len(), self.dims, "nearest: query dimension mismatch");
+        let mut dots = vec![0.0f32; self.rows];
+        simd::colmajor_gemv_acc(&mut dots, q.as_slice(), &self.wt);
+        dots
     }
 
     /// The single nearest allowed word to `query` (excluding
@@ -65,15 +88,11 @@ impl NearestWords {
         }
         let mut q = query.clone();
         q.scale(1.0 / qnorm);
+        let dots = self.dots(&q);
         let mut hits: Vec<(u32, f32)> = Vec::new();
-        for r in 0..self.normalized.rows() {
+        for (r, &dot) in dots.iter().enumerate() {
             if !self.allowed[r] || Some(r as u32) == exclude_id {
                 continue;
-            }
-            let row = self.normalized.row(r);
-            let mut dot = 0.0f32;
-            for (a, b) in row.iter().zip(q.as_slice()) {
-                dot += a * b;
             }
             hits.push((r as u32, dot));
         }
@@ -89,12 +108,11 @@ impl NearestWords {
     /// Resolves many queries in one pass, returning what
     /// [`NearestWords::nearest`] would return for each — bit-identically.
     ///
-    /// The scan is blocked over the index rows (all queries visit a row
-    /// block while it is hot in cache) instead of re-streaming the whole
-    /// embedding matrix per query, which is where a per-token rewrite
-    /// loop spends its time. Each (query, row) dot product uses the exact
-    /// forward accumulation of the single-query path, and ties keep the
-    /// first (lowest-id) row, so results match `nearest` bit for bit.
+    /// Each query makes one SIMD GEMV pass over the transposed table, so
+    /// the per-row accumulation order matches the single-query path
+    /// exactly; the argmax scan then visits rows in ascending id order,
+    /// where a strict improvement test reproduces the (cosine desc, id
+    /// asc) tie-break of the sorted single-query path.
     pub fn nearest_batch(
         &self,
         queries: &[Vector],
@@ -105,47 +123,31 @@ impl NearestWords {
             exclude_ids.len(),
             "nearest_batch: queries/exclude length mismatch"
         );
-        // Pre-normalise queries exactly as `top_k` does; zero-norm
-        // queries resolve to None without touching the matrix.
-        let normed: Vec<Option<Vector>> = queries
+        queries
             .iter()
-            .map(|query| {
+            .zip(exclude_ids)
+            .map(|(query, exclude)| {
+                // Pre-normalise exactly as `top_k` does; zero-norm
+                // queries resolve to None without touching the matrix.
                 let qnorm = query.norm();
-                (qnorm > f32::EPSILON).then(|| {
-                    let mut q = query.clone();
-                    q.scale(1.0 / qnorm);
-                    q
-                })
-            })
-            .collect();
-        let mut best: Vec<Option<(u32, f32)>> = vec![None; queries.len()];
-        const ROW_BLOCK: usize = 64;
-        let rows = self.normalized.rows();
-        let mut r0 = 0usize;
-        while r0 < rows {
-            let r1 = (r0 + ROW_BLOCK).min(rows);
-            for (qi, q) in normed.iter().enumerate() {
-                let Some(q) = q else { continue };
-                for r in r0..r1 {
-                    if !self.allowed[r] || Some(r as u32) == exclude_ids[qi] {
+                if qnorm <= f32::EPSILON {
+                    return None;
+                }
+                let mut q = query.clone();
+                q.scale(1.0 / qnorm);
+                let dots = self.dots(&q);
+                let mut best: Option<(u32, f32)> = None;
+                for (r, &dot) in dots.iter().enumerate() {
+                    if !self.allowed[r] || Some(r as u32) == *exclude {
                         continue;
                     }
-                    let row = self.normalized.row(r);
-                    let mut dot = 0.0f32;
-                    for (a, b) in row.iter().zip(q.as_slice()) {
-                        dot += a * b;
-                    }
-                    // Rows are visited in ascending id order, so a strict
-                    // improvement test reproduces the (cosine desc, id
-                    // asc) tie-break of the sorted single-query path.
-                    if best[qi].is_none_or(|(_, bd)| dot > bd) {
-                        best[qi] = Some((r as u32, dot));
+                    if best.is_none_or(|(_, bd)| dot > bd) {
+                        best = Some((r as u32, dot));
                     }
                 }
-            }
-            r0 = r1;
-        }
-        best
+                best
+            })
+            .collect()
     }
 }
 

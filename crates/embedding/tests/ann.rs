@@ -1,0 +1,236 @@
+//! Integration + property tests for the hand-rolled HNSW index
+//! ([`ncl_embedding::ann`]) against its exact-scan oracle.
+//!
+//! The contract under test (DESIGN.md §16):
+//!
+//! * **recall** — graph search at the default beam recovers ≥ the
+//!   configured floor of the exact top-10 on random vector sets,
+//!   including hostile ones (duplicate clusters, zero vectors,
+//!   lane-straddling dimensionalities);
+//! * **determinism** — same vectors + same config produce the same
+//!   graph and the same search results across runs *and* across SIMD
+//!   dispatch levels (all similarity math runs through the
+//!   level-invariant `dot_relaxed` kernel);
+//! * the exact scan itself is a true oracle: descending similarity,
+//!   ties by ascending id.
+//!
+//! The `proptests` module name is load-bearing: CI's property-test leg
+//! runs `cargo test --workspace proptests` and filters by that substring.
+
+use ncl_embedding::ann::{AnnIndex, HnswConfig};
+use ncl_embedding::ConceptVectors;
+use ncl_tensor::Matrix;
+
+/// SplitMix64 — deterministic test data without an RNG dependency.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(bits: u64) -> f32 {
+    ((bits >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+}
+
+/// Random vector set with a controllable fraction of duplicates and
+/// zero rows — the shapes that defeat naive diversity pruning.
+fn vector_set(n: usize, dims: usize, dup_every: usize, zero_every: usize, salt: u64) -> Matrix {
+    let mut data = vec![0.0f32; n * dims];
+    let proto: Vec<f32> = (0..dims)
+        .map(|i| unit(mix(salt ^ 0xD0_0D ^ i as u64)))
+        .collect();
+    for r in 0..n {
+        let row = &mut data[r * dims..(r + 1) * dims];
+        if zero_every > 0 && r % zero_every == 0 {
+            continue; // leave a zero row
+        }
+        if dup_every > 0 && r % dup_every == 0 {
+            row.copy_from_slice(&proto);
+            continue;
+        }
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = unit(mix(salt.wrapping_add((r * dims + i) as u64)));
+        }
+    }
+    Matrix::from_vec(n, dims, data)
+}
+
+fn normalize(mut v: Vec<f32>) -> Vec<f32> {
+    let n = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
+    for x in &mut v {
+        *x /= n;
+    }
+    v
+}
+
+fn recall_at_10(idx: &AnnIndex, q: &[f32]) -> f64 {
+    let (approx, _) = idx.search(q, 10, None);
+    let (exact, _) = idx.exact_search(q, 10);
+    let want: std::collections::HashSet<u32> = exact.iter().map(|h| h.0).collect();
+    if want.is_empty() {
+        return 1.0;
+    }
+    approx.iter().filter(|h| want.contains(&h.0)).count() as f64 / want.len() as f64
+}
+
+/// Tie-aware recall@10: a returned neighbour counts as correct when its
+/// similarity reaches the oracle's 10th-best. With duplicate clusters
+/// wider than k the id-set definition punishes returning a *different but
+/// equally similar* duplicate, which says nothing about graph quality.
+fn tie_aware_recall_at_10(idx: &AnnIndex, q: &[f32]) -> f64 {
+    let (approx, _) = idx.search(q, 10, None);
+    let (exact, _) = idx.exact_search(q, 10);
+    let Some(&(_, floor)) = exact.last() else {
+        return 1.0;
+    };
+    approx.iter().filter(|h| h.1 >= floor).count() as f64 / exact.len() as f64
+}
+
+fn graph_config(seed: u64) -> HnswConfig {
+    HnswConfig {
+        seed,
+        brute_force_below: 0,
+        ..HnswConfig::default()
+    }
+}
+
+#[test]
+fn recall_floor_on_clean_random_set() {
+    let cv = ConceptVectors::from_rows(vector_set(3_000, 32, 0, 0, 11));
+    let idx = AnnIndex::build(&cv, graph_config(1));
+    let mut total = 0.0;
+    let queries = 40;
+    for qi in 0..queries {
+        let q = normalize(cv.row((qi * 71) % cv.len()).to_vec());
+        total += recall_at_10(&idx, &q);
+    }
+    let mean = total / queries as f64;
+    assert!(mean >= 0.95, "mean recall@10 {mean} < 0.95");
+}
+
+#[test]
+fn search_stats_report_graph_traversal() {
+    let cv = ConceptVectors::from_rows(vector_set(3_000, 32, 0, 0, 12));
+    let idx = AnnIndex::build(&cv, graph_config(2));
+    let q = normalize(cv.row(123).to_vec());
+    let (_, stats) = idx.search(&q, 10, None);
+    assert!(!stats.exact);
+    assert!(stats.nodes_visited > 0);
+    assert!(stats.distance_evals > 0);
+    assert_eq!(stats.ef_search, 96, "default beam width");
+    assert!(
+        stats.distance_evals < 3_000 / 2,
+        "graph search should evaluate far fewer distances than the scan \
+         ({} of 3000)",
+        stats.distance_evals
+    );
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    // Each case builds an index from scratch (O(n·ef) dots), so keep the
+    // case count modest; the ranges still sweep lane-straddling dims and
+    // hostile duplicate/zero mixes.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Recall@10 vs the exact oracle stays above the floor on random
+        /// sets laced with duplicate clusters and zero vectors, across
+        /// lane-straddling dimensionalities (7/9/17/33 cross the 4- and
+        /// 8-wide SIMD lane and the virtual-8 relaxed layout).
+        #[test]
+        fn hnsw_recall_floor_random_sets(
+            n in 400usize..900,
+            dims_pick in 0usize..5,
+            dup_every in 0usize..20,
+            zero_every in 0usize..30,
+            salt in 0u64..1_000,
+        ) {
+            let dims = [7usize, 9, 16, 17, 33][dims_pick];
+            let dup = if dup_every < 5 { 0 } else { dup_every };
+            let zero = if zero_every < 7 { 0 } else { zero_every };
+            let cv = ConceptVectors::from_rows(vector_set(n, dims, dup, zero, salt));
+            let idx = AnnIndex::build(&cv, graph_config(salt ^ 0xA11CE));
+            let mut total = 0.0;
+            let queries = 12usize;
+            for qi in 0..queries {
+                // Mix member and perturbed-member queries.
+                let base = cv.row((qi * 97) % n).to_vec();
+                let q = if qi % 3 == 0 {
+                    let jitter: Vec<f32> = base
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| v + 0.05 * unit(mix(salt ^ (qi * 31 + i) as u64)))
+                        .collect();
+                    normalize(jitter)
+                } else {
+                    normalize(base)
+                };
+                total += tie_aware_recall_at_10(&idx, &q);
+            }
+            let mean = total / queries as f64;
+            prop_assert!(
+                mean >= 0.9,
+                "mean tie-aware recall@10 {} below floor \
+                 (n={} dims={} dup={} zero={} salt={})",
+                mean, n, dims, dup, zero, salt
+            );
+        }
+
+        /// Same vectors + same seed ⇒ identical graph and bit-identical
+        /// search results, across independent builds and across every
+        /// supported SIMD dispatch level.
+        #[test]
+        fn hnsw_deterministic_across_runs_and_levels(
+            n in 200usize..500,
+            dims_pick in 0usize..3,
+            salt in 0u64..1_000,
+        ) {
+            use ncl_tensor::simd::{self, Level};
+            let dims = [9usize, 17, 24][dims_pick];
+            let cv = ConceptVectors::from_rows(vector_set(n, dims, 11, 0, salt));
+            let q = normalize(cv.row(n / 2).to_vec());
+            let reference = simd::with_level(Level::Scalar, || {
+                let idx = AnnIndex::build(&cv, graph_config(salt));
+                idx.search(&q, 10, None)
+            });
+            for level in simd::supported_levels() {
+                let (hits, stats) = simd::with_level(level, || {
+                    let idx = AnnIndex::build(&cv, graph_config(salt));
+                    idx.search(&q, 10, None)
+                });
+                prop_assert_eq!(stats, reference.1);
+                prop_assert_eq!(hits.len(), reference.0.len());
+                for (g, w) in hits.iter().zip(reference.0.iter()) {
+                    prop_assert_eq!(g.0, w.0);
+                    prop_assert_eq!(g.1.to_bits(), w.1.to_bits());
+                }
+            }
+        }
+
+        /// The exact scan is a well-formed oracle: descending similarity
+        /// with ties broken by ascending id, and it returns min(k, n)
+        /// hits for any k.
+        #[test]
+        fn exact_scan_is_sorted_and_complete(
+            n in 1usize..300,
+            k in 0usize..40,
+            salt in 0u64..1_000,
+        ) {
+            let cv = ConceptVectors::from_rows(vector_set(n, 9, 6, 9, salt));
+            let idx = AnnIndex::build(&cv, HnswConfig::default());
+            let q = normalize(cv.row(0).to_vec());
+            let (hits, stats) = idx.exact_search(&q, k);
+            prop_assert!(stats.exact);
+            prop_assert_eq!(stats.distance_evals, n as u64);
+            prop_assert_eq!(hits.len(), k.min(n));
+            for w in hits.windows(2) {
+                let ordered = w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0);
+                prop_assert!(ordered, "oracle out of order: {:?}", w);
+            }
+        }
+    }
+}

@@ -375,6 +375,9 @@ pub fn dot_relaxed(a: &[f32], b: &[f32]) -> f32 {
         #[cfg(target_arch = "x86_64")]
         // SAFETY: AVX2 was verified by `active()`'s detection.
         Level::Avx2 => unsafe { avx2::dot_lanes(&mut lanes, a, b) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: SSE2 is part of the x86_64 baseline.
+        Level::Sse2 => unsafe { sse2::dot_lanes(&mut lanes, a, b) },
         _ => scalar::dot_lanes(&mut lanes, a, b),
     }
     tree8(&lanes)
@@ -687,6 +690,39 @@ mod sse2 {
             j += 1;
         }
         let _ = m;
+    }
+
+    /// # Safety
+    /// Requires SSE2 (always present on `x86_64`).
+    ///
+    /// Two xmm accumulators hold the virtual 8-lane layout (lanes 0–3
+    /// and 4–7); each iteration consumes a full 8-chunk, so lane `l`
+    /// sees exactly the elements `i ≡ l (mod 8)` — the same assignment
+    /// as `scalar::dot_lanes` and `avx2::dot_lanes`. The tail folds into
+    /// the same lanes.
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn dot_lanes(lanes: &mut [f32; 8], a: &[f32], b: &[f32]) {
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut lo = _mm_setzero_ps();
+        let mut hi = _mm_setzero_ps();
+        let mut i = 0;
+        while i + 8 <= n {
+            let al = _mm_loadu_ps(ap.add(i));
+            let bl = _mm_loadu_ps(bp.add(i));
+            lo = _mm_add_ps(lo, _mm_mul_ps(al, bl));
+            let ah = _mm_loadu_ps(ap.add(i + 4));
+            let bh = _mm_loadu_ps(bp.add(i + 4));
+            hi = _mm_add_ps(hi, _mm_mul_ps(ah, bh));
+            i += 8;
+        }
+        _mm_storeu_ps(lanes.as_mut_ptr(), lo);
+        _mm_storeu_ps(lanes.as_mut_ptr().add(4), hi);
+        while i < n {
+            lanes[i % 8] += a[i] * b[i];
+            i += 1;
+        }
     }
 
     /// # Safety
