@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Regenerates the checked-in perf baselines
-# (ci/bench_baseline_fig{11,12,15,16,17,18,19}.json) from a fresh local
+# (ci/bench_baseline_fig{11,12,15,16,17,18,19,20}.json) from a fresh local
 # run.
 #
 # Run this ONLY after an intentional performance change, on a quiet
@@ -28,6 +28,7 @@ cargo run --release -p ncl-bench --bin fig18_open_loop -- --quick
 cargo run --release -p ncl-bench --bin fig16_kernels -- --quick
 cargo run --release -p ncl-bench --bin fig17_scale_serving -- --quick
 cargo run --release -p ncl-bench --bin fig19_ann_retrieval -- --quick
+cargo run --release -p ncl-bench --bin fig20_document_linking -- --quick
 
 cargo run --release -p ncl-bench --bin bench_gate -- \
   BENCH_fig15.json ci/bench_baseline_fig15.json \
@@ -37,6 +38,7 @@ cargo run --release -p ncl-bench --bin bench_gate -- \
   BENCH_fig16.json ci/bench_baseline_fig16.json \
   BENCH_fig17.json ci/bench_baseline_fig17.json \
   BENCH_fig19.json ci/bench_baseline_fig19.json \
+  BENCH_fig20.json ci/bench_baseline_fig20.json \
   --rebase --headroom "$HEADROOM"
 
 # Sanity: a gate run against the fresh baselines must pass by a wide
@@ -49,6 +51,7 @@ cargo run --release -p ncl-bench --bin bench_gate -- \
   BENCH_fig16.json ci/bench_baseline_fig16.json \
   BENCH_fig17.json ci/bench_baseline_fig17.json \
   BENCH_fig19.json ci/bench_baseline_fig19.json \
+  BENCH_fig20.json ci/bench_baseline_fig20.json \
   --tolerance 0.20
 
 echo "refresh_baselines: done — review and commit ci/bench_baseline_fig*.json"

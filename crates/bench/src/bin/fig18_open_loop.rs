@@ -158,6 +158,7 @@ fn main() {
         partial_ed_budget: s * 2,
         workers,
         retry_after: s,
+        ..FrontendConfig::default()
     };
     // The tail bound the figure is about: a full queue of (mostly
     // degraded, hence faster) requests plus a deadline-capped service,

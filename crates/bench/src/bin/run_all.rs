@@ -20,6 +20,7 @@ fn main() {
         "fig17_scale_serving",
         "fig18_open_loop",
         "fig19_ann_retrieval",
+        "fig20_document_linking",
     ];
     let exe_dir = std::env::current_exe()
         .ok()

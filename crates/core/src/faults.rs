@@ -28,7 +28,11 @@
 //! (an I/O-style site consulted once per `Ann`/`Hybrid` retrieval — an
 //! injected error disables the vector search for that request, which
 //! degrades to the TF-IDF path and records a
-//! [`crate::serving::TraceEvent::AnnFallback`]).
+//! [`crate::serving::TraceEvent::AnnFallback`]). Document-level linking
+//! adds `"doc.propose"` (one visit per accepted span proposal — a panic
+//! drops that single span, recorded as
+//! [`crate::serving::TraceEvent::ProposeFaulted`], while the rest of
+//! the note links normally).
 //!
 //! Attaching a plan also disables the linker's rewrite memo: memoising
 //! out-of-vocabulary rewrites would change how many times `"or.rewrite"`

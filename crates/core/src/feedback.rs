@@ -13,9 +13,29 @@
 //! a set size (e.g. 100). Collected expert labels become new labeled
 //! snippets; once enough accumulate, COM-AID is retrained and "the
 //! concept linking capability of NCL is incrementally improved."
+//!
+//! ## Serving the improvement without stopping the service
+//!
+//! Retraining bumps the model's version, which silently invalidates
+//! every frozen [`ConceptCache`] — a linker serving across a retrain
+//! would fall off the cached fast path (correct, but slow). The
+//! **hot-swap cell** ([`HotSwapCell`]) closes the loop at volume:
+//! serving reads an immutable [`ModelGeneration`] snapshot (a model
+//! clone plus the cache frozen from it — a clone keeps its source's
+//! version, so the pair stays valid), and
+//! [`HotSwapCell::publish`] installs the retrained generation behind
+//! an atomic generation bump. In-flight requests finish on the
+//! snapshot they hold; requests taken after the swap see the new
+//! generation; nothing is dropped and no request ever observes a
+//! half-swapped (torn) model/cache pair.
 
-use ncl_ontology::ConceptId;
+use crate::comaid::{ComAid, ConceptCache, OntologyIndex};
+use crate::linker::{Linker, LinkerConfig};
+use crate::serving::DocumentResult;
+use ncl_ontology::{ConceptId, Ontology};
 use ncl_tensor::stats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// Uncertainty thresholds and pooling capacities.
 #[derive(Debug, Clone, Copy)]
@@ -165,6 +185,158 @@ impl FeedbackController {
     pub fn take_labels(&mut self) -> Vec<ExpertLabel> {
         std::mem::take(&mut self.labels)
     }
+
+    /// Observes every span of a document-level answer
+    /// ([`crate::linker::Linker::link_document`]), pooling the
+    /// uncertain ones — the volume path: one note contributes several
+    /// mention queries to the shared pool in span order. Returns the
+    /// indices into `doc.spans` that were pooled, so a caller
+    /// collecting (or simulating) expert labels can map pooled queries
+    /// back to their note positions.
+    pub fn observe_document(&mut self, note_tokens: &[String], doc: &DocumentResult) -> Vec<usize> {
+        let mut pooled = Vec::new();
+        for (i, s) in doc.spans.iter().enumerate() {
+            let q = &note_tokens[s.proposal.start..s.proposal.end()];
+            if self.observe(q, &s.result.ranked).uncertain {
+                pooled.push(i);
+            }
+        }
+        pooled
+    }
+}
+
+/// One immutable serving generation: a clone of the model at some
+/// training state plus the [`ConceptCache`] frozen from it.
+///
+/// The pair is **valid together forever**: a [`ComAid`] clone keeps
+/// its source's version, the cache records the version it was frozen
+/// at, and neither mutates after construction — so a linker built over
+/// a generation ([`ModelGeneration::linker`]) serves from the cached
+/// fast path no matter what happens to the pipeline's live model in
+/// the meantime.
+#[derive(Debug)]
+pub struct ModelGeneration {
+    model: ComAid,
+    cache: Option<Arc<ConceptCache>>,
+    config: LinkerConfig,
+    generation: u64,
+}
+
+impl ModelGeneration {
+    /// Clones `model` and freezes its concept cache (when
+    /// `config.precompute` is on), exactly as [`Linker::new`] would.
+    fn freeze_from(
+        model: &ComAid,
+        ontology: &Ontology,
+        config: LinkerConfig,
+        generation: u64,
+    ) -> Self {
+        let model = model.clone();
+        let cache = config.precompute.then(|| {
+            let index = OntologyIndex::build(ontology, model.vocab(), model.config().beta);
+            let mut c = if config.lazy_freeze {
+                model.freeze_lazy(&index, config.cache_tier)
+            } else {
+                model.freeze_tiered(&index, config.cache_tier)
+            };
+            c.set_fast_math(config.fast_math);
+            Arc::new(c)
+        });
+        Self {
+            model,
+            cache,
+            config,
+            generation,
+        }
+    }
+
+    /// The generation's model clone.
+    pub fn model(&self) -> &ComAid {
+        &self.model
+    }
+
+    /// The generation number ([`HotSwapCell::generation`] at the time
+    /// this snapshot was current).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Builds a linker over this generation **without re-freezing**:
+    /// the generation's shared cache is installed via
+    /// [`Linker::with_shared_cache`], so every linker built from the
+    /// same snapshot serves identical bits from one frozen cache.
+    pub fn linker<'g>(&'g self, ontology: &'g Ontology) -> Linker<'g> {
+        let mut cfg = self.config;
+        // Never re-freeze; the shared cache below replaces it.
+        cfg.precompute = false;
+        let linker = Linker::new(&self.model, ontology, cfg);
+        match &self.cache {
+            Some(c) => linker.with_shared_cache(Arc::clone(c)),
+            None => linker,
+        }
+    }
+}
+
+/// The hot-swap point between the feedback loop's retraining side and
+/// the serving side (see the module docs).
+///
+/// * Serving threads call [`HotSwapCell::snapshot`] and build (or
+///   reuse) a linker over the returned [`ModelGeneration`]; the `Arc`
+///   keeps the generation alive for as long as any request still uses
+///   it.
+/// * The retraining side calls [`HotSwapCell::publish`] with the
+///   retrained model: the new generation is frozen *outside* the swap
+///   lock, installed with one pointer swap, and announced by a single
+///   atomic bump of the generation counter — readers never observe a
+///   torn model/cache pair, and [`HotSwapCell::generation`] is safe to
+///   poll concurrently from any thread (lock-free).
+pub struct HotSwapCell {
+    current: RwLock<Arc<ModelGeneration>>,
+    generation: AtomicU64,
+    config: LinkerConfig,
+}
+
+impl HotSwapCell {
+    /// Freezes generation 0 from `model` and installs it.
+    pub fn new(model: &ComAid, ontology: &Ontology, config: LinkerConfig) -> Self {
+        let gen0 = ModelGeneration::freeze_from(model, ontology, config, 0);
+        Self {
+            current: RwLock::new(Arc::new(gen0)),
+            generation: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// The current generation number. Lock-free: safe to read
+    /// concurrently with an in-progress [`HotSwapCell::publish`] (the
+    /// counter bumps only after the new generation is installed).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// The current generation snapshot. Requests that hold the
+    /// returned `Arc` across a publish finish on their snapshot,
+    /// bit-identical to pre-swap serving.
+    pub fn snapshot(&self) -> Arc<ModelGeneration> {
+        Arc::clone(&self.current.read().expect("hot-swap cell poisoned"))
+    }
+
+    /// Installs a new generation frozen from `model` (typically the
+    /// pipeline's model after
+    /// [`crate::pipeline::NclPipeline::retrain_with_feedback`]) and
+    /// returns its generation number.
+    ///
+    /// The expensive freeze happens before the write lock is taken;
+    /// the swap itself is one pointer store, so readers are never
+    /// blocked behind a freeze.
+    pub fn publish(&self, model: &ComAid, ontology: &Ontology) -> u64 {
+        let next = self.generation.load(Ordering::Acquire) + 1;
+        let generation = ModelGeneration::freeze_from(model, ontology, self.config, next);
+        let mut guard = self.current.write().expect("hot-swap cell poisoned");
+        *guard = Arc::new(generation);
+        self.generation.store(next, Ordering::Release);
+        next
+    }
 }
 
 #[cfg(test)]
@@ -261,5 +433,227 @@ mod tests {
         assert_eq!(labels.len(), 2);
         assert!(!fc.retrain_ready());
         assert_eq!(labels[0].concept, cid(7));
+    }
+
+    // ---- volume path: pooling at document scale -------------------
+
+    #[test]
+    fn pool_order_is_fifo_and_deterministic() {
+        // Two controllers fed the same stream must end with identical
+        // pools, and the review batch drains strictly from the front.
+        let uncertain = vec![(cid(1), -10.0)];
+        let run = || {
+            let mut fc = controller();
+            for i in 0..5 {
+                fc.observe(&[format!("q{i}")], &uncertain);
+            }
+            fc
+        };
+        let mut a = run();
+        let b = run();
+        let order: Vec<_> = a.pool().iter().map(|p| p.query.clone()).collect();
+        assert_eq!(
+            order,
+            (0..5).map(|i| vec![format!("q{i}")]).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            b.pool().iter().map(|p| &p.query).collect::<Vec<_>>(),
+            order.iter().collect::<Vec<_>>()
+        );
+        let batch = a.take_review_batch();
+        assert_eq!(
+            batch.iter().map(|p| &p.query).collect::<Vec<_>>(),
+            order[..3].iter().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            a.pool().iter().map(|p| &p.query).collect::<Vec<_>>(),
+            order[3..].iter().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn draining_invariants_under_repeated_takes() {
+        let mut fc = controller();
+        let uncertain = vec![(cid(1), -10.0)];
+        for i in 0..4 {
+            fc.observe(&[format!("q{i}")], &uncertain);
+        }
+        // First take drains a full batch, second the remainder, third
+        // nothing — no query is ever returned twice or lost.
+        let first = fc.take_review_batch();
+        let second = fc.take_review_batch();
+        let third = fc.take_review_batch();
+        assert_eq!((first.len(), second.len(), third.len()), (3, 1, 0));
+        assert!(fc.pool().is_empty());
+        // Labels: take_labels empties and disarms the retrain trigger.
+        fc.record_label(ExpertLabel {
+            concept: cid(1),
+            query: vec!["a".into()],
+        });
+        fc.record_label(ExpertLabel {
+            concept: cid(2),
+            query: vec!["b".into()],
+        });
+        assert!(fc.retrain_ready());
+        assert_eq!(fc.take_labels().len(), 2);
+        assert_eq!(fc.label_count(), 0);
+        assert!(fc.take_labels().is_empty());
+        assert!(!fc.retrain_ready());
+    }
+
+    // ---- document-level observation and hot swapping --------------
+
+    use crate::comaid::{ComAid, ComAidConfig, OntologyIndex, TrainPair};
+    use crate::linker::{Linker, LinkerConfig};
+    use crate::serving::CacheUse;
+    use ncl_ontology::OntologyBuilder;
+    use ncl_text::{tokenize, Vocab};
+
+    /// Untrained world: enough for span proposal, serving mechanics,
+    /// and cache identity checks (trained behaviour is covered by the
+    /// fig20 bench and the pipeline tests).
+    fn world() -> (Ontology, ComAid) {
+        let mut b = OntologyBuilder::new();
+        let n18 = b.add_root_concept("N18", "chronic kidney disease");
+        b.add_child(n18, "N18.5", "chronic kidney disease stage 5");
+        let r10 = b.add_root_concept("R10", "abdominal pain");
+        b.add_child(r10, "R10.9", "unspecified abdominal pain");
+        let o = b.build().unwrap();
+        let mut v = Vocab::new();
+        for (_, c) in o.iter() {
+            for t in tokenize(&c.canonical) {
+                v.add(&t);
+            }
+        }
+        let model = ComAid::new(v, ComAidConfig::tiny(), None);
+        (o, model)
+    }
+
+    #[test]
+    fn observe_document_pools_spans_in_note_order() {
+        let (o, model) = world();
+        let linker = Linker::new(
+            &model,
+            &o,
+            LinkerConfig {
+                rewrite: false,
+                precompute: false,
+                ..LinkerConfig::default()
+            },
+        );
+        let tokens =
+            tokenize("patient comfortable abdominal pain overnight chronic kidney disease noted");
+        let doc = linker.link_document(&tokens);
+        assert_eq!(doc.len(), 2);
+        // loss_threshold 0 makes every span with candidates uncertain
+        // (log-likelihood losses are positive), and empty rankings are
+        // maximally uncertain — so the whole document pools.
+        let mut fc = FeedbackController::new(FeedbackConfig {
+            loss_threshold: 0.0,
+            std_threshold: 0.0,
+            review_batch: 10,
+            retrain_after: 2,
+        });
+        let pooled = fc.observe_document(&tokens, &doc);
+        assert_eq!(pooled, vec![0, 1]);
+        for (slot, &i) in pooled.iter().enumerate() {
+            let s = &doc.spans[i];
+            assert_eq!(
+                fc.pool()[slot].query,
+                tokens[s.proposal.start..s.proposal.end()]
+            );
+            assert_eq!(fc.pool()[slot].candidates, s.result.ranked);
+        }
+    }
+
+    #[test]
+    fn snapshot_serves_bit_identically_across_publish() {
+        let (o, model) = world();
+        let config = LinkerConfig {
+            rewrite: false,
+            ..LinkerConfig::default()
+        };
+        let cell = HotSwapCell::new(&model, &o, config);
+        assert_eq!(cell.generation(), 0);
+        let q = tokenize("abdominal pain");
+        let snap0 = cell.snapshot();
+        assert_eq!(snap0.generation(), 0);
+        let before = snap0.linker(&o).link(&q);
+        assert_eq!(before.trace.cache, CacheUse::Served);
+
+        // Retrain a copy (version bump) and publish it.
+        let mut retrained = model.clone();
+        let index = OntologyIndex::build(&o, retrained.vocab(), retrained.config().beta);
+        let target: Vec<_> = ["abdominal", "pain"]
+            .iter()
+            .map(|t| retrained.vocab().get_or_unk(t))
+            .collect();
+        let pair = TrainPair {
+            concept: o.iter().next().unwrap().0,
+            target,
+        };
+        retrained.fit_epochs(
+            &index,
+            &[pair],
+            2,
+            ncl_nn::optimizer::LrSchedule::constant(0.1),
+        );
+        assert_eq!(cell.publish(&retrained, &o), 1);
+        assert_eq!(cell.generation(), 1);
+
+        // The old snapshot keeps serving from its own frozen cache,
+        // bit-identical to pre-swap answers.
+        let after = snap0.linker(&o).link(&q);
+        assert_eq!(after.trace.cache, CacheUse::Served);
+        assert_eq!(after.ranked, before.ranked);
+        assert_eq!(after.candidates, before.candidates);
+
+        // The new generation serves from its own fresh (valid) cache.
+        let snap1 = cell.snapshot();
+        assert_eq!(snap1.generation(), 1);
+        assert_eq!(snap1.linker(&o).link(&q).trace.cache, CacheUse::Served);
+    }
+
+    #[test]
+    fn generation_counter_reads_are_safe_during_publish() {
+        // Satellite invariant: the version counter can be polled
+        // lock-free from other threads mid-swap — it never runs
+        // backwards, and a snapshot is never older than the counter
+        // value read before taking it.
+        let (o, model) = world();
+        let cell = HotSwapCell::new(
+            &model,
+            &o,
+            LinkerConfig {
+                rewrite: false,
+                precompute: false,
+                ..LinkerConfig::default()
+            },
+        );
+        std::thread::scope(|s| {
+            let reader = s.spawn(|| {
+                let mut last = 0u64;
+                loop {
+                    let g = cell.generation();
+                    assert!(g >= last, "generation counter ran backwards");
+                    last = g;
+                    let snap = cell.snapshot();
+                    assert!(
+                        snap.generation() >= g,
+                        "snapshot older than the announced generation"
+                    );
+                    if g >= 4 {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+            for _ in 0..4 {
+                cell.publish(&model, &o);
+            }
+            reader.join().unwrap();
+        });
+        assert_eq!(cell.generation(), 4);
+        assert_eq!(cell.snapshot().generation(), 4);
     }
 }

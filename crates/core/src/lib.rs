@@ -20,7 +20,9 @@
 //!   `Rewrite → Retrieve → Score → Rank` over a per-request context,
 //!   with pluggable Phase-II scorers and a unified [`LinkTrace`],
 //! * [`feedback`] — the feedback controller of Appendix A (loss /
-//!   standard-deviation uncertainty gates, pooling, retrain triggering),
+//!   standard-deviation uncertainty gates, pooling, retrain triggering)
+//!   plus the hot-swap serving generations that publish a retrained
+//!   model without dropping in-flight requests,
 //! * [`metrics`] — top-1 accuracy, MRR (with the paper's missing-rank
 //!   convention) and Phase-I coverage (§6.1–6.2),
 //! * [`pipeline`] — the end-to-end NCL assembly: pre-train embeddings
@@ -38,7 +40,7 @@ pub mod serving;
 pub use comaid::{ComAid, ComAidConfig, OutputMode, TrainPair, Variant};
 pub use error::NclError;
 pub use faults::{FaultKind, FaultPlan};
-pub use feedback::{FeedbackConfig, FeedbackController};
+pub use feedback::{ExpertLabel, FeedbackConfig, FeedbackController, HotSwapCell, ModelGeneration};
 pub use linker::{
     Degradation, DegradeReason, LinkBudget, LinkResult, Linker, LinkerConfig, PriorTable,
     RetrievalBackend,
@@ -46,8 +48,9 @@ pub use linker::{
 pub use ncl_text::tfidf::RetrievalStats;
 pub use pipeline::{NclConfig, NclPipeline};
 pub use serving::{
-    AdmissionRung, AnnFallbackReason, AnnSearchStats, CacheUse, ComAidScore, Completion, Frontend,
-    FrontendConfig, FrontendStats, HistSummary, LatencyHistogram, LinkTrace, RequestCtx,
-    RewriteDecision, ScoreOutcome, ScoreRequest, ScoreStage, Stage, StageKind, StageTiming,
+    AdmissionRung, AnnFallbackReason, AnnSearchStats, CacheUse, ComAidScore, Completion,
+    DocumentCompletion, DocumentResult, Frontend, FrontendConfig, FrontendStats, HistSummary,
+    LatencyHistogram, LinkTrace, ProposeConfig, RequestCtx, RewriteDecision, ScoreOutcome,
+    ScoreRequest, ScoreStage, SpanAnchor, SpanLink, SpanProposal, Stage, StageKind, StageTiming,
     TraceEvent,
 };

@@ -33,7 +33,8 @@ use crate::comaid::{CacheTier, ComAid, ConceptCache, OntologyIndex};
 use crate::error::NclError;
 use crate::faults::FaultPlan;
 use crate::serving::{
-    self, ComAidScore, LinkTrace, RewriteDecision, ScoreStage, StageKind, StageTiming, TraceEvent,
+    self, ComAidScore, DocumentResult, LinkTrace, ProposeConfig, RewriteDecision, ScoreStage,
+    SpanProposal, StageKind, StageTiming, TraceEvent,
 };
 use ncl_embedding::{AnnIndex, ConceptVectors, HnswConfig, NearestWords};
 use ncl_ontology::{ConceptId, Ontology};
@@ -286,31 +287,6 @@ pub(crate) fn min_deadline(a: Option<Instant>, b: Option<Instant>) -> Option<Ins
     }
 }
 
-/// Wall-clock breakdown of one linking call (Figure 11's stacked bars).
-#[deprecated(
-    note = "coarse OR/CR/ED/RT view; read per-stage timings from `LinkResult::trace` \
-            (`LinkTrace::stage_wall`) instead"
-)]
-#[derive(Debug, Clone, Copy, Default)]
-pub struct LinkTiming {
-    /// Out-of-vocabulary word replacement (query rewriting).
-    pub or: Duration,
-    /// Candidate retrieval (TF-IDF keyword search).
-    pub cr: Duration,
-    /// Encode-decode scoring of the candidates.
-    pub ed: Duration,
-    /// Final ranking.
-    pub rt: Duration,
-}
-
-#[allow(deprecated)]
-impl LinkTiming {
-    /// Total time across the four parts.
-    pub fn total(&self) -> Duration {
-        self.or + self.cr + self.ed + self.rt
-    }
-}
-
 /// The outcome of linking one query.
 #[derive(Debug, Clone)]
 pub struct LinkResult {
@@ -321,11 +297,6 @@ pub struct LinkResult {
     pub rewritten: Vec<String>,
     /// Phase-I candidates in retrieval order (before re-ranking).
     pub candidates: Vec<ConceptId>,
-    /// Per-phase timing (deprecated shim: derived from
-    /// [`LinkResult::trace`], kept so existing callers compile).
-    #[deprecated(note = "read `trace.stage_wall(StageKind::…)` instead")]
-    #[allow(deprecated)]
-    pub timing: LinkTiming,
     /// Phase-I work counters: postings examined/scored/pruned by the
     /// MaxScore scan, heap evictions, and rewrite-memo hit rates — the
     /// "postings examined" cost model of Figure 11(c)/(d). A copy of
@@ -414,8 +385,13 @@ pub struct Linker<'a> {
     /// construction when [`LinkerConfig::precompute`] is on. The linker
     /// holds a shared borrow of the model, so the parameters cannot
     /// change underneath it — but staleness is still re-checked at every
-    /// scoring call (the version check is two integers).
-    pub(crate) cache: Option<ConceptCache>,
+    /// scoring call (the version check is two integers). Behind an
+    /// `Arc` so one frozen cache can be shared across linkers built
+    /// from clones of the same model generation
+    /// ([`Linker::with_shared_cache`], the feedback hot-swap path) —
+    /// a clone keeps its source's version, so the validity check is
+    /// unchanged.
+    pub(crate) cache: Option<Arc<ConceptCache>>,
     /// Tokenised canonical description of every concept, as a set —
     /// shared-word removal consults this per (query, candidate), so
     /// tokenising at scoring time would dominate the cached fast path.
@@ -518,7 +494,7 @@ impl<'a> Linker<'a> {
                 model.freeze_tiered(&index, config.cache_tier)
             };
             c.set_fast_math(config.fast_math);
-            c
+            Arc::new(c)
         });
 
         let canonical_sets: Vec<HashSet<String>> = canonical_toks
@@ -551,9 +527,24 @@ impl<'a> Linker<'a> {
     }
 
     /// The frozen concept-encoding cache, if one was precomputed
-    /// ([`LinkerConfig::precompute`]).
+    /// ([`LinkerConfig::precompute`]) or installed
+    /// ([`Linker::with_shared_cache`]).
     pub fn cache(&self) -> Option<&ConceptCache> {
-        self.cache.as_ref()
+        self.cache.as_deref()
+    }
+
+    /// Installs a shared frozen concept cache, replacing any cache this
+    /// linker froze at construction. The hot-swap serving path uses
+    /// this to build a linker over a model-generation snapshot without
+    /// re-freezing: the generation's cache was frozen once from a clone
+    /// of the same parameters, so it is valid for this model (clones
+    /// keep their source's version). Staleness is still re-checked at
+    /// every scoring call, so installing a cache frozen from a
+    /// *different* generation degrades to uncached scoring rather than
+    /// serving wrong bits.
+    pub fn with_shared_cache(mut self, cache: Arc<ConceptCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// Attaches a deterministic [`FaultPlan`]; every fault site inside
@@ -911,6 +902,41 @@ impl<'a> Linker<'a> {
         }
     }
 
+    /// The rewrite outcome of one token, for the span-proposal scan
+    /// (`serving::propose`): `Some(target)` when the token rewrites
+    /// into Ω, `None` otherwise. Uses the per-linker memo when no
+    /// fault plan is attached (sharing outcomes with the Rewrite
+    /// stage); with faults attached it recomputes behind a panic
+    /// boundary **without** visiting the `or.rewrite` site — proposal
+    /// is not the OR phase, and consuming OR ordinals here would shift
+    /// fault replay for the spans linked afterwards (each proposed
+    /// span rewrites its tokens again through the Rewrite stage).
+    /// Work counters accumulate into `stats`.
+    pub(crate) fn rewrite_outcome(&self, w: &str, stats: &mut RetrievalStats) -> Option<String> {
+        if self.faults.is_none() {
+            if let Some(outcome) = self
+                .rewrite_memo
+                .lock()
+                .expect("rewrite memo poisoned")
+                .get(w)
+                .cloned()
+            {
+                stats.rewrite_cache_hits += 1;
+                return outcome;
+            }
+            stats.rewrite_cache_misses += 1;
+            let outcome = self.rewrite_word(w);
+            self.rewrite_memo
+                .lock()
+                .expect("rewrite memo poisoned")
+                .insert(w.to_string(), outcome.clone());
+            outcome
+        } else {
+            stats.rewrite_cache_misses += 1;
+            catch_unwind(AssertUnwindSafe(|| self.rewrite_word(w))).unwrap_or(None)
+        }
+    }
+
     /// Runs Phase I only: rewriting plus candidate retrieval. Used to
     /// measure the coverage metric of §6.2 and to restrict baselines
     /// (LR⁺ is evaluated on "the candidate concepts retrieved by NCL",
@@ -1101,8 +1127,7 @@ impl<'a> Linker<'a> {
         let degradation = self.classify_degradation(scored, total, panicked, cr_panicked);
 
         // Stage wall-clocks go into the trace exactly as the staged
-        // engine records them; the deprecated quadruple is *derived*
-        // from the trace (its only remaining construction site).
+        // engine records them.
         let trace = LinkTrace {
             stages: vec![
                 StageTiming {
@@ -1125,12 +1150,10 @@ impl<'a> Linker<'a> {
             retrieval,
             ..LinkTrace::default()
         };
-        #[allow(deprecated)]
         LinkResult {
             ranked,
             rewritten: rewritten.into_owned(),
             candidates,
-            timing: LinkTiming::from(&trace),
             retrieval,
             degradation,
             trace,
@@ -1195,6 +1218,59 @@ impl<'a> Linker<'a> {
         self.try_link(&tokenize(text))
     }
 
+    /// Proposes candidate mention spans from a tokenised note without
+    /// linking them — the document-level Propose stage alone (see
+    /// `serving::propose`): dictionary/rewrite hit-runs, chunked
+    /// greedily at [`ProposeConfig::max_span`].
+    pub fn propose_spans(&self, tokens: &[String], config: &ProposeConfig) -> Vec<SpanProposal> {
+        let mut trace = LinkTrace::default();
+        serving::propose_spans(self, tokens, config, None, &mut trace)
+    }
+
+    /// Links a whole tokenised clinical note: proposes mention spans,
+    /// fans every span through the staged chain (batched on the worker
+    /// pool, with the batch rewrite prefetch and this linker's shared
+    /// [`PriorTable`]), and rolls the per-span answers up into a
+    /// [`DocumentResult`].
+    ///
+    /// Like [`Linker::link`], this call *degrades rather than fails*:
+    /// the configured total budget becomes a whole-note deadline that
+    /// covers proposal and every span — spans served late in the note
+    /// see less remaining budget and walk down the degradation ladder.
+    /// An all-filler note yields an empty result, not an error.
+    pub fn link_document(&self, tokens: &[String]) -> DocumentResult {
+        self.link_document_with(tokens, &ProposeConfig::default())
+    }
+
+    /// [`Linker::link_document`] with explicit span-proposal knobs.
+    pub fn link_document_with(&self, tokens: &[String], config: &ProposeConfig) -> DocumentResult {
+        serving::link_document(self, tokens, config, self.config.budget, Vec::new())
+    }
+
+    /// Validating twin of [`Linker::link_document`]: rejects notes
+    /// that are empty after normalisation with
+    /// [`NclError::InvalidQuery`]. Unlike [`Linker::try_link`], there
+    /// is **no length cap** — notes are expected to be much longer
+    /// than `max_query_tokens` (each proposed span is clamped to a
+    /// valid query length instead).
+    pub fn try_link_document(&self, tokens: &[String]) -> Result<DocumentResult, NclError> {
+        self.try_link_document_with(tokens, &ProposeConfig::default())
+    }
+
+    /// [`Linker::try_link_document`] with explicit span-proposal knobs.
+    pub fn try_link_document_with(
+        &self,
+        tokens: &[String],
+        config: &ProposeConfig,
+    ) -> Result<DocumentResult, NclError> {
+        if tokens.iter().all(|t| t.trim().is_empty()) {
+            return Err(NclError::InvalidQuery {
+                reason: "note is empty after normalisation".into(),
+            });
+        }
+        Ok(self.link_document_with(tokens, config))
+    }
+
     /// Scores `log p(q|c)` for each candidate, in parallel when
     /// configured. Each job runs behind its own panic-isolation
     /// boundary, so a panicking candidate (model bug, injected fault)
@@ -1233,7 +1309,7 @@ impl<'a> Linker<'a> {
             .collect();
         let cache = self
             .cache
-            .as_ref()
+            .as_deref()
             .filter(|cache| cache.is_valid_for(self.model));
 
         if self.faults.is_none() && deadline.is_none() {
@@ -1631,20 +1707,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the shim must keep agreeing with the trace
     fn timing_parts_are_recorded() {
         let (o, model) = trained_world();
         let linker = Linker::new(&model, &o, LinkerConfig::default());
         let res = linker.link_text("ckd stage 5");
-        let t = res.timing;
-        assert!(t.total() >= t.ed);
-        assert!(t.total() > Duration::ZERO);
-        // The deprecated quadruple is a pure derivation of the trace.
-        assert_eq!(t.or, res.trace.stage_wall(StageKind::Rewrite));
-        assert_eq!(t.cr, res.trace.stage_wall(StageKind::Retrieve));
-        assert_eq!(t.ed, res.trace.stage_wall(StageKind::Score));
-        assert_eq!(t.rt, res.trace.stage_wall(StageKind::Rank));
-        assert_eq!(t.total(), res.trace.total());
+        assert!(res.trace.total() >= res.trace.stage_wall(StageKind::Score));
+        assert!(res.trace.total() > Duration::ZERO);
         // Exactly the four chain stages ran, in order.
         let kinds: Vec<StageKind> = res.trace.stages.iter().map(|s| s.kind).collect();
         assert_eq!(

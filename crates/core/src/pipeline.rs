@@ -14,6 +14,7 @@
 //! Figure 12 reports them on different scales.
 
 use crate::comaid::{ComAid, ComAidConfig, OntologyIndex, TrainPair, TrainReport};
+use crate::feedback::HotSwapCell;
 use crate::linker::{Linker, LinkerConfig};
 use ncl_embedding::corpus::CorpusBuilder;
 use ncl_embedding::{CbowConfig, CbowModel};
@@ -196,6 +197,29 @@ impl NclPipeline {
             extra_epochs,
             ncl_nn::optimizer::LrSchedule::constant(lr),
         );
+    }
+
+    /// Builds a [`HotSwapCell`] whose generation 0 is frozen from the
+    /// pipeline's current model — the serving side of the feedback loop
+    /// (DESIGN.md §17). `config` is typically `self.config().linker`.
+    pub fn serving_cell(&self, ontology: &Ontology, config: LinkerConfig) -> HotSwapCell {
+        HotSwapCell::new(&self.model, ontology, config)
+    }
+
+    /// [`NclPipeline::retrain_with_feedback`] followed by
+    /// [`HotSwapCell::publish`]: retrains on `labels`, freezes the new
+    /// model + cache generation *outside* the cell's swap lock, and
+    /// installs it with an atomic generation bump. In-flight requests
+    /// finish on their snapshot; returns the new generation number.
+    pub fn retrain_and_publish(
+        &mut self,
+        ontology: &Ontology,
+        labels: &[crate::feedback::ExpertLabel],
+        extra_epochs: usize,
+        cell: &HotSwapCell,
+    ) -> u64 {
+        self.retrain_with_feedback(ontology, labels, extra_epochs);
+        cell.publish(&self.model, ontology)
     }
 }
 

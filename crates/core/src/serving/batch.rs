@@ -12,13 +12,43 @@
 //! serving-cache equivalence tests), and each request's context is
 //! fully independent.
 
-use super::drive;
+use super::drive_with;
 use super::score::ComAidScore;
 use crate::error::NclError;
-use crate::linker::{LinkResult, Linker};
+use crate::linker::{LinkBudget, LinkResult, Linker};
+use std::time::Instant;
+
+/// The per-request budget of one batched query: the base budget, with
+/// `total` clipped to whatever remains of the shared deadline *at the
+/// moment this request starts*. With no deadline the base budget passes
+/// through unchanged — `link_batch` is exactly the `deadline: None`
+/// case of [`link_batch_within`].
+fn request_budget(base: LinkBudget, deadline: Option<Instant>) -> LinkBudget {
+    let mut b = base;
+    if let Some(d) = deadline {
+        let remaining = d.saturating_duration_since(Instant::now());
+        b.total = Some(b.total.map_or(remaining, |t| t.min(remaining)));
+    }
+    b
+}
 
 /// Links each query; see [`Linker::link_batch`].
 pub(crate) fn link_batch(linker: &Linker<'_>, queries: &[&[String]]) -> Vec<LinkResult> {
+    link_batch_within(linker, queries, linker.config().budget, None)
+}
+
+/// Deadline-aware batch fan-out: like [`link_batch`], but each request
+/// derives its remaining `total` budget from the shared `deadline` at
+/// the moment its own job starts. This is how a document's whole-note
+/// deadline covers every proposed span — spans served late in the note
+/// see less budget and degrade down the PR-1 ladder instead of
+/// overrunning the note's deadline.
+pub(crate) fn link_batch_within(
+    linker: &Linker<'_>,
+    queries: &[&[String]],
+    base: LinkBudget,
+    deadline: Option<Instant>,
+) -> Vec<LinkResult> {
     let n = queries.len();
     // Prime the shared rewrite memo for the whole batch in one blocked
     // matrix pass before any request runs: per-request rewrite stages
@@ -29,7 +59,20 @@ pub(crate) fn link_batch(linker: &Linker<'_>, queries: &[&[String]]) -> Vec<Link
     }
     let threads = linker.worker_threads(n);
     if threads <= 1 || n <= 1 {
-        return queries.iter().map(|q| linker.link(q)).collect();
+        // Parallelism lives *within* each query here, as in `link`.
+        let scorer = ComAidScore::new(linker);
+        return queries
+            .iter()
+            .map(|q| {
+                drive_with(
+                    linker,
+                    q,
+                    &scorer,
+                    request_budget(base, deadline),
+                    Vec::new(),
+                )
+            })
+            .collect();
     }
     let scorer = ComAidScore {
         linker,
@@ -45,7 +88,13 @@ pub(crate) fn link_batch(linker: &Linker<'_>, queries: &[&[String]]) -> Vec<Link
             let scorer = &scorer;
             let task: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
                 for (q, slot) in query_chunk.iter().zip(slot_chunk.iter_mut()) {
-                    *slot = Some(drive(linker, q, scorer));
+                    *slot = Some(drive_with(
+                        linker,
+                        q,
+                        scorer,
+                        request_budget(base, deadline),
+                        Vec::new(),
+                    ));
                 }
             });
             task

@@ -2,8 +2,6 @@
 
 use super::trace::LinkTrace;
 use crate::faults::FaultPlan;
-#[allow(deprecated)]
-use crate::linker::LinkTiming;
 use crate::linker::{Degradation, LinkBudget, LinkResult, RetrievalBackend};
 use ncl_ontology::ConceptId;
 use std::borrow::Cow;
@@ -131,12 +129,10 @@ impl<'q> RequestCtx<'q> {
 
     /// Consumes the context into the public result.
     pub(crate) fn into_result(self) -> LinkResult {
-        #[allow(deprecated)]
         LinkResult {
             ranked: self.ranked,
             rewritten: self.rewritten.into_owned(),
             candidates: self.candidates,
-            timing: LinkTiming::from(&self.trace),
             retrieval: self.trace.retrieval,
             degradation: self.degradation,
             trace: self.trace,

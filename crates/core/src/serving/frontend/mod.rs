@@ -56,6 +56,8 @@ use crate::comaid::CacheMemoryReport;
 use crate::error::NclError;
 use crate::linker::{LinkResult, Linker};
 
+use super::document::{link_document, DocumentResult};
+use super::propose::ProposeConfig;
 use super::score::ComAidScore;
 use super::trace::{StageKind, TraceEvent};
 use ncl_tensor::pool::WorkerPool;
@@ -93,6 +95,14 @@ pub struct FrontendConfig {
     /// The back-off hint carried on [`NclError::Overloaded`]
     /// rejections.
     pub retry_after: Duration,
+    /// Span cap applied to **document** requests admitted on the
+    /// [`AdmissionRung::TfIdfOnly`] rung (`None` = never drop spans).
+    /// Document shedding degrades per-span budgets first (the same
+    /// ladder single queries walk); only at the bottom rung are
+    /// proposals beyond this cap dropped — and every drop is recorded
+    /// as [`TraceEvent::SpansDropped`] in the document's trace, never
+    /// silently.
+    pub shed_span_cap: Option<usize>,
 }
 
 impl Default for FrontendConfig {
@@ -105,6 +115,7 @@ impl Default for FrontendConfig {
             partial_ed_budget: Duration::from_millis(25),
             workers: 4,
             retry_after: Duration::from_millis(25),
+            shed_span_cap: Some(16),
         }
     }
 }
@@ -146,10 +157,18 @@ impl AdmissionRung {
     }
 }
 
+/// What one queue slot carries: a single mention query or a whole
+/// note. The document is a first-class admission unit — one slot, one
+/// deadline covering every span it proposes.
+enum Payload {
+    Query(Vec<String>),
+    Document(Vec<String>),
+}
+
 /// One request as it sits in the queue.
 struct QueuedRequest {
     id: u64,
-    tokens: Vec<String>,
+    payload: Payload,
     rung: AdmissionRung,
     depth: usize,
     admitted: Instant,
@@ -173,6 +192,22 @@ pub struct Completion {
     pub result: LinkResult,
 }
 
+/// The served outcome of one admitted **document** request.
+#[derive(Debug, Clone)]
+pub struct DocumentCompletion {
+    /// The submission id returned by [`Frontend::submit_document`].
+    pub id: u64,
+    /// The rung the document was admitted at.
+    pub rung: AdmissionRung,
+    /// Time spent waiting in the queue before a worker picked it up.
+    pub queued: Duration,
+    /// Admission-to-completion wall-clock for the whole note.
+    pub total: Duration,
+    /// The document-level answer: one result per proposed span, with
+    /// the rolled-up trace and worst-of-spans degradation.
+    pub result: DocumentResult,
+}
+
 /// Monotonic counters, snapshotted into [`FrontendStats`].
 #[derive(Default)]
 struct Counters {
@@ -184,14 +219,18 @@ struct Counters {
     admitted_shed: AtomicU64,
     completed: AtomicU64,
     queued_past_deadline: AtomicU64,
+    doc_submitted: AtomicU64,
+    doc_completed: AtomicU64,
+    doc_spans_linked: AtomicU64,
 }
 
 /// The histogram set one worker (or the pooled roll-up) maintains.
 struct HistSet {
     queue_wait: LatencyHistogram,
     e2e: LatencyHistogram,
-    /// Indexed by chain order: Rewrite, Retrieve, Score, Rank.
-    stages: [LatencyHistogram; 4],
+    doc_e2e: LatencyHistogram,
+    /// Indexed by chain order: Propose, Rewrite, Retrieve, Score, Rank.
+    stages: [LatencyHistogram; 5],
 }
 
 impl HistSet {
@@ -199,7 +238,9 @@ impl HistSet {
         Self {
             queue_wait: LatencyHistogram::new(),
             e2e: LatencyHistogram::new(),
+            doc_e2e: LatencyHistogram::new(),
             stages: [
+                LatencyHistogram::new(),
                 LatencyHistogram::new(),
                 LatencyHistogram::new(),
                 LatencyHistogram::new(),
@@ -210,10 +251,11 @@ impl HistSet {
 
     fn stage_mut(&mut self, kind: StageKind) -> &mut LatencyHistogram {
         let i = match kind {
-            StageKind::Rewrite => 0,
-            StageKind::Retrieve => 1,
-            StageKind::Score => 2,
-            StageKind::Rank => 3,
+            StageKind::Propose => 0,
+            StageKind::Rewrite => 1,
+            StageKind::Retrieve => 2,
+            StageKind::Score => 3,
+            StageKind::Rank => 4,
         };
         &mut self.stages[i]
     }
@@ -221,6 +263,7 @@ impl HistSet {
     fn merge(&mut self, other: &Self) {
         self.queue_wait.merge(&other.queue_wait);
         self.e2e.merge(&other.e2e);
+        self.doc_e2e.merge(&other.doc_e2e);
         for (a, b) in self.stages.iter_mut().zip(other.stages.iter()) {
             a.merge(b);
         }
@@ -252,12 +295,24 @@ pub struct FrontendStats {
     /// Completions whose deadline had already expired when a worker
     /// picked them up (served as Phase-I-only answers).
     pub queued_past_deadline: u64,
+    /// Calls to [`Frontend::submit_document`] (whether admitted,
+    /// rejected, or invalid); also counted in `submitted`.
+    pub doc_submitted: u64,
+    /// Document requests served to completion; also counted in
+    /// `completed`.
+    pub doc_completed: u64,
+    /// Spans linked across all completed documents.
+    pub doc_spans_linked: u64,
     /// Queue depth at snapshot time.
     pub depth: usize,
     /// Time requests spent queued.
     pub queue_wait: HistSummary,
-    /// Admission-to-completion latency.
+    /// Admission-to-completion latency of single-query requests.
     pub e2e: HistSummary,
+    /// Admission-to-completion latency of document requests.
+    pub doc_e2e: HistSummary,
+    /// Propose-stage (document span proposal) wall-clock.
+    pub propose: HistSummary,
     /// Rewrite-stage (OR) wall-clock.
     pub rewrite: HistSummary,
     /// Retrieve-stage (CR) wall-clock.
@@ -312,6 +367,7 @@ pub struct Frontend<'f, 'a> {
     counters: Counters,
     hists: Mutex<HistSet>,
     completions: Mutex<Vec<Completion>>,
+    doc_completions: Mutex<Vec<DocumentCompletion>>,
 }
 
 impl<'f, 'a> Frontend<'f, 'a> {
@@ -349,6 +405,7 @@ impl<'f, 'a> Frontend<'f, 'a> {
             counters: Counters::default(),
             hists: Mutex::new(HistSet::new()),
             completions: Mutex::new(Vec::new()),
+            doc_completions: Mutex::new(Vec::new()),
         }
     }
 
@@ -371,6 +428,35 @@ impl<'f, 'a> Frontend<'f, 'a> {
             self.counters.invalid.fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
+        self.admit(Payload::Query(tokens))
+    }
+
+    /// Submits one whole tokenised note as a **single admission
+    /// unit**: one queue slot, one admission rung, and one deadline
+    /// covering span proposal *and* every proposed span. Shedding
+    /// degrades the per-span budgets down the same ladder single
+    /// queries walk; spans are dropped only on the bottom rung (capped
+    /// at [`FrontendConfig::shed_span_cap`], recorded in the trace).
+    ///
+    /// The typed refusals mirror [`Frontend::submit`], except there is
+    /// no length cap — only notes empty after normalisation are
+    /// [`NclError::InvalidQuery`]. Completions arrive via
+    /// [`Frontend::take_document_completions`].
+    pub fn submit_document(&self, tokens: Vec<String>) -> Result<u64, NclError> {
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.counters.doc_submitted.fetch_add(1, Ordering::Relaxed);
+        if tokens.iter().all(|t| t.trim().is_empty()) {
+            self.counters.invalid.fetch_add(1, Ordering::Relaxed);
+            return Err(NclError::InvalidQuery {
+                reason: "note is empty after normalisation".into(),
+            });
+        }
+        self.admit(Payload::Document(tokens))
+    }
+
+    /// The shared admission path behind both submit entry points:
+    /// fault site, watermark rung, queue push (or inline serving).
+    fn admit(&self, payload: Payload) -> Result<u64, NclError> {
         // The forced-overload fault site: an injected I/O error models
         // admission refusing a request regardless of actual depth.
         if let Some(plan) = &self.linker.faults {
@@ -387,7 +473,7 @@ impl<'f, 'a> Frontend<'f, 'a> {
         let admitted = Instant::now();
         let req = QueuedRequest {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
-            tokens,
+            payload,
             rung,
             depth,
             admitted,
@@ -456,13 +542,18 @@ impl<'f, 'a> Frontend<'f, 'a> {
             admitted_shed: c.admitted_shed.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             queued_past_deadline: c.queued_past_deadline.load(Ordering::Relaxed),
+            doc_submitted: c.doc_submitted.load(Ordering::Relaxed),
+            doc_completed: c.doc_completed.load(Ordering::Relaxed),
+            doc_spans_linked: c.doc_spans_linked.load(Ordering::Relaxed),
             depth: self.queue.len(),
             queue_wait: h.queue_wait.summary(),
             e2e: h.e2e.summary(),
-            rewrite: h.stages[0].summary(),
-            retrieve: h.stages[1].summary(),
-            score: h.stages[2].summary(),
-            rank: h.stages[3].summary(),
+            doc_e2e: h.doc_e2e.summary(),
+            propose: h.stages[0].summary(),
+            rewrite: h.stages[1].summary(),
+            retrieve: h.stages[2].summary(),
+            score: h.stages[3].summary(),
+            rank: h.stages[4].summary(),
             cache: self.linker.cache().map(|c| c.memory_report()),
         }
     }
@@ -476,6 +567,17 @@ impl<'f, 'a> Frontend<'f, 'a> {
                 .completions
                 .lock()
                 .expect("frontend completions poisoned"),
+        )
+    }
+
+    /// Drains and returns the accumulated [`DocumentCompletion`]s
+    /// (same ordering caveats as [`Frontend::take_completions`]).
+    pub fn take_document_completions(&self) -> Vec<DocumentCompletion> {
+        std::mem::take(
+            &mut *self
+                .doc_completions
+                .lock()
+                .expect("frontend doc completions poisoned"),
         )
     }
 
@@ -545,28 +647,66 @@ impl<'f, 'a> Frontend<'f, 'a> {
                 budget.ed = Some(Duration::ZERO);
             }
         }
-        let scorer = ComAidScore {
-            linker: self.linker,
-            serial: true,
-        };
-        let result = super::drive_with(self.linker, &req.tokens, &scorer, budget, preamble);
-        let total = req.admitted.elapsed();
         hists.queue_wait.record(queued);
-        hists.e2e.record(total);
-        for s in &result.trace.stages {
-            hists.stage_mut(s.kind).record(s.wall);
+        match req.payload {
+            Payload::Query(ref tokens) => {
+                let scorer = ComAidScore {
+                    linker: self.linker,
+                    serial: true,
+                };
+                let result = super::drive_with(self.linker, tokens, &scorer, budget, preamble);
+                let total = req.admitted.elapsed();
+                hists.e2e.record(total);
+                for s in &result.trace.stages {
+                    hists.stage_mut(s.kind).record(s.wall);
+                }
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                self.completions
+                    .lock()
+                    .expect("frontend completions poisoned")
+                    .push(Completion {
+                        id: req.id,
+                        rung: req.rung,
+                        queued,
+                        total,
+                        result,
+                    });
+            }
+            Payload::Document(ref tokens) => {
+                // Per-span budgets already degraded with the rung (the
+                // ED caps above apply to every span); only the bottom
+                // rung additionally caps how many spans are served.
+                let propose = ProposeConfig {
+                    max_spans: if req.rung == AdmissionRung::TfIdfOnly {
+                        self.config.shed_span_cap
+                    } else {
+                        None
+                    },
+                    ..ProposeConfig::default()
+                };
+                let result = link_document(self.linker, tokens, &propose, budget, preamble);
+                let total = req.admitted.elapsed();
+                hists.doc_e2e.record(total);
+                for s in &result.trace.stages {
+                    hists.stage_mut(s.kind).record(s.wall);
+                }
+                self.counters.completed.fetch_add(1, Ordering::Relaxed);
+                self.counters.doc_completed.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .doc_spans_linked
+                    .fetch_add(result.spans.len() as u64, Ordering::Relaxed);
+                self.doc_completions
+                    .lock()
+                    .expect("frontend doc completions poisoned")
+                    .push(DocumentCompletion {
+                        id: req.id,
+                        rung: req.rung,
+                        queued,
+                        total,
+                        result,
+                    });
+            }
         }
-        self.counters.completed.fetch_add(1, Ordering::Relaxed);
-        self.completions
-            .lock()
-            .expect("frontend completions poisoned")
-            .push(Completion {
-                id: req.id,
-                rung: req.rung,
-                queued,
-                total,
-                result,
-            });
     }
 }
 

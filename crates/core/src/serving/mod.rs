@@ -44,10 +44,19 @@
 //! requests under load, per-request deadlines wired into the
 //! [`crate::linker::LinkBudget`], and log-scale latency histograms
 //! rolling up p50/p95/p99 per stage and end-to-end.
+//!
+//! Document-level requests put one extra stage in front of the chain
+//! (DESIGN.md §17): span proposal ([`ProposeConfig`], [`SpanProposal`])
+//! scans a whole tokenised note for candidate mention spans, and
+//! [`crate::linker::Linker::link_document`] fans the proposals through
+//! the chain under one shared note deadline, rolling the per-span
+//! traces up into a [`DocumentResult`].
 
 mod batch;
 mod ctx;
+mod document;
 pub mod frontend;
+mod propose;
 mod rank;
 mod retrieve;
 mod rewrite;
@@ -55,10 +64,12 @@ mod score;
 mod trace;
 
 pub use ctx::RequestCtx;
+pub use document::{DocumentResult, SpanLink};
 pub use frontend::{
-    AdmissionRung, Completion, Frontend, FrontendConfig, FrontendStats, HistSummary,
-    LatencyHistogram,
+    AdmissionRung, Completion, DocumentCompletion, Frontend, FrontendConfig, FrontendStats,
+    HistSummary, LatencyHistogram,
 };
+pub use propose::{ProposeConfig, SpanAnchor, SpanProposal};
 pub use score::{ComAidScore, ScoreOutcome, ScoreRequest, ScoreStage};
 pub use trace::{
     AnnFallbackReason, AnnSearchStats, CacheUse, LinkTrace, RewriteDecision, StageKind,
@@ -66,6 +77,8 @@ pub use trace::{
 };
 
 pub(crate) use batch::{link_batch, try_link_batch};
+pub(crate) use document::link_document;
+pub(crate) use propose::propose_spans;
 pub(crate) use rank::classify_degradation;
 
 use crate::linker::{LinkBudget, LinkResult, Linker, RetrievalBackend};

@@ -7,8 +7,6 @@
 //! recording it cannot perturb the bit-identical serving path.
 
 use crate::linker::Degradation;
-#[allow(deprecated)]
-use crate::linker::LinkTiming;
 use ncl_text::tfidf::RetrievalStats;
 use std::time::Duration;
 
@@ -31,11 +29,18 @@ pub enum AnnFallbackReason {
     Panicked,
 }
 
-/// The four serving stages, in chain order. `Rewrite`/`Retrieve` are
+/// The serving stages, in chain order. `Rewrite`/`Retrieve` are
 /// the paper's Phase I (OR + CR of Appendix B.1), `Score`/`Rank` its
-/// Phase II (ED + RT).
+/// Phase II (ED + RT). `Propose` precedes the four-stage chain and only
+/// runs for document-level requests: it scans a whole note for
+/// candidate mention spans, each of which then enters the chain as its
+/// own query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StageKind {
+    /// Document-level span proposal over a tokenised note — runs once
+    /// per document, before its proposed spans fan through the chain
+    /// ([`crate::linker::Linker::link_document`]).
+    Propose,
     /// Out-of-vocabulary query rewriting (Eq. 13) — the OR phase.
     Rewrite,
     /// TF-IDF candidate retrieval — the CR phase.
@@ -124,6 +129,34 @@ pub enum TraceEvent {
         /// What disabled the ANN search.
         reason: AnnFallbackReason,
     },
+    /// The Propose stage accepted one candidate mention span —
+    /// provenance for document-level requests (one event per proposal,
+    /// in document order).
+    SpanProposed {
+        /// First note token of the span.
+        start: usize,
+        /// Span length in tokens.
+        len: usize,
+        /// How many of its tokens only matched the concept dictionary
+        /// after an OOV rewrite (0 = pure dictionary span).
+        rewrite_hits: usize,
+    },
+    /// The `doc.propose` fault site faulted while accepting one
+    /// candidate span; that span was dropped. Spans accepted before the
+    /// fault survive — a mid-document fault never voids the whole note.
+    ProposeFaulted {
+        /// First note token of the dropped span.
+        start: usize,
+    },
+    /// The Propose stage hit its span cap
+    /// ([`crate::serving::ProposeConfig::max_spans`], e.g. under
+    /// front-end shedding): proposals beyond the cap were dropped.
+    SpansDropped {
+        /// Proposals kept (== the cap).
+        kept: usize,
+        /// Proposals found past the cap and dropped.
+        dropped: usize,
+    },
 }
 
 /// One query-rewriting decision (Eq. 13 with edit-distance fallback).
@@ -140,10 +173,9 @@ pub struct RewriteDecision {
 
 /// The unified trace of one linking request.
 ///
-/// Replaces the coarse [`LinkTiming`] quadruple: per-stage wall-clock
-/// lives in [`LinkTrace::stages`], and the deprecated `LinkTiming` on
-/// [`crate::linker::LinkResult`] is now derived from it (see
-/// [`LinkTiming::from`]).
+/// Replaces the coarse pre-PR-5 OR/CR/ED/RT timing quadruple: per-stage
+/// wall-clock lives in [`LinkTrace::stages`] and is read back with
+/// [`LinkTrace::stage_wall`].
 #[derive(Debug, Clone, Default)]
 pub struct LinkTrace {
     /// Wall-clock per executed stage, in execution order.
@@ -178,19 +210,5 @@ impl LinkTrace {
     /// Total wall-clock across all recorded stages.
     pub fn total(&self) -> Duration {
         self.stages.iter().map(|s| s.wall).sum()
-    }
-}
-
-#[allow(deprecated)]
-impl From<&LinkTrace> for LinkTiming {
-    /// The deprecated coarse view: OR/CR/ED/RT map onto
-    /// Rewrite/Retrieve/Score/Rank.
-    fn from(trace: &LinkTrace) -> Self {
-        LinkTiming {
-            or: trace.stage_wall(StageKind::Rewrite),
-            cr: trace.stage_wall(StageKind::Retrieve),
-            ed: trace.stage_wall(StageKind::Score),
-            rt: trace.stage_wall(StageKind::Rank),
-        }
     }
 }

@@ -51,7 +51,7 @@ impl DatasetProfile {
     }
 
     /// Corruption-class weights (profile-specific query style).
-    fn class_weights(self) -> &'static [(CorruptionClass, u32)] {
+    pub(crate) fn class_weights(self) -> &'static [(CorruptionClass, u32)] {
         match self {
             // hospital-x: clinicians abbreviate heavily.
             Self::HospitalX => &[
@@ -203,7 +203,7 @@ impl Dataset {
         out
     }
 
-    fn sample_query(
+    pub(crate) fn sample_query(
         ontology: &Ontology,
         fine: &[ConceptId],
         profile: DatasetProfile,
@@ -215,7 +215,7 @@ impl Dataset {
     /// [`Dataset::sample_query`] with an explicit corruption-weight
     /// table — the seam that lets workloads skew the discrepancy mix
     /// away from the profile default (e.g. the OOV-heavy groups below).
-    fn sample_query_weighted(
+    pub(crate) fn sample_query_weighted(
         ontology: &Ontology,
         fine: &[ConceptId],
         profile: DatasetProfile,

@@ -26,15 +26,20 @@
 //!   selected queries per group "to cover different cases (e.g.,
 //!   abbreviation, synonym, acronym, and simplification)"),
 //! * [`dataset`] — the two dataset profiles (`HospitalX`, `MimicIii`) with
-//!   labeled pairs, unlabeled corpus and grouped evaluation queries.
+//!   labeled pairs, unlabeled corpus and grouped evaluation queries,
+//! * [`note`] — multi-mention clinical notes: labeled snippets stitched
+//!   into documents with narrative filler and gold span annotations,
+//!   for the document-level linking workload.
 //!
 //! Everything is deterministic given a seed.
 
 pub mod alias_gen;
 pub mod dataset;
 pub mod lexicon;
+pub mod note;
 pub mod ontology_gen;
 pub mod query_gen;
 
 pub use dataset::{Dataset, DatasetConfig, DatasetProfile, LabeledQuery};
+pub use note::{GoldSpan, Note, NoteConfig, NoteProfile};
 pub use query_gen::CorruptionClass;

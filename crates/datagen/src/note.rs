@@ -1,0 +1,385 @@
+//! Multi-mention clinical notes with gold span annotations.
+//!
+//! The paper's serving experiments (and Appendix A's feedback loop)
+//! assume a stream of short mention queries, but real clinical traffic
+//! arrives as whole notes: narrative filler interleaved with several
+//! concept mentions ("pt seen on rounds … *chr iron def anemia* …
+//! tolerating diet … *fx femur* …"). [`NoteProfile`] stitches labeled
+//! query snippets — the same corrupted surface forms
+//! [`crate::query_gen`] produces for single-query workloads — into
+//! documents, recording a [`GoldSpan`] per embedded mention so span
+//! proposal and document-level linking can be scored end to end.
+//!
+//! The filler bank is *disjoint by construction* from every medical
+//! term bank in [`crate::lexicon`] (sites, families, nutrients,
+//! synonyms, qualifiers): filler tokens never appear in a fine-grained
+//! concept description, so a proposal pass that fires on filler is a
+//! genuine false positive, not a vocabulary accident. A unit test
+//! enforces the disjointness against generated ontologies.
+//!
+//! Everything is deterministic given the config seed: the same
+//! `(config, note_seed)` always yields the same note, and notes with
+//! different seeds are decorrelated.
+
+use crate::dataset::{Dataset, DatasetProfile};
+use crate::query_gen::CorruptionClass;
+use ncl_ontology::{ConceptId, Ontology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Narrative filler vocabulary: charting boilerplate that carries no
+/// concept reference. Chosen to be disjoint from every term bank in
+/// [`crate::lexicon`] and from the qualifier/cause words used by
+/// [`crate::ontology_gen`] (no anatomy, no disease families, no
+/// qualifiers like "severe"/"left", no digits).
+pub const FILLER_WORDS: &[&str] = &[
+    "patient",
+    "seen",
+    "today",
+    "on",
+    "rounds",
+    "reports",
+    "denies",
+    "states",
+    "feeling",
+    "better",
+    "overnight",
+    "vitals",
+    "reviewed",
+    "labs",
+    "pending",
+    "plan",
+    "continue",
+    "current",
+    "regimen",
+    "followup",
+    "arranged",
+    "next",
+    "week",
+    "tolerating",
+    "diet",
+    "ambulating",
+    "in",
+    "hallway",
+    "alert",
+    "and",
+    "oriented",
+    "resting",
+    "comfortably",
+    "family",
+    "at",
+    "bedside",
+    "questions",
+    "answered",
+    "nursing",
+    "staff",
+    "updated",
+    "will",
+    "monitor",
+    "recheck",
+    "this",
+    "evening",
+    "appetite",
+    "fair",
+    "sleeping",
+    "improved",
+    "mood",
+    "pleasant",
+    "cooperative",
+    "home",
+    "instructions",
+    "given",
+    "return",
+    "precautions",
+    "discussed",
+];
+
+/// Generation knobs for one note stream.
+#[derive(Debug, Clone, Copy)]
+pub struct NoteConfig {
+    /// Minimum mentions stitched into one note (inclusive).
+    pub mentions_min: usize,
+    /// Maximum mentions stitched into one note (inclusive).
+    pub mentions_max: usize,
+    /// Minimum filler tokens in each gap between mentions (inclusive);
+    /// gaps also open and close the note.
+    pub filler_min: usize,
+    /// Maximum filler tokens per gap (inclusive).
+    pub filler_max: usize,
+    /// Base RNG seed; each note derives its own stream from it.
+    pub seed: u64,
+}
+
+impl Default for NoteConfig {
+    fn default() -> Self {
+        Self {
+            mentions_min: 3,
+            mentions_max: 8,
+            filler_min: 4,
+            filler_max: 12,
+            seed: 0x0201_50E5,
+        }
+    }
+}
+
+impl NoteConfig {
+    /// A small configuration suitable for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            mentions_min: 2,
+            mentions_max: 4,
+            filler_min: 2,
+            filler_max: 6,
+            seed: 0x0201_50E5,
+        }
+    }
+}
+
+/// One gold mention annotation: a half-open token range of the note
+/// plus the ground truth it refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldSpan {
+    /// Index of the first mention token in [`Note::tokens`].
+    pub start: usize,
+    /// Number of tokens in the mention.
+    pub len: usize,
+    /// The referred fine-grained concept.
+    pub truth: ConceptId,
+    /// The word-discrepancy class that produced the surface form.
+    pub class: CorruptionClass,
+}
+
+impl GoldSpan {
+    /// One past the last mention token (half-open end).
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+}
+
+/// A generated clinical note: normalised tokens plus the gold span for
+/// every embedded mention, in document order.
+#[derive(Debug, Clone)]
+pub struct Note {
+    /// The full token stream (filler and mentions interleaved).
+    pub tokens: Vec<String>,
+    /// Gold mention spans, sorted by `start`, non-overlapping.
+    pub gold: Vec<GoldSpan>,
+}
+
+impl Note {
+    /// The note as a single string.
+    pub fn text(&self) -> String {
+        self.tokens.join(" ")
+    }
+
+    /// The tokens of one gold span.
+    pub fn span_tokens(&self, span: &GoldSpan) -> &[String] {
+        &self.tokens[span.start..span.end()]
+    }
+}
+
+/// Deterministic note generator over any ontology: the two dataset
+/// profiles ([`Dataset::note_profile`]) and the ICD-10-CM profile
+/// ([`crate::ontology_gen::generate_icd10cm`] passed straight in) all
+/// go through this one type.
+pub struct NoteProfile<'a> {
+    ontology: &'a Ontology,
+    profile: DatasetProfile,
+    config: NoteConfig,
+    fine: Vec<ConceptId>,
+}
+
+impl<'a> NoteProfile<'a> {
+    /// A note generator over `ontology`, corrupting mention surface
+    /// forms with `profile`'s discrepancy mix.
+    pub fn new(ontology: &'a Ontology, profile: DatasetProfile, config: NoteConfig) -> Self {
+        assert!(
+            config.mentions_min >= 1 && config.mentions_min <= config.mentions_max,
+            "invalid mention range"
+        );
+        assert!(
+            config.filler_min >= 1 && config.filler_min <= config.filler_max,
+            "invalid filler range (filler_min must be >= 1 so adjacent \
+             mentions never merge into one surface run)"
+        );
+        Self {
+            ontology,
+            profile,
+            config,
+            fine: ontology.fine_grained(),
+        }
+    }
+
+    /// The ontology the notes mention concepts from.
+    pub fn ontology(&self) -> &Ontology {
+        self.ontology
+    }
+
+    /// The generation knobs.
+    pub fn config(&self) -> &NoteConfig {
+        &self.config
+    }
+
+    /// Generates one note. Deterministic given `(config, note_seed)`.
+    pub fn note(&self, note_seed: u64) -> Note {
+        let mut rng =
+            StdRng::seed_from_u64(self.config.seed ^ note_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mentions = rng.gen_range(self.config.mentions_min..=self.config.mentions_max);
+        let mut tokens = Vec::new();
+        let mut gold = Vec::new();
+        self.push_filler(&mut tokens, &mut rng);
+        let mut placed = 0;
+        let mut attempts = 0;
+        while placed < mentions && attempts < mentions * 20 {
+            attempts += 1;
+            let Some(q) = Dataset::sample_query(self.ontology, &self.fine, self.profile, &mut rng)
+            else {
+                continue;
+            };
+            gold.push(GoldSpan {
+                start: tokens.len(),
+                len: q.tokens.len(),
+                truth: q.truth,
+                class: q.class,
+            });
+            tokens.extend(q.tokens);
+            self.push_filler(&mut tokens, &mut rng);
+            placed += 1;
+        }
+        Note { tokens, gold }
+    }
+
+    /// Generates `n` notes with per-note seeds `1..=n`.
+    pub fn notes(&self, n: usize) -> Vec<Note> {
+        (0..n).map(|i| self.note(i as u64 + 1)).collect()
+    }
+
+    fn push_filler(&self, tokens: &mut Vec<String>, rng: &mut StdRng) {
+        let n = rng.gen_range(self.config.filler_min..=self.config.filler_max);
+        for _ in 0..n {
+            let w = FILLER_WORDS[rng.gen_range(0..FILLER_WORDS.len())];
+            tokens.push(w.to_string());
+        }
+    }
+}
+
+impl Dataset {
+    /// A note generator over this dataset's ontology and profile.
+    pub fn note_profile(&self, config: NoteConfig) -> NoteProfile<'_> {
+        NoteProfile::new(&self.ontology, self.profile, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetConfig;
+    use crate::ontology_gen::{generate_icd10cm, Icd10CmGenConfig};
+    use ncl_text::tokenize;
+    use std::collections::HashSet;
+
+    fn tiny() -> Dataset {
+        Dataset::generate(DatasetConfig::tiny(DatasetProfile::HospitalX))
+    }
+
+    #[test]
+    fn notes_are_deterministic() {
+        let d = tiny();
+        let p = d.note_profile(NoteConfig::tiny());
+        let a = p.note(7);
+        let b = p.note(7);
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.gold, b.gold);
+        let c = p.note(8);
+        assert_ne!(a.tokens, c.tokens);
+    }
+
+    #[test]
+    fn gold_spans_are_sorted_disjoint_and_in_range() {
+        let d = tiny();
+        let p = d.note_profile(NoteConfig::tiny());
+        for note in p.notes(20) {
+            let cfg = NoteConfig::tiny();
+            assert!(note.gold.len() >= cfg.mentions_min);
+            assert!(note.gold.len() <= cfg.mentions_max);
+            let mut prev_end = 0;
+            for s in &note.gold {
+                assert!(s.start >= prev_end, "overlapping spans");
+                assert!(s.len >= 1);
+                assert!(s.end() <= note.tokens.len());
+                assert!(d.ontology.is_fine_grained(s.truth));
+                prev_end = s.end();
+            }
+        }
+    }
+
+    #[test]
+    fn filler_is_disjoint_from_concept_vocabulary() {
+        // Every token of every fine-grained description (canonical and
+        // aliases) across both dataset profiles must be absent from the
+        // filler bank — a proposal firing on filler is then a genuine
+        // false positive.
+        let filler: HashSet<&str> = FILLER_WORDS.iter().copied().collect();
+        for profile in [DatasetProfile::HospitalX, DatasetProfile::MimicIii] {
+            let d = Dataset::generate(DatasetConfig::tiny(profile));
+            for id in d.ontology.fine_grained() {
+                let c = d.ontology.concept(id);
+                let mut forms = vec![c.canonical.clone()];
+                forms.extend(c.aliases.iter().cloned());
+                for form in forms {
+                    for t in tokenize(&form) {
+                        assert!(
+                            !filler.contains(t.as_str()),
+                            "filler word {t:?} appears in {}",
+                            c.code
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn icd10cm_ontology_generates_notes_directly() {
+        let o = generate_icd10cm(Icd10CmGenConfig {
+            categories: 20,
+            seed: 11,
+            encounter_leaves: false,
+        });
+        let p = NoteProfile::new(&o, DatasetProfile::HospitalX, NoteConfig::tiny());
+        let notes = p.notes(5);
+        assert_eq!(notes.len(), 5);
+        for note in &notes {
+            assert!(!note.gold.is_empty());
+            for s in &note.gold {
+                assert!(o.is_fine_grained(s.truth));
+                assert!(!note.span_tokens(s).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn exact_spans_match_a_description_of_their_truth() {
+        let d = tiny();
+        let p = d.note_profile(NoteConfig::tiny());
+        let mut checked = 0;
+        for note in p.notes(40) {
+            for s in &note.gold {
+                if s.class != CorruptionClass::Exact {
+                    continue;
+                }
+                let c = d.ontology.concept(s.truth);
+                let text = note.span_tokens(s).join(" ");
+                let mut forms = vec![c.canonical.clone()];
+                forms.extend(c.aliases.iter().cloned());
+                assert!(
+                    forms.contains(&text),
+                    "exact span {text:?} not among descriptions of {}",
+                    c.code
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no Exact spans sampled in 40 notes");
+    }
+}

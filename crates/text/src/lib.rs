@@ -29,8 +29,6 @@ pub mod edit_index;
 pub mod ngram;
 pub mod tfidf;
 pub mod tokenize;
-#[deprecated(note = "renamed to `tokenize`")]
-pub mod tokenizer;
 pub mod vocab;
 
 pub use tokenize::tokenize;

@@ -431,10 +431,9 @@ fn doc2vec_baseline_serves_through_the_staged_pipeline() {
     }
 }
 
-/// The unified trace: per-stage wall-clock for all four stages, the
-/// deprecated `LinkTiming` shim derived from it, cache usage from the
-/// precomputed concept cache, and one recorded decision per
-/// out-of-vocabulary token considered by the Rewrite stage.
+/// The unified trace: per-stage wall-clock for all four stages, cache
+/// usage from the precomputed concept cache, and one recorded decision
+/// per out-of-vocabulary token considered by the Rewrite stage.
 #[test]
 fn trace_records_stages_cache_and_rewrite_decisions() {
     use ncl::core::StageKind;
@@ -457,13 +456,14 @@ fn trace_records_stages_cache_and_rewrite_decisions() {
             StageKind::Rank
         ]
     );
-    #[allow(deprecated)]
-    {
-        let t = res.timing;
-        assert_eq!(t.or, res.trace.stage_wall(StageKind::Rewrite));
-        assert_eq!(t.cr, res.trace.stage_wall(StageKind::Retrieve));
-        assert_eq!(t.ed, res.trace.stage_wall(StageKind::Score));
-        assert_eq!(t.rt, res.trace.stage_wall(StageKind::Rank));
+    // Every chain stage left a non-negative wall-clock in the trace.
+    for kind in [
+        StageKind::Rewrite,
+        StageKind::Retrieve,
+        StageKind::Score,
+        StageKind::Rank,
+    ] {
+        assert!(res.trace.total() >= res.trace.stage_wall(kind));
     }
     // Exactly one OOV token was considered; in-vocabulary "anemia" is
     // not recorded.
